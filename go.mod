@@ -1,0 +1,3 @@
+module megammap
+
+go 1.24

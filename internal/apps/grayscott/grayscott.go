@@ -1,0 +1,152 @@
+// Package grayscott implements the paper's Gray-Scott 3-D
+// reaction-diffusion workload: a grid of (U,V) chemical concentrations
+// updated with a 7-point stencil, partitioned into Z-slabs across ranks,
+// exchanging halo planes each step and checkpointing the grid every
+// plotgap steps. Two variants share identical numerics: a MegaMmap
+// implementation (the grid lives in shared vectors; halos arrive through
+// the DSM; checkpoints persist through the nonvolatile staging path) and
+// an MPI implementation (node-local slabs, explicit halo messages,
+// synchronous checkpoint I/O) whose allocations are subject to the OOM
+// killer — the paper's Fig. 6 failure mode.
+package grayscott
+
+import (
+	"encoding/binary"
+	"math"
+
+	"megammap/internal/vtime"
+)
+
+// Cell holds the two chemical concentrations of one grid point.
+type Cell struct {
+	U, V float64
+}
+
+// CellSize is the encoded cell size in bytes.
+const CellSize = 16
+
+// CellCodec encodes cells for MegaMmap vectors.
+type CellCodec struct{}
+
+// Size implements core.Codec.
+func (CellCodec) Size() int { return CellSize }
+
+// Encode implements core.Codec.
+func (CellCodec) Encode(dst []byte, c Cell) {
+	binary.LittleEndian.PutUint64(dst, math.Float64bits(c.U))
+	binary.LittleEndian.PutUint64(dst[8:], math.Float64bits(c.V))
+}
+
+// Decode implements core.Codec.
+func (CellCodec) Decode(src []byte) Cell {
+	return Cell{
+		U: math.Float64frombits(binary.LittleEndian.Uint64(src)),
+		V: math.Float64frombits(binary.LittleEndian.Uint64(src[8:])),
+	}
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	L       int // grid side; the grid is L^3 cells
+	Steps   int
+	PlotGap int // checkpoint every PlotGap steps (0 = never)
+
+	// Reaction parameters (the classic Pearson values by default).
+	F, K, Du, Dv, Dt float64
+
+	CkptURL string // checkpoint destination (nonvolatile)
+	// BoundBytes caps each rank's pcache per grid vector (MegaMmap).
+	BoundBytes int64
+	// CostPerCell is the modeled compute cost of one stencil update.
+	CostPerCell vtime.Duration
+}
+
+// Defaults fills unset reaction parameters.
+func (c Config) Defaults() Config {
+	if c.F == 0 {
+		c.F = 0.04
+	}
+	if c.K == 0 {
+		c.K = 0.06
+	}
+	if c.Du == 0 {
+		c.Du = 0.2
+	}
+	if c.Dv == 0 {
+		c.Dv = 0.1
+	}
+	if c.Dt == 0 {
+		c.Dt = 1.0
+	}
+	if c.CostPerCell == 0 {
+		c.CostPerCell = 12 * vtime.Nanosecond
+	}
+	return c
+}
+
+// Result reports a run.
+type Result struct {
+	// Checksum is the sum of all U plus V at the end (verification).
+	Checksum float64
+	// GridBytes is the dataset size of one grid copy.
+	GridBytes int64
+	// Checkpoints counts grid checkpoints taken.
+	Checkpoints int
+}
+
+// slab returns rank r's Z-plane range [z0, z1) for an L-deep grid over
+// size ranks.
+func slab(L, r, size int) (z0, z1 int) {
+	per := L / size
+	rem := L % size
+	z0 = r*per + min(r, rem)
+	z1 = z0 + per
+	if r < rem {
+		z1++
+	}
+	return z0, z1
+}
+
+// initCell returns the initial condition at (x,y,z): U=1,V=0 everywhere
+// except a seeded cube in the grid center.
+func initCell(L, x, y, z int) Cell {
+	lo, hi := L/2-L/8, L/2+L/8
+	if x >= lo && x < hi && y >= lo && y < hi && z >= lo && z < hi {
+		return Cell{U: 0.5, V: 0.25}
+	}
+	return Cell{U: 1, V: 0}
+}
+
+// react computes one cell update from its 7-point neighborhood.
+func (c Config) react(center, xm, xp, ym, yp, zm, zp Cell) Cell {
+	lapU := xm.U + xp.U + ym.U + yp.U + zm.U + zp.U - 6*center.U
+	lapV := xm.V + xp.V + ym.V + yp.V + zm.V + zp.V - 6*center.V
+	uvv := center.U * center.V * center.V
+	return Cell{
+		U: center.U + c.Dt*(c.Du*lapU-uvv+c.F*(1-center.U)),
+		V: center.V + c.Dt*(c.Dv*lapV+uvv-(c.F+c.K)*center.V),
+	}
+}
+
+// stepRow updates one X-row using the five neighbor rows. Edges clamp to
+// the boundary (zero-flux walls), matching both variants exactly.
+func (c Config) stepRow(dst, center, ym, yp, zm, zp []Cell) {
+	L := len(center)
+	for x := 0; x < L; x++ {
+		xm, xp := x-1, x+1
+		if xm < 0 {
+			xm = 0
+		}
+		if xp >= L {
+			xp = L - 1
+		}
+		dst[x] = c.react(center[x], center[xm], center[xp], ym[x], yp[x], zm[x], zp[x])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+// Package kmeans implements the paper's KMeans workload: a KMeans‖-style
+// clustering of 3-D particle positions, in two variants — a MegaMmap
+// implementation (shared vectors + transactions, collectives from the
+// mpi runtime) and a Spark-model baseline (the MLlib iteration shape on
+// the sparklike engine). Both run the same numerics so results are
+// directly comparable; only the data path differs.
+//
+// Access pattern (paper §IV): sequential, read-only sweeps over an evenly
+// partitioned dataset per iteration, a small allreduce per iteration, and
+// a final partitioned write of cluster assignments.
+package kmeans
+
+import (
+	"math"
+
+	"megammap/internal/datagen"
+	"megammap/internal/vtime"
+)
+
+// Config parameterizes one run.
+type Config struct {
+	DatasetURL string // particle dataset (24-byte records)
+	AssignURL  string // where cluster assignments persist ("" = skip)
+	K          int
+	MaxIter    int
+	Seed       uint64
+	// InitSpan bounds the dataset prefix the initial centroids sample
+	// from (0 = whole dataset). A span within one rank's partition keeps
+	// initialization page faults local, as the KMeans‖ parallel sampling
+	// rounds would.
+	InitSpan int64
+	// BoundBytes caps each rank's pcache for the dataset vector
+	// (MegaMmap variant only; 0 = unbounded).
+	BoundBytes int64
+	// CostPerDist is the modeled compute cost of one point-to-centroid
+	// distance evaluation.
+	CostPerDist vtime.Duration
+}
+
+// Defaults fills unset fields with the paper's parameters (k=8,
+// max_iter=4).
+func (c Config) Defaults() Config {
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 4
+	}
+	if c.CostPerDist == 0 {
+		c.CostPerDist = 3 * vtime.Nanosecond
+	}
+	return c
+}
+
+// Result reports a run's output.
+type Result struct {
+	Centroids [][3]float64
+	Inertia   float64
+	Points    int64
+}
+
+// nearest returns the closest centroid index and squared distance for a
+// particle position.
+func nearest(pt datagen.Particle, centroids [][3]float64) (int, float64) {
+	best, bestD := 0, math.MaxFloat64
+	for c, ctr := range centroids {
+		dx := float64(pt.X) - ctr[0]
+		dy := float64(pt.Y) - ctr[1]
+		dz := float64(pt.Z) - ctr[2]
+		d := dx*dx + dy*dy + dz*dz
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// accumulate folds one particle into per-cluster position sums/counts.
+// The buffer layout is [k*(x,y,z,count)] so it allreduces as one vector.
+func accumulate(acc []float64, pt datagen.Particle, centroids [][3]float64) float64 {
+	c, d := nearest(pt, centroids)
+	acc[c*4+0] += float64(pt.X)
+	acc[c*4+1] += float64(pt.Y)
+	acc[c*4+2] += float64(pt.Z)
+	acc[c*4+3]++
+	return d
+}
+
+// recompute turns summed accumulators into new centroids, keeping the old
+// centroid for empty clusters.
+func recompute(acc []float64, old [][3]float64) [][3]float64 {
+	out := make([][3]float64, len(old))
+	for c := range out {
+		n := acc[c*4+3]
+		if n == 0 {
+			out[c] = old[c]
+			continue
+		}
+		out[c] = [3]float64{acc[c*4+0] / n, acc[c*4+1] / n, acc[c*4+2] / n}
+	}
+	return out
+}
+
+// initialCentroids deterministically oversamples the dataset at a seeded
+// stride (the cheap, verification-friendly stand-in for the KMeans‖
+// sampling rounds; both variants use it so they stay comparable).
+func initialCentroids(k int, n int64, seed uint64, sample func(i int64) datagen.Particle) [][3]float64 {
+	out := make([][3]float64, 0, k)
+	if n == 0 {
+		return make([][3]float64, k)
+	}
+	stride := n / int64(k)
+	if stride == 0 {
+		stride = 1
+	}
+	for c := 0; c < k; c++ {
+		i := (int64(c)*stride + int64(seed%uint64(stride+1))) % n
+		pt := sample(i)
+		out = append(out, [3]float64{float64(pt.X), float64(pt.Y), float64(pt.Z)})
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package kmeans
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"megammap/internal/cluster"
+	"megammap/internal/core"
+	"megammap/internal/datagen"
+	"megammap/internal/device"
+	"megammap/internal/mpi"
+	"megammap/internal/simnet"
+	"megammap/internal/sparklike"
+	"megammap/internal/stager"
+	"megammap/internal/vtime"
+)
+
+func testCluster(nodes int) *cluster.Cluster {
+	return cluster.New(cluster.Spec{
+		Nodes:    nodes,
+		CoresPer: 8,
+		DRAMPer:  64 * device.MB,
+		Tiers: []cluster.TierSpec{
+			{Name: "dram", Profile: device.DRAMProfile(4 * device.MB)},
+			{Name: "nvme", Profile: device.NVMeProfile(32 * device.MB)},
+			{Name: "hdd", Profile: device.HDDProfile(256 * device.MB)},
+		},
+		Link: simnet.RoCE40(),
+		PFS:  device.PFSProfile(4 * device.GB),
+	})
+}
+
+func coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Tiers = []string{"dram", "nvme", "hdd"}
+	cfg.DefaultPageSize = 12 << 10 // multiple of 24-byte particles
+	return cfg
+}
+
+// genDataset writes a clustered dataset and returns the generator (for
+// ground truth) plus the dataset URL.
+func genDataset(t *testing.T, c *cluster.Cluster, n, k int) (*datagen.Generator, string) {
+	t.Helper()
+	const url = "pq:///data/points.parquet:pos"
+	g := datagen.New(datagen.DefaultSpec(n, k, 42))
+	c.Engine.Spawn("datagen", func(p *vtime.Proc) {
+		b, err := stager.New(c).Open(url)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := g.WriteTo(p, b, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return g, url
+}
+
+// centroidsMatchHalos verifies each true halo center has a recovered
+// centroid within tol.
+func centroidsMatchHalos(t *testing.T, got [][3]float64, centers []datagen.Particle, tol float64) {
+	t.Helper()
+	for _, c := range centers {
+		best := math.MaxFloat64
+		for _, g := range got {
+			dx := g[0] - float64(c.X)
+			dy := g[1] - float64(c.Y)
+			dz := g[2] - float64(c.Z)
+			if d := math.Sqrt(dx*dx + dy*dy + dz*dz); d < best {
+				best = d
+			}
+		}
+		if best > tol {
+			t.Errorf("halo at (%.0f,%.0f,%.0f) has no centroid within %.1f (closest %.1f)",
+				c.X, c.Y, c.Z, tol, best)
+		}
+	}
+}
+
+func TestMegaRecoversHalos(t *testing.T) {
+	c := testCluster(2)
+	g, url := genDataset(t, c, 6000, 4)
+	d := core.New(c, coreConfig())
+	w := mpi.NewWorld(c, 4)
+	var res Result
+	err := w.Run(func(r *mpi.Rank) {
+		out, err := Mega(r, d, Config{DatasetURL: url, K: 4, MaxIter: 6, AssignURL: "file:///out/assign.bin"})
+		if err != nil {
+			r.Fail(err)
+			return
+		}
+		if r.Rank() == 0 {
+			res = out
+			if err := d.Shutdown(r.Proc()); err != nil {
+				r.Fail(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points != 6000 {
+		t.Errorf("points = %d", res.Points)
+	}
+	centroidsMatchHalos(t, res.Centroids, g.Centers(), 15)
+	if got := c.PFSSize("/out/assign.bin"); got != 6000*4 {
+		t.Errorf("assignments file = %d bytes, want %d", got, 6000*4)
+	}
+}
+
+func TestMegaBoundedMemoryStillCorrect(t *testing.T) {
+	c := testCluster(2)
+	g, url := genDataset(t, c, 6000, 4)
+	d := core.New(c, coreConfig())
+	w := mpi.NewWorld(c, 4)
+	var res Result
+	err := w.Run(func(r *mpi.Rank) {
+		out, err := Mega(r, d, Config{DatasetURL: url, K: 4, MaxIter: 6, BoundBytes: 24 << 10})
+		if err != nil {
+			r.Fail(err)
+			return
+		}
+		if r.Rank() == 0 {
+			res = out
+			if err := d.Shutdown(r.Proc()); err != nil {
+				r.Fail(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	centroidsMatchHalos(t, res.Centroids, g.Centers(), 15)
+	if f, _, _ := d.Stats(); f == 0 {
+		t.Error("expected faults/evictions under a 2-page bound")
+	}
+}
+
+func TestSparkRecoversHalos(t *testing.T) {
+	c := testCluster(2)
+	g, url := genDataset(t, c, 6000, 4)
+	s := sparklike.NewSession(c, sparklike.DefaultConfig())
+	st := stager.New(c)
+	var res Result
+	c.Engine.Spawn("driver", func(p *vtime.Proc) {
+		out, err := Spark(p, s, st, Config{DatasetURL: url, K: 4, MaxIter: 6})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res = out
+		s.Close()
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	centroidsMatchHalos(t, res.Centroids, g.Centers(), 15)
+}
+
+func TestMegaAndSparkAgree(t *testing.T) {
+	// Same dataset, same init, same math: centroid sets must be close.
+	cMega := testCluster(2)
+	_, url := genDataset(t, cMega, 4000, 3)
+	d := core.New(cMega, coreConfig())
+	w := mpi.NewWorld(cMega, 4)
+	var mres Result
+	err := w.Run(func(r *mpi.Rank) {
+		out, err := Mega(r, d, Config{DatasetURL: url, K: 3, MaxIter: 5})
+		if err != nil {
+			r.Fail(err)
+			return
+		}
+		if r.Rank() == 0 {
+			mres = out
+			_ = d.Shutdown(r.Proc())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cSpark := testCluster(2)
+	_, url2 := genDataset(t, cSpark, 4000, 3)
+	s := sparklike.NewSession(cSpark, sparklike.DefaultConfig())
+	var sres Result
+	cSpark.Engine.Spawn("driver", func(p *vtime.Proc) {
+		out, err := Spark(p, s, stager.New(cSpark), Config{DatasetURL: url2, K: 3, MaxIter: 5})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sres = out
+	})
+	if err := cSpark.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	ms := flatten(mres.Centroids)
+	ss := flatten(sres.Centroids)
+	for i := range ms {
+		if math.Abs(ms[i]-ss[i]) > 1.0 {
+			t.Errorf("centroid coord %d differs: mega %.2f vs spark %.2f", i, ms[i], ss[i])
+		}
+	}
+	if relErr := math.Abs(mres.Inertia-sres.Inertia) / mres.Inertia; relErr > 0.01 {
+		t.Errorf("inertia differs: %.1f vs %.1f", mres.Inertia, sres.Inertia)
+	}
+}
+
+func flatten(cs [][3]float64) []float64 {
+	out := make([]float64, 0, len(cs)*3)
+	for _, c := range cs {
+		out = append(out, c[0], c[1], c[2])
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestSparkUsesMoreMemoryThanMega(t *testing.T) {
+	// The paper's Fig. 5 observation: Spark's resident footprint is a
+	// multiple of the dataset, MegaMmap's is bounded by pcache+scache.
+	const n = 20000
+	raw := int64(n * datagen.ParticleSize)
+
+	cS := testCluster(1)
+	_, urlS := genDataset(t, cS, n, 4)
+	s := sparklike.NewSession(cS, sparklike.DefaultConfig())
+	cS.Engine.Spawn("driver", func(p *vtime.Proc) {
+		if _, err := Spark(p, s, stager.New(cS), Config{DatasetURL: urlS, K: 4, MaxIter: 2}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := cS.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sparkPeak := cS.MaxDRAMPeak()
+
+	cM := testCluster(1)
+	_, urlM := genDataset(t, cM, n, 4)
+	d := core.New(cM, coreConfig())
+	w := mpi.NewWorld(cM, 2)
+	err := w.Run(func(r *mpi.Rank) {
+		if _, err := Mega(r, d, Config{DatasetURL: urlM, K: 4, MaxIter: 2, BoundBytes: raw / 4}); err != nil {
+			r.Fail(err)
+			return
+		}
+		if r.Rank() == 0 {
+			_ = d.Shutdown(r.Proc())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	megaPeak := cM.MaxDRAMPeak()
+	if sparkPeak < 2*raw {
+		t.Errorf("spark peak %d should be >= 2x dataset %d", sparkPeak, raw)
+	}
+	if megaPeak >= sparkPeak {
+		t.Errorf("mega peak %d should undercut spark peak %d", megaPeak, sparkPeak)
+	}
+}
+
+func TestDefaultsFillUnsetOnly(t *testing.T) {
+	d := Config{}.Defaults()
+	if d.K != 8 || d.MaxIter != 4 || d.CostPerDist != 3*vtime.Nanosecond {
+		t.Errorf("zero-config defaults = %+v", d)
+	}
+	custom := Config{K: 3, MaxIter: 9, CostPerDist: vtime.Microsecond}.Defaults()
+	if custom.K != 3 || custom.MaxIter != 9 || custom.CostPerDist != vtime.Microsecond {
+		t.Errorf("defaults overwrote explicit values: %+v", custom)
+	}
+}

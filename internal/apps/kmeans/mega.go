@@ -1,0 +1,101 @@
+package kmeans
+
+import (
+	"fmt"
+
+	"megammap/internal/core"
+	"megammap/internal/datagen"
+	"megammap/internal/mpi"
+	"megammap/internal/vtime"
+)
+
+const scanChunk = 1024
+
+// Mega runs the MegaMmap variant on one rank. All ranks of the world call
+// it; the returned result is identical on every rank.
+func Mega(r *mpi.Rank, d *core.DSM, cfg Config) (Result, error) {
+	cfg = cfg.Defaults()
+	cl := d.NewClient(r.Proc(), r.Node().ID)
+	pts, err := core.Open[datagen.Particle](cl, cfg.DatasetURL, datagen.ParticleCodec{})
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.BoundBytes > 0 {
+		pts.BoundMemory(cfg.BoundBytes)
+	}
+	pts.Pgas(r.Rank(), r.Size())
+	n := pts.Len()
+	if n == 0 {
+		return Result{}, fmt.Errorf("kmeans: dataset %s is empty", cfg.DatasetURL)
+	}
+
+	// Initial centroids: rank 0 samples, everyone receives.
+	span := cfg.InitSpan
+	if span <= 0 || span > n {
+		span = n
+	}
+	var centroids [][3]float64
+	if r.Rank() == 0 {
+		pts.SeqTxBegin(0, span, core.ReadOnly|core.Global)
+		centroids = initialCentroids(cfg.K, span, cfg.Seed, pts.Get)
+		pts.TxEnd()
+	}
+	centroids = r.Bcast(0, centroids, int64(cfg.K)*24).([][3]float64)
+
+	var inertia float64
+	buf := make([]datagen.Particle, scanChunk)
+	off, ln := pts.LocalOff(), pts.LocalLen()
+	for it := 0; it < cfg.MaxIter; it++ {
+		acc := make([]float64, cfg.K*4)
+		local := 0.0
+		pts.SeqTxBegin(off, ln, core.ReadOnly)
+		for done := int64(0); done < ln; {
+			m := int64(scanChunk)
+			if m > ln-done {
+				m = ln - done
+			}
+			pts.GetRange(off+done, buf[:m])
+			for _, pt := range buf[:m] {
+				local += accumulate(acc, pt, centroids)
+			}
+			r.Compute(vtime.Duration(int64(cfg.CostPerDist) * m * int64(cfg.K)))
+			done += m
+		}
+		pts.TxEnd()
+		acc = append(acc, local)
+		acc = r.SumFloat64s(acc)
+		inertia = acc[len(acc)-1]
+		centroids = recompute(acc[:len(acc)-1], centroids)
+	}
+
+	// Persist assignments through a nonvolatile shared vector.
+	if cfg.AssignURL != "" {
+		out, err := core.Open[int32](cl, cfg.AssignURL, core.Int32Codec{})
+		if err != nil {
+			return Result{}, err
+		}
+		if r.Rank() == 0 {
+			out.Resize(n)
+		}
+		r.Barrier()
+		out.SeqTxBegin(off, ln, core.WriteOnly)
+		pts.SeqTxBegin(off, ln, core.ReadOnly)
+		for done := int64(0); done < ln; {
+			m := int64(scanChunk)
+			if m > ln-done {
+				m = ln - done
+			}
+			pts.GetRange(off+done, buf[:m])
+			for j, pt := range buf[:m] {
+				c, _ := nearest(pt, centroids)
+				out.Set(off+done+int64(j), int32(c))
+			}
+			r.Compute(vtime.Duration(int64(cfg.CostPerDist) * m * int64(cfg.K)))
+			done += m
+		}
+		pts.TxEnd()
+		out.TxEnd()
+	}
+	r.Barrier()
+	return Result{Centroids: centroids, Inertia: inertia, Points: n}, nil
+}

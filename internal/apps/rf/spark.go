@@ -1,0 +1,200 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+
+	"megammap/internal/datagen"
+	"megammap/internal/sparklike"
+	"megammap/internal/stager"
+	"megammap/internal/vtime"
+)
+
+// Spark runs the Spark-model baseline from the driver: features and
+// labels load as RDDs, each partition bags its subsample, and every tree
+// level is one aggregation job computing the frontier histograms
+// (the MLlib level-wise induction shape).
+func Spark(p *vtime.Proc, s *sparklike.Session, st *stager.Stager, cfg Config) (Result, error) {
+	cfg = cfg.Defaults()
+	fb, err := st.Open(cfg.DatasetURL)
+	if err != nil {
+		return Result{}, err
+	}
+	lb, err := st.Open(cfg.LabelURL)
+	if err != nil {
+		return Result{}, err
+	}
+	parts := s.Nodes() * 4
+	ptsRDD, err := sparklike.Load(p, s, fb, datagen.ParticleSize, parts, decodeParticles, vtime.Nanosecond/2+1)
+	if err != nil {
+		return Result{}, err
+	}
+	labRDD, err := sparklike.Load(p, s, lb, 4, parts, decodeLabels, vtime.Nanosecond/2+1)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Zip + bag: every partition samples its share with a seeded rng.
+	// The bag materializes as a new RDD (another copy, as Spark would).
+	bagParts, testPts, testLabels := bagPartitions(p, ptsRDD, labRDD, cfg)
+	bagRDD, err := sparklike.Parallelize(p, s, bagParts, datagen.ParticleSize+4)
+	if err != nil {
+		return Result{}, err
+	}
+	ptsRDD.Unpersist()
+	labRDD.Unpersist()
+
+	// Global feature ranges in one aggregation.
+	ranges, err := sparkRanges(p, bagRDD, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var bagN int64
+	for _, bp := range bagParts {
+		bagN += int64(len(bp))
+	}
+	var aggErr error
+	buildTree := func(cfg Config) *Tree {
+		return growTree(cfg, ranges, func(t *Tree, frontier, feats []int) ([]float64, []float64) {
+			blk := histSize(cfg.Classes, cfg.Bins, len(feats))
+			fmap := make(map[int]int, len(frontier))
+			for i, id := range frontier {
+				fmap[id] = i
+			}
+			type histAgg struct{ hists, totals []float64 }
+			zero := func() histAgg {
+				return histAgg{
+					hists:  make([]float64, blk*len(frontier)),
+					totals: make([]float64, cfg.Classes*len(frontier)),
+				}
+			}
+			res, err := sparklike.Aggregate(p, bagRDD, zero,
+				func(a histAgg, smp sample) histAgg {
+					pos := route(t, &smp, fmap)
+					if pos < 0 {
+						return a
+					}
+					a.totals[pos*cfg.Classes+int(smp.label)]++
+					for fi, feat := range feats {
+						b := binOf(feature(smp.pt, feat), ranges[0][feat], ranges[1][feat], cfg.Bins)
+						a.hists[pos*blk+(fi*cfg.Bins+b)*cfg.Classes+int(smp.label)]++
+					}
+					return a
+				},
+				func(a, b histAgg) histAgg {
+					for i := range a.hists {
+						a.hists[i] += b.hists[i]
+					}
+					for i := range a.totals {
+						a.totals[i] += b.totals[i]
+					}
+					return a
+				},
+				cfg.CostPerSample, int64(8*(blk+cfg.Classes)*len(frontier)))
+			if err != nil && aggErr == nil {
+				aggErr = err
+			}
+			s.Broadcast(p, int64(len(frontier))*32) // split decisions per level
+			return res.hists, res.totals
+		})
+	}
+	var trees []*Tree
+	for tr := 0; tr < cfg.NumTrees; tr++ {
+		treeCfg := cfg
+		treeCfg.Seed = cfg.Seed + uint64(tr)*31
+		trees = append(trees, buildTree(treeCfg))
+	}
+	if aggErr != nil {
+		return Result{}, aggErr
+	}
+	bagRDD.Unpersist()
+
+	acc := accuracyOver(trees, cfg.Classes, testPts, testLabels)
+	return Result{Tree: trees[0], Trees: trees, Accuracy: acc, BagSize: int(bagN)}, nil
+}
+
+// bagPartitions zips features+labels per partition and draws the bag,
+// splitting off the driver-held test set.
+func bagPartitions(p *vtime.Proc, pts *sparklike.RDD[datagen.Particle], labs *sparklike.RDD[int32],
+	cfg Config) ([][]sample, []datagen.Particle, []int32) {
+	nparts := pts.Parts()
+	bags := make([][]sample, nparts)
+	var testPts []datagen.Particle
+	var testLabels []int32
+	for i := 0; i < nparts; i++ {
+		pp := pts.Part(i)
+		lp := labs.Part(i)
+		rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(i)))
+		take := len(pp) / cfg.OOB
+		if take < 2 {
+			take = 2
+		}
+		for j := 0; j < take; j++ {
+			idx := rng.Intn(len(pp))
+			smp := sample{pt: pp[idx], label: lp[idx]}
+			if cfg.TestFraction > 0 && j%cfg.TestFraction == 0 {
+				testPts = append(testPts, smp.pt)
+				testLabels = append(testLabels, smp.label)
+			} else {
+				bags[i] = append(bags[i], smp)
+			}
+		}
+	}
+	return bags, testPts, testLabels
+}
+
+// sparkRanges computes global per-feature min/max with one aggregation.
+func sparkRanges(p *vtime.Proc, bag *sparklike.RDD[sample], cfg Config) ([2][NumFeatures]float64, error) {
+	type mm struct{ lo, hi [NumFeatures]float64 }
+	zero := func() mm {
+		var m mm
+		for f := range m.lo {
+			m.lo[f], m.hi[f] = math.MaxFloat64, -math.MaxFloat64
+		}
+		return m
+	}
+	res, err := sparklike.Aggregate(p, bag, zero,
+		func(a mm, s sample) mm {
+			for f := 0; f < NumFeatures; f++ {
+				v := feature(s.pt, f)
+				if v < a.lo[f] {
+					a.lo[f] = v
+				}
+				if v > a.hi[f] {
+					a.hi[f] = v
+				}
+			}
+			return a
+		},
+		func(a, b mm) mm {
+			for f := 0; f < NumFeatures; f++ {
+				a.lo[f] = math.Min(a.lo[f], b.lo[f])
+				a.hi[f] = math.Max(a.hi[f], b.hi[f])
+			}
+			return a
+		},
+		cfg.CostPerSample/4, NumFeatures*16)
+	var out [2][NumFeatures]float64
+	if err != nil {
+		return out, err
+	}
+	out[0], out[1] = res.lo, res.hi
+	return out, nil
+}
+
+func decodeParticles(raw []byte) []datagen.Particle {
+	out := make([]datagen.Particle, len(raw)/datagen.ParticleSize)
+	for i := range out {
+		out[i] = datagen.DecodeParticle(raw[i*datagen.ParticleSize:])
+	}
+	return out
+}
+
+func decodeLabels(raw []byte) []int32 {
+	out := make([]int32, len(raw)/4)
+	for i := range out {
+		out[i] = int32(raw[i*4]) | int32(raw[i*4+1])<<8 | int32(raw[i*4+2])<<16 | int32(raw[i*4+3])<<24
+	}
+	return out
+}

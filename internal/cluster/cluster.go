@@ -1,0 +1,316 @@
+// Package cluster composes the simulated testbed: nodes with CPU cores, a
+// DRAM budget, and a local slice of the Deep Memory and Storage Hierarchy
+// (DMSH), joined by a network fabric. It also models the Linux OOM killer
+// (allocations beyond physical DRAM fail the job, the paper's Fig. 6
+// behaviour) and provides the resource monitor that stands in for the
+// paper's pymonitor tool.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"megammap/internal/device"
+	"megammap/internal/simnet"
+	"megammap/internal/vtime"
+)
+
+// TierSpec describes one storage tier present on every node.
+type TierSpec struct {
+	Name    string
+	Profile device.Profile
+}
+
+// Spec describes a homogeneous cluster.
+type Spec struct {
+	Nodes     int
+	CoresPer  int   // CPU cores (hardware threads) per node
+	DRAMPer   int64 // physical DRAM per node, bytes
+	Tiers     []TierSpec
+	Link      simnet.LinkProfile
+	PFS       device.Profile // shared parallel filesystem backend
+	PFSFanout int            // concurrent PFS servers (default 4)
+}
+
+// DefaultTestbed mirrors the paper's per-node hardware scaled by
+// 1/1024 (48 GB DRAM -> 48 MB, 128 GB NVMe -> 128 MB, ...), with device
+// bandwidths kept real so time ratios are preserved.
+func DefaultTestbed(nodes int) Spec {
+	return Spec{
+		Nodes:    nodes,
+		CoresPer: 48,
+		DRAMPer:  48 * device.MB,
+		Tiers: []TierSpec{
+			{Name: "nvme", Profile: device.NVMeProfile(128 * device.MB)},
+			{Name: "ssd", Profile: device.SSDProfile(256 * device.MB)},
+			{Name: "hdd", Profile: device.HDDProfile(1024 * device.MB)},
+		},
+		Link:      simnet.RoCE40(),
+		PFS:       device.PFSProfile(64 * device.GB),
+		PFSFanout: 4,
+	}
+}
+
+// ErrOOM reports that a node exceeded its physical DRAM; the Linux default
+// is to kill the offending job.
+type ErrOOM struct {
+	Node int
+	Need int64
+	Free int64
+}
+
+func (e *ErrOOM) Error() string {
+	return fmt.Sprintf("cluster: node %d out of memory (need %d bytes, %d free): job killed", e.Node, e.Need, e.Free)
+}
+
+// Node is one machine of the cluster.
+type Node struct {
+	ID      int
+	Cores   *vtime.Resource
+	Devices map[string]*device.Device // tier name -> device
+
+	dramCap  int64
+	dramUsed int64
+	dramPeak int64
+	oom      bool
+}
+
+// DRAMCap returns the node's physical DRAM in bytes.
+func (n *Node) DRAMCap() int64 { return n.dramCap }
+
+// DRAMUsed returns the bytes currently allocated.
+func (n *Node) DRAMUsed() int64 { return n.dramUsed }
+
+// DRAMPeak returns the high-water mark of DRAM allocation.
+func (n *Node) DRAMPeak() int64 { return n.dramPeak }
+
+// OOM reports whether this node has already OOM-killed the job.
+func (n *Node) OOM() bool { return n.oom }
+
+// Alloc reserves bytes of DRAM, failing with ErrOOM if the node would
+// exceed physical memory.
+func (n *Node) Alloc(bytes int64) error {
+	if n.dramUsed+bytes > n.dramCap {
+		n.oom = true
+		return &ErrOOM{Node: n.ID, Need: bytes, Free: n.dramCap - n.dramUsed}
+	}
+	n.dramUsed += bytes
+	if n.dramUsed > n.dramPeak {
+		n.dramPeak = n.dramUsed
+	}
+	return nil
+}
+
+// Free releases bytes of DRAM.
+func (n *Node) Free(bytes int64) {
+	n.dramUsed -= bytes
+	if n.dramUsed < 0 {
+		panic("cluster: freed more DRAM than allocated")
+	}
+}
+
+// Compute occupies one core of the node for d of virtual time. It is how
+// applications charge their computation to the clock.
+func (n *Node) Compute(p *vtime.Proc, d vtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.Cores.Use(p, 1, d)
+}
+
+// Cluster is the full simulated testbed.
+type Cluster struct {
+	Spec   Spec
+	Engine *vtime.Engine
+	Nodes  []*Node
+	Fabric *simnet.Fabric
+	PFS    *device.Device
+	pfsSrv *vtime.Resource
+}
+
+// New builds a cluster on a fresh engine.
+func New(spec Spec) *Cluster {
+	if spec.Nodes <= 0 {
+		panic("cluster: need at least one node")
+	}
+	if spec.PFSFanout <= 0 {
+		spec.PFSFanout = 4
+	}
+	c := &Cluster{
+		Spec:   spec,
+		Engine: vtime.NewEngine(),
+		Fabric: simnet.New(spec.Nodes, spec.Link),
+		PFS:    device.New("pfs", spec.PFS),
+		pfsSrv: vtime.NewResource(spec.PFSFanout),
+	}
+	for i := 0; i < spec.Nodes; i++ {
+		n := &Node{
+			ID:      i,
+			Cores:   vtime.NewResource(spec.CoresPer),
+			Devices: make(map[string]*device.Device),
+			dramCap: spec.DRAMPer,
+		}
+		for _, ts := range spec.Tiers {
+			n.Devices[ts.Name] = device.New(fmt.Sprintf("node%d/%s", i, ts.Name), ts.Profile)
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// PFSWrite stores a blob range on the shared parallel filesystem from the
+// given node, charging network transfer plus PFS service time.
+func (c *Cluster) PFSWrite(p *vtime.Proc, node int, key string, off int64, data []byte) error {
+	c.chargePFSNet(p, node, int64(len(data)))
+	c.pfsSrv.Acquire(p, 1)
+	err := c.PFS.WriteAt(p, key, off, data)
+	c.pfsSrv.Release(1)
+	return err
+}
+
+// PFSRead reads a blob range from the shared parallel filesystem into the
+// given node.
+func (c *Cluster) PFSRead(p *vtime.Proc, node int, key string, off, length int64) ([]byte, bool) {
+	c.pfsSrv.Acquire(p, 1)
+	data, ok := c.PFS.ReadAt(p, key, off, length)
+	c.pfsSrv.Release(1)
+	if ok {
+		c.chargePFSNet(p, node, int64(len(data)))
+	}
+	return data, ok
+}
+
+// PFSSize returns the size of a PFS object, or -1 if absent.
+func (c *Cluster) PFSSize(key string) int64 { return c.PFS.BlobSize(key) }
+
+// PFSDelete removes a PFS object.
+func (c *Cluster) PFSDelete(p *vtime.Proc, key string) { c.PFS.Delete(p, key) }
+
+// chargePFSNet charges the network hop between a compute node and the
+// storage rack: wire time on the node's NIC plus one-way latency.
+func (c *Cluster) chargePFSNet(p *vtime.Proc, node int, bytes int64) {
+	prof := c.Fabric.Profile()
+	p.Sleep(prof.Latency + prof.PerMsg + vtime.BytesAt(bytes, prof.Bandwidth))
+}
+
+// TotalDRAMPeak sums the per-node DRAM high-water marks.
+func (c *Cluster) TotalDRAMPeak() int64 {
+	var sum int64
+	for _, n := range c.Nodes {
+		sum += n.dramPeak
+	}
+	return sum
+}
+
+// MaxDRAMPeak returns the largest per-node DRAM high-water mark.
+func (c *Cluster) MaxDRAMPeak() int64 {
+	var m int64
+	for _, n := range c.Nodes {
+		if n.dramPeak > m {
+			m = n.dramPeak
+		}
+	}
+	return m
+}
+
+// StorageCost returns the total USD cost of all node-local tier capacity
+// in use by the spec (the Fig. 7 cost metric).
+func (c *Cluster) StorageCost() float64 {
+	var sum float64
+	for _, n := range c.Nodes {
+		for _, d := range n.Devices {
+			sum += d.Cost()
+		}
+	}
+	return sum
+}
+
+// Monitor samples node resource usage over virtual time; it is the analog
+// of the paper's pymonitor tool.
+type Monitor struct {
+	c       *Cluster
+	Samples []Sample
+}
+
+// Sample is one time-series point of cluster resource usage.
+type Sample struct {
+	At        vtime.Duration
+	DRAMUsed  int64 // summed over nodes
+	DRAMPeak  int64
+	TierUsed  map[string]int64
+	NetMsgs   int64
+	NetBytes  int64
+	PFSStored int64
+}
+
+// NewMonitor creates a monitor and spawns its sampling process with the
+// given period. Sampling stops when stop fires.
+func NewMonitor(c *Cluster, period vtime.Duration, stop *vtime.Event) *Monitor {
+	m := &Monitor{c: c}
+	c.Engine.SpawnDaemon("pymonitor", func(p *vtime.Proc) {
+		for !stop.Fired() {
+			m.sample(p.Now())
+			p.Sleep(period)
+		}
+	})
+	return m
+}
+
+// WriteCSV emits the sampled time series in the paper pipeline's
+// stats-CSV shape: one row per sample with virtual time, DRAM, per-tier
+// usage, network and PFS counters.
+func (m *Monitor) WriteCSV(w io.Writer) error {
+	tiers := make(map[string]bool)
+	for _, s := range m.Samples {
+		for t := range s.TierUsed {
+			tiers[t] = true
+		}
+	}
+	names := make([]string, 0, len(tiers))
+	for t := range tiers {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	cols := []string{"t_s", "dram_used", "dram_peak"}
+	for _, t := range names {
+		cols = append(cols, "tier_"+t)
+	}
+	cols = append(cols, "net_msgs", "net_bytes", "pfs_bytes")
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, s := range m.Samples {
+		row := []string{
+			fmt.Sprintf("%.6f", s.At.Seconds()),
+			fmt.Sprintf("%d", s.DRAMUsed),
+			fmt.Sprintf("%d", s.DRAMPeak),
+		}
+		for _, t := range names {
+			row = append(row, fmt.Sprintf("%d", s.TierUsed[t]))
+		}
+		row = append(row,
+			fmt.Sprintf("%d", s.NetMsgs),
+			fmt.Sprintf("%d", s.NetBytes),
+			fmt.Sprintf("%d", s.PFSStored))
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Monitor) sample(at vtime.Duration) {
+	s := Sample{At: at, TierUsed: make(map[string]int64)}
+	for _, n := range m.c.Nodes {
+		s.DRAMUsed += n.dramUsed
+		s.DRAMPeak += n.dramPeak
+		for name, d := range n.Devices {
+			s.TierUsed[name] += d.Used()
+		}
+	}
+	s.NetMsgs, s.NetBytes = m.c.Fabric.Stats()
+	s.PFSStored = m.c.PFS.Used()
+	m.Samples = append(m.Samples, s)
+}

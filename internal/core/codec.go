@@ -1,0 +1,103 @@
+// Package core implements MegaMmap: a tiered, nonvolatile distributed
+// shared memory. Applications see byte-addressable shared vectors of
+// typed elements; internally data is fragmented into pages cached in a
+// per-process private cache (pcache), spilled to a distributed tiered
+// shared cache (scache, built on the hermes substrate), and staged to a
+// persistent URL-addressed backend. A transactional memory API
+// propagates access intent, which drives the prefetcher (paper
+// Algorithm 1), eviction, tier organization, and the coherence
+// optimizations of paper Fig. 3.
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Codec serializes fixed-size elements into page bytes. MegaMmap stores
+// any element type for which a codec exists (the Go analog of the paper's
+// C++ templating plus serialization method).
+type Codec[T any] interface {
+	// Size returns the encoded size of every element in bytes.
+	Size() int
+	// Encode writes v into dst (len(dst) >= Size()).
+	Encode(dst []byte, v T)
+	// Decode reads an element from src (len(src) >= Size()).
+	Decode(src []byte) T
+}
+
+// Float64Codec encodes float64 elements in little-endian IEEE 754.
+type Float64Codec struct{}
+
+// Size implements Codec.
+func (Float64Codec) Size() int { return 8 }
+
+// Encode implements Codec.
+func (Float64Codec) Encode(dst []byte, v float64) {
+	binary.LittleEndian.PutUint64(dst, math.Float64bits(v))
+}
+
+// Decode implements Codec.
+func (Float64Codec) Decode(src []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(src))
+}
+
+// Float32Codec encodes float32 elements.
+type Float32Codec struct{}
+
+// Size implements Codec.
+func (Float32Codec) Size() int { return 4 }
+
+// Encode implements Codec.
+func (Float32Codec) Encode(dst []byte, v float32) {
+	binary.LittleEndian.PutUint32(dst, math.Float32bits(v))
+}
+
+// Decode implements Codec.
+func (Float32Codec) Decode(src []byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(src))
+}
+
+// Int64Codec encodes int64 elements.
+type Int64Codec struct{}
+
+// Size implements Codec.
+func (Int64Codec) Size() int { return 8 }
+
+// Encode implements Codec.
+func (Int64Codec) Encode(dst []byte, v int64) {
+	binary.LittleEndian.PutUint64(dst, uint64(v))
+}
+
+// Decode implements Codec.
+func (Int64Codec) Decode(src []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(src))
+}
+
+// Int32Codec encodes int32 elements.
+type Int32Codec struct{}
+
+// Size implements Codec.
+func (Int32Codec) Size() int { return 4 }
+
+// Encode implements Codec.
+func (Int32Codec) Encode(dst []byte, v int32) {
+	binary.LittleEndian.PutUint32(dst, uint32(v))
+}
+
+// Decode implements Codec.
+func (Int32Codec) Decode(src []byte) int32 {
+	return int32(binary.LittleEndian.Uint32(src))
+}
+
+// ByteCodec encodes raw bytes.
+type ByteCodec struct{}
+
+// Size implements Codec.
+func (ByteCodec) Size() int { return 1 }
+
+// Encode implements Codec.
+func (ByteCodec) Encode(dst []byte, v byte) { dst[0] = v }
+
+// Decode implements Codec.
+func (ByteCodec) Decode(src []byte) byte { return src[0] }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64CodecRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		var c Float64Codec
+		buf := make([]byte, c.Size())
+		c.Encode(buf, v)
+		got := c.Decode(buf)
+		return got == v || (math.IsNaN(v) && math.IsNaN(got))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32CodecRoundTrip(t *testing.T) {
+	f := func(v float32) bool {
+		var c Float32Codec
+		buf := make([]byte, c.Size())
+		c.Encode(buf, v)
+		got := c.Decode(buf)
+		return got == v || (math.IsNaN(float64(v)) && math.IsNaN(float64(got)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntCodecsRoundTrip(t *testing.T) {
+	f64 := func(v int64) bool {
+		var c Int64Codec
+		buf := make([]byte, c.Size())
+		c.Encode(buf, v)
+		return c.Decode(buf) == v
+	}
+	if err := quick.Check(f64, nil); err != nil {
+		t.Error(err)
+	}
+	f32 := func(v int32) bool {
+		var c Int32Codec
+		buf := make([]byte, c.Size())
+		c.Encode(buf, v)
+		return c.Decode(buf) == v
+	}
+	if err := quick.Check(f32, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteCodec(t *testing.T) {
+	var c ByteCodec
+	buf := make([]byte, 1)
+	for v := 0; v < 256; v++ {
+		c.Encode(buf, byte(v))
+		if c.Decode(buf) != byte(v) {
+			t.Fatalf("byte %d did not round-trip", v)
+		}
+	}
+}
+
+func TestCodecSizes(t *testing.T) {
+	if (Float64Codec{}).Size() != 8 || (Float32Codec{}).Size() != 4 ||
+		(Int64Codec{}).Size() != 8 || (Int32Codec{}).Size() != 4 ||
+		(ByteCodec{}).Size() != 1 {
+		t.Error("codec sizes wrong")
+	}
+}

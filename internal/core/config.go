@@ -1,0 +1,123 @@
+package core
+
+import (
+	"megammap/internal/vtime"
+)
+
+// Config tunes the MegaMmap runtime. It is the Go analog of the paper's
+// YAML configuration file.
+type Config struct {
+	// Tiers names the scache storage tiers, fastest first. Every named
+	// tier must exist on every node of the cluster. Typical: ["dram",
+	// "nvme", "ssd", "hdd"], subset per experiment.
+	Tiers []string
+
+	// WorkersLowLat and WorkersHighLat size the two worker groups of
+	// every node's runtime. MemoryTasks under LowLatThreshold bytes are
+	// scheduled on the low-latency group so small requests are not
+	// stalled behind bulk transfers (paper §III-B).
+	WorkersLowLat  int
+	WorkersHighLat int
+
+	// LowLatThreshold is the payload size below which a task is
+	// latency-sensitive. The paper uses 16 KB.
+	LowLatThreshold int64
+
+	// DefaultPageSize is the page size of vectors that do not choose
+	// their own (bytes).
+	DefaultPageSize int64
+
+	// MinScore is the prefetcher cutoff: future pages score down to this
+	// value before scoring stops (paper Algorithm 1).
+	MinScore float64
+
+	// OrganizePeriod is how often the Data Organizer reinterprets scores
+	// and reorganizes the DMSH. Zero disables background organization.
+	OrganizePeriod vtime.Duration
+
+	// OrganizeBudget caps the bytes the organizer moves per pass so
+	// reorganization never monopolizes tier bandwidth (0 = unlimited).
+	OrganizeBudget int64
+
+	// ScoreDecay multiplies every blob score after each organize pass so
+	// stale hints age out.
+	ScoreDecay float64
+
+	// StagePeriod is how often modified pages of nonvolatile vectors are
+	// actively flushed to their backend during computation. Zero disables
+	// active flushing (data still persists at Shutdown).
+	StagePeriod vtime.Duration
+
+	// DisablePrefetch turns the transaction-informed prefetcher off
+	// (ablation and the paper's "no optimizations" baseline mode).
+	DisablePrefetch bool
+
+	// DisableWorkerSplit schedules every task on one merged worker group
+	// (ablation of the low/high-latency split).
+	DisableWorkerSplit bool
+
+	// DisablePartialPaging flushes whole pages instead of dirty regions
+	// (ablation of partial paging).
+	DisablePartialPaging bool
+
+	// DisableReplication turns node-local replica creation off for
+	// read-only/collective phases (ablation of the Fig. 3 read-only
+	// global coherence optimization).
+	DisableReplication bool
+
+	// Replicas keeps this many backup copies of every scache page on
+	// other nodes, so reads survive a node failure (the paper's §V
+	// node-failure extension; off by default, as in the paper).
+	Replicas int
+
+	// ChecksumPages verifies a CRC-32 of every page image on each fault,
+	// detecting silent corruption (the paper's §V memory-corruption
+	// extension). Commits materialize full page images when enabled.
+	ChecksumPages bool
+
+	// TraceTasks records every MemoryTask's lifecycle (submit, start,
+	// end, worker node) in DSM.Trace for diagnostics.
+	TraceTasks bool
+}
+
+// DefaultConfig returns the configuration used by the evaluation unless
+// an experiment overrides it.
+func DefaultConfig() Config {
+	return Config{
+		Tiers:           []string{"dram", "nvme", "ssd", "hdd"},
+		WorkersLowLat:   2,
+		WorkersHighLat:  2,
+		LowLatThreshold: 16 << 10,
+		DefaultPageSize: 64 << 10,
+		MinScore:        0.25,
+		OrganizePeriod:  20 * vtime.Millisecond,
+		OrganizeBudget:  256 << 10,
+		ScoreDecay:      0.5,
+		StagePeriod:     50 * vtime.Millisecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkersLowLat <= 0 {
+		c.WorkersLowLat = 2
+	}
+	if c.WorkersHighLat <= 0 {
+		c.WorkersHighLat = 2
+	}
+	if c.LowLatThreshold <= 0 {
+		c.LowLatThreshold = 16 << 10
+	}
+	if c.DefaultPageSize <= 0 {
+		c.DefaultPageSize = 64 << 10
+	}
+	if c.MinScore <= 0 {
+		c.MinScore = 0.25
+	}
+	if c.ScoreDecay <= 0 || c.ScoreDecay >= 1 {
+		c.ScoreDecay = 0.5
+	}
+	if len(c.Tiers) == 0 {
+		c.Tiers = []string{"dram", "nvme", "ssd", "hdd"}
+	}
+	return c
+}

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"megammap/internal/cluster"
+	"megammap/internal/hermes"
+	"megammap/internal/stager"
+	"megammap/internal/vtime"
+)
+
+// DSM is a MegaMmap deployment over a simulated cluster: one runtime per
+// node, a shared tiered cache (scache) built on hermes, a data stager for
+// persistent backends, and background organization/staging services.
+type DSM struct {
+	c   *cluster.Cluster
+	cfg Config
+	h   *hermes.Hermes
+	st  *stager.Stager
+
+	runtimes []*Runtime
+	vecs     map[string]*vecMeta
+	barriers map[string]*barrierState
+	locks    map[string]*dsmLock
+	// chains serialize data-bearing tasks per page in submission order:
+	// one in flight, followers queued. Page-hashed workers alone cannot
+	// guarantee this because the low/high-latency split and cross-node
+	// routing may place same-page tasks on different workers.
+	chains     map[string]*pageChain
+	busyChains int
+
+	// pendingMoves counts organizer relocations still queued or running;
+	// the organizer never plans from a state its own unfinished moves are
+	// about to change (replanning would duplicate the same moves every
+	// period and flood the chains).
+	pendingMoves int
+
+	// pendingReads coalesces collective faults: while a read of a page is
+	// in flight for a node, later faults of the same page from that node
+	// wait on it instead of issuing their own remote transfer (the
+	// paper's Fig. 3 collective pattern — one fetch per node, fanned out
+	// locally, so N ranks never overload the page's home node).
+	pendingReads map[pendingKey]*MemoryTask
+	stop         vtime.Event
+	shutdown     bool
+
+	// Counters for evaluation.
+	faults     int64
+	prefetches int64
+	evictions  int64
+	coalesced  int64
+
+	// ReplicaHits/Misses count replicated-phase reads served by (or
+	// missing) a node-local replica (diagnostics).
+	replicaHits, replicaMisses int64
+
+	// FaultsByVec is a diagnostic per-vector sync-fault counter.
+	FaultsByVec map[string]int64
+
+	trace *TaskTrace
+}
+
+// New deploys MegaMmap on the cluster: it validates the configured tiers,
+// builds the scache, and spawns every node's runtime workers plus the
+// background Data Organizer and active staging services.
+func New(c *cluster.Cluster, cfg Config) *DSM {
+	cfg = cfg.withDefaults()
+	tiers := make([]string, 0, len(cfg.Tiers))
+	for _, t := range cfg.Tiers {
+		if c.Nodes[0].Devices[t] != nil {
+			tiers = append(tiers, t)
+		}
+	}
+	if len(tiers) == 0 {
+		panic("core: no configured tier exists on the cluster")
+	}
+	d := &DSM{
+		c:            c,
+		cfg:          cfg,
+		h:            hermes.New(c, tiers),
+		st:           stager.New(c),
+		vecs:         make(map[string]*vecMeta),
+		barriers:     make(map[string]*barrierState),
+		locks:        make(map[string]*dsmLock),
+		chains:       make(map[string]*pageChain),
+		pendingReads: make(map[pendingKey]*MemoryTask),
+	}
+	d.FaultsByVec = make(map[string]int64)
+	if cfg.TraceTasks {
+		d.trace = &TaskTrace{}
+	}
+	if cfg.Replicas > 0 {
+		d.h.SetReplicas(cfg.Replicas)
+	}
+	for _, n := range c.Nodes {
+		d.runtimes = append(d.runtimes, newRuntime(d, n))
+	}
+	if cfg.OrganizePeriod > 0 {
+		c.Engine.SpawnDaemon("mm-organizer", d.organizerLoop)
+	}
+	if cfg.StagePeriod > 0 {
+		c.Engine.SpawnDaemon("mm-stager", d.stagerLoop)
+	}
+	return d
+}
+
+// Cluster returns the underlying cluster.
+func (d *DSM) Cluster() *cluster.Cluster { return d.c }
+
+// Hermes exposes the scache substrate (diagnostics and tests).
+func (d *DSM) Hermes() *hermes.Hermes { return d.h }
+
+// Stats returns cumulative page faults, prefetch fills and pcache
+// evictions across all clients.
+func (d *DSM) Stats() (faults, prefetches, evictions int64) {
+	return d.faults, d.prefetches, d.evictions
+}
+
+// ReplicaStats returns replicated-phase reads served locally vs not.
+func (d *DSM) ReplicaStats() (hits, misses int64) { return d.replicaHits, d.replicaMisses }
+
+// CoalescedReads returns how many collective faults were served by
+// sharing another rank's in-flight fetch instead of a transfer of their
+// own.
+func (d *DSM) CoalescedReads() int64 { return d.coalesced }
+
+// DisableFill turns the prefetcher off at runtime (diagnostics and
+// phase-specific tuning; equivalent to Config.DisablePrefetch).
+func (d *DSM) DisableFill() { d.cfg.DisablePrefetch = true }
+
+// organizerLoop periodically reinterprets scores and reorganizes the
+// DMSH. Planning is pure metadata; each planned move executes as a
+// MemoryTask through the blob's chain, so reorganization can never race
+// an in-flight commit or fault of the same page (moves are reads followed
+// by writes, and an interleaved commit would be silently lost).
+func (d *DSM) organizerLoop(p *vtime.Proc) {
+	for !d.stop.Fired() {
+		p.Sleep(d.cfg.OrganizePeriod)
+		if d.stop.Fired() {
+			return
+		}
+		if d.pendingMoves == 0 {
+			for _, mv := range d.h.PlanOrganize(d.cfg.OrganizeBudget) {
+				d.pendingMoves++
+				t := &MemoryTask{kind: taskMove, move: mv, chainKey: mv.Key, origin: 0}
+				d.submit(p, t)
+			}
+		}
+		d.h.DecayScores(d.cfg.ScoreDecay)
+	}
+}
+
+// stagerLoop actively flushes modified pages of nonvolatile vectors to
+// their backends during computation (paper §III-B: persistence without
+// synchronous I/O phases).
+func (d *DSM) stagerLoop(p *vtime.Proc) {
+	for !d.stop.Fired() {
+		p.Sleep(d.cfg.StagePeriod)
+		if d.stop.Fired() {
+			return
+		}
+		for _, name := range d.vecNames() {
+			m := d.vecs[name]
+			if m == nil || m.backend == nil {
+				continue
+			}
+			for _, pg := range m.dirtyPages() {
+				if m.staging[pg] {
+					continue // already in flight; don't pile up duplicates
+				}
+				m.staging[pg] = true
+				t := &MemoryTask{kind: taskStage, vec: m, page: pg, origin: 0}
+				d.submit(p, t)
+				// Fire-and-forget: workers drain them; Shutdown waits.
+			}
+		}
+	}
+}
+
+func (d *DSM) vecNames() []string {
+	names := make([]string, 0, len(d.vecs))
+	for n := range d.vecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// pageChain tracks the in-flight status of one page's task stream.
+type pageChain struct {
+	busy    bool
+	pending []*MemoryTask
+}
+
+// blobKey returns the chain/blob key a task addresses.
+func (t *MemoryTask) blobKey() string {
+	if t.chainKey != "" {
+		return t.chainKey
+	}
+	return t.vec.pageKey(t.page)
+}
+
+type pendingKey struct {
+	vec  string
+	page int64
+	node int
+}
+
+// coalesceRead returns an in-flight read task covering the same page for
+// the same node (collective faults share it), or registers t as the new
+// in-flight read lead. Only collective-phase reads coalesce: their
+// results are immutable for the phase.
+func (d *DSM) coalesceRead(t *MemoryTask) (*MemoryTask, bool) {
+	k := pendingKey{vec: t.vec.name, page: t.page, node: t.origin}
+	if lead := d.pendingReads[k]; lead != nil {
+		return lead, true
+	}
+	d.pendingReads[k] = t
+	return nil, false
+}
+
+// readDone unregisters a coalescing lead once its data arrived.
+func (d *DSM) readDone(t *MemoryTask) {
+	delete(d.pendingReads, pendingKey{vec: t.vec.name, page: t.page, node: t.origin})
+}
+
+// submit enqueues a task, serializing data-bearing tasks per page in
+// submission order: the first task of a page dispatches immediately,
+// followers wait on the page's chain and dispatch as predecessors
+// complete. Score tasks are metadata-only and bypass the chain.
+func (d *DSM) submit(p *vtime.Proc, t *MemoryTask) {
+	t.submitted = p.Now()
+	key := t.blobKey()
+	owner := t.origin
+	if pl, ok := d.h.PlacementOf(key); ok {
+		owner = pl.Node
+	}
+	if owner != t.origin {
+		d.c.Fabric.RoundTrip(p, t.origin, owner)
+	}
+	if t.kind == taskScore {
+		d.runtimes[owner].submit(t)
+		return
+	}
+	ch := d.chains[key]
+	if ch == nil {
+		ch = &pageChain{}
+		d.chains[key] = ch
+	}
+	if ch.busy {
+		ch.pending = append(ch.pending, t)
+		return
+	}
+	ch.busy = true
+	d.busyChains++
+	d.runtimes[owner].submit(t)
+}
+
+// pageDone releases a page's chain after a task completes and dispatches
+// the next queued task (re-resolving the owner, since the completed task
+// may have moved the page).
+func (d *DSM) pageDone(t *MemoryTask) {
+	key := t.blobKey()
+	ch := d.chains[key]
+	if ch == nil {
+		return
+	}
+	if len(ch.pending) == 0 {
+		ch.busy = false
+		d.busyChains--
+		delete(d.chains, key)
+		return
+	}
+	next := ch.pending[0]
+	ch.pending = ch.pending[1:]
+	owner := next.origin
+	if pl, ok := d.h.PlacementOf(key); ok {
+		owner = pl.Node
+	}
+	d.runtimes[owner].submit(next)
+}
+
+// Shutdown drains all runtimes, persists every nonvolatile vector to its
+// backend, and stops background services. It must be called after all
+// application work (and client TxEnds) completed.
+func (d *DSM) Shutdown(p *vtime.Proc) error {
+	if d.shutdown {
+		return nil
+	}
+	d.shutdown = true
+	d.stop.Fire()
+	// Chained tasks re-dispatch on completion, possibly to a runtime that
+	// already drained; loop until everything is quiescent.
+	for {
+		for _, r := range d.runtimes {
+			r.drain(p)
+		}
+		idle := d.busyChains == 0
+		for _, r := range d.runtimes {
+			if r.inWork.Pending() > 0 {
+				idle = false
+			}
+		}
+		if idle {
+			break
+		}
+	}
+	// Final stage-out of remaining dirty pages, in deterministic order.
+	var firstErr error
+	for _, name := range d.vecNames() {
+		m := d.vecs[name]
+		if m.backend == nil {
+			continue
+		}
+		for _, pg := range m.dirtyPages() {
+			if err := d.stageOut(p, m, pg, 0); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, r := range d.runtimes {
+		r.close()
+	}
+	return firstErr
+}
+
+// stageOut persists one page to the vector's backend and clears its dirty
+// mark.
+func (d *DSM) stageOut(p *vtime.Proc, m *vecMeta, page int64, node int) error {
+	defer delete(m.staging, page)
+	data, ok := d.h.Get(p, node, m.pageKey(page))
+	if !ok {
+		return nil // page was destroyed or never materialized
+	}
+	off := page * m.pageSize
+	total := m.sizeBytes()
+	if off >= total {
+		delete(m.dirty, page)
+		return nil
+	}
+	n := m.pageSize
+	if off+n > total {
+		n = total - off
+	}
+	if err := m.backend.WriteRange(p, node, off, data[:n]); err != nil {
+		return fmt.Errorf("core: staging out %s page %d: %w", m.name, page, err)
+	}
+	delete(m.dirty, page)
+	return nil
+}
+
+// ------------------------------------------------------------ vecMeta --
+
+// vecMeta is the cluster-wide shared state of one vector.
+type vecMeta struct {
+	name     string
+	elemSize int64
+	pageSize int64
+	epp      int64 // elements per page
+	length   int64 // logical length in elements
+	backend  stager.Backend
+	dirty    map[int64]bool         // pages modified since last stage-out
+	staging  map[int64]bool         // pages with an in-flight stage task
+	replicas map[int64]map[int]bool // page -> nodes holding replicas
+	sums     map[int64]uint32       // page CRC-32s (ChecksumPages mode)
+	flags    AccessFlags            // current phase intent (last TxBegin)
+
+	appendsSinceRT int64 // appends since the last length-reservation round-trip
+
+	access string // access key required to open ("" = open to all)
+}
+
+func (m *vecMeta) pageKey(idx int64) string {
+	return fmt.Sprintf("%s/p%07d", m.name, idx)
+}
+
+func (m *vecMeta) replicaKey(idx int64, node int) string {
+	return fmt.Sprintf("%s/p%07d@n%d", m.name, idx, node)
+}
+
+// sizeBytes returns the logical size in bytes.
+func (m *vecMeta) sizeBytes() int64 { return m.length * m.elemSize }
+
+// pageCount returns the number of pages covering the logical size.
+func (m *vecMeta) pageCount() int64 {
+	return (m.sizeBytes() + m.pageSize - 1) / m.pageSize
+}
+
+// dirtyPages returns the dirty page indices in ascending order.
+func (m *vecMeta) dirtyPages() []int64 {
+	out := make([]int64, 0, len(m.dirty))
+	for pg := range m.dirty {
+		out = append(out, pg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --------------------------------------------------- distributed sync --
+
+type barrierState struct {
+	arrived int
+	ev      *vtime.Event
+}
+
+// Barrier blocks until n participants named by key arrive (a distributed
+// barrier served by the runtime on the key's hash-owner node; each entry
+// charges one control round-trip). fromNode is the caller's node.
+func (d *DSM) Barrier(p *vtime.Proc, key string, n int, fromNode int) {
+	owner := int(hashString(key) % uint32(len(d.c.Nodes)))
+	d.c.Fabric.RoundTrip(p, fromNode, owner)
+	b := d.barriers[key]
+	if b == nil {
+		b = &barrierState{ev: &vtime.Event{}}
+		d.barriers[key] = b
+	}
+	b.arrived++
+	if b.arrived >= n {
+		delete(d.barriers, key) // next use starts a new generation
+		b.ev.Fire()
+		return
+	}
+	b.ev.Wait(p)
+}
+
+type dsmLock struct{ mu *vtime.Mutex }
+
+// Lock acquires the named distributed lock (one control round-trip to the
+// lock's owner node per acquire).
+func (d *DSM) Lock(p *vtime.Proc, key string, fromNode int) {
+	owner := int(hashString(key) % uint32(len(d.c.Nodes)))
+	d.c.Fabric.RoundTrip(p, fromNode, owner)
+	l := d.locks[key]
+	if l == nil {
+		l = &dsmLock{mu: vtime.NewMutex()}
+		d.locks[key] = l
+	}
+	l.mu.Lock(p)
+}
+
+// Unlock releases the named distributed lock.
+func (d *DSM) Unlock(key string) {
+	if l := d.locks[key]; l != nil {
+		l.mu.Unlock()
+	}
+}
+
+func hashString(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// ReplicasOf exposes a vector's replica map for diagnostics and tests.
+func ReplicasOf(d *DSM, name string) map[int64]map[int]bool {
+	if m := d.vecs[name]; m != nil {
+		return m.replicas
+	}
+	return nil
+}

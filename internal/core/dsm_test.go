@@ -1,0 +1,641 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"megammap/internal/cluster"
+	"megammap/internal/device"
+	"megammap/internal/simnet"
+	"megammap/internal/vtime"
+)
+
+// testSpec builds a small tiered cluster for DSM tests: generous DRAM for
+// pcaches, a small scache dram tier, nvme and hdd below it.
+func testSpec(nodes int) cluster.Spec {
+	return cluster.Spec{
+		Nodes:    nodes,
+		CoresPer: 8,
+		DRAMPer:  16 * device.MB,
+		Tiers: []cluster.TierSpec{
+			{Name: "dram", Profile: device.DRAMProfile(512 * device.KB)},
+			{Name: "nvme", Profile: device.NVMeProfile(4 * device.MB)},
+			{Name: "hdd", Profile: device.HDDProfile(64 * device.MB)},
+		},
+		Link: simnet.RoCE40(),
+		PFS:  device.PFSProfile(device.GB),
+	}
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Tiers = []string{"dram", "nvme", "hdd"}
+	cfg.DefaultPageSize = 4 << 10
+	return cfg
+}
+
+// newTestDSM builds a cluster+DSM pair.
+func newTestDSM(nodes int) (*cluster.Cluster, *DSM) {
+	c := cluster.New(testSpec(nodes))
+	return c, New(c, testConfig())
+}
+
+// runDSM spawns fn as the application process, shuts the DSM down after
+// it completes, and drives the engine.
+func runDSM(t *testing.T, c *cluster.Cluster, d *DSM, fn func(p *vtime.Proc)) {
+	t.Helper()
+	c.Engine.Spawn("app", func(p *vtime.Proc) {
+		fn(p)
+		if err := d.Shutdown(p); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolatileVectorRoundTrip(t *testing.T) {
+	c, d := newTestDSM(1)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, err := Open[int64](cl, "scratch", Int64Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 10000
+		v.Resize(n)
+		v.SeqTxBegin(0, n, WriteOnly)
+		for i := int64(0); i < n; i++ {
+			v.Set(i, i*3)
+		}
+		v.TxEnd()
+		v.SeqTxBegin(0, n, ReadOnly)
+		for i := int64(0); i < n; i++ {
+			if got := v.Get(i); got != i*3 {
+				t.Fatalf("v[%d] = %d, want %d", i, got, i*3)
+			}
+		}
+		v.TxEnd()
+	})
+}
+
+func TestBoundedMemoryEvictsAndRereads(t *testing.T) {
+	c, d := newTestDSM(1)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, err := Open[int64](cl, "big", Int64Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 1 << 15 // 256KB of data, 64 pages of 4KB
+		v.Resize(n)
+		v.BoundMemory(4 * v.PageSize()) // only 4 pages resident
+		v.SeqTxBegin(0, n, WriteOnly)
+		for i := int64(0); i < n; i++ {
+			v.Set(i, i^0x5a5a)
+		}
+		v.TxEnd()
+		if _, _, ev := d.Stats(); ev == 0 {
+			t.Error("expected pcache evictions under a 4-page bound")
+		}
+		v.SeqTxBegin(0, n, ReadOnly)
+		for i := int64(0); i < n; i++ {
+			if got := v.Get(i); got != i^0x5a5a {
+				t.Fatalf("v[%d] = %d after spill, want %d", i, got, i^0x5a5a)
+			}
+		}
+		v.TxEnd()
+		// The pcache never exceeded its bound by more than a page or two
+		// of slack, so most data must have spilled into scache tiers.
+		usage := d.Hermes().TierUsage()
+		var total int64
+		for _, u := range usage {
+			total += u
+		}
+		if total < 200*device.KB {
+			t.Errorf("scache holds %d bytes; expected most of the 256KB dataset", total)
+		}
+	})
+}
+
+func TestSpillCascadesDownTiers(t *testing.T) {
+	c, d := newTestDSM(1)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[byte](cl, "cascade", ByteCodec{})
+		n := int64(2 * device.MB) // exceeds 512KB scache dram tier
+		v.Resize(n)
+		v.BoundMemory(8 * v.PageSize())
+		v.SeqTxBegin(0, n, WriteOnly)
+		for i := int64(0); i < n; i++ {
+			v.Set(i, byte(i))
+		}
+		v.TxEnd()
+		usage := d.Hermes().TierUsage()
+		if usage["dram"] == 0 {
+			t.Error("scache dram tier unused")
+		}
+		if usage["nvme"] == 0 {
+			t.Error("overflow did not reach nvme")
+		}
+	})
+}
+
+func TestNonvolatilePersistsOnShutdown(t *testing.T) {
+	c, d := newTestDSM(1)
+	const url = "file:///data/out.bin"
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, err := Open[int64](cl, url, Int64Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Resize(1000)
+		v.SeqTxBegin(0, 1000, WriteOnly)
+		for i := int64(0); i < 1000; i++ {
+			v.Set(i, i+7)
+		}
+		v.TxEnd()
+	})
+	// After shutdown the PFS object must hold all 8000 bytes.
+	if got := c.PFSSize("/data/out.bin"); got != 8000 {
+		t.Fatalf("backend size = %d, want 8000", got)
+	}
+	// A fresh DSM on the same cluster reads the data back.
+	d2 := New(c, testConfig())
+	runDSM(t, c, d2, func(p *vtime.Proc) {
+		cl := d2.NewClient(p, 0)
+		v, err := Open[int64](cl, url, Int64Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Len() != 1000 {
+			t.Fatalf("reopened length = %d, want 1000", v.Len())
+		}
+		v.SeqTxBegin(0, 1000, ReadOnly)
+		for i := int64(0); i < 1000; i++ {
+			if got := v.Get(i); got != i+7 {
+				t.Fatalf("reopened v[%d] = %d, want %d", i, got, i+7)
+			}
+		}
+		v.TxEnd()
+	})
+}
+
+func TestMultiRankPgasWriteThenGlobalRead(t *testing.T) {
+	const nodes, ranks = 2, 4
+	c, d := newTestDSM(nodes)
+	const n = 4096
+	for r := 0; r < ranks; r++ {
+		r := r
+		c.Engine.Spawn(fmt.Sprintf("rank%d", r), func(p *vtime.Proc) {
+			cl := d.NewClient(p, r*nodes/ranks)
+			v, err := Open[int64](cl, "pgas", Int64Codec{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if r == 0 {
+				v.Resize(n)
+			}
+			cl.Barrier("sized", ranks)
+			v.Pgas(r, ranks)
+			off, ln := v.LocalOff(), v.LocalLen()
+			v.SeqTxBegin(off, ln, WriteOnly)
+			for i := off; i < off+ln; i++ {
+				v.Set(i, i*11)
+			}
+			v.TxEnd()
+			cl.Barrier("written", ranks)
+			// Global read-only phase: every rank scans everything.
+			v.SeqTxBegin(0, n, ReadOnly|Global)
+			for i := int64(0); i < n; i++ {
+				if got := v.Get(i); got != i*11 {
+					t.Errorf("rank %d: v[%d] = %d, want %d", r, i, got, i*11)
+					break
+				}
+			}
+			v.TxEnd()
+			cl.Barrier("done", ranks)
+			if r == 0 {
+				if err := d.Shutdown(p); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}
+		})
+	}
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPgasPartitioning(t *testing.T) {
+	c, d := newTestDSM(1)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "parts", Int64Codec{})
+		v.Resize(10)
+		// 10 elements over 3 ranks: 4,3,3.
+		var total int64
+		wantLens := []int64{4, 3, 3}
+		prevEnd := int64(0)
+		for r := 0; r < 3; r++ {
+			v.Pgas(r, 3)
+			if v.LocalLen() != wantLens[r] {
+				t.Errorf("rank %d len = %d, want %d", r, v.LocalLen(), wantLens[r])
+			}
+			if v.LocalOff() != prevEnd {
+				t.Errorf("rank %d off = %d, want %d (contiguous)", r, v.LocalOff(), prevEnd)
+			}
+			prevEnd = v.LocalOff() + v.LocalLen()
+			total += v.LocalLen()
+		}
+		if total != 10 || prevEnd != 10 {
+			t.Errorf("partitions cover %d ending at %d, want 10", total, prevEnd)
+		}
+	})
+}
+
+func TestAppendGlobal(t *testing.T) {
+	const ranks = 3
+	c, d := newTestDSM(1)
+	for r := 0; r < ranks; r++ {
+		r := r
+		c.Engine.Spawn(fmt.Sprintf("rank%d", r), func(p *vtime.Proc) {
+			cl := d.NewClient(p, 0)
+			v, err := Open[int64](cl, "log", Int64Codec{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			v.SeqTxBegin(0, 100, Append|Global)
+			for i := 0; i < 100; i++ {
+				v.Append(int64(r*1000 + i))
+			}
+			v.TxEnd()
+			cl.Barrier("appended", ranks)
+			if r == 0 {
+				if v.Len() != 300 {
+					t.Errorf("len = %d, want 300", v.Len())
+				}
+				// All appended values present exactly once.
+				seen := make(map[int64]bool)
+				v.SeqTxBegin(0, v.Len(), ReadOnly|Global)
+				for i := int64(0); i < v.Len(); i++ {
+					seen[v.Get(i)] = true
+				}
+				v.TxEnd()
+				if len(seen) != 300 {
+					t.Errorf("distinct values = %d, want 300", len(seen))
+				}
+				if err := d.Shutdown(p); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}
+		})
+	}
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyReplication(t *testing.T) {
+	const nodes = 2
+	c, d := newTestDSM(nodes)
+	for r := 0; r < nodes; r++ {
+		r := r
+		c.Engine.Spawn(fmt.Sprintf("rank%d", r), func(p *vtime.Proc) {
+			cl := d.NewClient(p, r)
+			v, err := Open[int64](cl, "shared", Int64Codec{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if r == 0 {
+				v.Resize(512)
+				v.SeqTxBegin(0, 512, WriteOnly)
+				for i := int64(0); i < 512; i++ {
+					v.Set(i, i)
+				}
+				v.TxEnd()
+			}
+			cl.Barrier("ready", nodes)
+			v.BoundMemory(v.PageSize()) // force refaults
+			v.SeqTxBegin(0, 512, ReadOnly|Global)
+			for pass := 0; pass < 2; pass++ {
+				for i := int64(0); i < 512; i++ {
+					if got := v.Get(i); got != i {
+						t.Errorf("rank %d: v[%d] = %d", r, i, got)
+						return
+					}
+				}
+			}
+			v.TxEnd()
+			cl.Barrier("read", nodes)
+			if r == 1 {
+				// Node 1 read pages whose primary lives on node 0; replicas
+				// should have been installed locally.
+				reps := 0
+				for pg := int64(0); pg < 2; pg++ {
+					m := d.vecs["shared"]
+					if m.replicas[pg] != nil && m.replicas[pg][1] {
+						reps++
+					}
+				}
+				if reps == 0 {
+					t.Error("no node-local replicas created in read-only global phase")
+				}
+			}
+			cl.Barrier("checked", nodes)
+			if r == 0 {
+				if err := d.Shutdown(p); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}
+		})
+	}
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteInvalidatesReplicas(t *testing.T) {
+	const nodes = 2
+	c, d := newTestDSM(nodes)
+	for r := 0; r < nodes; r++ {
+		r := r
+		c.Engine.Spawn(fmt.Sprintf("rank%d", r), func(p *vtime.Proc) {
+			cl := d.NewClient(p, r)
+			v, err := Open[int64](cl, "inv", Int64Codec{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if r == 0 {
+				v.Resize(512)
+				v.SeqTxBegin(0, 512, WriteOnly)
+				for i := int64(0); i < 512; i++ {
+					v.Set(i, 1)
+				}
+				v.TxEnd()
+			}
+			cl.Barrier("init", nodes)
+			// Read-only phase replicates onto node 1.
+			v.SeqTxBegin(0, 512, ReadOnly|Global)
+			var sum int64
+			for i := int64(0); i < 512; i++ {
+				sum += v.Get(i)
+			}
+			v.TxEnd()
+			if sum != 512 {
+				t.Errorf("rank %d: first-phase sum = %d, want 512", r, sum)
+			}
+			cl.Barrier("phase1", nodes)
+			// Phase change: rank 0 rewrites; replicas must be invalidated.
+			if r == 0 {
+				v.SeqTxBegin(0, 512, WriteOnly)
+				for i := int64(0); i < 512; i++ {
+					v.Set(i, 2)
+				}
+				v.TxEnd()
+			}
+			cl.Barrier("phase2", nodes)
+			if r == 1 {
+				v.BoundMemory(v.PageSize()) // drop pcache residency quickly
+				// Drop everything currently cached so reads refault.
+				v.Resize(512) // no-op resize; pcache untouched
+				for _, cp := range v.pc.pages {
+					v.dropPage(cp)
+				}
+				v.last = nil
+				v.SeqTxBegin(0, 512, ReadOnly|Global)
+				sum = 0
+				for i := int64(0); i < 512; i++ {
+					sum += v.Get(i)
+				}
+				v.TxEnd()
+				if sum != 1024 {
+					t.Errorf("stale replica served: sum = %d, want 1024", sum)
+				}
+			}
+			cl.Barrier("done", nodes)
+			if r == 0 {
+				if err := d.Shutdown(p); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}
+		})
+	}
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchReducesSyncFaults(t *testing.T) {
+	faults := func(disable bool) int64 {
+		cfg := testConfig()
+		cfg.DisablePrefetch = disable
+		c := cluster.New(testSpec(1))
+		d := New(c, cfg)
+		runDSM(t, c, d, func(p *vtime.Proc) {
+			cl := d.NewClient(p, 0)
+			v, _ := Open[int64](cl, "scan", Int64Codec{})
+			const n = 1 << 15
+			v.Resize(n)
+			v.BoundMemory(8 * v.PageSize())
+			v.SeqTxBegin(0, n, WriteOnly)
+			for i := int64(0); i < n; i++ {
+				v.Set(i, i)
+			}
+			v.TxEnd()
+			// Re-scan: pages must come back from the scache.
+			v.SeqTxBegin(0, n, ReadOnly)
+			for i := int64(0); i < n; i++ {
+				if v.Get(i) != i {
+					t.Error("data corrupted")
+					return
+				}
+			}
+			v.TxEnd()
+		})
+		f, _, _ := d.Stats()
+		return f
+	}
+	with, without := faults(false), faults(true)
+	if with >= without {
+		t.Errorf("prefetch on: %d sync faults, off: %d; prefetch should reduce them", with, without)
+	}
+}
+
+func TestDestroyRemovesPages(t *testing.T) {
+	c, d := newTestDSM(1)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "temp", Int64Codec{})
+		v.Resize(4096)
+		v.BoundMemory(2 * v.PageSize())
+		v.SeqTxBegin(0, 4096, WriteOnly)
+		for i := int64(0); i < 4096; i++ {
+			v.Set(i, i)
+		}
+		v.TxEnd()
+		v.Destroy()
+		usage := d.Hermes().TierUsage()
+		var total int64
+		for _, u := range usage {
+			total += u
+		}
+		if total != 0 {
+			t.Errorf("scache still holds %d bytes after destroy", total)
+		}
+		if d.vecs["temp"] != nil {
+			t.Error("vector meta survived destroy")
+		}
+	})
+}
+
+func TestResizeShrinkAndGrow(t *testing.T) {
+	c, d := newTestDSM(1)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "rs", Int64Codec{})
+		v.Resize(100)
+		v.SeqTxBegin(0, 100, WriteOnly)
+		for i := int64(0); i < 100; i++ {
+			v.Set(i, i)
+		}
+		v.TxEnd()
+		v.Resize(10)
+		if v.Len() != 10 {
+			t.Errorf("len = %d", v.Len())
+		}
+		v.Resize(50)
+		v.SeqTxBegin(0, 50, ReadOnly)
+		if v.Get(5) != 5 {
+			t.Error("surviving element lost")
+		}
+		v.TxEnd()
+	})
+}
+
+func TestDistributedLockMutualExclusion(t *testing.T) {
+	c, d := newTestDSM(2)
+	counter := 0
+	done := 0
+	for r := 0; r < 4; r++ {
+		r := r
+		c.Engine.Spawn(fmt.Sprintf("rank%d", r), func(p *vtime.Proc) {
+			cl := d.NewClient(p, r%2)
+			for i := 0; i < 5; i++ {
+				cl.Lock("ctr")
+				v := counter
+				p.Sleep(vtime.Millisecond)
+				counter = v + 1
+				cl.Unlock("ctr")
+			}
+			done++
+			if done == 4 {
+				if err := d.Shutdown(p); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}
+		})
+	}
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 20 {
+		t.Errorf("counter = %d, want 20 (lost updates)", counter)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	c, d := newTestDSM(1)
+	var phase [3]int
+	for r := 0; r < 3; r++ {
+		r := r
+		c.Engine.Spawn(fmt.Sprintf("rank%d", r), func(p *vtime.Proc) {
+			cl := d.NewClient(p, 0)
+			for round := 0; round < 3; round++ {
+				p.Sleep(vtime.Duration(r+1) * vtime.Millisecond)
+				cl.Barrier(fmt.Sprintf("b%d", round), 3)
+				phase[round]++
+			}
+			if r == 0 {
+				cl.Barrier("final", 3)
+				if err := d.Shutdown(p); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			} else {
+				cl.Barrier("final", 3)
+			}
+		})
+	}
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range phase {
+		if n != 3 {
+			t.Errorf("round %d saw %d arrivals, want 3", i, n)
+		}
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	c, d := newTestDSM(1)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		if _, err := Open[int64](cl, "v", Int64Codec{}, WithPageSize(100)); err == nil {
+			t.Error("page size not multiple of element size should fail")
+		}
+		if _, err := Open[int64](cl, "v", Int64Codec{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open[int32](cl, "v", Int32Codec{}); err == nil {
+			t.Error("reopening with different element size should fail")
+		}
+		if _, err := Open[int64](cl, "bad://url", Int64Codec{}); err == nil {
+			t.Error("bad backend URL should fail")
+		}
+	})
+}
+
+func TestActiveStagingFlushesDuringCompute(t *testing.T) {
+	cfg := testConfig()
+	cfg.StagePeriod = 5 * vtime.Millisecond
+	c := cluster.New(testSpec(1))
+	d := New(c, cfg)
+	var midrunSize int64
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "file:///data/active.bin", Int64Codec{})
+		v.Resize(4096)
+		v.SeqTxBegin(0, 4096, WriteOnly)
+		for i := int64(0); i < 4096; i++ {
+			v.Set(i, i)
+		}
+		v.TxEnd()
+		// Long compute period: the active stager should persist pages in
+		// the background before shutdown.
+		p.Sleep(100 * vtime.Millisecond)
+		midrunSize = c.PFSSize("/data/active.bin")
+	})
+	if midrunSize <= 0 {
+		t.Errorf("active staging wrote nothing during compute (size %d)", midrunSize)
+	}
+}
+
+func TestTxMisuse(t *testing.T) {
+	c, d := newTestDSM(1)
+	c.Engine.Spawn("app", func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "x", Int64Codec{})
+		v.Resize(10)
+		v.SeqTxBegin(0, 10, ReadOnly)
+		v.SeqTxBegin(0, 10, ReadOnly) // double begin panics
+	})
+	if err := c.Engine.Run(); err == nil {
+		t.Error("expected error from double TxBegin")
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"megammap/internal/cluster"
+	"megammap/internal/vtime"
+)
+
+// The paper's §V discussion sketches three extensions — node-failure
+// tolerance via replication, memory-corruption detection, and access
+// control. These tests cover the implementations.
+
+func TestReplicationSurvivesNodeFailure(t *testing.T) {
+	cfg := testConfig()
+	cfg.Replicas = 1
+	c := cluster.New(testSpec(3))
+	d := New(c, cfg)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, err := Open[int64](cl, "ha", Int64Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 4096
+		v.Resize(n)
+		v.BoundMemory(2 * v.PageSize())
+		v.SeqTxBegin(0, n, WriteOnly)
+		for i := int64(0); i < n; i++ {
+			v.Set(i, i*7)
+		}
+		v.TxEnd()
+		v.Close() // nothing resident; all reads must come from the scache
+
+		// Kill every node that holds a primary copy except one, then
+		// verify the data still reads back through the backups.
+		d.Hermes().FailNode(0)
+		v.SeqTxBegin(0, n, ReadOnly)
+		for i := int64(0); i < n; i++ {
+			if got := v.Get(i); got != i*7 {
+				t.Fatalf("after node failure: v[%d] = %d, want %d", i, got, i*7)
+			}
+		}
+		v.TxEnd()
+	})
+}
+
+func TestReplicationKeepsBackupsCurrent(t *testing.T) {
+	cfg := testConfig()
+	cfg.Replicas = 1
+	c := cluster.New(testSpec(2))
+	d := New(c, cfg)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "sync", Int64Codec{})
+		v.Resize(512)
+		for round := int64(1); round <= 3; round++ {
+			v.SeqTxBegin(0, 512, ReadWrite)
+			for i := int64(0); i < 512; i++ {
+				v.Set(i, i*round)
+			}
+			v.TxEnd()
+		}
+		v.Close()
+		d.Hermes().FailNode(0)
+		v.SeqTxBegin(0, 512, ReadOnly)
+		for i := int64(0); i < 512; i++ {
+			if got := v.Get(i); got != i*3 {
+				t.Fatalf("backup stale: v[%d] = %d, want %d", i, got, i*3)
+			}
+		}
+		v.TxEnd()
+	})
+}
+
+func TestNoReplicationLosesDataOnFailure(t *testing.T) {
+	// Without replication the paper's assumption holds: a node failure
+	// corrupts the DSM (reads return zero-filled pages or fail).
+	c, d := newTestDSM(2)
+	var lost bool
+	c.Engine.Spawn("app", func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "fragile", Int64Codec{})
+		v.Resize(2048)
+		v.SeqTxBegin(0, 2048, WriteOnly)
+		for i := int64(0); i < 2048; i++ {
+			v.Set(i, i+1)
+		}
+		v.TxEnd()
+		v.Close()
+		d.Hermes().FailNode(0)
+		v.SeqTxBegin(0, 2048, ReadOnly)
+		for i := int64(0); i < 2048; i++ {
+			if v.Get(i) != i+1 {
+				lost = true
+				break
+			}
+		}
+		v.TxEnd()
+		_ = d.Shutdown(p)
+	})
+	if err := c.Engine.Run(); err != nil {
+		// A hard failure is also an acceptable manifestation.
+		lost = true
+	}
+	if !lost {
+		t.Error("unreplicated data survived a node failure; the failure injection is not working")
+	}
+}
+
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChecksumPages = true
+	c := cluster.New(testSpec(1))
+	d := New(c, cfg)
+	c.Engine.Spawn("app", func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "ecc", Int64Codec{})
+		v.Resize(1024)
+		v.SeqTxBegin(0, 1024, WriteOnly)
+		for i := int64(0); i < 1024; i++ {
+			v.Set(i, i)
+		}
+		v.TxEnd()
+		v.Close()
+
+		// Flip one bit of page 0 wherever it landed.
+		key := d.vecs["ecc"].pageKey(0)
+		pl, ok := d.h.PlacementOf(key)
+		if !ok {
+			t.Fatal("page 0 not in scache")
+		}
+		if !c.Nodes[pl.Node].Devices[pl.Tier].CorruptBit(key, 100, 3) {
+			t.Fatal("corruption injection failed")
+		}
+		v.SeqTxBegin(0, 1024, ReadOnly)
+		_ = v.Get(0) // must blow up with a checksum error
+		v.TxEnd()
+	})
+	err := c.Engine.Run()
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corruption not detected: err = %v", err)
+	}
+}
+
+func TestChecksumCleanRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChecksumPages = true
+	c := cluster.New(testSpec(1))
+	d := New(c, cfg)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "eccok", Int64Codec{})
+		v.Resize(2048)
+		v.BoundMemory(2 * v.PageSize())
+		v.SeqTxBegin(0, 2048, WriteOnly)
+		for i := int64(0); i < 2048; i++ {
+			v.Set(i, i^0x77)
+		}
+		v.TxEnd()
+		// Partial rewrite exercises the read-modify-write checksum path.
+		v.SeqTxBegin(10, 20, ReadWrite)
+		for i := int64(10); i < 30; i++ {
+			v.Set(i, -i)
+		}
+		v.TxEnd()
+		v.Close()
+		v.SeqTxBegin(0, 2048, ReadOnly)
+		for i := int64(0); i < 2048; i++ {
+			want := i ^ 0x77
+			if i >= 10 && i < 30 {
+				want = -i
+			}
+			if got := v.Get(i); got != want {
+				t.Fatalf("v[%d] = %d, want %d", i, got, want)
+			}
+		}
+		v.TxEnd()
+	})
+}
+
+func TestAccessKeyProtectsVector(t *testing.T) {
+	c, d := newTestDSM(1)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		if _, err := Open[int64](cl, "classified", Int64Codec{}, WithAccessKey("s3cret")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open[int64](cl, "classified", Int64Codec{}); err == nil {
+			t.Error("open without key succeeded")
+		}
+		if _, err := Open[int64](cl, "classified", Int64Codec{}, WithAccessKey("wrong")); err == nil {
+			t.Error("open with wrong key succeeded")
+		}
+		if _, err := Open[int64](cl, "classified", Int64Codec{}, WithAccessKey("s3cret")); err != nil {
+			t.Errorf("open with right key failed: %v", err)
+		}
+		// Unprotected vectors still open freely.
+		if _, err := Open[int64](cl, "public", Int64Codec{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open[int64](cl, "public", Int64Codec{}); err != nil {
+			t.Errorf("reopen of unprotected vector failed: %v", err)
+		}
+	})
+}
+
+func TestReplicationMultiRank(t *testing.T) {
+	cfg := testConfig()
+	cfg.Replicas = 1
+	c := cluster.New(testSpec(3))
+	d := New(c, cfg)
+	const ranks, n = 3, 3072
+	for r := 0; r < ranks; r++ {
+		r := r
+		c.Engine.Spawn(fmt.Sprintf("rank%d", r), func(p *vtime.Proc) {
+			cl := d.NewClient(p, r)
+			v, err := Open[int64](cl, "hamulti", Int64Codec{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if r == 0 {
+				v.Resize(n)
+			}
+			cl.Barrier("sized", ranks)
+			v.Pgas(r, ranks)
+			off, ln := v.LocalOff(), v.LocalLen()
+			v.SeqTxBegin(off, ln, WriteOnly)
+			for i := off; i < off+ln; i++ {
+				v.Set(i, i+100)
+			}
+			v.TxEnd()
+			v.Close()
+			cl.Barrier("written", ranks)
+			if r == 1 {
+				d.Hermes().FailNode(2)
+			}
+			cl.Barrier("failed", ranks)
+			v.SeqTxBegin(0, n, ReadOnly|Global)
+			for i := int64(0); i < n; i++ {
+				if got := v.Get(i); got != i+100 {
+					t.Errorf("rank %d: v[%d] = %d after node 2 failure", r, i, got)
+					break
+				}
+			}
+			v.TxEnd()
+			cl.Barrier("done", ranks)
+			if r == 0 {
+				_ = d.Shutdown(p)
+			}
+		})
+	}
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveFaultCoalescing(t *testing.T) {
+	// Many ranks on one node collectively reading the same region should
+	// trigger one fetch per page per node, with the rest coalesced.
+	run := func(flags AccessFlags) (faults, coalesced int64) {
+		c, d := newTestDSM(2)
+		const ranks, n = 8, 4096
+		for r := 0; r < ranks; r++ {
+			r := r
+			c.Engine.Spawn(fmt.Sprintf("rank%d", r), func(p *vtime.Proc) {
+				cl := d.NewClient(p, r%2)
+				v, err := Open[int64](cl, "shared-read", Int64Codec{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r == 0 {
+					v.Resize(n)
+					v.SeqTxBegin(0, n, WriteOnly)
+					for i := int64(0); i < n; i++ {
+						v.Set(i, i)
+					}
+					v.TxEnd()
+					v.Close()
+				}
+				cl.Barrier("ready", ranks)
+				v.TxBegin(SeqTx{F: flags, Off: 0, N: n})
+				for i := int64(0); i < n; i += 64 {
+					if v.Get(i) != i {
+						t.Errorf("rank %d: bad data at %d", r, i)
+						break
+					}
+				}
+				v.TxEnd()
+				cl.Barrier("read", ranks)
+				if r == 0 {
+					_ = d.Shutdown(p)
+				}
+			})
+		}
+		if err := c.Engine.Run(); err != nil {
+			t.Fatal(err)
+		}
+		f, _, _ := d.Stats()
+		return f, d.CoalescedReads()
+	}
+	plainFaults, plainCoalesced := run(ReadOnly | Global)
+	collFaults, collCoalesced := run(ReadOnly | Global | Collective)
+	if plainCoalesced != 0 {
+		t.Errorf("non-collective phase coalesced %d reads", plainCoalesced)
+	}
+	if collCoalesced == 0 {
+		t.Error("collective phase coalesced nothing")
+	}
+	if collFaults >= plainFaults {
+		t.Errorf("collective faults (%d) not below plain faults (%d)", collFaults, plainFaults)
+	}
+}
+
+func TestTaskTracing(t *testing.T) {
+	cfg := testConfig()
+	cfg.TraceTasks = true
+	c := cluster.New(testSpec(1))
+	d := New(c, cfg)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "traced", Int64Codec{})
+		v.Resize(2048)
+		v.BoundMemory(2 * v.PageSize())
+		v.SeqTxBegin(0, 2048, WriteOnly)
+		for i := int64(0); i < 2048; i++ {
+			v.Set(i, i)
+		}
+		v.TxEnd()
+		v.SeqTxBegin(0, 2048, ReadOnly)
+		for i := int64(0); i < 2048; i += 100 {
+			_ = v.Get(i)
+		}
+		v.TxEnd()
+	})
+	tr := d.Trace()
+	if tr == nil || len(tr.Events) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	sum := tr.Summary()
+	if sum["write"].Count == 0 || sum["read"].Count == 0 {
+		t.Errorf("summary missing kinds: %+v", sum)
+	}
+	for _, e := range tr.Events {
+		if e.Start < e.Submit || e.End < e.Start {
+			t.Fatalf("event timestamps out of order: %+v", e)
+		}
+		if e.Vector != "traced" {
+			t.Fatalf("unexpected vector %q", e.Vector)
+		}
+	}
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != len(tr.Events)+1 {
+		t.Errorf("csv rows = %d, want %d", len(lines), len(tr.Events)+1)
+	}
+	if !strings.HasPrefix(lines[0], "kind,vector,page") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if sum["read"].MeanService() <= 0 {
+		t.Error("read service time should be positive")
+	}
+}
+
+func TestTracingOffByDefault(t *testing.T) {
+	c, d := newTestDSM(1)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "untraced", Int64Codec{})
+		v.Resize(64)
+		v.SeqTxBegin(0, 64, WriteOnly)
+		v.Set(0, 1)
+		v.TxEnd()
+	})
+	if d.Trace() != nil {
+		t.Error("trace allocated despite TraceTasks=false")
+	}
+}

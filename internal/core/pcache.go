@@ -1,0 +1,100 @@
+package core
+
+// The private cache (pcache) is a per-process, DRAM-only page cache of
+// configurable maximum size (paper §III-B). Reads and writes hit the
+// pcache first; misses fault pages in from the scache, and evictions
+// commit dirty regions back asynchronously.
+
+// cachedPage is one page resident in a pcache.
+type cachedPage struct {
+	idx     int64
+	data    []byte
+	dirty   []dirtyRange
+	lastUse int64   // pcache clock at last access (LRU)
+	score   float64 // local priority; 0 means evict first
+	// partial marks a write-allocated page: only the locally written
+	// regions are real, the rest is zero fill. Partial pages must never
+	// serve reads that a new read phase could direct at foreign regions.
+	partial bool
+}
+
+func (cp *cachedPage) isDirty() bool { return len(cp.dirty) > 0 }
+
+// markDirty records a modified byte span, merging lazily once the range
+// list grows.
+func (cp *cachedPage) markDirty(off, end int64) {
+	// Fast path: extend the most recent range (sequential writes).
+	if n := len(cp.dirty); n > 0 {
+		last := &cp.dirty[n-1]
+		if off <= last.end && end >= last.off {
+			if off < last.off {
+				last.off = off
+			}
+			if end > last.end {
+				last.end = end
+			}
+			return
+		}
+	}
+	cp.dirty = append(cp.dirty, dirtyRange{off: off, end: end})
+	if len(cp.dirty) > 64 {
+		cp.dirty = mergeRanges(cp.dirty)
+	}
+}
+
+// pcache is a bounded page table. A bound of zero means unbounded (the
+// paper's in-memory mode); the node's physical DRAM still constrains it.
+type pcache struct {
+	pages map[int64]*cachedPage
+	bound int64 // max bytes (0 = unbounded)
+	used  int64 // bytes of resident and reserved pages
+	clock int64
+}
+
+func newPCache() *pcache {
+	return &pcache{pages: make(map[int64]*cachedPage)}
+}
+
+// get returns the resident page and bumps its LRU stamp.
+func (pc *pcache) get(idx int64) *cachedPage {
+	cp := pc.pages[idx]
+	if cp != nil {
+		pc.clock++
+		cp.lastUse = pc.clock
+	}
+	return cp
+}
+
+// insert adds a page whose space was already reserved.
+func (pc *pcache) insert(cp *cachedPage) {
+	pc.clock++
+	cp.lastUse = pc.clock
+	pc.pages[cp.idx] = cp
+}
+
+// remove drops a page from the table without releasing reservation
+// accounting (the caller owns that).
+func (pc *pcache) remove(idx int64) { delete(pc.pages, idx) }
+
+// needsEviction reports whether reserving n more bytes exceeds the bound.
+func (pc *pcache) needsEviction(n int64) bool {
+	return pc.bound > 0 && pc.used+n > pc.bound
+}
+
+// victim selects the page to evict: lowest score first, then least
+// recently used, never the page pinned by the caller. It returns nil if
+// no evictable page exists.
+func (pc *pcache) victim(pinned int64) *cachedPage {
+	var best *cachedPage
+	for _, cp := range pc.pages {
+		if cp.idx == pinned {
+			continue
+		}
+		if best == nil ||
+			cp.score < best.score ||
+			(cp.score == best.score && cp.lastUse < best.lastUse) {
+			best = cp
+		}
+	}
+	return best
+}

@@ -1,0 +1,139 @@
+package core
+
+// The private cache prefetcher (paper Algorithm 1). It runs on every page
+// transition of an active transaction and, using the transaction's
+// predicted access sequence:
+//
+//   - Evict phase: pages already consumed (accesses [head, tail)) that are
+//     not about to be re-touched get score 0 and are evicted from the
+//     pcache, their dirty regions committed asynchronously.
+//   - Prefetch phase: the next pages that fit the pcache's free space get
+//     score 1 and asynchronous fill reads, overlapping the fault path with
+//     computation.
+//   - Distant pages get a decreasing score proportional to how soon a
+//     fault could reach them, estimated from the bandwidth of the tier
+//     each page currently occupies, until the score falls to MinScore.
+//     (The paper's pseudocode computes Score = EstTime/BaseTime, which
+//     grows without bound and never crosses MinScore; we use the clearly
+//     intended BaseTime/EstTime, which decays from 1.)
+//
+// Scores flow to the Data Organizer as asynchronous score MemoryTasks;
+// the node that sets a score is recorded to improve locality.
+
+// prefetchHorizonPages caps how far past the fill window the scorer
+// looks, bounding per-transition work.
+const prefetchHorizonPages = 128
+
+func (v *Vector[T]) runPrefetcher(current int64) {
+	a := v.tx
+	m := v.m
+	ps, epp := m.pageSize, m.epp
+	maxPages := int64(prefetchHorizonPages)
+	if v.pc.bound > 0 {
+		maxPages = v.pc.bound / ps
+		if maxPages < 1 {
+			maxPages = 1
+		}
+	}
+
+	future := a.pagesIn(a.tail, a.tail+maxPages*epp, epp)
+	futureSet := make(map[int64]struct{}, len(future))
+	for _, pg := range future {
+		futureSet[pg] = struct{}{}
+	}
+
+	// Evict phase.
+	touched := a.pagesIn(a.head, a.tail, epp)
+	for _, pg := range touched {
+		if pg == current {
+			continue
+		}
+		if _, soon := futureSet[pg]; soon {
+			continue // will be re-touched; keep it hot
+		}
+		v.scoreAsync(pg, 0)
+		if cp := v.pc.pages[pg]; cp != nil {
+			cp.score = 0
+			v.evict(cp)
+		}
+	}
+
+	// Prefetch phase: fill the free pcache space with upcoming pages.
+	freePages := int64(len(future))
+	if v.pc.bound > 0 {
+		freePages = (v.pc.bound - v.pc.used) / ps
+	}
+	// Fills only make sense when the transaction reads: a write-only
+	// phase overwrites pages wholesale and must not read them first.
+	fillable := a.tx.Flags().Has(Read)
+	base := 0.0 // seconds to re-read the fill window from its tiers
+	filled := int64(0)
+	i := 0
+	for ; i < len(future) && filled < freePages; i++ {
+		pg := future[i]
+		base += float64(ps) / v.tierReadBW(pg)
+		v.scoreAsync(pg, 1)
+		if !fillable || pg >= m.pageCount() || v.pc.get(pg) != nil || v.fills[pg] != nil {
+			continue
+		}
+		v.issueFill(pg, current)
+		filled++
+	}
+	if base <= 0 {
+		base = float64(ps) / 12e9
+	}
+
+	// Distant pages: decaying score until MinScore.
+	est := base
+	scored := 0
+	horizon := a.tail + maxPages*epp
+	distant := append(future[i:], a.pagesIn(horizon, horizon+maxPages*epp, epp)...)
+	for _, pg := range distant {
+		est += float64(ps) / v.tierReadBW(pg)
+		score := base / est
+		if score <= v.c.d.cfg.MinScore {
+			break
+		}
+		v.scoreAsync(pg, score)
+		scored++
+		if scored >= prefetchHorizonPages {
+			break
+		}
+	}
+
+	a.head = a.tail
+}
+
+// scoreAsync sends an importance score to the Data Organizer for pages
+// that exist in the scache (pcache-only pages have nothing to organize).
+func (v *Vector[T]) scoreAsync(pg int64, score float64) {
+	if _, ok := v.c.d.h.PlacementOf(v.m.pageKey(pg)); !ok {
+		return
+	}
+	t := &MemoryTask{
+		kind: taskScore, vec: v.m, page: pg,
+		score: score, origin: v.c.node.ID,
+	}
+	v.c.submitAsync(t)
+}
+
+// issueFill reserves pcache space and submits an asynchronous read that
+// integrateFills later installs.
+func (v *Vector[T]) issueFill(pg, pinned int64) {
+	v.ensureSpace(pinned)
+	t := &MemoryTask{
+		kind: taskRead, vec: v.m, page: pg,
+		origin: v.c.node.ID, replicate: v.replicable(),
+	}
+	v.c.submitAsync(t)
+	v.fills[pg] = &fillReq{t: t, stamp: v.pageWrites[pg]}
+}
+
+// tierReadBW estimates the read bandwidth of the tier currently holding a
+// page; pages not in the scache would stage in from the PFS backend.
+func (v *Vector[T]) tierReadBW(pg int64) float64 {
+	if pl, ok := v.c.d.h.PlacementOf(v.m.pageKey(pg)); ok {
+		return v.c.d.c.Nodes[pl.Node].Devices[pl.Tier].Profile().ReadBW
+	}
+	return v.c.d.c.PFS.Profile().ReadBW
+}

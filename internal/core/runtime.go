@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"megammap/internal/cluster"
+	"megammap/internal/hermes"
+	"megammap/internal/vtime"
+)
+
+// Runtime is the per-node MegaMmap runtime process group: a scheduler
+// that hashes MemoryTasks onto workers (low-latency and high-latency
+// groups, split at Config.LowLatThreshold) and the workers that execute
+// scache operations (paper §III-B). Per-page hashing orders all tasks for
+// one page through one worker, giving read-after-write consistency
+// without a coherence protocol.
+type Runtime struct {
+	d    *DSM
+	node *cluster.Node
+
+	lowQ   []*vtime.Chan[*MemoryTask]
+	highQ  []*vtime.Chan[*MemoryTask]
+	inWork vtime.WaitGroup // submitted but not completed tasks
+	closed bool
+}
+
+const runtimeQueueDepth = 1 << 16
+
+func newRuntime(d *DSM, node *cluster.Node) *Runtime {
+	r := &Runtime{d: d, node: node}
+	spawn := func(q *vtime.Chan[*MemoryTask], name string) {
+		d.c.Engine.SpawnDaemon(name, func(p *vtime.Proc) { r.worker(p, q) })
+	}
+	nLow, nHigh := d.cfg.WorkersLowLat, d.cfg.WorkersHighLat
+	if d.cfg.DisableWorkerSplit {
+		nLow, nHigh = 0, d.cfg.WorkersLowLat+d.cfg.WorkersHighLat
+	}
+	for i := 0; i < nLow; i++ {
+		q := vtime.NewChan[*MemoryTask](runtimeQueueDepth)
+		r.lowQ = append(r.lowQ, q)
+		spawn(q, workerName(node.ID, "low", i))
+	}
+	for i := 0; i < nHigh; i++ {
+		q := vtime.NewChan[*MemoryTask](runtimeQueueDepth)
+		r.highQ = append(r.highQ, q)
+		spawn(q, workerName(node.ID, "high", i))
+	}
+	return r
+}
+
+func workerName(node int, group string, i int) string {
+	return "mm-worker-n" + itoa(node) + "-" + group + itoa(i)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// submit enqueues a task on the worker selected by payload size and page
+// hash. It must be called from a vtime process; enqueueing never blocks
+// (queues are deep; sustained overload is flow-controlled by pcache
+// eviction rate upstream).
+func (r *Runtime) submit(t *MemoryTask) {
+	group := r.highQ
+	if len(r.lowQ) > 0 && t.bytes() < r.d.cfg.LowLatThreshold {
+		group = r.lowQ
+	}
+	w := int(hashString(t.blobKey()) % uint32(len(group)))
+	r.inWork.Add(1)
+	// Queue depth is effectively unbounded for simulation purposes; the
+	// buffer is far deeper than any burst, so enqueueing never fails.
+	if !group[w].TrySend(t) {
+		panic("core: runtime queue overflow")
+	}
+}
+
+// drain blocks until every submitted task completed.
+func (r *Runtime) drain(p *vtime.Proc) { r.inWork.Wait(p) }
+
+// close shuts the worker queues; workers exit after draining them.
+func (r *Runtime) close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, q := range r.lowQ {
+		q.Close()
+	}
+	for _, q := range r.highQ {
+		q.Close()
+	}
+}
+
+// worker executes tasks serially: the scheduler's hashing guarantees all
+// tasks of one page arrive at exactly one worker.
+func (r *Runtime) worker(p *vtime.Proc, q *vtime.Chan[*MemoryTask]) {
+	for {
+		t, ok := q.Recv(p)
+		if !ok {
+			return
+		}
+		start := p.Now()
+		r.exec(p, t)
+		if tr := r.d.trace; tr != nil {
+			vecName := t.chainKey
+			if t.vec != nil {
+				vecName = t.vec.name
+			}
+			tr.Events = append(tr.Events, TraceEvent{
+				Kind: t.kind.String(), Vector: vecName, Page: t.page,
+				Origin: t.origin, ExecNode: r.node.ID,
+				Submit: t.submitted, Start: start, End: p.Now(),
+				Bytes: t.bytes(), Err: t.err != nil,
+			})
+		}
+		if t.kind != taskScore {
+			r.d.pageDone(t)
+		}
+		t.done.Fire()
+		if t.notify != nil {
+			t.notify.Done()
+		}
+		r.inWork.Done()
+	}
+}
+
+// exec performs one MemoryTask against the scache. The per-page chain in
+// DSM.submit guarantees at most one data-bearing task per page runs at a
+// time, in submission order.
+func (r *Runtime) exec(p *vtime.Proc, t *MemoryTask) {
+	switch t.kind {
+	case taskRead:
+		t.data, t.err = r.readPage(p, t)
+	case taskWrite:
+		t.err = r.writePage(p, t)
+	case taskScore:
+		r.d.h.SetScore(p, t.origin, t.vec.pageKey(t.page), t.score)
+	case taskStage:
+		t.err = r.d.stageOut(p, t.vec, t.page, r.node.ID)
+	case taskDestroy:
+		r.destroyPage(p, t)
+	case taskMove:
+		r.d.h.ApplyMove(p, t.move.(hermes.Move))
+	}
+}
+
+// readPage returns the page bytes, staging in from the backend on a cold
+// miss and creating node-local replicas when the coherence mode allows.
+func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
+	m := t.vec
+	key := m.pageKey(t.page)
+	// Replicated phase: serve from (or install) a replica local to the
+	// requesting node.
+	if t.replicate {
+		rkey := m.replicaKey(t.page, t.origin)
+		if nodes := m.replicas[t.page]; nodes != nil && nodes[t.origin] {
+			if data, ok := r.d.h.Get(p, t.origin, rkey); ok {
+				r.d.replicaHits++
+				return data, nil
+			}
+		}
+		r.d.replicaMisses++
+	}
+	data, ok := r.d.h.Get(p, r.node.ID, key)
+	if !ok {
+		var err error
+		data, err = r.stageIn(p, m, t.page)
+		if err != nil {
+			return nil, err
+		}
+		// Install near the origin so future faults stay local. A full
+		// scache falls back to serving straight from the backend.
+		_ = r.d.h.Put(p, r.node.ID, key, data, 0.5, t.origin)
+	} else if int64(len(data)) < m.pageSize {
+		// Volatile blobs are stored trimmed to their written extent;
+		// pad the image back to page size.
+		full := make([]byte, m.pageSize)
+		copy(full, data)
+		data = full
+	}
+	if r.d.cfg.ChecksumPages {
+		if want, ok := m.sums[t.page]; ok && crc32.ChecksumIEEE(data) != want {
+			return nil, fmt.Errorf("core: checksum mismatch on %s page %d: silent corruption detected", m.name, t.page)
+		}
+	}
+	if t.replicate {
+		pl, havePl := r.d.h.PlacementOf(key)
+		if havePl && pl.Node != t.origin {
+			rkey := m.replicaKey(t.page, t.origin)
+			if r.d.h.PutLocal(p, t.origin, rkey, data, 0.4) {
+				if m.replicas[t.page] == nil {
+					m.replicas[t.page] = make(map[int]bool)
+				}
+				m.replicas[t.page][t.origin] = true
+			}
+		}
+	}
+	// The requester sits on t.origin; hermes charged movement relative to
+	// the executing node, so add the final hop when they differ.
+	if r.node.ID != t.origin {
+		r.d.c.Fabric.Transfer(p, r.node.ID, t.origin, int64(len(data)))
+	}
+	return data, nil
+}
+
+// stageIn materializes a page image from the vector's backend (or zeros
+// for volatile/unwritten pages).
+func (r *Runtime) stageIn(p *vtime.Proc, m *vecMeta, page int64) ([]byte, error) {
+	data := make([]byte, m.pageSize)
+	if m.backend == nil {
+		return data, nil
+	}
+	off := page * m.pageSize
+	have := m.backend.Size()
+	if off >= have {
+		return data, nil
+	}
+	n := m.pageSize
+	if off+n > have {
+		n = have - off
+	}
+	got, err := m.backend.ReadRange(p, r.node.ID, off, n)
+	if err != nil {
+		return nil, err
+	}
+	copy(data, got)
+	return data, nil
+}
+
+// writePage commits modified regions of a page to the scache
+// (copy-on-write: only dirty bytes are transferred unless partial paging
+// is disabled). It also invalidates any replicas of the page.
+func (r *Runtime) writePage(p *vtime.Proc, t *MemoryTask) error {
+	m := t.vec
+	key := m.pageKey(t.page)
+	regions := t.regions
+	if r.d.cfg.DisablePartialPaging {
+		regions = []dirtyRange{{off: 0, end: int64(len(t.data))}}
+	}
+	whole := len(regions) == 1 && regions[0].off == 0 && regions[0].end >= m.pageSize
+	if r.d.cfg.ChecksumPages {
+		// Software integrity protection needs the full post-image to
+		// compute the page CRC (the cost FlipSphere-style software ECC
+		// pays); incremental PutAt is bypassed.
+		image := t.data
+		if !whole {
+			base, err := r.pageImage(p, m, t.page)
+			if err != nil {
+				return err
+			}
+			for _, reg := range regions {
+				copy(base[reg.off:reg.end], t.data[reg.off:reg.end])
+			}
+			image = base
+		}
+		if err := r.d.h.Put(p, r.node.ID, key, image, 0.6, t.origin); err != nil {
+			return err
+		}
+		m.sums[t.page] = crc32.ChecksumIEEE(image)
+		m.dirty[t.page] = true
+		r.invalidateReplicas(p, m, t.page)
+		return nil
+	}
+	if !r.d.h.Has(p, r.node.ID, key) {
+		var base []byte
+		if whole {
+			base = t.data
+		} else {
+			// Read-modify-write against the backend image (or zeros).
+			var err error
+			base, err = r.stageIn(p, m, t.page)
+			if err != nil {
+				return err
+			}
+			for _, reg := range regions {
+				copy(base[reg.off:reg.end], t.data[reg.off:reg.end])
+			}
+			if m.backend == nil {
+				// A volatile page's tail past the last written byte is
+				// zero fill; storing it would waste tier capacity and
+				// bandwidth (readers pad short blobs back to page size).
+				base = base[:regions[len(regions)-1].end]
+			}
+		}
+		if err := r.d.h.Put(p, r.node.ID, key, base, 0.6, t.origin); err != nil {
+			return err
+		}
+	} else {
+		if whole {
+			if err := r.d.h.Put(p, r.node.ID, key, t.data, 0.6, t.origin); err != nil {
+				return err
+			}
+		} else {
+			for _, reg := range regions {
+				if err := r.d.h.PutAt(p, r.node.ID, key, reg.off, t.data[reg.off:reg.end]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	m.dirty[t.page] = true
+	r.invalidateReplicas(p, m, t.page)
+	return nil
+}
+
+// pageImage returns the current full page image from the scache (padded)
+// or the backend/zeros when absent.
+func (r *Runtime) pageImage(p *vtime.Proc, m *vecMeta, page int64) ([]byte, error) {
+	if data, ok := r.d.h.Get(p, r.node.ID, m.pageKey(page)); ok {
+		if int64(len(data)) < m.pageSize {
+			full := make([]byte, m.pageSize)
+			copy(full, data)
+			data = full
+		}
+		return data, nil
+	}
+	return r.stageIn(p, m, page)
+}
+
+// invalidateReplicas removes every replica of a page (write-after-read
+// phase change coherence).
+func (r *Runtime) invalidateReplicas(p *vtime.Proc, m *vecMeta, page int64) {
+	nodes := m.replicas[page]
+	if len(nodes) == 0 {
+		return
+	}
+	for node := range nodes {
+		r.d.h.Delete(p, r.node.ID, m.replicaKey(page, node))
+	}
+	delete(m.replicas, page)
+}
+
+// destroyPage removes a page and its replicas from the scache.
+func (r *Runtime) destroyPage(p *vtime.Proc, t *MemoryTask) {
+	m := t.vec
+	r.d.h.Delete(p, r.node.ID, m.pageKey(t.page))
+	r.invalidateReplicas(p, m, t.page)
+	delete(m.dirty, t.page)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"megammap/internal/vtime"
+)
+
+// taskKind identifies a MemoryTask operation.
+type taskKind int
+
+const (
+	// taskRead fetches a page (staging it in from the backend on a cold
+	// miss) and returns its bytes.
+	taskRead taskKind = iota
+	// taskWrite applies modified regions of a page to the scache
+	// (copy-on-write commit; only dirty bytes travel).
+	taskWrite
+	// taskScore forwards a prefetcher importance score to the Data
+	// Organizer.
+	taskScore
+	// taskStage persists a page from the scache to the vector's backend.
+	taskStage
+	// taskDestroy removes a page (and its replicas) from the scache.
+	taskDestroy
+	// taskMove relocates a blob between tiers/nodes on the Data
+	// Organizer's behalf, serialized through the blob's chain so moves
+	// never race commits or faults.
+	taskMove
+)
+
+func (k taskKind) String() string {
+	switch k {
+	case taskRead:
+		return "read"
+	case taskWrite:
+		return "write"
+	case taskScore:
+		return "score"
+	case taskStage:
+		return "stage"
+	case taskDestroy:
+		return "destroy"
+	case taskMove:
+		return "move"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// dirtyRange is a modified byte span within a page.
+type dirtyRange struct {
+	off, end int64 // page-relative [off, end)
+}
+
+// MemoryTask is the unit of work submitted by the MegaMmap library to the
+// node runtime (paper §III-B). Tasks for the same page hash to the same
+// worker, giving per-page ordering and read-after-write consistency.
+type MemoryTask struct {
+	kind taskKind
+	vec  *vecMeta
+	page int64
+
+	// write: the dirty regions and a copy of the page bytes they cover
+	// (writes are asynchronous; the copy decouples the application from
+	// commit latency).
+	regions []dirtyRange
+	data    []byte // full page image for writes; result buffer for reads
+
+	// read: whether a node-local replica may be created (read-only /
+	// collective coherence).
+	replicate bool
+
+	// score: the importance in [0,1] set by the prefetcher.
+	score float64
+
+	// origin: node of the submitting client (locality + replica target).
+	origin int
+
+	// move: the planned relocation; chainKey overrides the chain/blob key
+	// for tasks that address raw blobs rather than vector pages.
+	move     any // hermes.Move, typed any to keep the import local
+	chainKey string
+
+	done      vtime.Event
+	err       error
+	notify    *vtime.WaitGroup // decremented when the task completes
+	submitted vtime.Duration   // submission stamp (tracing)
+}
+
+// bytes returns the payload size used for low/high-latency routing.
+func (t *MemoryTask) bytes() int64 {
+	switch t.kind {
+	case taskWrite:
+		var n int64
+		for _, r := range t.regions {
+			n += r.end - r.off
+		}
+		return n
+	case taskRead, taskStage, taskDestroy, taskMove:
+		if t.vec == nil {
+			return 1 << 20 // raw blob moves route to the bulk group
+		}
+		return t.vec.pageSize
+	default:
+		return 8
+	}
+}
+
+// Wait blocks until the task completes and returns its error.
+func (t *MemoryTask) Wait(p *vtime.Proc) error {
+	t.done.Wait(p)
+	return t.err
+}
+
+// mergeRanges coalesces overlapping or adjacent dirty ranges in place and
+// returns the result sorted by offset.
+func mergeRanges(rs []dirtyRange) []dirtyRange {
+	if len(rs) <= 1 {
+		return rs
+	}
+	// Insertion sort: ranges arrive mostly ordered (sequential writes).
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].off < rs[j-1].off; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.off <= last.end {
+			if r.end > last.end {
+				last.end = r.end
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}

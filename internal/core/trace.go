@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"megammap/internal/vtime"
+)
+
+// TaskTrace records the lifecycle of every MemoryTask when
+// Config.TraceTasks is enabled: submission, execution start and end, the
+// executing node, and the task's page. It is the runtime-side counterpart
+// of the cluster monitor — where the monitor samples resource levels, the
+// trace explains them.
+type TaskTrace struct {
+	Events []TraceEvent
+}
+
+// TraceEvent is one completed MemoryTask.
+type TraceEvent struct {
+	Kind     string
+	Vector   string
+	Page     int64
+	Origin   int // submitting node
+	ExecNode int // executing node
+	Submit   vtime.Duration
+	Start    vtime.Duration
+	End      vtime.Duration
+	Bytes    int64
+	Err      bool
+}
+
+// QueueDelay returns how long the task waited before execution.
+func (e TraceEvent) QueueDelay() vtime.Duration { return e.Start - e.Submit }
+
+// Service returns the task's execution time.
+func (e TraceEvent) Service() vtime.Duration { return e.End - e.Start }
+
+// Trace returns the task trace, or nil when tracing is disabled.
+func (d *DSM) Trace() *TaskTrace { return d.trace }
+
+// WriteCSV emits the trace as CSV.
+func (t *TaskTrace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,vector,page,origin,exec_node,submit_s,start_s,end_s,queue_us,service_us,bytes,err"); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		row := fmt.Sprintf("%s,%s,%d,%d,%d,%.9f,%.9f,%.9f,%.3f,%.3f,%d,%v",
+			e.Kind, csvEscape(e.Vector), e.Page, e.Origin, e.ExecNode,
+			e.Submit.Seconds(), e.Start.Seconds(), e.End.Seconds(),
+			float64(e.QueueDelay())/1e3, float64(e.Service())/1e3, e.Bytes, e.Err)
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}
+
+// Summary aggregates the trace per task kind.
+func (t *TaskTrace) Summary() map[string]TraceSummary {
+	out := make(map[string]TraceSummary)
+	for _, e := range t.Events {
+		s := out[e.Kind]
+		s.Count++
+		s.Bytes += e.Bytes
+		s.QueueTotal += e.QueueDelay()
+		s.ServiceTotal += e.Service()
+		if e.Err {
+			s.Errors++
+		}
+		out[e.Kind] = s
+	}
+	return out
+}
+
+// TraceSummary aggregates one task kind.
+type TraceSummary struct {
+	Count        int64
+	Errors       int64
+	Bytes        int64
+	QueueTotal   vtime.Duration
+	ServiceTotal vtime.Duration
+}
+
+// MeanQueue returns the average queueing delay.
+func (s TraceSummary) MeanQueue() vtime.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.QueueTotal / vtime.Duration(s.Count)
+}
+
+// MeanService returns the average service time.
+func (s TraceSummary) MeanService() vtime.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.ServiceTotal / vtime.Duration(s.Count)
+}

@@ -1,0 +1,221 @@
+package core
+
+// Transactions declare the access pattern a region of shared memory is
+// about to incur, between TxBegin and TxEnd (paper §III-A). The declared
+// intent drives the coherence policy (Fig. 3) and the prefetcher
+// (Algorithm 1). Transactions track memory accesses through head/tail
+// counters: tail advances on every access, head is the number of
+// accesses already acknowledged by the prefetcher.
+
+// AccessFlags describe the declared intent of a transaction.
+type AccessFlags uint32
+
+// Intent bits. Combine with bitwise or (e.g. Read|Write|Global).
+const (
+	// Read declares the region will be read.
+	Read AccessFlags = 1 << iota
+	// Write declares the region will be modified.
+	Write
+	// Append declares new elements will be appended.
+	Append
+	// Global declares that accesses may touch regions owned by other
+	// ranks. Without it, MegaMmap assumes the rank touches only its own
+	// non-overlapping partition (read/write local in Fig. 3).
+	Global
+	// Collective declares the same region is read by many processes,
+	// enabling tree-structured fan-out and node-local replication.
+	Collective
+)
+
+// Convenience combinations matching the paper's hint names.
+const (
+	ReadOnly  = Read
+	WriteOnly = Write
+	ReadWrite = Read | Write
+)
+
+// Has reports whether all bits of q are set.
+func (f AccessFlags) Has(q AccessFlags) bool { return f&q == q }
+
+// replicable reports whether the coherence policy may replicate pages in
+// node-local shared caches: read-only global or collective phases.
+func (f AccessFlags) replicable() bool {
+	return (f.Has(Read|Global) && !f.Has(Write) && !f.Has(Append)) || f.Has(Collective)
+}
+
+// Tx is the transaction interface (paper Listing 2). A transaction is a
+// predicted sequence of element accesses; ElemAt maps the i-th access of
+// the sequence to the element index it will touch. Custom access patterns
+// implement this interface and begin with Vector.TxBegin.
+type Tx interface {
+	// Flags returns the declared access intent.
+	Flags() AccessFlags
+	// Count returns the total number of accesses the transaction will
+	// make (its predicted length).
+	Count() int64
+	// ElemAt returns the element index touched by access i, 0 <= i < Count.
+	ElemAt(i int64) int64
+}
+
+// SeqTx predicts a sequential sweep over [Off, Off+N) (the common pattern
+// of KMeans, Gray-Scott, and scan phases).
+type SeqTx struct {
+	F   AccessFlags
+	Off int64 // first element
+	N   int64 // number of elements
+}
+
+// Flags implements Tx.
+func (t SeqTx) Flags() AccessFlags { return t.F }
+
+// Count implements Tx.
+func (t SeqTx) Count() int64 { return t.N }
+
+// ElemAt implements Tx.
+func (t SeqTx) ElemAt(i int64) int64 { return t.Off + i }
+
+// RandTx predicts a seeded pseudo-random permutation over [Off, Off+N)
+// (the out-of-order bagging pattern of Random Forest and the subsampling
+// of DBSCAN). Propagating the randomness seed lets the prefetcher predict
+// the "random" pages exactly (paper §I: "factors such as randomness
+// seeds ... are used to guide data organization decisions").
+type RandTx struct {
+	F    AccessFlags
+	Off  int64
+	N    int64
+	Seed uint64
+}
+
+// Flags implements Tx.
+func (t RandTx) Flags() AccessFlags { return t.F }
+
+// Count implements Tx.
+func (t RandTx) Count() int64 { return t.N }
+
+// ElemAt implements Tx. It evaluates a stateless pseudo-random permutation
+// of [0,N) so both the accessor and the prefetcher can enumerate the same
+// sequence from the shared seed.
+func (t RandTx) ElemAt(i int64) int64 {
+	return t.Off + permute(uint64(i), uint64(t.N), t.Seed)
+}
+
+// permute maps i in [0,n) to a unique value in [0,n) using a cycle-walked
+// 4-round Feistel network over the smallest power-of-two domain >= n.
+func permute(i, n, seed uint64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	bits := uint(1)
+	for uint64(1)<<bits < n {
+		bits++
+	}
+	half := (bits + 1) / 2
+	mask := uint64(1)<<half - 1
+	for {
+		l := i >> half
+		r := i & mask
+		for round := uint64(0); round < 4; round++ {
+			f := mixFeistel(r, seed+round)
+			l, r = r, (l^f)&mask
+		}
+		i = l<<half | r
+		if i < n {
+			return int64(i)
+		}
+		// Cycle-walk values that landed outside [0,n).
+	}
+}
+
+func mixFeistel(x, k uint64) uint64 {
+	x ^= k * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// StrideTx predicts a strided sweep: accesses Off, Off+Stride,
+// Off+2*Stride, ... (halo exchanges and column scans).
+type StrideTx struct {
+	F      AccessFlags
+	Off    int64
+	N      int64 // number of accesses
+	Stride int64
+}
+
+// Flags implements Tx.
+func (t StrideTx) Flags() AccessFlags { return t.F }
+
+// Count implements Tx.
+func (t StrideTx) Count() int64 { return t.N }
+
+// ElemAt implements Tx.
+func (t StrideTx) ElemAt(i int64) int64 { return t.Off + i*t.Stride }
+
+// activeTx is the per-vector state of a running transaction.
+type activeTx struct {
+	tx   Tx
+	head int64 // accesses acknowledged by the prefetcher
+	tail int64 // accesses performed so far
+}
+
+// pagesIn returns the distinct page indices touched by accesses
+// [from, to) of the transaction, in first-touch order. elemsPerPage is
+// the page capacity in elements. Sequential and strided transactions are
+// enumerated analytically; other patterns walk their access sequence.
+func (a *activeTx) pagesIn(from, to int64, elemsPerPage int64) []int64 {
+	if to > a.tx.Count() {
+		to = a.tx.Count()
+	}
+	if from >= to {
+		return nil
+	}
+	switch tx := a.tx.(type) {
+	case SeqTx:
+		first := (tx.Off + from) / elemsPerPage
+		last := (tx.Off + to - 1) / elemsPerPage
+		out := make([]int64, 0, last-first+1)
+		for pg := first; pg <= last; pg++ {
+			out = append(out, pg)
+		}
+		return out
+	case StrideTx:
+		var out []int64
+		prev := int64(-1)
+		for i := from; i < to; i++ {
+			pg := tx.ElemAt(i) / elemsPerPage
+			if pg != prev {
+				out = append(out, pg)
+				prev = pg
+			}
+		}
+		return dedupInOrder(out)
+	default:
+		var out []int64
+		seen := make(map[int64]struct{})
+		for i := from; i < to; i++ {
+			pg := a.tx.ElemAt(i) / elemsPerPage
+			if _, ok := seen[pg]; !ok {
+				seen[pg] = struct{}{}
+				out = append(out, pg)
+			}
+		}
+		return out
+	}
+}
+
+// dedupInOrder removes repeated page indices, keeping first occurrence
+// order (strides can revisit pages non-adjacently).
+func dedupInOrder(pgs []int64) []int64 {
+	seen := make(map[int64]struct{}, len(pgs))
+	out := pgs[:0]
+	for _, pg := range pgs {
+		if _, ok := seen[pg]; !ok {
+			seen[pg] = struct{}{}
+			out = append(out, pg)
+		}
+	}
+	return out
+}

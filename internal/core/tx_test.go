@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessFlags(t *testing.T) {
+	f := Read | Global
+	if !f.Has(Read) || !f.Has(Global) || f.Has(Write) {
+		t.Error("Has broken")
+	}
+	if !f.replicable() {
+		t.Error("read-only global should be replicable")
+	}
+	if (Read | Write | Global).replicable() {
+		t.Error("read-write global must not be replicable")
+	}
+	if (Read).replicable() {
+		t.Error("read-only local need not replicate")
+	}
+	if !(Read | Collective).replicable() {
+		t.Error("collective should be replicable")
+	}
+}
+
+func TestSeqTxElemAt(t *testing.T) {
+	tx := SeqTx{F: ReadOnly, Off: 100, N: 50}
+	if tx.Count() != 50 || tx.ElemAt(0) != 100 || tx.ElemAt(49) != 149 {
+		t.Errorf("SeqTx mapping wrong: %d %d %d", tx.Count(), tx.ElemAt(0), tx.ElemAt(49))
+	}
+}
+
+func TestStrideTxElemAt(t *testing.T) {
+	tx := StrideTx{F: ReadOnly, Off: 10, N: 5, Stride: 7}
+	want := []int64{10, 17, 24, 31, 38}
+	for i, w := range want {
+		if got := tx.ElemAt(int64(i)); got != w {
+			t.Errorf("stride ElemAt(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPermuteIsBijection(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 16, 100, 1000} {
+		seen := make(map[int64]bool, n)
+		for i := uint64(0); i < n; i++ {
+			v := permute(i, n, 42)
+			if v < 0 || v >= int64(n) {
+				t.Fatalf("permute(%d, %d) = %d out of range", i, n, v)
+			}
+			if seen[v] {
+				t.Fatalf("permute(%d, %d) = %d repeated", i, n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermuteSeedsDiffer(t *testing.T) {
+	same := 0
+	for i := uint64(0); i < 100; i++ {
+		if permute(i, 1000, 1) == permute(i, 1000, 2) {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Errorf("seeds 1 and 2 agree on %d/100 positions; permutation too correlated", same)
+	}
+}
+
+func TestRandTxCoversRange(t *testing.T) {
+	tx := RandTx{F: ReadOnly, Off: 500, N: 64, Seed: 7}
+	seen := make(map[int64]bool)
+	for i := int64(0); i < tx.Count(); i++ {
+		e := tx.ElemAt(i)
+		if e < 500 || e >= 564 {
+			t.Fatalf("RandTx element %d out of [500,564)", e)
+		}
+		seen[e] = true
+	}
+	if len(seen) != 64 {
+		t.Errorf("RandTx visited %d distinct elements, want 64", len(seen))
+	}
+}
+
+func TestPagesInSeqMatchesGeneric(t *testing.T) {
+	f := func(off uint16, n uint16, from uint8, span uint8) bool {
+		tx := SeqTx{Off: int64(off), N: int64(n)%1000 + 1}
+		a := &activeTx{tx: tx}
+		epp := int64(16)
+		lo := int64(from) % tx.N
+		hi := lo + int64(span)
+		fast := a.pagesIn(lo, hi, epp)
+		// Generic path via a wrapper that hides the concrete type.
+		g := &activeTx{tx: opaqueTx{tx}}
+		slow := g.pagesIn(lo, hi, epp)
+		if len(fast) != len(slow) {
+			return false
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// opaqueTx hides a Tx's concrete type to force pagesIn's generic path.
+type opaqueTx struct{ inner Tx }
+
+func (o opaqueTx) Flags() AccessFlags   { return o.inner.Flags() }
+func (o opaqueTx) Count() int64         { return o.inner.Count() }
+func (o opaqueTx) ElemAt(i int64) int64 { return o.inner.ElemAt(i) }
+
+func TestPagesInEmptyWindow(t *testing.T) {
+	a := &activeTx{tx: SeqTx{Off: 0, N: 10}}
+	if got := a.pagesIn(5, 5, 4); got != nil {
+		t.Errorf("empty window = %v, want nil", got)
+	}
+	if got := a.pagesIn(20, 30, 4); got != nil {
+		t.Errorf("past-end window = %v, want nil", got)
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	in := []dirtyRange{{10, 20}, {0, 5}, {15, 30}, {5, 8}, {40, 50}}
+	got := mergeRanges(in)
+	want := []dirtyRange{{0, 8}, {10, 30}, {40, 50}}
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeRangesProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var rs []dirtyRange
+		for i := 0; i+1 < len(raw); i += 2 {
+			off := int64(raw[i])
+			end := off + int64(raw[i+1]%16) + 1
+			rs = append(rs, dirtyRange{off, end})
+		}
+		covered := make([]bool, 300)
+		for _, r := range rs {
+			for b := r.off; b < r.end; b++ {
+				covered[b] = true
+			}
+		}
+		got := mergeRanges(rs)
+		// Merged ranges must be sorted, non-overlapping, and cover exactly
+		// the same bytes.
+		gotCovered := make([]bool, 300)
+		prevEnd := int64(-1)
+		for _, r := range got {
+			if r.off <= prevEnd || r.end <= r.off {
+				return false
+			}
+			prevEnd = r.end
+			for b := r.off; b < r.end; b++ {
+				gotCovered[b] = true
+			}
+		}
+		for i := range covered {
+			if covered[i] != gotCovered[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

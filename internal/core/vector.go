@@ -1,0 +1,643 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Vector is MegaMmap's shared memory abstraction: a distributed,
+// optionally persistent vector of fixed-size elements that appears fully
+// resident while pages move between the pcache, the tiered scache, and a
+// storage backend. Every rank opens its own handle (sharing state through
+// the vector's name) and accesses elements inside transactions that
+// declare intent.
+//
+// Handles are bound to one client and must be used from that client's
+// simulation process only.
+type Vector[T any] struct {
+	c     *Client
+	m     *vecMeta
+	codec Codec[T]
+	pc    *pcache
+	tx    *activeTx
+	last  *cachedPage
+	fills map[int64]*fillReq // page -> in-flight prefetch fill
+
+	// pageWrites counts local commits per page; a prefetch fill that was
+	// issued before a commit of the same page is stale and must never be
+	// installed.
+	pageWrites map[int64]int64
+
+	pgasOff, pgasN int64
+}
+
+// fillReq is an asynchronous prefetch read plus the page-write stamp at
+// issue time (stale-fill guard).
+type fillReq struct {
+	t     *MemoryTask
+	stamp int64
+}
+
+// VectorOpt configures Open.
+type VectorOpt func(*vectorOpts)
+
+type vectorOpts struct {
+	pageSize  int64
+	accessKey string
+}
+
+// WithPageSize selects the vector's page size in bytes. Page sizes are
+// per-vector, fixed at creation, and identical across processes.
+func WithPageSize(n int64) VectorOpt {
+	return func(o *vectorOpts) { o.pageSize = n }
+}
+
+// WithAccessKey protects a vector: the key set at creation must be
+// presented by every subsequent Open (the paper's §V security extension —
+// buffered data keeps the access level of the original content).
+func WithAccessKey(key string) VectorOpt {
+	return func(o *vectorOpts) { o.accessKey = key }
+}
+
+// Open connects to (or creates) the shared vector identified by name. A
+// name containing "://" designates a nonvolatile vector whose contents
+// stage in from and persist to that URL (e.g. "pq:///data/pts.parquet:p",
+// "h5:///sim/out.h5:grid", "file:///tmp/scratch"); other names create
+// volatile vectors. The page size must agree across all openers.
+func Open[T any](c *Client, name string, codec Codec[T], opts ...VectorOpt) (*Vector[T], error) {
+	var o vectorOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.pageSize <= 0 {
+		o.pageSize = c.d.cfg.DefaultPageSize
+	}
+	es := int64(codec.Size())
+	if es <= 0 || o.pageSize%es != 0 {
+		return nil, fmt.Errorf("core: page size %d is not a multiple of element size %d", o.pageSize, es)
+	}
+	m := c.d.vecs[name]
+	if m == nil {
+		m = &vecMeta{
+			name:     name,
+			elemSize: es,
+			pageSize: o.pageSize,
+			epp:      o.pageSize / es,
+			dirty:    make(map[int64]bool),
+			staging:  make(map[int64]bool),
+			replicas: make(map[int64]map[int]bool),
+			sums:     make(map[int64]uint32),
+			access:   o.accessKey,
+		}
+		if strings.Contains(name, "://") {
+			b, err := c.d.st.Open(name)
+			if err != nil {
+				return nil, err
+			}
+			m.backend = b
+			m.length = b.Size() / es
+		}
+		c.d.vecs[name] = m
+	} else {
+		if m.access != o.accessKey {
+			return nil, fmt.Errorf("core: access denied to vector %q: wrong access key", name)
+		}
+		if m.elemSize != es {
+			return nil, fmt.Errorf("core: vector %q opened with element size %d, created with %d", name, es, m.elemSize)
+		}
+		if m.pageSize != o.pageSize && o.pageSize != c.d.cfg.DefaultPageSize {
+			return nil, fmt.Errorf("core: vector %q opened with page size %d, created with %d", name, o.pageSize, m.pageSize)
+		}
+	}
+	return &Vector[T]{
+		c:          c,
+		m:          m,
+		codec:      codec,
+		pc:         newPCache(),
+		fills:      make(map[int64]*fillReq),
+		pageWrites: make(map[int64]int64),
+	}, nil
+}
+
+// Name returns the vector's shared name.
+func (v *Vector[T]) Name() string { return v.m.name }
+
+// Len returns the logical length in elements.
+func (v *Vector[T]) Len() int64 { return v.m.length }
+
+// PageSize returns the page size in bytes.
+func (v *Vector[T]) PageSize() int64 { return v.m.pageSize }
+
+// BoundMemory limits this process's pcache for the vector to maxBytes
+// (0 = unbounded). Exceeding the bound triggers transparent eviction.
+func (v *Vector[T]) BoundMemory(maxBytes int64) { v.pc.bound = maxBytes }
+
+// Pgas logically partitions the vector evenly among nprocs processes and
+// assigns this handle partition rank (paper Listing 1).
+func (v *Vector[T]) Pgas(rank, nprocs int) {
+	n := v.m.length
+	per := n / int64(nprocs)
+	rem := n % int64(nprocs)
+	r := int64(rank)
+	v.pgasOff = r*per + min64i(r, rem)
+	v.pgasN = per
+	if r < rem {
+		v.pgasN++
+	}
+}
+
+// LocalOff returns the first element of this rank's partition.
+func (v *Vector[T]) LocalOff() int64 { return v.pgasOff }
+
+// LocalLen returns the length of this rank's partition.
+func (v *Vector[T]) LocalLen() int64 { return v.pgasN }
+
+// Resize sets the logical length to n elements, growing with zeroes or
+// truncating. Callers coordinate resizes with barriers.
+func (v *Vector[T]) Resize(n int64) {
+	v.m.length = n
+	maxPage := v.m.pageCount()
+	for _, idx := range v.residentPages() {
+		if idx >= maxPage {
+			v.dropPage(v.pc.pages[idx])
+		}
+	}
+	if v.last != nil && v.last.idx >= maxPage {
+		v.last = nil
+	}
+}
+
+// SeqTxBegin starts a sequential transaction over elements [off, off+n)
+// with the declared intent.
+func (v *Vector[T]) SeqTxBegin(off, n int64, flags AccessFlags) {
+	v.TxBegin(SeqTx{F: flags, Off: off, N: n})
+}
+
+// RandTxBegin starts a seeded pseudo-random transaction over
+// [off, off+n): the same seed yields the same permutation for the
+// accessor and the prefetcher.
+func (v *Vector[T]) RandTxBegin(off, n int64, seed uint64, flags AccessFlags) {
+	v.TxBegin(RandTx{F: flags, Off: off, N: n, Seed: seed})
+}
+
+// TxBegin starts a custom transaction. Entering a phase with global read
+// intent evicts write-allocated (partial) pages: their unwritten regions
+// are zero fill, not data, and a global read may stray into regions other
+// ranks wrote — the scache holds the merged truth. Local reads keep
+// partial pages: by the Pgas contract a rank's local phase only reads
+// what it itself produced.
+func (v *Vector[T]) TxBegin(tx Tx) {
+	if v.tx != nil {
+		panic(fmt.Sprintf("core: vector %q already has an active transaction", v.m.name))
+	}
+	if tx.Flags().Has(Read) && tx.Flags().Has(Global) {
+		for _, idx := range v.residentPages() {
+			if cp := v.pc.pages[idx]; cp.partial {
+				v.evict(cp)
+			}
+		}
+	}
+	v.tx = &activeTx{tx: tx}
+	v.m.flags = tx.Flags()
+}
+
+// TxEnd commits all unflushed modifications made during the transaction
+// and blocks until they are visible in the scache.
+func (v *Vector[T]) TxEnd() {
+	if v.tx == nil {
+		panic(fmt.Sprintf("core: vector %q has no active transaction", v.m.name))
+	}
+	v.Flush()
+	v.c.Drain()
+	v.releaseFills()
+	// A global write/append phase may have touched pages other ranks
+	// write concurrently; the local copies are partial views (only this
+	// rank's modifications are real), so residency ends with the phase.
+	// The committed state in the scache is the merged truth.
+	f := v.tx.tx.Flags()
+	if f.Has(Global) && (f.Has(Write) || f.Has(Append)) {
+		for _, idx := range v.residentPages() {
+			v.dropPage(v.pc.pages[idx])
+		}
+	}
+	v.tx = nil
+}
+
+// releaseFills drops every pending prefetch fill (all complete after a
+// Drain) so fills never leak across transaction phases.
+func (v *Vector[T]) releaseFills() {
+	pgs := make([]int64, 0, len(v.fills))
+	for pg := range v.fills {
+		pgs = append(pgs, pg)
+	}
+	sortInt64s(pgs)
+	for _, pg := range pgs {
+		delete(v.fills, pg)
+		v.pc.used -= v.m.pageSize
+		v.c.node.Free(v.m.pageSize)
+	}
+}
+
+// Flush asynchronously commits every dirty pcache page (pages stay
+// cached). Use Drain or TxEnd to wait for visibility.
+func (v *Vector[T]) Flush() {
+	for _, idx := range v.residentPages() {
+		if cp := v.pc.pages[idx]; cp != nil && cp.isDirty() {
+			v.commitPage(cp, true)
+		}
+	}
+}
+
+// residentPages returns the resident page indices in ascending order so
+// map iteration never perturbs the deterministic simulation.
+func (v *Vector[T]) residentPages() []int64 {
+	out := make([]int64, 0, len(v.pc.pages))
+	for idx := range v.pc.pages {
+		out = append(out, idx)
+	}
+	sortInt64s(out)
+	return out
+}
+
+// RandomAt returns the element index the active random transaction
+// touches at access i (convenience for apps walking a RandTx).
+func (v *Vector[T]) RandomAt(i int64) int64 {
+	if v.tx == nil {
+		panic("core: RandomAt outside a transaction")
+	}
+	return v.tx.tx.ElemAt(i)
+}
+
+// Get reads element i.
+func (v *Vector[T]) Get(i int64) T {
+	v.checkBounds(i)
+	cp := v.page(i/v.m.epp, false)
+	off := (i % v.m.epp) * v.m.elemSize
+	val := v.codec.Decode(cp.data[off:])
+	v.step()
+	return val
+}
+
+// Set writes element i.
+func (v *Vector[T]) Set(i int64, val T) {
+	v.checkBounds(i)
+	cp := v.page(i/v.m.epp, true)
+	off := (i % v.m.epp) * v.m.elemSize
+	v.codec.Encode(cp.data[off:], val)
+	cp.markDirty(off, off+v.m.elemSize)
+	v.step()
+}
+
+// GetRange bulk-reads elements [off, off+len(dst)) into dst. It is
+// equivalent to len(dst) Get calls but decodes page runs contiguously
+// (the fast path stencil and scan kernels need).
+func (v *Vector[T]) GetRange(off int64, dst []T) {
+	n := int64(len(dst))
+	if n == 0 {
+		return
+	}
+	v.checkBounds(off)
+	v.checkBounds(off + n - 1)
+	es, epp := v.m.elemSize, v.m.epp
+	for done := int64(0); done < n; {
+		i := off + done
+		cp := v.page(i/epp, false)
+		po := i % epp
+		run := epp - po
+		if run > n-done {
+			run = n - done
+		}
+		base := po * es
+		for j := int64(0); j < run; j++ {
+			dst[done+j] = v.codec.Decode(cp.data[base+j*es:])
+		}
+		done += run
+		if v.tx != nil {
+			v.tx.tail += run
+		}
+	}
+}
+
+// SetRange bulk-writes src at offset off, dirtying whole page runs at
+// once.
+func (v *Vector[T]) SetRange(off int64, src []T) {
+	n := int64(len(src))
+	if n == 0 {
+		return
+	}
+	v.checkBounds(off)
+	v.checkBounds(off + n - 1)
+	es, epp := v.m.elemSize, v.m.epp
+	for done := int64(0); done < n; {
+		i := off + done
+		cp := v.page(i/epp, true)
+		po := i % epp
+		run := epp - po
+		if run > n-done {
+			run = n - done
+		}
+		base := po * es
+		for j := int64(0); j < run; j++ {
+			v.codec.Encode(cp.data[base+j*es:], src[done+j])
+		}
+		cp.markDirty(base, base+run*es)
+		done += run
+		if v.tx != nil {
+			v.tx.tail += run
+		}
+	}
+}
+
+// All returns an iterator over elements [off, off+n), for use with
+// range-over-func inside a transaction — the Go analog of the paper's
+// Listing 1 `for (Point3D p : tx)` loop:
+//
+//	pts.SeqTxBegin(off, n, megammap.ReadOnly)
+//	for i, p := range pts.All(off, n) { ... }
+//	pts.TxEnd()
+func (v *Vector[T]) All(off, n int64) func(yield func(int64, T) bool) {
+	return func(yield func(int64, T) bool) {
+		buf := make([]T, min64i(n, 512))
+		for done := int64(0); done < n; {
+			m := int64(len(buf))
+			if m > n-done {
+				m = n - done
+			}
+			v.GetRange(off+done, buf[:m])
+			for j := int64(0); j < m; j++ {
+				if !yield(off+done+j, buf[j]) {
+					return
+				}
+			}
+			done += m
+		}
+	}
+}
+
+const appendReserveBatch = 64
+
+// Append atomically extends the vector by one element and writes val,
+// returning the new element's index. Global length reservation is
+// batched: one metadata round-trip per 64 appends.
+func (v *Vector[T]) Append(val T) int64 {
+	if v.m.appendsSinceRT%appendReserveBatch == 0 {
+		owner := int(hashString(v.m.name) % uint32(len(v.c.d.c.Nodes)))
+		v.c.d.c.Fabric.RoundTrip(v.c.p, v.c.node.ID, owner)
+	}
+	v.m.appendsSinceRT++
+	idx := v.m.length
+	v.m.length++
+	v.Set(idx, val)
+	return idx
+}
+
+// Close releases this handle's pcache residency (committing any dirty
+// pages first) without touching the shared vector. Other handles and the
+// scache are unaffected; the handle may be reused and will refault.
+func (v *Vector[T]) Close() {
+	v.Flush()
+	v.c.Drain()
+	v.releaseFills()
+	for _, idx := range v.residentPages() {
+		v.dropPage(v.pc.pages[idx])
+	}
+	v.last = nil
+}
+
+// Destroy removes the vector's pages from the scache and detaches it.
+// Shared vectors are never destroyed implicitly (paper §III-A); exactly
+// one process calls Destroy after all others detached.
+func (v *Vector[T]) Destroy() {
+	for _, idx := range v.residentPages() {
+		v.dropPage(v.pc.pages[idx])
+	}
+	v.last = nil
+	for pg := int64(0); pg < v.m.pageCount(); pg++ {
+		t := &MemoryTask{kind: taskDestroy, vec: v.m, page: pg, origin: v.c.node.ID}
+		v.c.submitAsync(t)
+	}
+	v.c.Drain()
+	delete(v.c.d.vecs, v.m.name)
+}
+
+// checkBounds panics on out-of-range access (a programming error in the
+// application, as with any slice).
+func (v *Vector[T]) checkBounds(i int64) {
+	if i < 0 || i >= v.m.length {
+		panic(fmt.Sprintf("core: index %d out of range [0,%d) in vector %q", i, v.m.length, v.m.name))
+	}
+}
+
+// step advances the active transaction's access counter.
+func (v *Vector[T]) step() {
+	if v.tx != nil {
+		v.tx.tail++
+	}
+}
+
+// page returns the cached page, faulting it in if needed, and runs the
+// prefetcher on page transitions.
+func (v *Vector[T]) page(pg int64, forWrite bool) *cachedPage {
+	if v.last != nil && v.last.idx == pg {
+		return v.last
+	}
+	cp := v.pc.get(pg)
+	if cp == nil {
+		v.integrateFills()
+		cp = v.pc.get(pg)
+	}
+	if cp == nil {
+		cp = v.fault(pg, forWrite)
+	}
+	v.last = cp
+	// Run the prefetcher on page transitions, rate-limited to once per
+	// page worth of accesses so random patterns (which change pages on
+	// nearly every access) don't rescan their window each element.
+	if v.tx != nil && !v.c.d.cfg.DisablePrefetch &&
+		(v.tx.head == 0 || v.tx.tail-v.tx.head >= v.m.epp) {
+		v.runPrefetcher(pg)
+	}
+	return cp
+}
+
+// fault brings a page into the pcache. Write-only and append-only intent
+// allocates without reading (no read-before-write); otherwise the page is
+// read synchronously from the scache, waiting on an in-flight prefetch
+// when one already covers it.
+func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
+	m := v.m
+	f := AccessFlags(0)
+	if v.tx != nil {
+		f = v.tx.tx.Flags()
+	}
+	writeAlloc := forWrite && (f.Has(Write) || f.Has(Append)) && !f.Has(Read)
+	var data []byte
+	partial := false
+	switch {
+	case writeAlloc:
+		data = make([]byte, m.pageSize)
+		partial = true
+	case v.fills[pg] != nil:
+		f := v.fills[pg]
+		delete(v.fills, pg)
+		if err := f.t.Wait(v.c.p); err != nil {
+			panic(fmt.Sprintf("core: prefetch of %s page %d failed: %v", m.name, pg, err))
+		}
+		if f.stamp != v.pageWrites[pg] {
+			// The page was committed after the fill was issued; its data
+			// is stale. Keep the reservation and fault fresh data.
+			v.c.d.faults++
+			v.c.d.FaultsByVec[v.m.name]++
+			t := &MemoryTask{
+				kind: taskRead, vec: m, page: pg,
+				origin: v.c.node.ID, replicate: v.replicable(),
+			}
+			if err := v.c.submitSync(t); err != nil {
+				panic(fmt.Sprintf("core: page fault on %s page %d failed: %v", m.name, pg, err))
+			}
+			cp := &cachedPage{idx: pg, data: t.data, score: 1}
+			v.pc.insert(cp)
+			return cp
+		}
+		// The fill already reserved space; hand its buffer over.
+		cp := &cachedPage{idx: pg, data: f.t.data, score: 1}
+		v.pc.insert(cp)
+		return cp
+	default:
+		t := &MemoryTask{
+			kind: taskRead, vec: m, page: pg,
+			origin: v.c.node.ID, replicate: v.replicable(),
+		}
+		// Collective phases coalesce faults: one fetch per (page, node),
+		// later ranks share the arriving data (Fig. 3's tree pattern).
+		if v.tx != nil && v.tx.tx.Flags().Has(Collective) {
+			if lead, shared := v.c.d.coalesceRead(t); shared {
+				v.c.d.coalesced++
+				if err := lead.Wait(v.c.p); err != nil {
+					panic(fmt.Sprintf("core: coalesced fault on %s page %d failed: %v", m.name, pg, err))
+				}
+				data = make([]byte, len(lead.data))
+				copy(data, lead.data)
+				break
+			}
+			defer v.c.d.readDone(t)
+		}
+		v.c.d.faults++
+		v.c.d.FaultsByVec[v.m.name]++
+		if err := v.c.submitSync(t); err != nil {
+			panic(fmt.Sprintf("core: page fault on %s page %d failed: %v", m.name, pg, err))
+		}
+		data = t.data
+	}
+	v.ensureSpace(pg)
+	cp := &cachedPage{idx: pg, data: data, score: 1, partial: partial}
+	v.pc.insert(cp)
+	return cp
+}
+
+// replicable reports whether the current phase allows node-local
+// replication of fetched pages.
+func (v *Vector[T]) replicable() bool {
+	return !v.c.d.cfg.DisableReplication && v.tx != nil && v.tx.tx.Flags().replicable()
+}
+
+// ensureSpace reserves one page of pcache space, evicting victims while
+// over the bound, and charges the node's DRAM.
+func (v *Vector[T]) ensureSpace(pinned int64) {
+	for v.pc.needsEviction(v.m.pageSize) {
+		victim := v.pc.victim(pinned)
+		if victim == nil {
+			break // everything else is pinned; soft bound overrun
+		}
+		v.evict(victim)
+	}
+	if err := v.c.node.Alloc(v.m.pageSize); err != nil {
+		panic(fmt.Sprintf("core: pcache of %s overran physical DRAM: %v", v.m.name, err))
+	}
+	v.pc.used += v.m.pageSize
+}
+
+// evict removes a page, committing dirty regions asynchronously. The
+// application pays only the cost of handing the buffer to the runtime.
+func (v *Vector[T]) evict(cp *cachedPage) {
+	v.c.d.evictions++
+	if cp.isDirty() {
+		v.commitPage(cp, false)
+	}
+	v.dropPage(cp)
+}
+
+// dropPage releases a page's pcache residency and DRAM accounting.
+func (v *Vector[T]) dropPage(cp *cachedPage) {
+	v.pc.remove(cp.idx)
+	v.pc.used -= v.m.pageSize
+	v.c.node.Free(v.m.pageSize)
+	if v.last == cp {
+		v.last = nil
+	}
+}
+
+// commitPage submits an asynchronous write task carrying the page's dirty
+// regions. With retain the page stays cached: the buffer is snapshotted
+// so later writes don't race the commit. Without retain (eviction) the
+// buffer's ownership transfers to the task.
+func (v *Vector[T]) commitPage(cp *cachedPage, retain bool) {
+	regions := mergeRanges(cp.dirty)
+	// A write-allocated page whose every byte was locally written holds
+	// no zero fill any more; it no longer needs the partial-page
+	// coherence treatment. (Local writes are non-overlapping by
+	// contract, so a fully self-written page cannot mask foreign data.)
+	if cp.partial && len(regions) == 1 && regions[0].off == 0 && regions[0].end >= int64(len(cp.data)) {
+		cp.partial = false
+	}
+	data := cp.data
+	if retain {
+		data = make([]byte, len(cp.data))
+		copy(data, cp.data)
+		cp.dirty = cp.dirty[:0]
+	}
+	t := &MemoryTask{
+		kind: taskWrite, vec: v.m, page: cp.idx,
+		regions: regions, data: data, origin: v.c.node.ID,
+	}
+	v.pageWrites[cp.idx]++
+	v.c.submitAsync(t)
+}
+
+// integrateFills installs completed prefetch fills into the pcache and
+// releases reservations of fills that became redundant.
+func (v *Vector[T]) integrateFills() {
+	pgs := make([]int64, 0, len(v.fills))
+	for pg := range v.fills {
+		pgs = append(pgs, pg)
+	}
+	sortInt64s(pgs)
+	for _, pg := range pgs {
+		f := v.fills[pg]
+		if !f.t.done.Fired() {
+			continue
+		}
+		delete(v.fills, pg)
+		stale := f.stamp != v.pageWrites[pg]
+		if f.t.err != nil || stale || v.pc.get(pg) != nil || pg >= v.m.pageCount() {
+			// Redundant, stale, or failed: release the reserved space.
+			v.pc.used -= v.m.pageSize
+			v.c.node.Free(v.m.pageSize)
+			continue
+		}
+		v.c.d.prefetches++
+		v.pc.insert(&cachedPage{idx: pg, data: f.t.data, score: 1})
+	}
+}
+
+func min64i(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sortInt64s(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

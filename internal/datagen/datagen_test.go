@@ -1,0 +1,135 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"megammap/internal/cluster"
+	"megammap/internal/stager"
+	"megammap/internal/vtime"
+)
+
+func TestParticleCodecRoundTrip(t *testing.T) {
+	f := func(x, y, z, vx, vy, vz float32) bool {
+		p := Particle{x, y, z, vx, vy, vz}
+		var buf [ParticleSize]byte
+		EncodeParticle(buf[:], p)
+		got := DecodeParticle(buf[:])
+		eq := func(a, b float32) bool {
+			return a == b || (math.IsNaN(float64(a)) && math.IsNaN(float64(b)))
+		}
+		return eq(got.X, p.X) && eq(got.Y, p.Y) && eq(got.Z, p.Z) &&
+			eq(got.VX, p.VX) && eq(got.VY, p.VY) && eq(got.VZ, p.VZ)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	g1 := New(DefaultSpec(100, 4, 42))
+	g2 := New(DefaultSpec(100, 4, 42))
+	for i := 0; i < 100; i++ {
+		a, ha := g1.Next()
+		b, hb := g2.Next()
+		if a != b || ha != hb {
+			t.Fatalf("generators diverged at particle %d", i)
+		}
+	}
+	g3 := New(DefaultSpec(100, 4, 43))
+	p1, _ := New(DefaultSpec(100, 4, 42)).Next()
+	p3, _ := g3.Next()
+	if p1 == p3 {
+		t.Error("different seeds produced identical first particle")
+	}
+}
+
+func TestParticlesClusterAroundCenters(t *testing.T) {
+	spec := DefaultSpec(2000, 5, 7)
+	g := New(spec)
+	centers := g.Centers()
+	if len(centers) != 5 {
+		t.Fatalf("centers = %d", len(centers))
+	}
+	within := 0
+	for i := 0; i < spec.Particles; i++ {
+		pt, h := g.Next()
+		c := centers[h]
+		dx := float64(pt.X - c.X)
+		dy := float64(pt.Y - c.Y)
+		dz := float64(pt.Z - c.Z)
+		if math.Sqrt(dx*dx+dy*dy+dz*dz) < 8*spec.Radius {
+			within++
+		}
+	}
+	if frac := float64(within) / float64(spec.Particles); frac < 0.95 {
+		t.Errorf("only %.0f%% of particles within 8 radii of their halo", frac*100)
+	}
+}
+
+func TestWriteToBackend(t *testing.T) {
+	c := cluster.New(cluster.DefaultTestbed(1))
+	st := stager.New(c)
+	c.Engine.Spawn("gen", func(p *vtime.Proc) {
+		b, err := st.Open("h5:///sim/snap.h5:particles")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		g := New(DefaultSpec(500, 3, 1))
+		labels, err := g.WriteTo(p, b, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(labels) != 500 {
+			t.Errorf("labels = %d", len(labels))
+		}
+		if b.Size() != 500*ParticleSize {
+			t.Errorf("backend size = %d, want %d", b.Size(), 500*ParticleSize)
+		}
+		// Spot-check: decode particle 123 and confirm it is near its halo.
+		raw, err := b.ReadRange(p, 0, 123*ParticleSize, ParticleSize)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pt := DecodeParticle(raw)
+		ctr := g.Centers()[labels[123]]
+		dx := float64(pt.X - ctr.X)
+		if math.Abs(dx) > 100 {
+			t.Errorf("particle 123 far from its halo center: dx=%f", dx)
+		}
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelBalance(t *testing.T) {
+	g := New(DefaultSpec(4000, 4, 99))
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		_, h := g.Next()
+		counts[h]++
+	}
+	for h, n := range counts {
+		if n < 700 || n > 1300 {
+			t.Errorf("halo %d has %d/4000 particles; want near-uniform", h, n)
+		}
+	}
+}
+
+func TestParticleCodecInterface(t *testing.T) {
+	c := ParticleCodec{}
+	if c.Size() != ParticleSize {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	buf := make([]byte, c.Size())
+	p := Particle{X: 1.5, Y: -2.25, Z: 1e6, VX: 0.5, VY: -8, VZ: 42}
+	c.Encode(buf, p)
+	if got := c.Decode(buf); got != p {
+		t.Errorf("round trip %+v -> %+v", p, got)
+	}
+}

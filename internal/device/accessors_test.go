@@ -1,0 +1,155 @@
+package device
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"megammap/internal/vtime"
+)
+
+func TestClassString(t *testing.T) {
+	cases := []struct {
+		c    Class
+		want string
+	}{
+		{ClassDRAM, "dram"},
+		{ClassNVMe, "nvme"},
+		{ClassSSD, "ssd"},
+		{ClassHDD, "hdd"},
+		{ClassPFS, "pfs"},
+		{Class(99), "class(99)"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c.c), got, c.want)
+		}
+	}
+}
+
+func TestNewDefaultsChannels(t *testing.T) {
+	d := New("x", Profile{Capacity: KB}) // Channels 0 must default to 1
+	if d.Profile().Channels != 1 {
+		t.Errorf("Channels = %d, want defaulted 1", d.Profile().Channels)
+	}
+	if d.Name() != "x" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestErrNoSpaceMessage(t *testing.T) {
+	err := &ErrNoSpace{Device: "nvme0", Need: 4096, Free: 100}
+	msg := err.Error()
+	for _, want := range []string{"nvme0", "4096", "100"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestPeakTracksHighWaterMark(t *testing.T) {
+	e := vtime.NewEngine()
+	d := New("d", DRAMProfile(MB))
+	e.Spawn("p", func(p *vtime.Proc) {
+		if err := d.Write(p, "a", make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(p, "b", make([]byte, 500)); err != nil {
+			t.Fatal(err)
+		}
+		d.Delete(p, "a")
+		if d.Used() != 500 {
+			t.Errorf("Used = %d, want 500", d.Used())
+		}
+		if d.Peak() != 1500 {
+			t.Errorf("Peak = %d, want 1500", d.Peak())
+		}
+		if d.Keys() != 1 {
+			t.Errorf("Keys = %d, want 1", d.Keys())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekReturnsCopyWithoutTime(t *testing.T) {
+	e := vtime.NewEngine()
+	d := New("d", DRAMProfile(MB))
+	e.Spawn("p", func(p *vtime.Proc) {
+		data := []byte("immutable view")
+		if err := d.Write(p, "k", data); err != nil {
+			t.Fatal(err)
+		}
+		before := p.Now()
+		got, ok := d.Peek("k")
+		if !ok || !bytes.Equal(got, data) {
+			t.Fatalf("Peek = %q, %v", got, ok)
+		}
+		if p.Now() != before {
+			t.Error("Peek charged virtual time")
+		}
+		got[0] = 'X' // mutating the copy must not touch the stored blob
+		again, _ := d.Peek("k")
+		if again[0] != 'i' {
+			t.Error("Peek returned a view into device storage, not a copy")
+		}
+		if _, ok := d.Peek("ghost"); ok {
+			t.Error("Peek found a missing blob")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptBitFlipsExactlyOneBit(t *testing.T) {
+	e := vtime.NewEngine()
+	d := New("d", DRAMProfile(MB))
+	e.Spawn("p", func(p *vtime.Proc) {
+		if err := d.Write(p, "k", []byte{0b00000000, 0xFF}); err != nil {
+			t.Fatal(err)
+		}
+		if !d.CorruptBit("k", 0, 3) {
+			t.Fatal("CorruptBit failed on an existing blob")
+		}
+		got, _ := d.Peek("k")
+		if got[0] != 0b00001000 || got[1] != 0xFF {
+			t.Errorf("after flip: %08b %08b", got[0], got[1])
+		}
+		if d.CorruptBit("k", 99, 0) {
+			t.Error("CorruptBit succeeded past the blob end")
+		}
+		if d.CorruptBit("ghost", 0, 0) {
+			t.Error("CorruptBit succeeded on a missing blob")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	e := vtime.NewEngine()
+	d := New("d", DRAMProfile(MB))
+	e.Spawn("p", func(p *vtime.Proc) {
+		for _, k := range []string{"zeta", "alpha", "mid"} {
+			if err := d.Write(p, k, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := d.List()
+		want := []string{"alpha", "mid", "zeta"}
+		if len(got) != len(want) {
+			t.Fatalf("List = %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("List[%d] = %q, want %q", i, got[i], want[i])
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,346 @@
+// Package device models the storage hardware of the Deep Memory and
+// Storage Hierarchy (DMSH): DRAM, NVMe, SATA SSD, HDD, and a parallel
+// filesystem. A Device stores real bytes (so data correctness is end to
+// end) while charging access costs — latency, bandwidth, and queueing on a
+// limited number of hardware channels — to the virtual clock.
+//
+// Profiles carry the tier score used by the MegaMmap data organizer (a
+// number in (0,1], closer to 1 meaning faster) and a $/GB figure used by
+// the Fig. 7 tiering-cost study.
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"megammap/internal/vtime"
+)
+
+// Size helpers in bytes.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+)
+
+// Class identifies the hardware kind of a device.
+type Class int
+
+// Device classes, fastest first.
+const (
+	ClassDRAM Class = iota
+	ClassNVMe
+	ClassSSD
+	ClassHDD
+	ClassPFS
+)
+
+var classNames = [...]string{"dram", "nvme", "ssd", "hdd", "pfs"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Profile describes the performance, capacity and cost characteristics of
+// a device. Bandwidths are bytes per second of virtual time.
+type Profile struct {
+	Class     Class
+	Latency   vtime.Duration // fixed per-access latency
+	ReadBW    float64        // bytes/s
+	WriteBW   float64        // bytes/s
+	Capacity  int64          // bytes
+	Channels  int            // concurrent hardware channels
+	Score     float64        // tier score in (0,1], 1 = fastest
+	CostPerGB float64        // USD per GB (paper Fig. 7 retail estimates)
+}
+
+// Standard profiles. Latency/bandwidth values follow the hardware classes
+// in the paper's testbed (NVMe within an order of magnitude of DRAM, HDD
+// 6-10x slower than SSD/NVMe); $/GB figures are the paper's retail
+// estimates (HDD .02, SATA SSD .04, NVMe .08).
+var (
+	// DRAMProfile returns a DRAM tier of the given capacity.
+	DRAMProfile = func(capacity int64) Profile {
+		return Profile{
+			Class: ClassDRAM, Latency: 100 * vtime.Nanosecond,
+			ReadBW: 12e9, WriteBW: 12e9, Capacity: capacity,
+			Channels: 4, Score: 1.0, CostPerGB: 3.0,
+		}
+	}
+	// NVMeProfile returns an NVMe tier of the given capacity.
+	NVMeProfile = func(capacity int64) Profile {
+		return Profile{
+			Class: ClassNVMe, Latency: 20 * vtime.Microsecond,
+			ReadBW: 2.0e9, WriteBW: 1.6e9, Capacity: capacity,
+			Channels: 4, Score: 0.9, CostPerGB: 0.08,
+		}
+	}
+	// SSDProfile returns a SATA SSD tier of the given capacity.
+	SSDProfile = func(capacity int64) Profile {
+		return Profile{
+			Class: ClassSSD, Latency: 80 * vtime.Microsecond,
+			ReadBW: 500e6, WriteBW: 450e6, Capacity: capacity,
+			Channels: 2, Score: 0.7, CostPerGB: 0.04,
+		}
+	}
+	// HDDProfile returns an HDD tier of the given capacity.
+	HDDProfile = func(capacity int64) Profile {
+		return Profile{
+			Class: ClassHDD, Latency: 5 * vtime.Millisecond,
+			ReadBW: 150e6, WriteBW: 120e6, Capacity: capacity,
+			Channels: 1, Score: 0.3, CostPerGB: 0.02,
+		}
+	}
+	// PFSProfile returns a parallel-filesystem backend of the given
+	// capacity. It models the aggregate bandwidth a striped remote PFS
+	// (e.g. OrangeFS across a storage rack) serves to the whole job;
+	// per-client throughput is further bounded by each node's NIC.
+	PFSProfile = func(capacity int64) Profile {
+		return Profile{
+			Class: ClassPFS, Latency: 2 * vtime.Millisecond,
+			ReadBW: 1.6e9, WriteBW: 1.2e9, Capacity: capacity,
+			Channels: 8, Score: 0.1, CostPerGB: 0.02,
+		}
+	}
+)
+
+// Device is a blob store with modeled access costs. All methods must be
+// called from a vtime process.
+type Device struct {
+	prof  Profile
+	name  string
+	used  int64
+	peak  int64
+	chans *vtime.Resource // queue depth: latency phases overlap
+	bw    *vtime.Resource // media bandwidth: transfers serialize
+	blobs map[string][]byte
+
+	// Counters for the resource monitor.
+	readOps, writeOps     int64
+	bytesRead, bytesWrite int64
+	busy                  vtime.Duration
+}
+
+// New returns a device with the given name and profile.
+func New(name string, prof Profile) *Device {
+	if prof.Channels <= 0 {
+		prof.Channels = 1
+	}
+	return &Device{
+		prof:  prof,
+		name:  name,
+		chans: vtime.NewResource(prof.Channels),
+		bw:    vtime.NewResource(1),
+		blobs: make(map[string][]byte),
+	}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Profile returns the device profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Used returns the bytes currently stored.
+func (d *Device) Used() int64 { return d.used }
+
+// Free returns the remaining capacity in bytes.
+func (d *Device) Free() int64 { return d.prof.Capacity - d.used }
+
+// Peak returns the high-water mark of stored bytes.
+func (d *Device) Peak() int64 { return d.peak }
+
+func (d *Device) note(delta int64) {
+	d.used += delta
+	if d.used > d.peak {
+		d.peak = d.used
+	}
+}
+
+// Busy returns the cumulative virtual time spent servicing requests.
+func (d *Device) Busy() vtime.Duration { return d.busy }
+
+// Stats returns cumulative operation and byte counters.
+func (d *Device) Stats() (readOps, writeOps, bytesRead, bytesWritten int64) {
+	return d.readOps, d.writeOps, d.bytesRead, d.bytesWrite
+}
+
+// ErrNoSpace reports that a write would exceed device capacity.
+type ErrNoSpace struct {
+	Device string
+	Need   int64
+	Free   int64
+}
+
+func (e *ErrNoSpace) Error() string {
+	return fmt.Sprintf("device %s: need %d bytes, %d free", e.Device, e.Need, e.Free)
+}
+
+// Has reports whether a blob exists.
+func (d *Device) Has(key string) bool {
+	_, ok := d.blobs[key]
+	return ok
+}
+
+// BlobSize returns the size of a blob, or -1 if absent.
+func (d *Device) BlobSize(key string) int64 {
+	b, ok := d.blobs[key]
+	if !ok {
+		return -1
+	}
+	return int64(len(b))
+}
+
+// Keys returns the number of blobs stored.
+func (d *Device) Keys() int { return len(d.blobs) }
+
+// charge models an n-byte access: the fixed latency overlaps across the
+// device's channels (queue depth), while the data transfer serializes on
+// the media bandwidth, so concurrent streams share the device's total
+// throughput rather than multiplying it.
+func (d *Device) charge(p *vtime.Proc, n int64, bw float64) {
+	d.chans.Acquire(p, 1)
+	p.Sleep(d.prof.Latency)
+	xfer := vtime.BytesAt(n, bw)
+	if xfer > 0 {
+		d.bw.Use(p, 1, xfer)
+	}
+	d.chans.Release(1)
+	d.busy += d.prof.Latency + xfer
+}
+
+// Write stores data under key, replacing any previous contents, and
+// charges write cost. It fails with ErrNoSpace if the device is full.
+func (d *Device) Write(p *vtime.Proc, key string, data []byte) error {
+	old := int64(len(d.blobs[key]))
+	delta := int64(len(data)) - old
+	if delta > d.Free() {
+		return &ErrNoSpace{Device: d.name, Need: delta, Free: d.Free()}
+	}
+	d.charge(p, int64(len(data)), d.prof.WriteBW)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.blobs[key] = buf
+	d.note(delta)
+	d.writeOps++
+	d.bytesWrite += int64(len(data))
+	return nil
+}
+
+// WriteAt overwrites a byte range of an existing blob, extending it if the
+// range runs past the current end, and charges write cost for the range.
+func (d *Device) WriteAt(p *vtime.Proc, key string, off int64, data []byte) error {
+	blob := d.blobs[key]
+	end := off + int64(len(data))
+	if end > int64(len(blob)) {
+		delta := end - int64(len(blob))
+		if delta > d.Free() {
+			return &ErrNoSpace{Device: d.name, Need: delta, Free: d.Free()}
+		}
+		grown := make([]byte, end)
+		copy(grown, blob)
+		blob = grown
+		d.note(delta)
+		d.blobs[key] = blob
+	}
+	d.charge(p, int64(len(data)), d.prof.WriteBW)
+	copy(blob[off:end], data)
+	d.writeOps++
+	d.bytesWrite += int64(len(data))
+	return nil
+}
+
+// Read returns a copy of the blob and charges read cost. It returns false
+// if the blob is absent (no cost is charged for a miss).
+func (d *Device) Read(p *vtime.Proc, key string) ([]byte, bool) {
+	blob, ok := d.blobs[key]
+	if !ok {
+		return nil, false
+	}
+	d.charge(p, int64(len(blob)), d.prof.ReadBW)
+	out := make([]byte, len(blob))
+	copy(out, blob)
+	d.readOps++
+	d.bytesRead += int64(len(blob))
+	return out, true
+}
+
+// ReadAt reads length bytes of a blob starting at off and charges read
+// cost for the range. Reads past the end are truncated.
+func (d *Device) ReadAt(p *vtime.Proc, key string, off, length int64) ([]byte, bool) {
+	blob, ok := d.blobs[key]
+	if !ok {
+		return nil, false
+	}
+	if off >= int64(len(blob)) {
+		return nil, true
+	}
+	end := off + length
+	if end > int64(len(blob)) {
+		end = int64(len(blob))
+	}
+	d.charge(p, end-off, d.prof.ReadBW)
+	out := make([]byte, end-off)
+	copy(out, blob[off:end])
+	d.readOps++
+	d.bytesRead += end - off
+	return out, true
+}
+
+// Delete removes a blob, freeing its space. Deleting an absent blob is a
+// no-op. Deletion charges only the fixed latency (metadata update).
+func (d *Device) Delete(p *vtime.Proc, key string) {
+	blob, ok := d.blobs[key]
+	if !ok {
+		return
+	}
+	d.chans.Acquire(p, 1)
+	p.Sleep(d.prof.Latency)
+	d.chans.Release(1)
+	d.used -= int64(len(blob))
+	delete(d.blobs, key)
+}
+
+// CorruptBit flips one bit of a stored blob in place, without charging
+// virtual time. It exists to inject the silent hardware corruption the
+// MegaMmap checksum extension detects (paper §V "Memory Corruption").
+// It reports whether the blob existed and was long enough.
+func (d *Device) CorruptBit(key string, byteOff int64, bit uint) bool {
+	blob, ok := d.blobs[key]
+	if !ok || byteOff >= int64(len(blob)) {
+		return false
+	}
+	blob[byteOff] ^= 1 << (bit % 8)
+	return true
+}
+
+// Peek returns a copy of a blob's bytes without charging any virtual
+// time. It exists for simulation setup and metadata snooping (e.g. sizing
+// a dataset at open) where modeling an access would distort results.
+func (d *Device) Peek(key string) ([]byte, bool) {
+	blob, ok := d.blobs[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(blob))
+	copy(out, blob)
+	return out, true
+}
+
+// List returns all blob keys in sorted order.
+func (d *Device) List() []string {
+	keys := make([]string, 0, len(d.blobs))
+	for k := range d.blobs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Cost returns the USD cost of the device's full capacity at its $/GB.
+func (d *Device) Cost() float64 {
+	return float64(d.prof.Capacity) / float64(GB) * d.prof.CostPerGB
+}

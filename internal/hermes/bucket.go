@@ -1,0 +1,97 @@
+package hermes
+
+import (
+	"sort"
+	"strings"
+
+	"megammap/internal/vtime"
+)
+
+// Bucket is the Hermes namespace abstraction: a named collection of
+// blobs. MegaMmap's vectors, the staging layer, and applications that use
+// the substrate directly each get their own namespace so keys never
+// collide and whole datasets can be dropped in one call.
+type Bucket struct {
+	h    *Hermes
+	name string
+}
+
+// Bucket returns the named bucket (creating the namespace lazily).
+func (h *Hermes) Bucket(name string) *Bucket {
+	return &Bucket{h: h, name: name}
+}
+
+// Name returns the bucket name.
+func (b *Bucket) Name() string { return b.name }
+
+func (b *Bucket) key(blob string) string { return b.name + "#" + blob }
+
+// Put stores a blob in the bucket.
+func (b *Bucket) Put(p *vtime.Proc, fromNode int, blob string, data []byte, score float64, prefNode int) error {
+	return b.h.Put(p, fromNode, b.key(blob), data, score, prefNode)
+}
+
+// PutAt overwrites a byte range of a blob in the bucket.
+func (b *Bucket) PutAt(p *vtime.Proc, fromNode int, blob string, off int64, data []byte) error {
+	return b.h.PutAt(p, fromNode, b.key(blob), off, data)
+}
+
+// Get reads a blob from the bucket.
+func (b *Bucket) Get(p *vtime.Proc, fromNode int, blob string) ([]byte, bool) {
+	return b.h.Get(p, fromNode, b.key(blob))
+}
+
+// GetRange reads a byte range of a blob in the bucket.
+func (b *Bucket) GetRange(p *vtime.Proc, fromNode int, blob string, off, length int64) ([]byte, bool) {
+	return b.h.GetRange(p, fromNode, b.key(blob), off, length)
+}
+
+// Has reports whether the bucket contains the blob.
+func (b *Bucket) Has(p *vtime.Proc, fromNode int, blob string) bool {
+	return b.h.Has(p, fromNode, b.key(blob))
+}
+
+// Delete removes one blob from the bucket.
+func (b *Bucket) Delete(p *vtime.Proc, fromNode int, blob string) {
+	b.h.Delete(p, fromNode, b.key(blob))
+}
+
+// SetScore updates a blob's organizer score.
+func (b *Bucket) SetScore(p *vtime.Proc, fromNode int, blob string, score float64) {
+	b.h.SetScore(p, fromNode, b.key(blob), score)
+}
+
+// Blobs lists the bucket's blob names in sorted order (metadata scan;
+// charges one lookup).
+func (b *Bucket) Blobs(p *vtime.Proc, fromNode int) []string {
+	b.h.mdLookups++
+	b.h.c.Fabric.RoundTrip(p, fromNode, b.h.shardOwner(b.name))
+	prefix := b.name + "#"
+	var out []string
+	for k := range b.h.meta {
+		if strings.HasPrefix(k, prefix) && !strings.Contains(k, "!bak") {
+			out = append(out, strings.TrimPrefix(k, prefix))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size sums the bucket's primary blob bytes.
+func (b *Bucket) Size() int64 {
+	prefix := b.name + "#"
+	var total int64
+	for k, pl := range b.h.meta {
+		if strings.HasPrefix(k, prefix) && !strings.Contains(k, "!bak") {
+			total += pl.Size
+		}
+	}
+	return total
+}
+
+// Destroy removes every blob in the bucket (and their replicas).
+func (b *Bucket) Destroy(p *vtime.Proc, fromNode int) {
+	for _, blob := range b.Blobs(p, fromNode) {
+		b.Delete(p, fromNode, blob)
+	}
+}

@@ -1,0 +1,565 @@
+// Package hermes reimplements the slice of the Hermes hierarchical
+// buffering platform that MegaMmap builds on: placement targets spanning
+// every node's storage tiers, a node-sharded metadata manager that locates
+// blobs in the DMSH, a data placement engine that picks targets by tier
+// score and capacity, and a background organizer that promotes and demotes
+// blobs as their importance scores change.
+//
+// Blobs hold real bytes on simulated devices; every metadata lookup and
+// data movement charges virtual time (network round-trips for remote
+// metadata shards, fabric transfers for remote data).
+package hermes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"megammap/internal/cluster"
+	"megammap/internal/vtime"
+)
+
+// Placement locates a blob in the DMSH.
+type Placement struct {
+	Node int    // node holding the bytes
+	Tier string // tier name on that node
+	Size int64
+	// Score is the blob's current importance in [0,1]; the organizer
+	// promotes high scores into fast tiers. ScoreNode is the node that set
+	// the score (locality hint); PrevScoreNode is the hint from the
+	// previous organization period (migration hysteresis).
+	Score         float64
+	ScoreNode     int
+	PrevScoreNode int
+}
+
+// Hermes is a distributed, tiered blob store over the cluster's devices.
+type Hermes struct {
+	c     *cluster.Cluster
+	tiers []string // fastest first
+	// Metadata shards: blob key -> placement, owned by hash(key) % nodes.
+	// The map itself is process-wide (the simulation is single-threaded);
+	// the owning shard determines the charged lookup cost.
+	meta map[string]*Placement
+
+	// replicas is the number of backup copies kept on other nodes (the
+	// paper's §V node-failure extension); failed marks nodes whose data
+	// is unreachable, forcing reads to fail over to a backup.
+	replicas int
+	failed   map[int]bool
+
+	mdLookups int64
+	moved     int64
+	movedByte int64
+}
+
+// New creates a Hermes instance managing the named tiers (ordered fastest
+// to slowest) on every node of the cluster.
+func New(c *cluster.Cluster, tiers []string) *Hermes {
+	for _, n := range c.Nodes {
+		for _, t := range tiers {
+			if n.Devices[t] == nil {
+				panic(fmt.Sprintf("hermes: node %d has no tier %q", n.ID, t))
+			}
+		}
+	}
+	return &Hermes{c: c, tiers: tiers, meta: make(map[string]*Placement), failed: make(map[int]bool)}
+}
+
+// SetReplicas keeps n backup copies of every blob on distinct other
+// nodes. Existing blobs are not retroactively replicated.
+func (h *Hermes) SetReplicas(n int) {
+	if n >= len(h.c.Nodes) {
+		n = len(h.c.Nodes) - 1
+	}
+	h.replicas = n
+}
+
+// FailNode marks a node's data unreachable: subsequent reads of blobs
+// placed there fail over to a backup copy (when replication is on) and
+// new placements avoid the node.
+func (h *Hermes) FailNode(id int) { h.failed[id] = true }
+
+// alive reports whether a node's data is reachable.
+func (h *Hermes) alive(node int) bool { return !h.failed[node] }
+
+// bakKey names the i-th backup copy of a blob.
+func bakKey(key string, i int) string { return fmt.Sprintf("%s!bak%d", key, i) }
+
+// hasReplicas reports whether any node-local read replica of the blob
+// exists (keys of the form "<key>@n<node>").
+func (h *Hermes) hasReplicas(key string) bool {
+	for i := range h.c.Nodes {
+		if h.meta[fmt.Sprintf("%s@n%d", key, i)] != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Tiers returns the managed tier names, fastest first.
+func (h *Hermes) Tiers() []string { return h.tiers }
+
+// shardOwner returns the node owning a key's metadata shard.
+func (h *Hermes) shardOwner(key string) int {
+	var hash uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		hash ^= uint32(key[i])
+		hash *= 16777619
+	}
+	return int(hash % uint32(len(h.c.Nodes)))
+}
+
+// lookup charges a metadata access from the given node and returns the
+// placement, or nil if the blob does not exist.
+func (h *Hermes) lookup(p *vtime.Proc, fromNode int, key string) *Placement {
+	h.mdLookups++
+	owner := h.shardOwner(key)
+	if owner != fromNode {
+		h.c.Fabric.RoundTrip(p, fromNode, owner)
+	}
+	return h.meta[key]
+}
+
+// Has reports whether a blob exists, charging a metadata lookup.
+func (h *Hermes) Has(p *vtime.Proc, fromNode int, key string) bool {
+	return h.lookup(p, fromNode, key) != nil
+}
+
+// Stats returns cumulative metadata lookups and organizer movements.
+func (h *Hermes) Stats() (mdLookups, blobsMoved, bytesMoved int64) {
+	return h.mdLookups, h.moved, h.movedByte
+}
+
+// ErrNoCapacity reports that no tier on any node could hold a blob.
+type ErrNoCapacity struct {
+	Key  string
+	Size int64
+}
+
+func (e *ErrNoCapacity) Error() string {
+	return fmt.Sprintf("hermes: no DMSH capacity for blob %q (%d bytes)", e.Key, e.Size)
+}
+
+// place picks a target for size bytes: the preferred node's tiers fastest
+// first, then other nodes' tiers fastest first. Failed nodes are never
+// chosen. It returns node, tier and whether a target was found.
+func (h *Hermes) place(size int64, prefNode int) (int, string, bool) {
+	if n := h.c.Nodes[prefNode]; h.alive(prefNode) {
+		for _, t := range h.tiers {
+			if n.Devices[t].Free() >= size {
+				return prefNode, t, true
+			}
+		}
+	}
+	for _, t := range h.tiers {
+		for _, n := range h.c.Nodes {
+			if n.ID == prefNode || !h.alive(n.ID) {
+				continue
+			}
+			if n.Devices[t].Free() >= size {
+				return n.ID, t, true
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// Put stores (or replaces) a blob, choosing a target near prefNode. The
+// caller runs on fromNode; data crossing nodes charges fabric time.
+func (h *Hermes) Put(p *vtime.Proc, fromNode int, key string, data []byte, score float64, prefNode int) error {
+	pl := h.lookup(p, fromNode, key)
+	if pl != nil {
+		// Replace in place if the target still fits the new size.
+		dev := h.c.Nodes[pl.Node].Devices[pl.Tier]
+		if int64(len(data))-pl.Size <= dev.Free() {
+			if pl.Node != fromNode {
+				h.c.Fabric.Transfer(p, fromNode, pl.Node, int64(len(data)))
+			}
+			if err := dev.Write(p, key, data); err != nil {
+				return err
+			}
+			pl.Size = int64(len(data))
+			pl.Score = score
+			pl.ScoreNode = prefNode
+			h.replicate(p, pl.Node, key, data)
+			return nil
+		}
+		h.deleteData(p, pl, key)
+	}
+	node, tier, ok := h.place(int64(len(data)), prefNode)
+	if !ok {
+		return &ErrNoCapacity{Key: key, Size: int64(len(data))}
+	}
+	if node != fromNode {
+		h.c.Fabric.Transfer(p, fromNode, node, int64(len(data)))
+	}
+	if err := h.c.Nodes[node].Devices[tier].Write(p, key, data); err != nil {
+		return err
+	}
+	h.meta[key] = &Placement{Node: node, Tier: tier, Size: int64(len(data)), Score: score, ScoreNode: prefNode}
+	h.replicate(p, node, key, data)
+	return nil
+}
+
+// replicate writes the backup copies of a freshly (re)put blob to
+// distinct nodes other than the primary, best effort.
+func (h *Hermes) replicate(p *vtime.Proc, primary int, key string, data []byte) {
+	if h.replicas == 0 || strings.Contains(key, "!bak") {
+		return
+	}
+	nodes := len(h.c.Nodes)
+	placed := 0
+	for i := 1; i < nodes && placed < h.replicas; i++ {
+		node := (primary + i) % nodes
+		if !h.alive(node) {
+			continue
+		}
+		bk := bakKey(key, placed)
+		if old, ok := h.meta[bk]; ok {
+			h.deleteData(p, old, bk)
+			delete(h.meta, bk)
+		}
+		stored := false
+		for _, t := range h.tiers {
+			dev := h.c.Nodes[node].Devices[t]
+			if dev.Free() >= int64(len(data)) {
+				h.c.Fabric.Transfer(p, primary, node, int64(len(data)))
+				if err := dev.Write(p, bk, data); err == nil {
+					h.meta[bk] = &Placement{Node: node, Tier: t, Size: int64(len(data)), Score: 0.05, ScoreNode: node}
+					stored = true
+				}
+				break
+			}
+		}
+		if stored {
+			placed++
+		}
+	}
+}
+
+// PutLocal stores a blob only if a tier on the given node has capacity;
+// it reports whether the blob was stored. It exists for best-effort
+// node-local replicas (read-only coherence), which must never displace
+// primary data to other nodes.
+func (h *Hermes) PutLocal(p *vtime.Proc, node int, key string, data []byte, score float64) bool {
+	n := h.c.Nodes[node]
+	for _, t := range h.tiers {
+		if n.Devices[t].Free() >= int64(len(data)) {
+			if err := n.Devices[t].Write(p, key, data); err != nil {
+				return false
+			}
+			h.meta[key] = &Placement{Node: node, Tier: t, Size: int64(len(data)), Score: score, ScoreNode: node}
+			return true
+		}
+	}
+	return false
+}
+
+// PutAt overwrites a byte range of an existing blob (partial paging: only
+// the modified region crosses the network and touches the device).
+func (h *Hermes) PutAt(p *vtime.Proc, fromNode int, key string, off int64, data []byte) error {
+	pl := h.lookup(p, fromNode, key)
+	if pl == nil {
+		return fmt.Errorf("hermes: PutAt on missing blob %q", key)
+	}
+	if pl.Node != fromNode {
+		h.c.Fabric.Transfer(p, fromNode, pl.Node, int64(len(data)))
+	}
+	dev := h.c.Nodes[pl.Node].Devices[pl.Tier]
+	if err := dev.WriteAt(p, key, off, data); err != nil {
+		return err
+	}
+	if end := off + int64(len(data)); end > pl.Size {
+		pl.Size = end
+	}
+	// Keep backup replicas in sync with the modified region.
+	for i := 0; i < h.replicas; i++ {
+		bk := bakKey(key, i)
+		bp := h.meta[bk]
+		if bp == nil || !h.alive(bp.Node) {
+			continue
+		}
+		if bp.Node != pl.Node {
+			h.c.Fabric.Transfer(p, pl.Node, bp.Node, int64(len(data)))
+		}
+		if err := h.c.Nodes[bp.Node].Devices[bp.Tier].WriteAt(p, bk, off, data); err == nil {
+			if end := off + int64(len(data)); end > bp.Size {
+				bp.Size = end
+			}
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of the blob's bytes, charging device and network
+// costs, or false if absent. If the primary copy's node has failed, the
+// read fails over to a backup replica.
+func (h *Hermes) Get(p *vtime.Proc, fromNode int, key string) ([]byte, bool) {
+	pl := h.lookup(p, fromNode, key)
+	if pl == nil {
+		return nil, false
+	}
+	readKey := key
+	if !h.alive(pl.Node) {
+		pl, readKey = h.failover(key)
+		if pl == nil {
+			return nil, false
+		}
+	}
+	data, ok := h.c.Nodes[pl.Node].Devices[pl.Tier].Read(p, readKey)
+	if ok && pl.Node != fromNode {
+		h.c.Fabric.Transfer(p, pl.Node, fromNode, int64(len(data)))
+	}
+	return data, ok
+}
+
+// failover locates a live backup replica of a blob whose primary node
+// failed. It returns the replica's placement and storage key, or nil.
+func (h *Hermes) failover(key string) (*Placement, string) {
+	for i := 0; i < h.replicas; i++ {
+		bk := bakKey(key, i)
+		if bp := h.meta[bk]; bp != nil && h.alive(bp.Node) {
+			return bp, bk
+		}
+	}
+	return nil, ""
+}
+
+// GetRange reads a byte range of a blob, failing over to a backup when
+// the primary's node is down.
+func (h *Hermes) GetRange(p *vtime.Proc, fromNode int, key string, off, length int64) ([]byte, bool) {
+	pl := h.lookup(p, fromNode, key)
+	if pl == nil {
+		return nil, false
+	}
+	readKey := key
+	if !h.alive(pl.Node) {
+		pl, readKey = h.failover(key)
+		if pl == nil {
+			return nil, false
+		}
+	}
+	data, ok := h.c.Nodes[pl.Node].Devices[pl.Tier].ReadAt(p, readKey, off, length)
+	if ok && pl.Node != fromNode {
+		h.c.Fabric.Transfer(p, pl.Node, fromNode, int64(len(data)))
+	}
+	return data, ok
+}
+
+// Delete removes a blob, its metadata, and any backup replicas.
+func (h *Hermes) Delete(p *vtime.Proc, fromNode int, key string) {
+	pl := h.lookup(p, fromNode, key)
+	if pl == nil {
+		return
+	}
+	h.deleteData(p, pl, key)
+	delete(h.meta, key)
+	for i := 0; i < h.replicas; i++ {
+		bk := bakKey(key, i)
+		if bp := h.meta[bk]; bp != nil {
+			if h.alive(bp.Node) {
+				h.deleteData(p, bp, bk)
+			}
+			delete(h.meta, bk)
+		}
+	}
+}
+
+func (h *Hermes) deleteData(p *vtime.Proc, pl *Placement, key string) {
+	if !h.alive(pl.Node) {
+		return // the data died with the node
+	}
+	h.c.Nodes[pl.Node].Devices[pl.Tier].Delete(p, key)
+}
+
+// SetScore updates a blob's importance score; the Data Organizer acts on
+// it at the next Organize pass. Following the paper, the maximum of
+// concurrently-set scores wins within an organization period.
+func (h *Hermes) SetScore(p *vtime.Proc, fromNode int, key string, score float64) {
+	pl := h.lookup(p, fromNode, key)
+	if pl == nil {
+		return
+	}
+	if score >= pl.Score {
+		pl.Score = score
+		pl.ScoreNode = fromNode
+	}
+}
+
+// Placement returns a copy of a blob's placement without charging time
+// (test/diagnostic use).
+func (h *Hermes) PlacementOf(key string) (Placement, bool) {
+	pl, ok := h.meta[key]
+	if !ok {
+		return Placement{}, false
+	}
+	return *pl, true
+}
+
+// DecayScores multiplies every blob score by f in [0,1); the organizer
+// calls it between periods so stale hints age out. It also rotates the
+// locality hint history used for migration hysteresis.
+func (h *Hermes) DecayScores(f float64) {
+	for _, pl := range h.meta {
+		pl.Score *= f
+		pl.PrevScoreNode = pl.ScoreNode
+	}
+}
+
+// PlanOrganize computes one Data Organizer pass: blobs whose score node
+// differs migrate home when hot (score > 0.5), then each node's blobs
+// are re-ranked by score and greedily packed into tiers fastest-first,
+// demoting the coldest blobs down the hierarchy. budget caps the bytes
+// planned per pass (0 = unlimited) so reorganization never monopolizes
+// device bandwidth between periods. Replicas and backups are pinned
+// (node-local caches and fault-tolerance copies must not migrate).
+func (h *Hermes) PlanOrganize(budget int64) []Move {
+	type entry struct {
+		key string
+		pl  *Placement
+	}
+	// Group blobs by their desired node (locality first).
+	byNode := make([][]entry, len(h.c.Nodes))
+	keys := make([]string, 0, len(h.meta))
+	for k := range h.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic order
+	for _, k := range keys {
+		pl := h.meta[k]
+		if !h.alive(pl.Node) {
+			continue // unreachable data cannot be reorganized
+		}
+		if strings.Contains(k, "!bak") || strings.Contains(k, "@n") {
+			continue // backups and node-local replicas are pinned
+		}
+		want := pl.Node
+		// Migrate toward a node only when its interest is stable across
+		// two periods: shared read phases flap the hint every pass, and
+		// chasing the last reader ping-pongs pages between nodes. Pages
+		// with node-local replicas are shared by construction — replicas
+		// already provide locality, so the primary stays put.
+		if pl.Score > 0.5 && pl.ScoreNode != pl.Node &&
+			pl.ScoreNode == pl.PrevScoreNode && h.alive(pl.ScoreNode) &&
+			!h.hasReplicas(k) {
+			want = pl.ScoreNode
+		}
+		byNode[want] = append(byNode[want], entry{key: k, pl: pl})
+	}
+	var moves []Move
+	tierIdx := make(map[string]int, len(h.tiers))
+	for i, t := range h.tiers {
+		tierIdx[t] = i
+	}
+	for nodeID, entries := range byNode {
+		// Hot blobs first; ties broken by key for determinism.
+		sort.SliceStable(entries, func(i, j int) bool {
+			if entries[i].pl.Score != entries[j].pl.Score {
+				return entries[i].pl.Score > entries[j].pl.Score
+			}
+			return entries[i].key < entries[j].key
+		})
+		// Greedy pack into tiers fastest-first using capacity budgets that
+		// assume all of this node's blobs were lifted out.
+		budget := make(map[string]int64, len(h.tiers))
+		for _, t := range h.tiers {
+			budget[t] = h.c.Nodes[nodeID].Devices[t].Profile().Capacity
+		}
+		for _, e := range entries {
+			placedTier := ""
+			for _, t := range h.tiers {
+				if budget[t] >= e.pl.Size {
+					placedTier = t
+					break
+				}
+			}
+			if placedTier == "" {
+				continue // stays where it is; no capacity anywhere here
+			}
+			budget[placedTier] -= e.pl.Size
+			if e.pl.Node == nodeID && e.pl.Tier == placedTier {
+				continue
+			}
+			moves = append(moves, Move{Key: e.key, Node: nodeID, Tier: placedTier})
+		}
+	}
+	// Execute demotions before promotions so demoted blobs free the fast
+	// tiers the promoted blobs are moving into.
+	sort.SliceStable(moves, func(i, j int) bool {
+		pi, pj := h.meta[moves[i].Key], h.meta[moves[j].Key]
+		di := tierIdx[moves[i].Tier] - tierIdx[pi.Tier]
+		dj := tierIdx[moves[j].Tier] - tierIdx[pj.Tier]
+		return di > dj // largest downward shift first
+	})
+	var spent int64
+	var out []Move
+	for _, m := range moves {
+		size := h.meta[m.Key].Size
+		if budget > 0 && spent+size > budget {
+			break
+		}
+		spent += size
+		out = append(out, m)
+	}
+	return out
+}
+
+// Move is one planned blob relocation.
+type Move struct {
+	Key  string
+	Node int
+	Tier string
+}
+
+// ApplyMove executes one planned relocation, tolerating plans gone stale
+// (blob deleted or moved since planning).
+func (h *Hermes) ApplyMove(p *vtime.Proc, m Move) {
+	pl := h.meta[m.Key]
+	if pl == nil || (pl.Node == m.Node && pl.Tier == m.Tier) || !h.alive(pl.Node) || !h.alive(m.Node) {
+		return
+	}
+	h.move(p, m.Key, pl, m.Node, m.Tier)
+}
+
+// Organize plans and immediately applies one reorganization pass; use
+// PlanOrganize/ApplyMove to interleave the moves with other work (the
+// DSM serializes them through its per-page chains).
+func (h *Hermes) Organize(p *vtime.Proc, budget int64) {
+	for _, m := range h.PlanOrganize(budget) {
+		h.ApplyMove(p, m)
+	}
+}
+
+// move relocates a blob to (node, tier), charging the read, transfer and
+// write costs.
+func (h *Hermes) move(p *vtime.Proc, key string, pl *Placement, node int, tier string) {
+	src := h.c.Nodes[pl.Node].Devices[pl.Tier]
+	dst := h.c.Nodes[node].Devices[tier]
+	data, ok := src.Read(p, key)
+	if !ok {
+		return
+	}
+	if pl.Node != node {
+		h.c.Fabric.Transfer(p, pl.Node, node, int64(len(data)))
+	}
+	if err := dst.Write(p, key, data); err != nil {
+		return // destination filled up concurrently; keep the source copy
+	}
+	src.Delete(p, key)
+	pl.Node = node
+	pl.Tier = tier
+	h.moved++
+	h.movedByte += int64(len(data))
+}
+
+// TierUsage sums used bytes per tier across nodes.
+func (h *Hermes) TierUsage() map[string]int64 {
+	out := make(map[string]int64, len(h.tiers))
+	for _, t := range h.tiers {
+		for _, n := range h.c.Nodes {
+			out[t] += n.Devices[t].Used()
+		}
+	}
+	return out
+}

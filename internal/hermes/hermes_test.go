@@ -1,0 +1,486 @@
+package hermes
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"megammap/internal/cluster"
+	"megammap/internal/device"
+	"megammap/internal/simnet"
+	"megammap/internal/vtime"
+)
+
+func testCluster(nodes int) *cluster.Cluster {
+	return cluster.New(cluster.Spec{
+		Nodes:    nodes,
+		CoresPer: 4,
+		DRAMPer:  4 * device.MB,
+		Tiers: []cluster.TierSpec{
+			{Name: "dram", Profile: device.DRAMProfile(1 * device.MB)},
+			{Name: "nvme", Profile: device.NVMeProfile(4 * device.MB)},
+			{Name: "hdd", Profile: device.HDDProfile(16 * device.MB)},
+		},
+		Link: simnet.RoCE40(),
+		PFS:  device.PFSProfile(device.GB),
+	})
+}
+
+func newHermes(nodes int) (*cluster.Cluster, *Hermes) {
+	c := testCluster(nodes)
+	return c, New(c, []string{"dram", "nvme", "hdd"})
+}
+
+func run(t *testing.T, c *cluster.Cluster, fn func(p *vtime.Proc)) {
+	t.Helper()
+	c.Engine.Spawn("test", fn)
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		data := []byte("page contents")
+		if err := h.Put(p, 0, "v/0", data, 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := h.Get(p, 1, "v/0") // remote get
+		if !ok || !bytes.Equal(got, data) {
+			t.Errorf("get = %q, %v", got, ok)
+		}
+		if !h.Has(p, 0, "v/0") || h.Has(p, 0, "v/1") {
+			t.Error("Has gave wrong answers")
+		}
+	})
+}
+
+func TestPlacementPrefersFastTierOnPreferredNode(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "k", make([]byte, 1000), 1.0, 1); err != nil {
+			t.Fatal(err)
+		}
+		pl, ok := h.PlacementOf("k")
+		if !ok || pl.Node != 1 || pl.Tier != "dram" {
+			t.Errorf("placement = %+v, want node 1 tier dram", pl)
+		}
+	})
+}
+
+func TestOverflowSpillsDownTiers(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		// Fill DRAM (1MB), overflow must land on nvme.
+		big := make([]byte, int(900*device.KB))
+		if err := h.Put(p, 0, "a", big, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 0, "b", big, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		pa, _ := h.PlacementOf("a")
+		pb, _ := h.PlacementOf("b")
+		if pa.Tier != "dram" || pb.Tier != "nvme" {
+			t.Errorf("tiers = %s,%s; want dram,nvme", pa.Tier, pb.Tier)
+		}
+	})
+}
+
+func TestOverflowSpillsToRemoteNode(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		big := make([]byte, int(900*device.KB))
+		if err := h.Put(p, 0, "a", big, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 0, "b", big, 1, 0); err != nil { // node0 dram full
+			t.Fatal(err)
+		}
+		pb, _ := h.PlacementOf("b")
+		// Remote DRAM beats local NVMe in the fastest-first sweep only
+		// after the preferred node is exhausted entirely; preferred-node
+		// NVMe wins here.
+		if pb.Node != 0 || pb.Tier != "nvme" {
+			t.Errorf("b placed %+v, want node0/nvme", pb)
+		}
+		// Fill node0 nvme+hdd, then the next put must go remote.
+		if err := h.Put(p, 0, "c", make([]byte, int(3*device.MB)), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 0, "d", make([]byte, int(15*device.MB)), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 0, "e", make([]byte, int(14*device.MB)), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		pe, _ := h.PlacementOf("e")
+		if pe.Node != 1 {
+			t.Errorf("e placed %+v, want remote node 1", pe)
+		}
+	})
+}
+
+func TestNoCapacityError(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		err := h.Put(p, 0, "huge", make([]byte, int(32*device.MB)), 1, 0)
+		var nc *ErrNoCapacity
+		if !errors.As(err, &nc) {
+			t.Errorf("expected ErrNoCapacity, got %v", err)
+		}
+	})
+}
+
+func TestPutReplaceInPlace(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "k", []byte("aaaa"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 0, "k", []byte("bb"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := h.Get(p, 0, "k")
+		if string(got) != "bb" {
+			t.Errorf("replace lost: %q", got)
+		}
+		pl, _ := h.PlacementOf("k")
+		if pl.Size != 2 {
+			t.Errorf("size = %d, want 2", pl.Size)
+		}
+	})
+}
+
+func TestPutAtPartialUpdate(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "k", []byte("0123456789"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.PutAt(p, 0, "k", 4, []byte("QQ")); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := h.Get(p, 0, "k")
+		if string(got) != "0123QQ6789" {
+			t.Errorf("partial update = %q", got)
+		}
+		if err := h.PutAt(p, 0, "missing", 0, []byte("x")); err == nil {
+			t.Error("PutAt on missing blob should fail")
+		}
+	})
+}
+
+func TestGetRange(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "k", []byte("abcdefgh"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := h.GetRange(p, 1, "k", 2, 3)
+		if !ok || string(got) != "cde" {
+			t.Errorf("range = %q, %v", got, ok)
+		}
+	})
+}
+
+func TestDelete(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "k", []byte("x"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		h.Delete(p, 0, "k")
+		if _, ok := h.Get(p, 0, "k"); ok {
+			t.Error("blob survived delete")
+		}
+		if used := h.TierUsage()["dram"]; used != 0 {
+			t.Errorf("dram still holds %d bytes", used)
+		}
+	})
+}
+
+func TestSetScoreTakesMax(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "k", []byte("x"), 0.4, 0); err != nil {
+			t.Fatal(err)
+		}
+		h.SetScore(p, 1, "k", 0.9)
+		h.SetScore(p, 0, "k", 0.2) // lower: ignored
+		pl, _ := h.PlacementOf("k")
+		if pl.Score != 0.9 || pl.ScoreNode != 1 {
+			t.Errorf("score = %v from node %d, want 0.9 from 1", pl.Score, pl.ScoreNode)
+		}
+	})
+}
+
+func TestOrganizePromotesHotDemotesCold(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		big := make([]byte, int(600*device.KB))
+		// Two blobs can't both fit in 1MB DRAM.
+		if err := h.Put(p, 0, "hot", big, 0.2, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 0, "cold", big, 0.1, 0); err != nil {
+			t.Fatal(err)
+		}
+		// hot landed in dram, cold in nvme. Now invert the scores.
+		h.SetScore(p, 0, "hot", 0.2)
+		h.SetScore(p, 0, "cold", 0.95)
+		h.Organize(p, 0)
+		phot, _ := h.PlacementOf("hot")
+		pcold, _ := h.PlacementOf("cold")
+		if pcold.Tier != "dram" {
+			t.Errorf("cold (now hot) tier = %s, want dram", pcold.Tier)
+		}
+		if phot.Tier != "nvme" {
+			t.Errorf("hot (now cold) tier = %s, want nvme", phot.Tier)
+		}
+		got, _ := h.Get(p, 0, "cold")
+		if !bytes.Equal(got, big) {
+			t.Error("organize corrupted blob contents")
+		}
+	})
+}
+
+func TestOrganizeMigratesTowardScoreNode(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "k", []byte("data"), 0.9, 0); err != nil {
+			t.Fatal(err)
+		}
+		h.SetScore(p, 1, "k", 0.95) // node 1 wants it...
+		h.DecayScores(1)            // (rotate the hysteresis history)
+		h.SetScore(p, 1, "k", 0.95) // ...for two consecutive periods
+		h.Organize(p, 0)
+		pl, _ := h.PlacementOf("k")
+		if pl.Node != 1 {
+			t.Errorf("blob stayed on node %d, want migration to 1", pl.Node)
+		}
+	})
+}
+
+func TestDecayScores(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "k", []byte("x"), 0.8, 0); err != nil {
+			t.Fatal(err)
+		}
+		h.DecayScores(0.5)
+		pl, _ := h.PlacementOf("k")
+		if pl.Score != 0.4 {
+			t.Errorf("score = %v, want 0.4", pl.Score)
+		}
+	})
+}
+
+func TestRemoteMetadataCostsMore(t *testing.T) {
+	// A blob whose shard lives remotely must take longer to look up than
+	// one owned locally.
+	c, h := newHermes(4)
+	var local, remote string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("key%d", i)
+		if h.shardOwner(k) == 0 && local == "" {
+			local = k
+		}
+		if h.shardOwner(k) == 3 && remote == "" {
+			remote = k
+		}
+		if local != "" && remote != "" {
+			break
+		}
+	}
+	var tLocal, tRemote vtime.Duration
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, local, []byte("x"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 0, remote, []byte("x"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		s := p.Now()
+		h.Has(p, 0, local)
+		tLocal = p.Now() - s
+		s = p.Now()
+		h.Has(p, 0, remote)
+		tRemote = p.Now() - s
+	})
+	if tRemote <= tLocal {
+		t.Errorf("remote lookup (%v) should cost more than local (%v)", tRemote, tLocal)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		_ = h.Put(p, 0, "k", []byte("x"), 1, 0)
+		h.Get(p, 0, "k")
+	})
+	lookups, _, _ := h.Stats()
+	if lookups < 2 {
+		t.Errorf("lookups = %d, want >= 2", lookups)
+	}
+}
+
+func TestPutLocalRespectsNodeCapacity(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		// Fill node 1 entirely (1MB dram + 4MB nvme + 16MB hdd).
+		if err := h.Put(p, 1, "fill1", make([]byte, int(900*device.KB)), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 1, "fill2", make([]byte, int(3900*device.KB)), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 1, "fill3", make([]byte, int(15900*device.KB)), 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		// PutLocal on the full node must refuse rather than spill remotely.
+		if ok := h.PutLocal(p, 1, "replica", make([]byte, int(500*device.KB)), 0.4); ok {
+			t.Error("PutLocal succeeded on a full node")
+		}
+		// On the empty node it lands in the fastest tier.
+		if ok := h.PutLocal(p, 0, "replica", []byte("r"), 0.4); !ok {
+			t.Fatal("PutLocal failed on an empty node")
+		}
+		pl, _ := h.PlacementOf("replica")
+		if pl.Node != 0 || pl.Tier != "dram" {
+			t.Errorf("replica placed %+v, want node0/dram", pl)
+		}
+	})
+}
+
+func TestOrganizeBudgetCapsMovement(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		// Ten 200KB blobs land across dram+nvme; inverting all scores
+		// wants ~everything moved, but a 300KB budget allows at most one
+		// 200KB blob per pass.
+		blob := make([]byte, int(200*device.KB))
+		for i := 0; i < 10; i++ {
+			if err := h.Put(p, 0, fmt.Sprintf("b%d", i), blob, float64(10-i)/10, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			h.SetScore(p, 0, fmt.Sprintf("b%d", i), float64(i+1)/11)
+		}
+		_, movedBefore, _ := h.Stats()
+		h.Organize(p, int64(300*device.KB))
+		_, movedAfter, bytesMoved := h.Stats()
+		if movedAfter-movedBefore > 1 {
+			t.Errorf("budget exceeded: %d blobs moved", movedAfter-movedBefore)
+		}
+		if bytesMoved > int64(300*device.KB) {
+			t.Errorf("bytes moved %d exceed budget", bytesMoved)
+		}
+	})
+}
+
+func TestOrganizeUnlimitedBudget(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		blob := make([]byte, int(400*device.KB))
+		if err := h.Put(p, 0, "a", blob, 0.9, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 0, "b", blob, 0.8, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 0, "c", blob, 0.7, 0); err != nil { // spills to nvme
+			t.Fatal(err)
+		}
+		// Scores only rise via SetScore; aging happens through decay.
+		h.DecayScores(0.1)
+		h.SetScore(p, 0, "b", 0.8)
+		h.SetScore(p, 0, "c", 0.7)
+		h.Organize(p, 0)
+		pa, _ := h.PlacementOf("a")
+		pc, _ := h.PlacementOf("c")
+		if pa.Tier != "nvme" || pc.Tier != "dram" {
+			t.Errorf("unbudgeted organize did not fully repack: a=%s c=%s", pa.Tier, pc.Tier)
+		}
+	})
+}
+
+func TestBucketNamespacing(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		a := h.Bucket("jobA")
+		b := h.Bucket("jobB")
+		if err := a.Put(p, 0, "blob", []byte("from-a"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put(p, 0, "blob", []byte("from-b"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := a.Get(p, 0, "blob")
+		if !ok || string(got) != "from-a" {
+			t.Errorf("bucket a blob = %q, %v", got, ok)
+		}
+		got, ok = b.Get(p, 1, "blob")
+		if !ok || string(got) != "from-b" {
+			t.Errorf("bucket b blob = %q, %v", got, ok)
+		}
+		if !a.Has(p, 0, "blob") || a.Has(p, 0, "missing") {
+			t.Error("Has wrong")
+		}
+	})
+}
+
+func TestBucketListingAndDestroy(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		bk := h.Bucket("ds")
+		for _, name := range []string{"zeta", "alpha", "mid"} {
+			if err := bk.Put(p, 0, name, []byte(name), 1, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := bk.Blobs(p, 0)
+		if len(got) != 3 || got[0] != "alpha" || got[2] != "zeta" {
+			t.Errorf("blobs = %v", got)
+		}
+		if bk.Size() != int64(len("zeta")+len("alpha")+len("mid")) {
+			t.Errorf("size = %d", bk.Size())
+		}
+		other := h.Bucket("other")
+		if err := other.Put(p, 0, "keepme", []byte("x"), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		bk.Destroy(p, 0)
+		if len(bk.Blobs(p, 0)) != 0 || bk.Size() != 0 {
+			t.Error("destroy left blobs behind")
+		}
+		if !other.Has(p, 0, "keepme") {
+			t.Error("destroy leaked into another bucket")
+		}
+	})
+}
+
+func TestBucketPartialOps(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		bk := h.Bucket("parts")
+		if err := bk.Put(p, 0, "x", []byte("0123456789"), 0.4, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := bk.PutAt(p, 0, "x", 2, []byte("AB")); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := bk.GetRange(p, 0, "x", 1, 4)
+		if !ok || string(got) != "1AB4" {
+			t.Errorf("range = %q, %v", got, ok)
+		}
+		bk.SetScore(p, 0, "x", 0.9)
+		pl, _ := h.PlacementOf("parts#x")
+		if pl.Score != 0.9 {
+			t.Errorf("score = %v", pl.Score)
+		}
+	})
+}

@@ -1,0 +1,394 @@
+package hermes
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"megammap/internal/vtime"
+)
+
+func TestReplicatePlacesBackupsOnDistinctNodes(t *testing.T) {
+	c, h := newHermes(4)
+	h.SetReplicas(2)
+	run(t, c, func(p *vtime.Proc) {
+		data := bytes.Repeat([]byte{7}, 1024)
+		if err := h.Put(p, 0, "v/0", data, 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		pri, ok := h.PlacementOf("v/0")
+		if !ok {
+			t.Fatal("primary missing")
+		}
+		seen := map[int]bool{pri.Node: true}
+		for i := 0; i < 2; i++ {
+			bp, ok := h.PlacementOf(bakKey("v/0", i))
+			if !ok {
+				t.Fatalf("backup %d missing", i)
+			}
+			if seen[bp.Node] {
+				t.Errorf("backup %d shares node %d with another copy", i, bp.Node)
+			}
+			seen[bp.Node] = true
+		}
+	})
+}
+
+func TestSetReplicasClampsToClusterSize(t *testing.T) {
+	_, h := newHermes(3)
+	h.SetReplicas(10)
+	if h.replicas != 2 {
+		t.Errorf("replicas = %d, want 2 (nodes-1)", h.replicas)
+	}
+}
+
+func TestGetFailsOverToBackup(t *testing.T) {
+	c, h := newHermes(3)
+	h.SetReplicas(1)
+	run(t, c, func(p *vtime.Proc) {
+		data := []byte("survives the crash")
+		if err := h.Put(p, 0, "v/0", data, 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		pri, _ := h.PlacementOf("v/0")
+		h.FailNode(pri.Node)
+		got, ok := h.Get(p, (pri.Node+1)%3, "v/0")
+		if !ok || !bytes.Equal(got, data) {
+			t.Fatalf("failover get = %q, %v", got, ok)
+		}
+		sub, ok := h.GetRange(p, (pri.Node+1)%3, "v/0", 9, 3)
+		if !ok || string(sub) != "the" {
+			t.Errorf("failover GetRange = %q, %v", sub, ok)
+		}
+	})
+}
+
+func TestGetFailsWithoutReplicaAfterNodeFailure(t *testing.T) {
+	c, h := newHermes(3)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "v/0", []byte("lost"), 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		pri, _ := h.PlacementOf("v/0")
+		h.FailNode(pri.Node)
+		if _, ok := h.Get(p, (pri.Node+1)%3, "v/0"); ok {
+			t.Error("get succeeded with no backup and a dead primary")
+		}
+		if _, ok := h.GetRange(p, (pri.Node+1)%3, "v/0", 0, 2); ok {
+			t.Error("GetRange succeeded with no backup and a dead primary")
+		}
+	})
+}
+
+func TestPutAtPropagatesToBackups(t *testing.T) {
+	c, h := newHermes(3)
+	h.SetReplicas(1)
+	run(t, c, func(p *vtime.Proc) {
+		data := bytes.Repeat([]byte{0}, 64)
+		if err := h.Put(p, 0, "v/0", data, 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.PutAt(p, 0, "v/0", 8, []byte("dirty")); err != nil {
+			t.Fatal(err)
+		}
+		pri, _ := h.PlacementOf("v/0")
+		h.FailNode(pri.Node)
+		got, ok := h.Get(p, (pri.Node+1)%3, "v/0")
+		if !ok || string(got[8:13]) != "dirty" {
+			t.Errorf("backup did not receive the partial write: %q", got[8:13])
+		}
+	})
+}
+
+func TestPutAtMissingBlobErrors(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.PutAt(p, 0, "nope", 0, []byte("x")); err == nil {
+			t.Error("PutAt on a missing blob should error")
+		}
+	})
+}
+
+func TestPutAtGrowsBlobSize(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "v/0", []byte("abcd"), 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.PutAt(p, 0, "v/0", 2, []byte("XYZW")); err != nil {
+			t.Fatal(err)
+		}
+		pl, _ := h.PlacementOf("v/0")
+		if pl.Size != 6 {
+			t.Errorf("size after extending PutAt = %d, want 6", pl.Size)
+		}
+	})
+}
+
+func TestDeleteRemovesBackups(t *testing.T) {
+	c, h := newHermes(3)
+	h.SetReplicas(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "v/0", []byte("bye"), 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		h.Delete(p, 0, "v/0")
+		if _, ok := h.PlacementOf("v/0"); ok {
+			t.Error("primary metadata survived delete")
+		}
+		for i := 0; i < 2; i++ {
+			if _, ok := h.PlacementOf(bakKey("v/0", i)); ok {
+				t.Errorf("backup %d metadata survived delete", i)
+			}
+		}
+		// Bytes are gone from every device too.
+		for _, n := range c.Nodes {
+			for _, tier := range h.Tiers() {
+				if used := n.Devices[tier].Used(); used != 0 {
+					t.Errorf("node %d %s holds %d bytes after delete", n.ID, tier, used)
+				}
+			}
+		}
+	})
+}
+
+func TestDeleteMissingBlobIsNoop(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		h.Delete(p, 0, "ghost") // must not panic
+	})
+}
+
+func TestReplaceInPlaceRefreshesBackups(t *testing.T) {
+	c, h := newHermes(3)
+	h.SetReplicas(1)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "v/0", []byte("version-1"), 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Put(p, 0, "v/0", []byte("version-2"), 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		pri, _ := h.PlacementOf("v/0")
+		h.FailNode(pri.Node)
+		got, ok := h.Get(p, (pri.Node+1)%3, "v/0")
+		if !ok || string(got) != "version-2" {
+			t.Errorf("backup serves %q after in-place replace", got)
+		}
+	})
+}
+
+func TestPlacementAvoidsFailedNodes(t *testing.T) {
+	c, h := newHermes(3)
+	h.FailNode(0)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 1, "v/0", []byte("x"), 1.0, 0); err != nil {
+			t.Fatal(err) // preferred node is dead; must place elsewhere
+		}
+		pl, _ := h.PlacementOf("v/0")
+		if pl.Node == 0 {
+			t.Error("blob placed on a failed node")
+		}
+	})
+}
+
+func TestReplicateSkipsFailedNodes(t *testing.T) {
+	c, h := newHermes(4)
+	h.SetReplicas(1)
+	run(t, c, func(p *vtime.Proc) {
+		h.FailNode(1) // the node replicate would try first after primary 0
+		if err := h.Put(p, 0, "v/0", []byte("x"), 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		bp, ok := h.PlacementOf(bakKey("v/0", 0))
+		if !ok {
+			t.Fatal("no backup placed")
+		}
+		if bp.Node == 1 {
+			t.Error("backup landed on the failed node")
+		}
+	})
+}
+
+func TestPlanOrganizePinsBackupsAndReplicas(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		// Place cold copies in a slow tier with backup/replica-style keys
+		// plus one ordinary cold blob; give them all hot scores so the
+		// organizer would promote anything it is allowed to touch.
+		big := bytes.Repeat([]byte{1}, 1024)
+		for _, k := range []string{"v/0!bak0", "v/0@n1", "v/plain"} {
+			node, tier := 0, "hdd"
+			if err := c.Nodes[node].Devices[tier].Write(p, k, big); err != nil {
+				t.Fatal(err)
+			}
+			h.meta[k] = &Placement{Node: node, Tier: tier, Size: 1024, Score: 1.0, ScoreNode: node, PrevScoreNode: node}
+		}
+		moves := h.PlanOrganize(0)
+		for _, m := range moves {
+			if strings.Contains(m.Key, "!bak") || strings.Contains(m.Key, "@n") {
+				t.Errorf("organizer planned a move for pinned key %q", m.Key)
+			}
+		}
+		if len(moves) != 1 || moves[0].Key != "v/plain" || moves[0].Tier != "dram" {
+			t.Errorf("moves = %+v, want v/plain promoted to dram", moves)
+		}
+	})
+}
+
+func TestPlanOrganizeMigrationNeedsStableHint(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "v/0", bytes.Repeat([]byte{1}, 64), 0.2, 0); err != nil {
+			t.Fatal(err)
+		}
+		// A hot score from node 1 for one period only: no migration.
+		h.SetScore(p, 1, "v/0", 0.9)
+		for _, m := range h.PlanOrganize(0) {
+			if m.Node == 1 {
+				t.Errorf("migrated on a one-period hint: %+v", m)
+			}
+		}
+		// After a second period with the same interested node, it moves.
+		h.DecayScores(0.9) // rotates PrevScoreNode = ScoreNode
+		h.SetScore(p, 1, "v/0", 0.9)
+		found := false
+		for _, m := range h.PlanOrganize(0) {
+			if m.Key == "v/0" && m.Node == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("stable two-period hint did not trigger migration")
+		}
+	})
+}
+
+func TestPlanOrganizeBudgetCapsBytes(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		// Fill dram, then mark several nvme blobs hot; a small budget must
+		// cap how many promotions are planned per pass.
+		for i := 0; i < 8; i++ {
+			k := fmt.Sprintf("cold/%d", i)
+			if err := c.Nodes[0].Devices["nvme"].Write(p, k, bytes.Repeat([]byte{2}, 1024)); err != nil {
+				t.Fatal(err)
+			}
+			h.meta[k] = &Placement{Node: 0, Tier: "nvme", Size: 1024, Score: 0.9, ScoreNode: 0, PrevScoreNode: 0}
+		}
+		all := h.PlanOrganize(0)
+		capped := h.PlanOrganize(2048)
+		if len(all) <= len(capped) {
+			t.Fatalf("budget did not reduce the plan: %d vs %d", len(all), len(capped))
+		}
+		var bytesPlanned int64
+		for _, m := range capped {
+			bytesPlanned += h.meta[m.Key].Size
+		}
+		if bytesPlanned > 2048 {
+			t.Errorf("planned %d bytes, budget 2048", bytesPlanned)
+		}
+	})
+}
+
+func TestApplyMoveToleratesStalePlans(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "v/0", []byte("data"), 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		pl, _ := h.PlacementOf("v/0")
+		// Deleted since planning: no-op.
+		h.ApplyMove(p, Move{Key: "ghost", Node: 1, Tier: "dram"})
+		// Already at the target: no-op, no byte movement.
+		_, _, before := h.Stats()
+		h.ApplyMove(p, Move{Key: "v/0", Node: pl.Node, Tier: pl.Tier})
+		if _, _, after := h.Stats(); after != before {
+			t.Error("no-op move still moved bytes")
+		}
+		// Destination node failed since planning: blob stays put.
+		h.FailNode(1)
+		h.ApplyMove(p, Move{Key: "v/0", Node: 1, Tier: "dram"})
+		if got, _ := h.PlacementOf("v/0"); got.Node != pl.Node {
+			t.Error("move executed onto a failed node")
+		}
+	})
+}
+
+func TestSetScoreMaxWins(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "v/0", []byte("x"), 0.4, 0); err != nil {
+			t.Fatal(err)
+		}
+		h.SetScore(p, 1, "v/0", 0.8)
+		h.SetScore(p, 0, "v/0", 0.3) // lower: ignored
+		pl, _ := h.PlacementOf("v/0")
+		if pl.Score != 0.8 || pl.ScoreNode != 1 {
+			t.Errorf("score = %.2f from node %d, want 0.80 from node 1", pl.Score, pl.ScoreNode)
+		}
+		h.SetScore(p, 0, "ghost", 1.0) // missing key: no-op
+	})
+}
+
+func TestDecayScoresRotatesHintHistory(t *testing.T) {
+	c, h := newHermes(2)
+	run(t, c, func(p *vtime.Proc) {
+		if err := h.Put(p, 0, "v/0", []byte("x"), 1.0, 0); err != nil {
+			t.Fatal(err)
+		}
+		h.SetScore(p, 1, "v/0", 1.0)
+		h.DecayScores(0.5)
+		pl, _ := h.PlacementOf("v/0")
+		if pl.Score != 0.5 {
+			t.Errorf("score after decay = %v, want 0.5", pl.Score)
+		}
+		if pl.PrevScoreNode != 1 {
+			t.Errorf("PrevScoreNode = %d, want rotated hint 1", pl.PrevScoreNode)
+		}
+	})
+}
+
+func TestErrNoCapacityMessage(t *testing.T) {
+	err := &ErrNoCapacity{Key: "v/9", Size: 4096}
+	msg := err.Error()
+	if !strings.Contains(msg, "v/9") || !strings.Contains(msg, "4096") {
+		t.Errorf("unhelpful error message: %q", msg)
+	}
+}
+
+func TestTiersOrder(t *testing.T) {
+	_, h := newHermes(1)
+	want := []string{"dram", "nvme", "hdd"}
+	got := h.Tiers()
+	if len(got) != len(want) {
+		t.Fatalf("tiers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tiers[%d] = %q, want %q (fastest first)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPutLocalRefusesWhenFull(t *testing.T) {
+	c, h := newHermes(1)
+	run(t, c, func(p *vtime.Proc) {
+		// Fill every tier on the node so nothing fits.
+		var total int64
+		for _, tier := range h.Tiers() {
+			free := c.Nodes[0].Devices[tier].Free()
+			if err := c.Nodes[0].Devices[tier].Write(p, "fill-"+tier, make([]byte, free)); err != nil {
+				t.Fatal(err)
+			}
+			total += free
+		}
+		if total == 0 {
+			t.Fatal("test cluster has no capacity at all")
+		}
+		if h.PutLocal(p, 0, "v/0@n0", []byte("no room"), 0.1) {
+			t.Error("PutLocal claimed success on a full node")
+		}
+	})
+}

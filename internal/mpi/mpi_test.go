@@ -1,0 +1,352 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"megammap/internal/cluster"
+	"megammap/internal/vtime"
+)
+
+func testWorld(t *testing.T, nodes, nprocs int) *World {
+	t.Helper()
+	return NewWorld(cluster.New(cluster.DefaultTestbed(nodes)), nprocs)
+}
+
+func TestNodePlacementBlockwise(t *testing.T) {
+	w := testWorld(t, 4, 8)
+	wantNode := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for r, want := range wantNode {
+		if got := w.NodeOf(r); got != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestSendRecvTagMatching(t *testing.T) {
+	w := testWorld(t, 2, 2)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 7, "tag7", 4)
+			r.Send(1, 5, "tag5", 4)
+		} else {
+			// Receive out of send order: tag matching must pick correctly.
+			v5, _ := r.Recv(0, 5)
+			v7, _ := r.Recv(0, 7)
+			if v5 != "tag5" || v7 != "tag7" {
+				t.Errorf("tag matching broken: got %v %v", v5, v7)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvFIFOPerTag(t *testing.T) {
+	w := testWorld(t, 1, 2)
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				r.Send(1, 1, i, 8)
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				v, _ := r.Recv(0, 1)
+				if v.(int) != i {
+					t.Errorf("message %d arrived out of order: %v", i, v)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvBeforeSend(t *testing.T) {
+	w := testWorld(t, 2, 2)
+	var recvAt vtime.Duration
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			v, _ := r.Recv(0, 1)
+			if v != "late" {
+				t.Errorf("got %v", v)
+			}
+			recvAt = r.Proc().Now()
+		} else {
+			r.Proc().Sleep(10 * vtime.Millisecond)
+			r.Send(1, 1, "late", 8)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recvAt < 10*vtime.Millisecond {
+		t.Errorf("receiver returned at %v before the send", recvAt)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		w := testWorld(t, 2, p)
+		var after []vtime.Duration
+		err := w.Run(func(r *Rank) {
+			r.Proc().Sleep(vtime.Duration(r.Rank()+1) * vtime.Millisecond)
+			r.Barrier()
+			after = append(after, r.Proc().Now())
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		slowest := vtime.Duration(p) * vtime.Millisecond
+		for _, at := range after {
+			if at < slowest {
+				t.Errorf("p=%d: a rank left the barrier at %v before the slowest entered (%v)", p, at, slowest)
+			}
+		}
+	}
+}
+
+func TestBcastAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < p; root += 2 {
+			w := testWorld(t, 2, p)
+			err := w.Run(func(r *Rank) {
+				var payload any
+				if r.Rank() == root {
+					payload = fmt.Sprintf("from-%d", root)
+				}
+				got := r.Bcast(root, payload, 64)
+				if got != fmt.Sprintf("from-%d", root) {
+					t.Errorf("p=%d root=%d rank=%d: got %v", p, root, r.Rank(), got)
+				}
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6, 8} {
+		for _, root := range []int{0, p - 1} {
+			w := testWorld(t, 2, p)
+			err := w.Run(func(r *Rank) {
+				res := r.Reduce(root, r.Rank()+1, 8, func(a, b any) any { return a.(int) + b.(int) })
+				if r.Rank() == root {
+					want := p * (p + 1) / 2
+					if res.(int) != want {
+						t.Errorf("p=%d root=%d: sum = %v, want %d", p, root, res, want)
+					}
+				}
+			})
+			if err != nil {
+				t.Fatalf("p=%d: %v", p, err)
+			}
+		}
+	}
+}
+
+func TestAllreduceEveryRankGetsResult(t *testing.T) {
+	p := 6
+	w := testWorld(t, 3, p)
+	err := w.Run(func(r *Rank) {
+		got := r.SumInt64(int64(r.Rank()))
+		if got != 15 {
+			t.Errorf("rank %d: allreduce = %d, want 15", r.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceFloat64s(t *testing.T) {
+	p := 4
+	w := testWorld(t, 2, p)
+	err := w.Run(func(r *Rank) {
+		in := []float64{float64(r.Rank()), 1, 2}
+		got := r.SumFloat64s(in)
+		want := []float64{6, 4, 8} // sum of ranks 0..3, 4 ones, 4 twos
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Errorf("rank %d: got %v, want %v", r.Rank(), got, want)
+			}
+		}
+		if in[0] != float64(r.Rank()) {
+			t.Error("input slice was clobbered")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherAndAllgather(t *testing.T) {
+	p := 5
+	w := testWorld(t, 2, p)
+	err := w.Run(func(r *Rank) {
+		got := r.Gather(2, r.Rank()*10, 8)
+		if r.Rank() == 2 {
+			for i := 0; i < p; i++ {
+				if got[i].(int) != i*10 {
+					t.Errorf("gather[%d] = %v, want %d", i, got[i], i*10)
+				}
+			}
+		} else if got != nil {
+			t.Errorf("rank %d: non-root gather should return nil", r.Rank())
+		}
+		all := r.Allgather(r.Rank()*100, 8)
+		for i := 0; i < p; i++ {
+			if all[i].(int) != i*100 {
+				t.Errorf("rank %d: allgather[%d] = %v", r.Rank(), i, all[i])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	p := 4
+	w := testWorld(t, 2, p)
+	err := w.Run(func(r *Rank) {
+		contribs := make([]any, p)
+		for i := range contribs {
+			contribs[i] = r.Rank()*10 + i
+		}
+		got := r.Alltoall(contribs, 8)
+		for i := 0; i < p; i++ {
+			if got[i].(int) != i*10+r.Rank() {
+				t.Errorf("rank %d: alltoall[%d] = %v, want %d", r.Rank(), i, got[i], i*10+r.Rank())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesScaleLogarithmically(t *testing.T) {
+	barrierTime := func(p int) vtime.Duration {
+		w := testWorld(t, p, p) // one rank per node: all messages remote
+		var at vtime.Duration
+		err := w.Run(func(r *Rank) {
+			r.Barrier()
+			if r.Proc().Now() > at {
+				at = r.Proc().Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	t4, t16 := barrierTime(4), barrierTime(16)
+	// log2(16)/log2(4) = 2: the 16-node barrier should cost about twice,
+	// certainly not 4x (linear).
+	ratio := float64(t16) / float64(t4)
+	if ratio > 3 {
+		t.Errorf("barrier scaling ratio 16/4 nodes = %.2f, want ~2 (log scaling)", ratio)
+	}
+}
+
+func TestFailPropagates(t *testing.T) {
+	w := testWorld(t, 1, 2)
+	sentinel := errors.New("boom")
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Fail(sentinel)
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	w := testWorld(t, 1, 5)
+	err := w.Run(func(r *Rank) {
+		if got := r.MaxInt64(int64(r.Rank() * 7)); got != 28 {
+			t.Errorf("max = %d, want 28", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankAndWorldAccessors(t *testing.T) {
+	w := testWorld(t, 2, 4)
+	if w.Size() != 4 {
+		t.Fatalf("world size = %d", w.Size())
+	}
+	err := w.Run(func(r *Rank) {
+		if r.Size() != 4 {
+			t.Errorf("rank %d sees size %d", r.Rank(), r.Size())
+		}
+		if r.World() != w {
+			t.Error("World accessor wrong")
+		}
+		if r.Node() != w.Cluster().Nodes[r.Rank()/2] {
+			t.Errorf("rank %d on wrong node", r.Rank())
+		}
+		if r.Proc() == nil {
+			t.Error("nil Proc")
+		}
+		before := r.Proc().Now()
+		r.Compute(3 * vtime.Millisecond)
+		if r.Proc().Now() <= before {
+			t.Error("Compute charged no time")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchWaitAndFailed(t *testing.T) {
+	w := testWorld(t, 1, 3)
+	boom := errors.New("boom")
+	w.Launch(func(r *Rank) {
+		if r.Rank() == 1 {
+			r.Fail(boom)
+		}
+		r.Fail(nil) // nil must never clobber the recorded failure
+	})
+	done := false
+	w.Cluster().Engine.Spawn("waiter", func(p *vtime.Proc) {
+		w.Wait(p)
+		done = true
+	})
+	if err := w.Cluster().Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("Wait never returned")
+	}
+	if !errors.Is(w.Failed(), boom) {
+		t.Errorf("Failed = %v, want wrapped boom", w.Failed())
+	}
+}
+
+func TestScalarAllreduceHelpers(t *testing.T) {
+	w := testWorld(t, 2, 4)
+	err := w.Run(func(r *Rank) {
+		if got := r.SumFloat64(float64(r.Rank() + 1)); got != 10 {
+			t.Errorf("SumFloat64 = %v, want 10", got)
+		}
+		max := r.AllreduceFloat64(float64(r.Rank()), math.Max)
+		if max != 3 {
+			t.Errorf("AllreduceFloat64 max = %v, want 3", max)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

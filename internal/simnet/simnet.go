@@ -1,0 +1,119 @@
+// Package simnet models a cluster network fabric. A Fabric connects N
+// nodes through per-node NIC ingress/egress resources over a link profile
+// (latency + bandwidth). Transfers charge virtual time at both endpoints,
+// so concurrent flows into or out of one node contend realistically, while
+// flows between disjoint node pairs proceed in parallel — the behaviour
+// that makes tree-based collectives beat flat fan-in.
+//
+// Two link profiles mirror the paper's testbed: a 40 Gb/s RoCE-class
+// fabric (used by MegaMmap and MPI) and a 10 Gb/s TCP-class fabric with
+// protocol overhead (used by the Spark-model baseline).
+package simnet
+
+import (
+	"fmt"
+
+	"megammap/internal/vtime"
+)
+
+// LinkProfile describes one network class.
+type LinkProfile struct {
+	Name      string
+	Latency   vtime.Duration // one-way message latency
+	Bandwidth float64        // bytes/s per NIC direction
+	PerMsg    vtime.Duration // fixed per-message software overhead
+}
+
+// RoCE40 models the paper's 40Gb/s RoCE-enabled fabric: low latency,
+// negligible per-message software cost.
+func RoCE40() LinkProfile {
+	return LinkProfile{
+		Name:      "roce40",
+		Latency:   2 * vtime.Microsecond,
+		Bandwidth: 40e9 / 8,
+		PerMsg:    500 * vtime.Nanosecond,
+	}
+}
+
+// TCP10 models the 10Gb/s Ethernet/TCP path (sockets provider): higher
+// latency and a kernel/protocol cost per message.
+func TCP10() LinkProfile {
+	return LinkProfile{
+		Name:      "tcp10",
+		Latency:   50 * vtime.Microsecond,
+		Bandwidth: 10e9 / 8,
+		PerMsg:    10 * vtime.Microsecond,
+	}
+}
+
+// Fabric is a set of node NICs sharing a link profile.
+type Fabric struct {
+	prof  LinkProfile
+	nics  []*nic
+	sent  int64
+	bytes int64
+}
+
+type nic struct {
+	egress  *vtime.Resource
+	ingress *vtime.Resource
+}
+
+// New returns a fabric connecting n nodes.
+func New(n int, prof LinkProfile) *Fabric {
+	f := &Fabric{prof: prof, nics: make([]*nic, n)}
+	for i := range f.nics {
+		f.nics[i] = &nic{egress: vtime.NewResource(1), ingress: vtime.NewResource(1)}
+	}
+	return f
+}
+
+// Nodes returns the number of nodes on the fabric.
+func (f *Fabric) Nodes() int { return len(f.nics) }
+
+// Profile returns the fabric's link profile.
+func (f *Fabric) Profile() LinkProfile { return f.prof }
+
+// Stats returns cumulative messages and bytes transferred.
+func (f *Fabric) Stats() (msgs, bytes int64) { return f.sent, f.bytes }
+
+// Transfer moves n bytes from node src to node dst, blocking the calling
+// process for the modeled duration. Transfers within a node cost only a
+// small software overhead (shared memory). Node indices must be valid.
+func (f *Fabric) Transfer(p *vtime.Proc, src, dst int, n int64) {
+	if src < 0 || src >= len(f.nics) || dst < 0 || dst >= len(f.nics) {
+		panic(fmt.Sprintf("simnet: transfer %d->%d outside fabric of %d nodes", src, dst, len(f.nics)))
+	}
+	f.sent++
+	f.bytes += n
+	if src == dst {
+		p.Sleep(f.prof.PerMsg)
+		return
+	}
+	wire := vtime.BytesAt(n, f.prof.Bandwidth)
+	// Serialize on the sender's egress for the wire time, then charge
+	// propagation latency, then occupy the receiver's ingress. This is a
+	// store-and-forward approximation: concurrent senders to one receiver
+	// contend at the ingress resource.
+	tx := f.nics[src]
+	rx := f.nics[dst]
+	tx.egress.Acquire(p, 1)
+	p.Sleep(f.prof.PerMsg + wire)
+	tx.egress.Release(1)
+	p.Sleep(f.prof.Latency)
+	rx.ingress.Acquire(p, 1)
+	p.Sleep(wire)
+	rx.ingress.Release(1)
+}
+
+// RoundTrip models a small control-plane request/response between nodes
+// (metadata lookups): two latency hops plus per-message costs, no
+// bandwidth occupation.
+func (f *Fabric) RoundTrip(p *vtime.Proc, src, dst int) {
+	if src == dst {
+		p.Sleep(f.prof.PerMsg)
+		return
+	}
+	p.Sleep(2 * (f.prof.Latency + f.prof.PerMsg))
+	f.sent += 2
+}

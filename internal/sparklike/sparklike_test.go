@@ -1,0 +1,221 @@
+package sparklike
+
+import (
+	"testing"
+
+	"megammap/internal/cluster"
+	"megammap/internal/stager"
+	"megammap/internal/vtime"
+)
+
+func setup(nodes int) (*cluster.Cluster, *Session, *stager.Stager) {
+	c := cluster.New(cluster.DefaultTestbed(nodes))
+	return c, NewSession(c, DefaultConfig()), stager.New(c)
+}
+
+func run(t *testing.T, c *cluster.Cluster, fn func(p *vtime.Proc)) {
+	if t != nil {
+		t.Helper()
+	}
+	c.Engine.Spawn("driver", fn)
+	if err := c.Engine.Run(); err != nil {
+		if t != nil {
+			t.Fatal(err)
+		}
+		panic(err)
+	}
+}
+
+func decodeInts(raw []byte) []int64 {
+	out := make([]int64, len(raw)/8)
+	for i := range out {
+		v := int64(0)
+		for b := 0; b < 8; b++ {
+			v |= int64(raw[i*8+b]) << (8 * b)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func writeInts(t *testing.T, p *vtime.Proc, b stager.Backend, n int) {
+	t.Helper()
+	raw := make([]byte, n*8)
+	for i := 0; i < n; i++ {
+		v := int64(i)
+		for j := 0; j < 8; j++ {
+			raw[i*8+j] = byte(v >> (8 * j))
+		}
+	}
+	if err := b.WriteRange(p, 0, 0, raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadAndAggregate(t *testing.T) {
+	c, s, st := setup(2)
+	run(t, c, func(p *vtime.Proc) {
+		b, _ := st.Open("file:///d/ints.bin")
+		writeInts(t, p, b, 1000)
+		rdd, err := Load(p, s, b, 8, 4, decodeInts, vtime.Nanosecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rdd.Count() != 1000 {
+			t.Fatalf("count = %d, want 1000", rdd.Count())
+		}
+		sum, err := Aggregate(p, rdd,
+			func() int64 { return 0 },
+			func(acc, v int64) int64 { return acc + v },
+			func(a, b int64) int64 { return a + b },
+			vtime.Nanosecond, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(1000 * 999 / 2)
+		if sum != want {
+			t.Errorf("sum = %d, want %d", sum, want)
+		}
+		s.Close()
+	})
+}
+
+func TestLoadUsesMultipleCopies(t *testing.T) {
+	c, s, st := setup(1)
+	run(t, c, func(p *vtime.Proc) {
+		b, _ := st.Open("file:///d/ints.bin")
+		writeInts(t, p, b, 1024)
+		if _, err := Load(p, s, b, 8, 2, decodeInts, 0); err != nil {
+			t.Fatal(err)
+		}
+		raw := int64(1024 * 8)
+		if got := s.MemoryUsed(); got != raw*int64(s.cfg.CopiesOnLoad) {
+			t.Errorf("resident = %d, want %d (copies on load)", got, raw*2)
+		}
+		s.Close()
+		if s.MemoryUsed() != 0 {
+			t.Error("Close did not free executor memory")
+		}
+	})
+}
+
+func TestAggregateChargesJVMFactor(t *testing.T) {
+	elapsed := func(jvm float64) vtime.Duration {
+		c := cluster.New(cluster.DefaultTestbed(1))
+		cfg := DefaultConfig()
+		cfg.JVMFactor = jvm
+		s := NewSession(c, cfg)
+		st := stager.New(c)
+		var took vtime.Duration
+		run(nil, c, func(p *vtime.Proc) {
+			b, _ := st.Open("file:///d/i.bin")
+			raw := make([]byte, 8*10000)
+			if err := b.WriteRange(p, 0, 0, raw); err != nil {
+				return
+			}
+			rdd, err := Load(p, s, b, 8, 1, decodeInts, 0)
+			if err != nil {
+				return
+			}
+			start := p.Now()
+			_, _ = Aggregate(p, rdd,
+				func() int64 { return 0 },
+				func(acc, v int64) int64 { return acc },
+				func(a, b int64) int64 { return 0 },
+				10*vtime.Microsecond, 8)
+			took = p.Now() - start
+			s.Close()
+		})
+		return took
+	}
+	slow, fast := elapsed(3.0), elapsed(1.0)
+	ratio := float64(slow) / float64(fast)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("JVM factor 3 vs 1 gave ratio %.2f, want ~3", ratio)
+	}
+}
+
+func TestParallelizeAndUnpersist(t *testing.T) {
+	c, s, _ := setup(2)
+	run(t, c, func(p *vtime.Proc) {
+		parts := [][]int64{{1, 2}, {3, 4}, {5}}
+		rdd, err := Parallelize(p, s, parts, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rdd.Count() != 5 {
+			t.Errorf("count = %d", rdd.Count())
+		}
+		if s.MemoryUsed() != 40 {
+			t.Errorf("resident = %d, want 40", s.MemoryUsed())
+		}
+		rdd.Unpersist()
+		if s.MemoryUsed() != 0 {
+			t.Errorf("resident after unpersist = %d", s.MemoryUsed())
+		}
+	})
+}
+
+func TestBroadcastScales(t *testing.T) {
+	bcast := func(nodes int) vtime.Duration {
+		c := cluster.New(cluster.DefaultTestbed(nodes))
+		s := NewSession(c, DefaultConfig())
+		var took vtime.Duration
+		run(nil, c, func(p *vtime.Proc) {
+			start := p.Now()
+			s.Broadcast(p, 1<<20)
+			took = p.Now() - start
+		})
+		return took
+	}
+	t2, t16 := bcast(2), bcast(16)
+	if ratio := float64(t16) / float64(t2); ratio > 6 {
+		t.Errorf("broadcast 16/2 node ratio = %.1f, want log-ish (<6)", ratio)
+	}
+}
+
+func TestOOMPropagates(t *testing.T) {
+	spec := cluster.DefaultTestbed(1)
+	spec.DRAMPer = 4096 // tiny
+	c := cluster.New(spec)
+	s := NewSession(c, DefaultConfig())
+	st := stager.New(c)
+	c.Engine.Spawn("driver", func(p *vtime.Proc) {
+		b, _ := st.Open("file:///d/big.bin")
+		if err := b.WriteRange(p, 0, 0, make([]byte, 64<<10)); err != nil {
+			t.Error(err)
+			return
+		}
+		_, err := Load(p, s, b, 8, 2, decodeInts, 0)
+		if err == nil {
+			t.Error("expected OOM loading 64KB into a 4KB node")
+		}
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRDDPartAccessors(t *testing.T) {
+	c, s, _ := setup(2)
+	run(t, c, func(p *vtime.Proc) {
+		parts := [][]int64{{1, 2}, {3}, {4, 5, 6}, {7}}
+		rdd, err := Parallelize(p, s, parts, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rdd.Parts() != 4 {
+			t.Fatalf("Parts = %d, want 4", rdd.Parts())
+		}
+		var total int
+		for i := 0; i < rdd.Parts(); i++ {
+			total += len(rdd.Part(i))
+		}
+		if int64(total) != rdd.Count() {
+			t.Errorf("parts sum %d != Count %d", total, rdd.Count())
+		}
+		if s.Nodes() != 2 {
+			t.Errorf("Nodes = %d", s.Nodes())
+		}
+	})
+}

@@ -1,0 +1,430 @@
+// Package stager implements MegaMmap's data staging layer: persistent
+// datasets are addressed by URL ("proto://path:param"), routed to a
+// format backend, and read or written as byte ranges so only the page
+// fragments a fault needs ever cross the wire. Three backends stand in
+// for the paper's integrations:
+//
+//   - file — a flat byte object on the parallel filesystem (POSIX analog);
+//     a '*' in the path maps a sorted set of objects as one logical
+//     dataset (the paper's file-per-process regex mapping), read-only.
+//   - h5 — a hierarchical container: named groups inside one container
+//     path, each independently growable (HDF5 analog).
+//   - pq — a chunked record container with a footer describing row-group
+//     chunking (parquet analog).
+//
+// The formats are original byte layouts, not the real HDF5/parquet wire
+// formats (see DESIGN.md substitutions); they play the same structural
+// role so the DSM's staging path is exercised end to end.
+package stager
+
+import (
+	"encoding/json"
+	"fmt"
+	"path"
+	"strings"
+
+	"megammap/internal/cluster"
+	"megammap/internal/vtime"
+)
+
+// URL is a parsed dataset locator.
+type URL struct {
+	Proto string // "file", "h5", "pq"
+	Path  string // object path on the backend
+	Param string // format-specific (group name, table name)
+}
+
+// String reassembles the URL.
+func (u URL) String() string {
+	s := u.Proto + "://" + u.Path
+	if u.Param != "" {
+		s += ":" + u.Param
+	}
+	return s
+}
+
+// ParseURL parses "proto://path[:param]".
+func ParseURL(s string) (URL, error) {
+	i := strings.Index(s, "://")
+	if i < 0 {
+		return URL{}, fmt.Errorf("stager: url %q missing protocol", s)
+	}
+	u := URL{Proto: s[:i]}
+	rest := s[i+3:]
+	if j := strings.LastIndex(rest, ":"); j >= 0 {
+		u.Path, u.Param = rest[:j], rest[j+1:]
+	} else {
+		u.Path = rest
+	}
+	if u.Proto == "" || u.Path == "" {
+		return URL{}, fmt.Errorf("stager: url %q missing protocol or path", s)
+	}
+	return u, nil
+}
+
+// Backend serializes and deserializes byte ranges of one logical dataset.
+type Backend interface {
+	// URL returns the backend's locator.
+	URL() URL
+	// Size returns the logical dataset size in bytes, or 0 if absent.
+	Size() int64
+	// ReadRange reads length bytes starting at off on behalf of node.
+	// Short reads happen at end of dataset.
+	ReadRange(p *vtime.Proc, node int, off, length int64) ([]byte, error)
+	// WriteRange writes data at off, growing the dataset if needed.
+	WriteRange(p *vtime.Proc, node int, off int64, data []byte) error
+}
+
+// Stager opens URL-addressed backends over the cluster's PFS.
+type Stager struct {
+	c *cluster.Cluster
+}
+
+// New returns a stager for the cluster.
+func New(c *cluster.Cluster) *Stager { return &Stager{c: c} }
+
+// Open routes a URL to its format backend.
+func (s *Stager) Open(rawURL string) (Backend, error) {
+	u, err := ParseURL(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	switch u.Proto {
+	case "file":
+		if strings.ContainsAny(u.Path, "*?[") {
+			return newGlobBackend(s.c, u)
+		}
+		return &fileBackend{c: s.c, u: u}, nil
+	case "h5":
+		return &h5Backend{c: s.c, u: u, key: u.Path + "::" + u.Param}, nil
+	case "pq":
+		return newPQBackend(s.c, u)
+	default:
+		return nil, fmt.Errorf("stager: unknown protocol %q in %q", u.Proto, rawURL)
+	}
+}
+
+// ---------------------------------------------------------------- file --
+
+type fileBackend struct {
+	c *cluster.Cluster
+	u URL
+}
+
+func (b *fileBackend) URL() URL { return b.u }
+
+func (b *fileBackend) Size() int64 {
+	if n := b.c.PFSSize(b.u.Path); n > 0 {
+		return n
+	}
+	return 0
+}
+
+func (b *fileBackend) ReadRange(p *vtime.Proc, node int, off, length int64) ([]byte, error) {
+	data, ok := b.c.PFSRead(p, node, b.u.Path, off, length)
+	if !ok {
+		return nil, fmt.Errorf("stager: %s: no such object", b.u)
+	}
+	return data, nil
+}
+
+func (b *fileBackend) WriteRange(p *vtime.Proc, node int, off int64, data []byte) error {
+	return b.c.PFSWrite(p, node, b.u.Path, off, data)
+}
+
+// ---------------------------------------------------------------- glob --
+
+// globBackend presents several PFS objects, matched by a shell pattern and
+// sorted by name, as one concatenated read-only dataset.
+type globBackend struct {
+	c     *cluster.Cluster
+	u     URL
+	names []string
+	sizes []int64
+	total int64
+}
+
+func newGlobBackend(c *cluster.Cluster, u URL) (*globBackend, error) {
+	b := &globBackend{c: c, u: u}
+	for _, key := range c.PFS.List() {
+		ok, err := path.Match(u.Path, key)
+		if err != nil {
+			return nil, fmt.Errorf("stager: bad glob %q: %w", u.Path, err)
+		}
+		if ok {
+			b.names = append(b.names, key)
+			n := c.PFSSize(key)
+			b.sizes = append(b.sizes, n)
+			b.total += n
+		}
+	}
+	if len(b.names) == 0 {
+		return nil, fmt.Errorf("stager: glob %q matched no objects", u.Path)
+	}
+	return b, nil
+}
+
+func (b *globBackend) URL() URL    { return b.u }
+func (b *globBackend) Size() int64 { return b.total }
+
+func (b *globBackend) ReadRange(p *vtime.Proc, node int, off, length int64) ([]byte, error) {
+	if off >= b.total {
+		return nil, nil
+	}
+	if off+length > b.total {
+		length = b.total - off
+	}
+	out := make([]byte, 0, length)
+	var base int64
+	for i, name := range b.names {
+		end := base + b.sizes[i]
+		if off < end && off+length > base {
+			localOff := max64(0, off-base)
+			localLen := min64(end, off+length) - (base + localOff)
+			data, ok := b.c.PFSRead(p, node, name, localOff, localLen)
+			if !ok {
+				return nil, fmt.Errorf("stager: %s: member %q vanished", b.u, name)
+			}
+			out = append(out, data...)
+		}
+		base = end
+		if base >= off+length {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (b *globBackend) WriteRange(p *vtime.Proc, node int, off int64, data []byte) error {
+	return fmt.Errorf("stager: %s: glob-mapped datasets are read-only", b.u)
+}
+
+// ------------------------------------------------------------------ h5 --
+
+// h5Backend stores one group of a hierarchical container. Groups live as
+// independent PFS objects under the container path; a JSON index object
+// records the group directory so containers can be listed.
+type h5Backend struct {
+	c   *cluster.Cluster
+	u   URL
+	key string
+}
+
+func (b *h5Backend) URL() URL { return b.u }
+
+func (b *h5Backend) indexKey() string { return b.u.Path + "::#index" }
+
+func (b *h5Backend) Size() int64 {
+	if n := b.c.PFSSize(b.key); n > 0 {
+		return n
+	}
+	return 0
+}
+
+func (b *h5Backend) ReadRange(p *vtime.Proc, node int, off, length int64) ([]byte, error) {
+	data, ok := b.c.PFSRead(p, node, b.key, off, length)
+	if !ok {
+		return nil, fmt.Errorf("stager: %s: no such group", b.u)
+	}
+	return data, nil
+}
+
+func (b *h5Backend) WriteRange(p *vtime.Proc, node int, off int64, data []byte) error {
+	isNew := b.c.PFSSize(b.key) < 0
+	if err := b.c.PFSWrite(p, node, b.key, off, data); err != nil {
+		return err
+	}
+	if isNew {
+		return b.addToIndex(p, node)
+	}
+	return nil
+}
+
+func (b *h5Backend) addToIndex(p *vtime.Proc, node int) error {
+	groups, err := ListGroups(p, b.c, node, b.u.Path)
+	if err != nil {
+		return err
+	}
+	for _, g := range groups {
+		if g == b.u.Param {
+			return nil
+		}
+	}
+	groups = append(groups, b.u.Param)
+	enc, err := json.Marshal(groups)
+	if err != nil {
+		return err
+	}
+	// Rewrite the whole (small) index object.
+	b.c.PFSDelete(p, b.indexKey())
+	return b.c.PFSWrite(p, node, b.indexKey(), 0, enc)
+}
+
+// ListGroups returns the group directory of an h5 container.
+func ListGroups(p *vtime.Proc, c *cluster.Cluster, node int, containerPath string) ([]string, error) {
+	key := containerPath + "::#index"
+	n := c.PFSSize(key)
+	if n <= 0 {
+		return nil, nil
+	}
+	raw, ok := c.PFSRead(p, node, key, 0, n)
+	if !ok {
+		return nil, nil
+	}
+	var groups []string
+	if err := json.Unmarshal(raw, &groups); err != nil {
+		return nil, fmt.Errorf("stager: corrupt h5 index for %q: %w", containerPath, err)
+	}
+	return groups, nil
+}
+
+// ------------------------------------------------------------------ pq --
+
+// pqChunkSize is the row-group chunk size of the pq format (scaled to the
+// repo's 1/1024 testbed scale).
+const pqChunkSize int64 = 1 << 20
+
+type pqFooter struct {
+	ChunkSize int64 `json:"chunk_size"`
+	Size      int64 `json:"size"`
+}
+
+// pqBackend stores a dataset as fixed-size row-group chunks plus a footer.
+type pqBackend struct {
+	c      *cluster.Cluster
+	u      URL
+	footer pqFooter
+	loaded bool
+}
+
+func newPQBackend(c *cluster.Cluster, u URL) (*pqBackend, error) {
+	b := &pqBackend{c: c, u: u, footer: pqFooter{ChunkSize: pqChunkSize}}
+	return b, nil
+}
+
+func (b *pqBackend) URL() URL { return b.u }
+
+func (b *pqBackend) base() string {
+	if b.u.Param != "" {
+		return b.u.Path + "::" + b.u.Param
+	}
+	return b.u.Path
+}
+
+func (b *pqBackend) footerKey() string       { return b.base() + "::#footer" }
+func (b *pqBackend) chunkKey(i int64) string { return fmt.Sprintf("%s::rg%d", b.base(), i) }
+
+// loadFooter reads the footer once; absent footers mean an empty dataset.
+// The loaded flag is set only after the (yielding) read completes so
+// concurrent first readers don't observe a zero footer.
+func (b *pqBackend) loadFooter(p *vtime.Proc, node int) {
+	if b.loaded {
+		return
+	}
+	n := b.c.PFSSize(b.footerKey())
+	if n <= 0 {
+		b.loaded = true
+		return
+	}
+	raw, ok := b.c.PFSRead(p, node, b.footerKey(), 0, n)
+	if b.loaded {
+		return // a concurrent reader finished first
+	}
+	b.loaded = true
+	if !ok {
+		return
+	}
+	var f pqFooter
+	if err := json.Unmarshal(raw, &f); err == nil && f.ChunkSize > 0 {
+		b.footer = f
+	}
+}
+
+func (b *pqBackend) flushFooter(p *vtime.Proc, node int) error {
+	enc, err := json.Marshal(b.footer)
+	if err != nil {
+		return err
+	}
+	b.c.PFSDelete(p, b.footerKey())
+	return b.c.PFSWrite(p, node, b.footerKey(), 0, enc)
+}
+
+func (b *pqBackend) Size() int64 {
+	if !b.loaded {
+		// Size is a metadata peek used at open time, before any process
+		// context exists; it must not charge virtual time.
+		raw, ok := b.c.PFS.Peek(b.footerKey())
+		if !ok {
+			return 0
+		}
+		var f pqFooter
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return 0
+		}
+		return f.Size
+	}
+	return b.footer.Size
+}
+
+func (b *pqBackend) ReadRange(p *vtime.Proc, node int, off, length int64) ([]byte, error) {
+	b.loadFooter(p, node)
+	if off >= b.footer.Size {
+		return nil, nil
+	}
+	if off+length > b.footer.Size {
+		length = b.footer.Size - off
+	}
+	cs := b.footer.ChunkSize
+	out := make([]byte, 0, length)
+	for length > 0 {
+		ci := off / cs
+		localOff := off % cs
+		localLen := min64(cs-localOff, length)
+		data, ok := b.c.PFSRead(p, node, b.chunkKey(ci), localOff, localLen)
+		if !ok {
+			return nil, fmt.Errorf("stager: %s: missing row group %d", b.u, ci)
+		}
+		if int64(len(data)) < localLen {
+			// Sparse tail inside a chunk: zero-fill.
+			data = append(data, make([]byte, localLen-int64(len(data)))...)
+		}
+		out = append(out, data...)
+		off += localLen
+		length -= localLen
+	}
+	return out, nil
+}
+
+func (b *pqBackend) WriteRange(p *vtime.Proc, node int, off int64, data []byte) error {
+	b.loadFooter(p, node)
+	cs := b.footer.ChunkSize
+	end := off + int64(len(data))
+	for pos := off; pos < end; {
+		ci := pos / cs
+		localOff := pos % cs
+		localLen := min64(cs-localOff, end-pos)
+		if err := b.c.PFSWrite(p, node, b.chunkKey(ci), localOff, data[pos-off:pos-off+localLen]); err != nil {
+			return err
+		}
+		pos += localLen
+	}
+	if end > b.footer.Size {
+		b.footer.Size = end
+		return b.flushFooter(p, node)
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,315 @@
+package stager
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"megammap/internal/cluster"
+	"megammap/internal/vtime"
+)
+
+func newStager() (*cluster.Cluster, *Stager) {
+	c := cluster.New(cluster.DefaultTestbed(2))
+	return c, New(c)
+}
+
+func run(t *testing.T, c *cluster.Cluster, fn func(p *vtime.Proc)) {
+	t.Helper()
+	c.Engine.Spawn("test", fn)
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseURL(t *testing.T) {
+	cases := []struct {
+		in   string
+		want URL
+		err  bool
+	}{
+		{"file:///data/pts.bin", URL{"file", "/data/pts.bin", ""}, false},
+		{"h5:///path/to/df.h5:mygroup", URL{"h5", "/path/to/df.h5", "mygroup"}, false},
+		{"pq:///d/x.parquet:points", URL{"pq", "/d/x.parquet", "points"}, false},
+		{"file:///path/dataset.parquet*", URL{"file", "/path/dataset.parquet*", ""}, false},
+		{"nourl", URL{}, true},
+		{"://nopath", URL{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseURL(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseURL(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseURL(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestURLString(t *testing.T) {
+	u := URL{"h5", "/a/b.h5", "grp"}
+	if got := u.String(); got != "h5:///a/b.h5:grp" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (URL{"file", "/x", ""}).String(); got != "file:///x" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestUnknownProtocol(t *testing.T) {
+	_, s := newStager()
+	if _, err := s.Open("ftp:///x"); err == nil {
+		t.Error("expected error for unknown protocol")
+	}
+}
+
+func TestFileBackendRoundTrip(t *testing.T) {
+	c, s := newStager()
+	run(t, c, func(p *vtime.Proc) {
+		b, err := s.Open("file:///data/a.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Size() != 0 {
+			t.Errorf("fresh size = %d", b.Size())
+		}
+		if err := b.WriteRange(p, 0, 0, []byte("hello staging")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.ReadRange(p, 1, 6, 7)
+		if err != nil || string(got) != "staging" {
+			t.Errorf("read = %q, %v", got, err)
+		}
+		if b.Size() != 13 {
+			t.Errorf("size = %d, want 13", b.Size())
+		}
+	})
+}
+
+func TestFileBackendSparseWrite(t *testing.T) {
+	c, s := newStager()
+	run(t, c, func(p *vtime.Proc) {
+		b, _ := s.Open("file:///data/sparse.bin")
+		if err := b.WriteRange(p, 0, 100, []byte("tail")); err != nil {
+			t.Fatal(err)
+		}
+		if b.Size() != 104 {
+			t.Errorf("size = %d, want 104", b.Size())
+		}
+		got, err := b.ReadRange(p, 0, 98, 6)
+		if err != nil || !bytes.Equal(got, []byte{0, 0, 't', 'a', 'i', 'l'}) {
+			t.Errorf("sparse read = %v, %v", got, err)
+		}
+	})
+}
+
+func TestH5GroupsIndependent(t *testing.T) {
+	c, s := newStager()
+	run(t, c, func(p *vtime.Proc) {
+		g1, _ := s.Open("h5:///sim/out.h5:positions")
+		g2, _ := s.Open("h5:///sim/out.h5:velocities")
+		if err := g1.WriteRange(p, 0, 0, []byte("ppp")); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.WriteRange(p, 0, 0, []byte("vvvvvv")); err != nil {
+			t.Fatal(err)
+		}
+		if g1.Size() != 3 || g2.Size() != 6 {
+			t.Errorf("sizes = %d, %d; want 3, 6", g1.Size(), g2.Size())
+		}
+		got, err := g1.ReadRange(p, 1, 0, 3)
+		if err != nil || string(got) != "ppp" {
+			t.Errorf("group read = %q %v", got, err)
+		}
+		groups, err := ListGroups(p, c, 0, "/sim/out.h5")
+		if err != nil || len(groups) != 2 {
+			t.Errorf("groups = %v, %v; want 2 groups", groups, err)
+		}
+	})
+}
+
+func TestH5MissingGroup(t *testing.T) {
+	c, s := newStager()
+	run(t, c, func(p *vtime.Proc) {
+		g, _ := s.Open("h5:///sim/none.h5:g")
+		if _, err := g.ReadRange(p, 0, 0, 4); err == nil {
+			t.Error("expected error reading missing group")
+		}
+	})
+}
+
+func TestPQChunkingRoundTrip(t *testing.T) {
+	c, s := newStager()
+	run(t, c, func(p *vtime.Proc) {
+		b, err := s.Open("pq:///data/pts.parquet:points")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Write across multiple chunks.
+		data := make([]byte, int(pqChunkSize)*2+100)
+		for i := range data {
+			data[i] = byte(i % 251)
+		}
+		if err := b.WriteRange(p, 0, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		if b.Size() != int64(len(data)) {
+			t.Errorf("size = %d, want %d", b.Size(), len(data))
+		}
+		// Read a span crossing the first chunk boundary.
+		got, err := b.ReadRange(p, 1, pqChunkSize-10, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data[pqChunkSize-10:pqChunkSize+10]) {
+			t.Error("cross-chunk read mismatch")
+		}
+	})
+}
+
+func TestPQReopenSeesFooter(t *testing.T) {
+	c, s := newStager()
+	run(t, c, func(p *vtime.Proc) {
+		b, _ := s.Open("pq:///d/t.parquet:tbl")
+		if err := b.WriteRange(p, 0, 0, []byte("rows")); err != nil {
+			t.Fatal(err)
+		}
+		b2, _ := s.Open("pq:///d/t.parquet:tbl")
+		if b2.Size() != 4 {
+			t.Errorf("reopened size = %d, want 4", b2.Size())
+		}
+		got, err := b2.ReadRange(p, 0, 0, 4)
+		if err != nil || string(got) != "rows" {
+			t.Errorf("reopened read = %q, %v", got, err)
+		}
+	})
+}
+
+func TestPQReadPastEnd(t *testing.T) {
+	c, s := newStager()
+	run(t, c, func(p *vtime.Proc) {
+		b, _ := s.Open("pq:///d/e.parquet:t")
+		if err := b.WriteRange(p, 0, 0, []byte("abc")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.ReadRange(p, 0, 2, 100)
+		if err != nil || string(got) != "c" {
+			t.Errorf("tail read = %q, %v", got, err)
+		}
+		got, err = b.ReadRange(p, 0, 50, 10)
+		if err != nil || len(got) != 0 {
+			t.Errorf("past-end read = %q, %v", got, err)
+		}
+	})
+}
+
+func TestGlobBackendConcatenates(t *testing.T) {
+	c, s := newStager()
+	run(t, c, func(p *vtime.Proc) {
+		// File-per-process outputs.
+		for i := 0; i < 3; i++ {
+			f, _ := s.Open(fmt.Sprintf("file:///out/part.%d", i))
+			if err := f.WriteRange(p, 0, 0, []byte(fmt.Sprintf("<%d>", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, err := s.Open("file:///out/part.*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Size() != 9 {
+			t.Errorf("glob size = %d, want 9", g.Size())
+		}
+		got, err := g.ReadRange(p, 0, 2, 5)
+		if err != nil || string(got) != "><1><" {
+			t.Errorf("glob read = %q, %v", got, err)
+		}
+		if err := g.WriteRange(p, 0, 0, []byte("x")); err == nil {
+			t.Error("glob backend must be read-only")
+		}
+	})
+}
+
+func TestGlobNoMatch(t *testing.T) {
+	_, s := newStager()
+	if _, err := s.Open("file:///nothing/here.*"); err == nil {
+		t.Error("expected error for empty glob")
+	}
+}
+
+func TestPropertyFileRangesRoundTrip(t *testing.T) {
+	type rng struct {
+		Off  uint16
+		Data []byte
+	}
+	f := func(writes []rng) bool {
+		c, s := newStager()
+		ok := true
+		run(t, c, func(p *vtime.Proc) {
+			b, _ := s.Open("file:///prop/f.bin")
+			shadow := make([]byte, 0)
+			for _, w := range writes {
+				if len(w.Data) > 4096 {
+					w.Data = w.Data[:4096]
+				}
+				if err := b.WriteRange(p, 0, int64(w.Off), w.Data); err != nil {
+					ok = false
+					return
+				}
+				end := int(w.Off) + len(w.Data)
+				if end > len(shadow) {
+					shadow = append(shadow, make([]byte, end-len(shadow))...)
+				}
+				copy(shadow[w.Off:end], w.Data)
+			}
+			if b.Size() != int64(len(shadow)) {
+				ok = false
+				return
+			}
+			if len(shadow) == 0 {
+				return // nothing written, nothing to read back
+			}
+			got, err := b.ReadRange(p, 0, 0, int64(len(shadow)))
+			if err != nil || !bytes.Equal(got, shadow) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPQMatchesFile(t *testing.T) {
+	// The pq chunked layout must be byte-equivalent to a flat file.
+	f := func(seed uint8, n uint16) bool {
+		c, s := newStager()
+		ok := true
+		run(t, c, func(p *vtime.Proc) {
+			pqb, _ := s.Open("pq:///p/x:t")
+			fb, _ := s.Open("file:///p/y")
+			data := make([]byte, int(n)*37)
+			for i := range data {
+				data[i] = byte(int(seed) + i)
+			}
+			if err := pqb.WriteRange(p, 0, 0, data); err != nil {
+				ok = false
+				return
+			}
+			if err := fb.WriteRange(p, 0, 0, data); err != nil {
+				ok = false
+				return
+			}
+			a, err1 := pqb.ReadRange(p, 0, 0, int64(len(data)))
+			b, err2 := fb.ReadRange(p, 0, 0, int64(len(data)))
+			ok = err1 == nil && err2 == nil && bytes.Equal(a, b)
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

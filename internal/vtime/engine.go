@@ -1,0 +1,283 @@
+// Package vtime implements a cooperative discrete-event simulation engine.
+//
+// A simulation consists of processes (Proc) that run as goroutines, but the
+// engine guarantees that at most one process executes at any instant: a
+// process runs until it blocks on a virtual-time primitive (Sleep, channel
+// operation, resource acquisition, ...), at which point control returns to
+// the engine, which advances the virtual clock to the next scheduled event
+// and resumes the corresponding process. Because execution is serialized,
+// simulation state shared between processes needs no locking, and runs are
+// fully deterministic: events at equal timestamps fire in FIFO order.
+//
+// The engine is the substrate for every timed component in this repository:
+// storage devices, network fabrics, the MegaMmap runtime, and the baseline
+// systems all charge their costs to this clock.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of ms.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// FromSeconds converts seconds to a Duration, rounding to the nearest ns.
+func FromSeconds(s float64) Duration { return Duration(s*float64(Second) + 0.5) }
+
+// BytesAt returns the time to move n bytes at bw bytes/second.
+func BytesAt(n int64, bw float64) Duration {
+	if bw <= 0 || n <= 0 {
+		return 0
+	}
+	return FromSeconds(float64(n) / bw)
+}
+
+type event struct {
+	at  Duration
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now       Duration
+	seq       uint64
+	pq        eventHeap
+	yield     chan struct{}
+	live      int // spawned processes that have not finished
+	nonDaemon int // live processes that keep the simulation running
+	nextID    int
+	procs     map[int]*Proc // live processes, for deadlock reporting
+	failed    error
+}
+
+// NewEngine returns an engine with the clock at zero and no processes.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		procs: make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Duration { return e.now }
+
+// Live returns the number of spawned processes that have not yet finished.
+func (e *Engine) Live() int { return e.live }
+
+// Spawn creates a new process running fn and schedules it to start at the
+// current virtual time. It may be called before Run or from inside a
+// running process.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// SpawnDaemon creates a background service process. Daemons do not keep
+// the simulation alive: Run returns once every non-daemon process has
+// finished, even if daemons are still looping (runtime workers, periodic
+// organizers, monitors).
+func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{
+		e:      e,
+		name:   name,
+		id:     e.nextID,
+		daemon: daemon,
+		resume: make(chan struct{}),
+	}
+	e.nextID++
+	e.live++
+	if !daemon {
+		e.nonDaemon++
+	}
+	e.procs[p.id] = p
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if e.failed == nil {
+					e.failed = fmt.Errorf("vtime: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.done = true
+			e.live--
+			if !p.daemon {
+				e.nonDaemon--
+			}
+			delete(e.procs, p.id)
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.schedule(p, e.now)
+	return p
+}
+
+// schedule enqueues a wake-up for p at time at.
+func (e *Engine) schedule(p *Proc, at Duration) {
+	if at < e.now {
+		at = e.now
+	}
+	heap.Push(&e.pq, event{at: at, seq: e.seq, p: p})
+	e.seq++
+	p.scheduled = true
+}
+
+// DeadlockError reports that processes remained blocked with no pending
+// events. Blocked holds the names of the stuck processes, sorted.
+type DeadlockError struct {
+	At      Duration
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("vtime: deadlock at %v: %d blocked process(es): %v", e.At, len(e.Blocked), e.Blocked)
+}
+
+// starvationLimit is how many consecutive daemon-only dispatches Run
+// tolerates while non-daemon processes exist but never run. Periodic
+// daemons (organizers, monitors) generate events forever, so a plain
+// empty-queue check cannot detect an application deadlock; if this many
+// events pass without any non-daemon progress, the application processes
+// are considered stuck.
+const starvationLimit = 4 << 20
+
+// Run executes the simulation until no events remain or every non-daemon
+// process has finished. It returns an error if a process panicked or if
+// non-daemon processes remain blocked with no way to make progress (a
+// deadlock) — including the masked form where periodic daemons keep the
+// event queue alive while every application process is stuck.
+func (e *Engine) Run() error {
+	daemonOnly := 0
+	for len(e.pq) > 0 && e.nonDaemon > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		if ev.p.done {
+			continue
+		}
+		e.now = ev.at
+		ev.p.scheduled = false
+		ev.p.resume <- struct{}{}
+		<-e.yield
+		if e.failed != nil {
+			return e.failed
+		}
+		if ev.p.daemon {
+			daemonOnly++
+			if daemonOnly > starvationLimit {
+				break
+			}
+		} else {
+			daemonOnly = 0
+		}
+	}
+	if e.nonDaemon > 0 {
+		var names []string
+		for _, p := range e.procs {
+			if !p.daemon {
+				names = append(names, p.name)
+			}
+		}
+		sort.Strings(names)
+		return &DeadlockError{At: e.now, Blocked: names}
+	}
+	return nil
+}
+
+// Proc is a simulation process. All its methods must be called only from
+// the goroutine running the process body.
+type Proc struct {
+	e         *Engine
+	name      string
+	id        int
+	daemon    bool
+	resume    chan struct{}
+	done      bool
+	scheduled bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Duration { return p.e.now }
+
+// Sleep blocks the process for d of virtual time. Non-positive durations
+// yield to other processes scheduled at the current instant.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.schedule(p, p.e.now+d)
+	p.park()
+}
+
+// Yield reschedules the process after all events already queued at the
+// current instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// park returns control to the engine and blocks until the process is next
+// resumed. The caller must have arranged a wake-up (a scheduled event or a
+// registration with a primitive that will call wake).
+func (p *Proc) park() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules p to resume at the current virtual time. It is used by
+// synchronization primitives when the condition a process waits on becomes
+// true. Waking an already-scheduled or finished process is a no-op.
+func (p *Proc) wake() {
+	if p.done || p.scheduled {
+		return
+	}
+	p.e.schedule(p, p.e.now)
+}

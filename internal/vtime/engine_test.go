@@ -1,0 +1,263 @@
+package vtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{1500 * Millisecond, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint16) bool {
+		d := FromSeconds(float64(ms) / 1000)
+		return d == Duration(ms)*Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesAt(t *testing.T) {
+	if got := BytesAt(1e9, 1e9); got != Second {
+		t.Errorf("1GB at 1GB/s = %v, want 1s", got)
+	}
+	if got := BytesAt(0, 1e9); got != 0 {
+		t.Errorf("0 bytes should cost 0, got %v", got)
+	}
+	if got := BytesAt(100, 0); got != 0 {
+		t.Errorf("zero bandwidth should cost 0, got %v", got)
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at Duration
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*Millisecond {
+		t.Errorf("woke at %v, want 5ms", at)
+	}
+	if e.Now() != 5*Millisecond {
+		t.Errorf("engine clock %v, want 5ms", e.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Millisecond)
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-instant events not FIFO: %v", order)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := NewEngine()
+	var childRan bool
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(Millisecond)
+		p.Engine().Spawn("child", func(c *Proc) {
+			c.Sleep(Millisecond)
+			childRan = true
+		})
+		p.Sleep(5 * Millisecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Error("nested spawned child did not run")
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 20; i++ {
+			i := i
+			delay := Duration(rng.Intn(10)) * Millisecond
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(delay)
+				trace = append(trace, fmt.Sprintf("%d@%v", i, p.Now()))
+				p.Sleep(delay)
+				trace = append(trace, fmt.Sprintf("%d@%v", i, p.Now()))
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	ev := &Event{}
+	e.Spawn("stuck", func(p *Proc) {
+		ev.Wait(p) // never fired
+	})
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0] != "stuck" {
+		t.Errorf("blocked = %v, want [stuck]", dl.Blocked)
+	}
+}
+
+func TestProcPanicIsReported(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("boom", func(p *Proc) {
+		p.Sleep(Millisecond)
+		panic("kaboom")
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected error from panicking process")
+	}
+}
+
+func TestLiveCount(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) { p.Sleep(Millisecond) })
+	e.Spawn("b", func(p *Proc) { p.Sleep(2 * Millisecond) })
+	if e.Live() != 2 {
+		t.Fatalf("live = %d before run, want 2", e.Live())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Live() != 0 {
+		t.Errorf("live = %d after run, want 0", e.Live())
+	}
+}
+
+func TestYieldOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMaskedDeadlockDetection(t *testing.T) {
+	// A periodic daemon keeps the event queue alive forever while the
+	// only application process is stuck; Run must still detect the
+	// deadlock via the starvation guard instead of spinning.
+	if testing.Short() {
+		t.Skip("drives millions of daemon events")
+	}
+	e := NewEngine()
+	ev := &Event{}
+	e.Spawn("stuck-app", func(p *Proc) {
+		ev.Wait(p) // never fires
+	})
+	e.SpawnDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(Millisecond)
+		}
+	})
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0] != "stuck-app" {
+		t.Errorf("blocked = %v", dl.Blocked)
+	}
+}
+
+func TestDaemonsDoNotKeepRunAlive(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.SpawnDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(Millisecond)
+			ticks++
+		}
+	})
+	e.Spawn("app", func(p *Proc) { p.Sleep(10 * Millisecond) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 10*Millisecond {
+		t.Errorf("run ended at %v, want exactly the app's lifetime", e.Now())
+	}
+	if ticks < 9 || ticks > 11 {
+		t.Errorf("daemon ticked %d times during the app's 10ms", ticks)
+	}
+}
+
+func TestRunWithOnlyDaemonsReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	e.SpawnDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(Millisecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock advanced to %v with no application processes", e.Now())
+	}
+}

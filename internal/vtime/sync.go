@@ -1,0 +1,314 @@
+package vtime
+
+// This file provides synchronization primitives for simulation processes.
+// Because the engine serializes execution, none of these need host-level
+// locking; they only manage wait queues and wake-ups in virtual time.
+
+// Event is a one-shot broadcast: processes Wait until Fire is called, after
+// which Wait returns immediately. The zero value is an unfired event.
+type Event struct {
+	fired   bool
+	waiters []*Proc
+}
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire marks the event fired and wakes all waiters. Firing twice is a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		w.wake()
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park()
+}
+
+// WaitGroup counts outstanding work, as sync.WaitGroup does for goroutines.
+type WaitGroup struct {
+	n       int
+	waiters []*Proc
+}
+
+// Add adds delta to the counter. It panics if the counter goes negative.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("vtime: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		for _, w := range wg.waiters {
+			w.wake()
+		}
+		wg.waiters = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Pending returns the current counter value.
+func (wg *WaitGroup) Pending() int { return wg.n }
+
+// Wait blocks p until the counter is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.n > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.park()
+	}
+}
+
+// Resource models a capacity-limited facility (device channels, NIC links,
+// CPU cores). Acquire blocks until the requested units are available; units
+// are granted to waiters in FIFO order, so a large request cannot be
+// starved by a stream of small ones.
+type Resource struct {
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+}
+
+type resWaiter struct {
+	p       *Proc
+	n       int
+	granted bool
+}
+
+// NewResource returns a resource with the given capacity (units > 0).
+func NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("vtime: resource capacity must be positive")
+	}
+	return &Resource{capacity: capacity}
+}
+
+// Capacity returns the total units of the resource.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Acquire blocks p until n units are available and takes them. It panics if
+// n exceeds the resource capacity (the request could never be satisfied).
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	if n > r.capacity {
+		panic("vtime: acquire exceeds resource capacity")
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	w := &resWaiter{p: p, n: n}
+	r.waiters = append(r.waiters, w)
+	for !w.granted {
+		p.park()
+	}
+}
+
+// Release returns n units and grants them to queued waiters in FIFO order.
+func (r *Resource) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("vtime: resource released more than acquired")
+	}
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			break
+		}
+		r.inUse += w.n
+		w.granted = true
+		r.waiters = r.waiters[1:]
+		w.p.wake()
+	}
+}
+
+// Use acquires n units, holds them for d of virtual time, and releases
+// them. It models a fixed-service-time visit to the facility.
+func (r *Resource) Use(p *Proc, n int, d Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+// Mutex is a binary resource with Lock/Unlock naming.
+type Mutex struct{ r *Resource }
+
+// NewMutex returns an unlocked mutex.
+func NewMutex() *Mutex { return &Mutex{r: NewResource(1)} }
+
+// Lock blocks p until the mutex is held.
+func (m *Mutex) Lock(p *Proc) { m.r.Acquire(p, 1) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.r.Release(1) }
+
+// Chan is a typed channel between simulation processes. A capacity of zero
+// gives rendezvous semantics; a positive capacity buffers that many values.
+type Chan[T any] struct {
+	capacity int
+	buf      []T
+	sendq    []*chanSender[T]
+	recvq    []*chanReceiver[T]
+	closed   bool
+}
+
+type chanSender[T any] struct {
+	p    *Proc
+	v    T
+	done bool
+}
+
+type chanReceiver[T any] struct {
+	p     *Proc
+	v     T
+	ok    bool
+	ready bool
+}
+
+// NewChan returns a channel with the given buffer capacity (>= 0).
+func NewChan[T any](capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("vtime: negative channel capacity")
+	}
+	return &Chan[T]{capacity: capacity}
+}
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Close closes the channel. Pending and future receives drain the buffer
+// and then return ok=false. Sending on a closed channel panics.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		panic("vtime: close of closed channel")
+	}
+	c.closed = true
+	for _, rw := range c.recvq {
+		rw.ready = true
+		rw.ok = false
+		rw.p.wake()
+	}
+	c.recvq = nil
+}
+
+// Send delivers v, blocking p until a receiver or buffer space is
+// available.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	if c.closed {
+		panic("vtime: send on closed channel")
+	}
+	if len(c.recvq) > 0 {
+		rw := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		rw.v = v
+		rw.ok = true
+		rw.ready = true
+		rw.p.wake()
+		return
+	}
+	if len(c.buf) < c.capacity {
+		c.buf = append(c.buf, v)
+		return
+	}
+	sw := &chanSender[T]{p: p, v: v}
+	c.sendq = append(c.sendq, sw)
+	for !sw.done {
+		p.park()
+	}
+}
+
+// TrySend delivers v without blocking: to a waiting receiver, or into
+// free buffer space. It reports whether the value was delivered.
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed {
+		panic("vtime: send on closed channel")
+	}
+	if len(c.recvq) > 0 {
+		rw := c.recvq[0]
+		c.recvq = c.recvq[1:]
+		rw.v = v
+		rw.ok = true
+		rw.ready = true
+		rw.p.wake()
+		return true
+	}
+	if len(c.buf) < c.capacity {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv blocks p until a value is available. ok is false if the channel is
+// closed and drained.
+func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		c.refill()
+		return v, true
+	}
+	if len(c.sendq) > 0 { // rendezvous (capacity 0)
+		sw := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		sw.done = true
+		sw.p.wake()
+		return sw.v, true
+	}
+	if c.closed {
+		return v, false
+	}
+	rw := &chanReceiver[T]{p: p}
+	c.recvq = append(c.recvq, rw)
+	for !rw.ready {
+		p.park()
+	}
+	return rw.v, rw.ok
+}
+
+// TryRecv receives a value without blocking. ok is false if none is ready.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		c.buf = c.buf[1:]
+		c.refill()
+		return v, true
+	}
+	if len(c.sendq) > 0 {
+		sw := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		sw.done = true
+		sw.p.wake()
+		return sw.v, true
+	}
+	return v, false
+}
+
+// refill moves a blocked sender's value into freed buffer space.
+func (c *Chan[T]) refill() {
+	for len(c.sendq) > 0 && len(c.buf) < c.capacity {
+		sw := c.sendq[0]
+		c.sendq = c.sendq[1:]
+		c.buf = append(c.buf, sw.v)
+		sw.done = true
+		sw.p.wake()
+	}
+}

@@ -1,0 +1,357 @@
+package vtime
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestEventBroadcast(t *testing.T) {
+	e := NewEngine()
+	ev := &Event{}
+	woke := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			ev.Wait(p)
+			woke++
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(Millisecond)
+		ev.Fire()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5 {
+		t.Errorf("woke = %d, want 5", woke)
+	}
+	if !ev.Fired() {
+		t.Error("event should report fired")
+	}
+}
+
+func TestEventWaitAfterFire(t *testing.T) {
+	e := NewEngine()
+	ev := &Event{}
+	ev.Fire()
+	ran := false
+	e.Spawn("late", func(p *Proc) {
+		ev.Wait(p) // should not block
+		ran = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("waiter on fired event blocked")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	var wg WaitGroup
+	wg.Add(3)
+	var doneAt Duration
+	for i := 1; i <= 3; i++ {
+		d := Duration(i) * Millisecond
+		e.Spawn(fmt.Sprintf("worker%d", i), func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	e.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 3*Millisecond {
+		t.Errorf("waiter finished at %v, want 3ms", doneAt)
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative counter")
+		}
+	}()
+	var wg WaitGroup
+	wg.Done()
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(1)
+	var finish []Duration
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+			r.Use(p, 1, 10*Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Duration{10 * Millisecond, 20 * Millisecond, 30 * Millisecond}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], want[i])
+		}
+	}
+}
+
+func TestResourceParallelism(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(2)
+	var finish []Duration
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprintf("u%d", i), func(p *Proc) {
+			r.Use(p, 1, 10*Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two at a time: finishes at 10,10,20,20.
+	want := []Duration{10 * Millisecond, 10 * Millisecond, 20 * Millisecond, 20 * Millisecond}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], want[i])
+		}
+	}
+}
+
+func TestResourceFIFONoStarvation(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(4)
+	var got []string
+	e.Spawn("hold", func(p *Proc) {
+		r.Acquire(p, 3)
+		p.Sleep(10 * Millisecond)
+		r.Release(3)
+	})
+	e.Spawn("big", func(p *Proc) {
+		p.Sleep(Millisecond) // queue behind hold
+		r.Acquire(p, 4)
+		got = append(got, "big")
+		r.Release(4)
+	})
+	e.Spawn("small", func(p *Proc) {
+		p.Sleep(2 * Millisecond) // arrives after big
+		r.Acquire(p, 1)
+		got = append(got, "small")
+		r.Release(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// FIFO: big (queued first) must be served before small even though small
+	// could have fit in the spare unit.
+	if len(got) != 2 || got[0] != "big" {
+		t.Errorf("service order = %v, want [big small]", got)
+	}
+}
+
+func TestResourceOverCapacityPanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(2)
+	e.Spawn("p", func(p *Proc) { r.Acquire(p, 3) })
+	if err := e.Run(); err == nil {
+		t.Error("expected error from over-capacity acquire panic")
+	}
+}
+
+func TestMutex(t *testing.T) {
+	e := NewEngine()
+	m := NewMutex()
+	counter := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			m.Lock(p)
+			c := counter
+			p.Sleep(Millisecond)
+			counter = c + 1
+			m.Unlock()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 5 {
+		t.Errorf("counter = %d, want 5 (lost update without mutex)", counter)
+	}
+}
+
+func TestChanBuffered(t *testing.T) {
+	e := NewEngine()
+	c := NewChan[int](2)
+	var got []int
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			c.Send(p, i)
+		}
+		c.Close()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		p.Sleep(Millisecond)
+		for {
+			v, ok := c.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("received %d values, want 5: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Errorf("got[%d] = %d, want %d (order not preserved)", i, v, i)
+		}
+	}
+}
+
+func TestChanRendezvous(t *testing.T) {
+	e := NewEngine()
+	c := NewChan[string](0)
+	var recvAt Duration
+	e.Spawn("sender", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		c.Send(p, "hello")
+	})
+	e.Spawn("receiver", func(p *Proc) {
+		v, ok := c.Recv(p)
+		if !ok || v != "hello" {
+			t.Errorf("recv = %q, %v", v, ok)
+		}
+		recvAt = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recvAt != 5*Millisecond {
+		t.Errorf("received at %v, want 5ms (rendezvous)", recvAt)
+	}
+}
+
+func TestChanSenderBlocksWhenFull(t *testing.T) {
+	e := NewEngine()
+	c := NewChan[int](1)
+	var sentSecondAt Duration
+	e.Spawn("sender", func(p *Proc) {
+		c.Send(p, 1)
+		c.Send(p, 2) // blocks until consumer drains
+		sentSecondAt = p.Now()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		p.Sleep(7 * Millisecond)
+		if v, ok := c.Recv(p); !ok || v != 1 {
+			t.Errorf("first recv = %d, %v", v, ok)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sentSecondAt != 7*Millisecond {
+		t.Errorf("second send completed at %v, want 7ms", sentSecondAt)
+	}
+}
+
+func TestChanTryRecv(t *testing.T) {
+	e := NewEngine()
+	c := NewChan[int](4)
+	e.Spawn("p", func(p *Proc) {
+		if _, ok := c.TryRecv(); ok {
+			t.Error("TryRecv on empty channel returned ok")
+		}
+		c.Send(p, 42)
+		v, ok := c.TryRecv()
+		if !ok || v != 42 {
+			t.Errorf("TryRecv = %d, %v; want 42, true", v, ok)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChanCloseWakesReceivers(t *testing.T) {
+	e := NewEngine()
+	c := NewChan[int](0)
+	gotOK := true
+	e.Spawn("receiver", func(p *Proc) {
+		_, gotOK = c.Recv(p)
+	})
+	e.Spawn("closer", func(p *Proc) {
+		p.Sleep(Millisecond)
+		c.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotOK {
+		t.Error("Recv on closed channel should return ok=false")
+	}
+}
+
+func TestTrySendFullAndClosed(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		c := NewChan[int](1)
+		if !c.TrySend(1) {
+			t.Error("TrySend into empty buffer failed")
+		}
+		if c.TrySend(2) {
+			t.Error("TrySend into full buffer succeeded")
+		}
+		// TrySend delivers directly to a waiting receiver.
+		c2 := NewChan[int](0)
+		got := 0
+		e.Spawn("recv", func(q *Proc) {
+			v, _ := c2.Recv(q)
+			got = v
+		})
+		p.Yield() // let the receiver park
+		if !c2.TrySend(7) {
+			t.Error("TrySend to waiting receiver failed")
+		}
+		p.Yield()
+		if got != 7 {
+			t.Errorf("receiver got %d", got)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleClosePanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		c := NewChan[int](1)
+		c.Close()
+		c.Close() // must panic
+	})
+	if err := e.Run(); err == nil {
+		t.Error("expected panic error from double close")
+	}
+}
+
+func TestSendOnClosedPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		c := NewChan[int](1)
+		c.Close()
+		c.Send(p, 1)
+	})
+	if err := e.Run(); err == nil {
+		t.Error("expected panic error from send on closed")
+	}
+}
