@@ -77,9 +77,10 @@ func corruption() {
 		for _, node := range c.Nodes {
 			for _, dev := range node.Devices {
 				for _, key := range dev.List() {
-					if strings.HasPrefix(key, "checked/") {
+					name := d.Hermes().DisplayName(key)
+					if strings.HasPrefix(name, "checked/") {
 						dev.CorruptBit(key, 512, 2)
-						fmt.Printf("corruption: flipped a bit of %q on %s\n", key, dev.Name())
+						fmt.Printf("corruption: flipped a bit of %q on %s\n", name, dev.Name())
 						goto read
 					}
 				}

@@ -1,0 +1,127 @@
+package blob
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestInternStable(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("vec")
+	b := in.Intern("other")
+	if a == 0 || b == 0 {
+		t.Fatalf("interner assigned reserved id 0: a=%d b=%d", a, b)
+	}
+	if a == b {
+		t.Fatalf("distinct names interned to same id %d", a)
+	}
+	if got := in.Intern("vec"); got != a {
+		t.Fatalf("re-intern changed id: %d != %d", got, a)
+	}
+	if in.Name(a) != "vec" || in.Name(b) != "other" {
+		t.Fatalf("name round-trip failed: %q %q", in.Name(a), in.Name(b))
+	}
+	if _, ok := in.Lookup("missing"); ok {
+		t.Fatal("Lookup invented an id for an unknown name")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+}
+
+func TestInternDeterministicOrder(t *testing.T) {
+	names := []string{"c", "a", "b", "a", "c", "d"}
+	in1, in2 := NewInterner(), NewInterner()
+	for _, n := range names {
+		if in1.Intern(n) != in2.Intern(n) {
+			t.Fatalf("intern order diverged for %q", n)
+		}
+	}
+}
+
+func TestDerivedIDs(t *testing.T) {
+	in := NewInterner()
+	vec := in.Intern("vec")
+	pg := PageID(vec, 42)
+	if !pg.IsPrimary() || !pg.Valid() {
+		t.Fatalf("page id not primary/valid: %+v", pg)
+	}
+	rep := pg.Replica(3)
+	bak := pg.Backup(1)
+	if rep.IsPrimary() || bak.IsPrimary() {
+		t.Fatal("derived copies report primary")
+	}
+	if rep.Base() != pg || bak.Base() != pg {
+		t.Fatalf("Base did not recover primary: %+v %+v", rep.Base(), bak.Base())
+	}
+	// A raw blob named like the vector must not collide with page 0's
+	// derived copies.
+	raw := Raw(vec)
+	if raw.Backup(1) == PageID(vec, 0).Backup(1) {
+		t.Fatal("raw backup collides with page-0 backup")
+	}
+}
+
+func TestDisplayNameMatchesLegacyScheme(t *testing.T) {
+	in := NewInterner()
+	vec := in.Intern("vec")
+	cases := []struct {
+		id   ID
+		want string
+	}{
+		{PageID(vec, 42), fmt.Sprintf("%s/p%07d", "vec", 42)},
+		{PageID(vec, 42).Replica(3), fmt.Sprintf("%s/p%07d@n%d", "vec", 42, 3)},
+		{PageID(vec, 42).Backup(1), fmt.Sprintf("%s/p%07d!bak%d", "vec", 42, 1)},
+		{Raw(vec), "vec"},
+		{Raw(vec).Backup(2), "vec!bak2"},
+		{Raw(vec).Replica(1), "vec@n1"},
+	}
+	for _, c := range cases {
+		if got := in.DisplayName(c.id); got != c.want {
+			t.Errorf("DisplayName(%+v) = %q, want %q", c.id, got, c.want)
+		}
+	}
+}
+
+func TestTotalOrderMatchesLegacySortWithinKind(t *testing.T) {
+	// Within one vector's pages the ID order must agree with the string
+	// sort the organizer used to rely on.
+	in := NewInterner()
+	vec := in.Intern("vec")
+	ids := []ID{PageID(vec, 9), PageID(vec, 2), PageID(vec, 100), PageID(vec, 0)}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	keys := []string{}
+	for _, id := range ids {
+		keys = append(keys, in.DisplayName(id))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("ID order disagrees with string order: %v", keys)
+	}
+	for i := 1; i < len(ids); i++ {
+		if Compare(ids[i-1], ids[i]) != -1 || Compare(ids[i], ids[i-1]) != 1 {
+			t.Fatalf("Compare inconsistent at %d", i)
+		}
+	}
+	if Compare(ids[0], ids[0]) != 0 {
+		t.Fatal("Compare(x, x) != 0")
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	// Sequential pages must not all land in the same low-bits bucket.
+	in := NewInterner()
+	vec := in.Intern("vec")
+	buckets := map[uint32]int{}
+	for i := int64(0); i < 1024; i++ {
+		buckets[PageID(vec, i).Hash()%8]++
+	}
+	for b, n := range buckets {
+		if n == 0 || n > 1024/2 {
+			t.Fatalf("degenerate spread: bucket %d has %d of 1024", b, n)
+		}
+	}
+	if PageID(vec, 1).Hash() == PageID(vec, 1).Replica(2).Hash() {
+		t.Fatal("replica hashes identical to primary (kind/node not mixed)")
+	}
+}

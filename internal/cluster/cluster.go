@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"megammap/internal/blob"
 	"megammap/internal/device"
 	"megammap/internal/simnet"
 	"megammap/internal/vtime"
@@ -128,6 +129,7 @@ type Cluster struct {
 	Fabric *simnet.Fabric
 	PFS    *device.Device
 	pfsSrv *vtime.Resource
+	pfsIDs *blob.Interner // PFS object names; devices store by blob.ID
 }
 
 // New builds a cluster on a fresh engine.
@@ -144,6 +146,7 @@ func New(spec Spec) *Cluster {
 		Fabric: simnet.New(spec.Nodes, spec.Link),
 		PFS:    device.New("pfs", spec.PFS),
 		pfsSrv: vtime.NewResource(spec.PFSFanout),
+		pfsIDs: blob.NewInterner(),
 	}
 	for i := 0; i < spec.Nodes; i++ {
 		n := &Node{
@@ -160,12 +163,24 @@ func New(spec Spec) *Cluster {
 	return c
 }
 
+// pfsID interns a PFS object name, assigning an ID on first use.
+func (c *Cluster) pfsID(key string) blob.ID { return blob.Raw(c.pfsIDs.Intern(key)) }
+
+// pfsLookup resolves a PFS object name without interning; the zero ID is
+// returned for names never written.
+func (c *Cluster) pfsLookup(key string) (blob.ID, bool) {
+	vec, ok := c.pfsIDs.Lookup(key)
+	return blob.Raw(vec), ok
+}
+
 // PFSWrite stores a blob range on the shared parallel filesystem from the
-// given node, charging network transfer plus PFS service time.
+// given node, charging network transfer plus PFS service time. The string
+// key is interned here; the stage backends are the only layer still
+// addressing data by name.
 func (c *Cluster) PFSWrite(p *vtime.Proc, node int, key string, off int64, data []byte) error {
 	c.chargePFSNet(p, node, int64(len(data)))
 	c.pfsSrv.Acquire(p, 1)
-	err := c.PFS.WriteAt(p, key, off, data)
+	err := c.PFS.WriteAt(p, c.pfsID(key), off, data)
 	c.pfsSrv.Release(1)
 	return err
 }
@@ -173,8 +188,12 @@ func (c *Cluster) PFSWrite(p *vtime.Proc, node int, key string, off int64, data 
 // PFSRead reads a blob range from the shared parallel filesystem into the
 // given node.
 func (c *Cluster) PFSRead(p *vtime.Proc, node int, key string, off, length int64) ([]byte, bool) {
+	id, ok := c.pfsLookup(key)
+	if !ok {
+		return nil, false
+	}
 	c.pfsSrv.Acquire(p, 1)
-	data, ok := c.PFS.ReadAt(p, key, off, length)
+	data, ok := c.PFS.ReadAt(p, id, off, length)
 	c.pfsSrv.Release(1)
 	if ok {
 		c.chargePFSNet(p, node, int64(len(data)))
@@ -183,10 +202,41 @@ func (c *Cluster) PFSRead(p *vtime.Proc, node int, key string, off, length int64
 }
 
 // PFSSize returns the size of a PFS object, or -1 if absent.
-func (c *Cluster) PFSSize(key string) int64 { return c.PFS.BlobSize(key) }
+func (c *Cluster) PFSSize(key string) int64 {
+	id, ok := c.pfsLookup(key)
+	if !ok {
+		return -1
+	}
+	return c.PFS.BlobSize(id)
+}
 
 // PFSDelete removes a PFS object.
-func (c *Cluster) PFSDelete(p *vtime.Proc, key string) { c.PFS.Delete(p, key) }
+func (c *Cluster) PFSDelete(p *vtime.Proc, key string) {
+	if id, ok := c.pfsLookup(key); ok {
+		c.PFS.Delete(p, id)
+	}
+}
+
+// PFSPeek returns a copy of a PFS object without charging virtual time
+// (metadata snooping at open).
+func (c *Cluster) PFSPeek(key string) ([]byte, bool) {
+	id, ok := c.pfsLookup(key)
+	if !ok {
+		return nil, false
+	}
+	return c.PFS.Peek(id)
+}
+
+// PFSList returns the names of all PFS objects in sorted order.
+func (c *Cluster) PFSList() []string {
+	ids := c.PFS.List()
+	keys := make([]string, 0, len(ids))
+	for _, id := range ids {
+		keys = append(keys, c.pfsIDs.Name(id.Vec))
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // chargePFSNet charges the network hop between a compute node and the
 // storage rack: wire time on the node's NIC plus one-way latency.

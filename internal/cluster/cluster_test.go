@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"megammap/internal/blob"
 	"megammap/internal/device"
 	"megammap/internal/vtime"
 )
@@ -216,7 +217,7 @@ func TestMonitorWriteCSV(t *testing.T) {
 			t.Error(err)
 		}
 		c.Engine.Spawn("io", func(p2 *vtime.Proc) {
-			if err := c.Nodes[0].Devices["nvme"].Write(p2, "x", make([]byte, 4096)); err != nil {
+			if err := c.Nodes[0].Devices["nvme"].Write(p2, blob.Raw(1), make([]byte, 4096)); err != nil {
 				t.Error(err)
 			}
 		})

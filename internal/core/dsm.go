@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"megammap/internal/blob"
 	"megammap/internal/cluster"
 	"megammap/internal/hermes"
 	"megammap/internal/stager"
@@ -27,7 +28,9 @@ type DSM struct {
 	// one in flight, followers queued. Page-hashed workers alone cannot
 	// guarantee this because the low/high-latency split and cross-node
 	// routing may place same-page tasks on different workers.
-	chains     map[string]*pageChain
+	chains     map[blob.ID]*pageChain
+	chainFree  []*pageChain  // recycled chains; page faults churn them
+	taskFree   []*MemoryTask // recycled tasks; every fault/commit churns one
 	busyChains int
 
 	// pendingMoves counts organizer relocations still queued or running;
@@ -55,9 +58,6 @@ type DSM struct {
 	// missing) a node-local replica (diagnostics).
 	replicaHits, replicaMisses int64
 
-	// FaultsByVec is a diagnostic per-vector sync-fault counter.
-	FaultsByVec map[string]int64
-
 	trace *TaskTrace
 }
 
@@ -83,10 +83,9 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 		vecs:         make(map[string]*vecMeta),
 		barriers:     make(map[string]*barrierState),
 		locks:        make(map[string]*dsmLock),
-		chains:       make(map[string]*pageChain),
+		chains:       make(map[blob.ID]*pageChain),
 		pendingReads: make(map[pendingKey]*MemoryTask),
 	}
-	d.FaultsByVec = make(map[string]int64)
 	if cfg.TraceTasks {
 		d.trace = &TaskTrace{}
 	}
@@ -143,7 +142,8 @@ func (d *DSM) organizerLoop(p *vtime.Proc) {
 		if d.pendingMoves == 0 {
 			for _, mv := range d.h.PlanOrganize(d.cfg.OrganizeBudget) {
 				d.pendingMoves++
-				t := &MemoryTask{kind: taskMove, move: mv, chainKey: mv.Key, origin: 0}
+				t := d.newTask()
+				t.kind, t.move, t.chainID, t.recycle = taskMove, mv, mv.ID, true
 				d.submit(p, t)
 			}
 		}
@@ -170,7 +170,8 @@ func (d *DSM) stagerLoop(p *vtime.Proc) {
 					continue // already in flight; don't pile up duplicates
 				}
 				m.staging[pg] = true
-				t := &MemoryTask{kind: taskStage, vec: m, page: pg, origin: 0}
+				t := d.newTask()
+				t.kind, t.vec, t.page, t.recycle = taskStage, m, pg, true
 				d.submit(p, t)
 				// Fire-and-forget: workers drain them; Shutdown waits.
 			}
@@ -193,16 +194,16 @@ type pageChain struct {
 	pending []*MemoryTask
 }
 
-// blobKey returns the chain/blob key a task addresses.
-func (t *MemoryTask) blobKey() string {
-	if t.chainKey != "" {
-		return t.chainKey
+// blobID returns the chain/blob ID a task addresses.
+func (t *MemoryTask) blobID() blob.ID {
+	if t.chainID.Valid() {
+		return t.chainID
 	}
-	return t.vec.pageKey(t.page)
+	return t.vec.pageID(t.page)
 }
 
 type pendingKey struct {
-	vec  string
+	vec  uint32
 	page int64
 	node int
 }
@@ -212,7 +213,7 @@ type pendingKey struct {
 // in-flight read lead. Only collective-phase reads coalesce: their
 // results are immutable for the phase.
 func (d *DSM) coalesceRead(t *MemoryTask) (*MemoryTask, bool) {
-	k := pendingKey{vec: t.vec.name, page: t.page, node: t.origin}
+	k := pendingKey{vec: t.vec.id, page: t.page, node: t.origin}
 	if lead := d.pendingReads[k]; lead != nil {
 		return lead, true
 	}
@@ -222,7 +223,7 @@ func (d *DSM) coalesceRead(t *MemoryTask) (*MemoryTask, bool) {
 
 // readDone unregisters a coalescing lead once its data arrived.
 func (d *DSM) readDone(t *MemoryTask) {
-	delete(d.pendingReads, pendingKey{vec: t.vec.name, page: t.page, node: t.origin})
+	delete(d.pendingReads, pendingKey{vec: t.vec.id, page: t.page, node: t.origin})
 }
 
 // submit enqueues a task, serializing data-bearing tasks per page in
@@ -231,9 +232,9 @@ func (d *DSM) readDone(t *MemoryTask) {
 // complete. Score tasks are metadata-only and bypass the chain.
 func (d *DSM) submit(p *vtime.Proc, t *MemoryTask) {
 	t.submitted = p.Now()
-	key := t.blobKey()
+	id := t.blobID()
 	owner := t.origin
-	if pl, ok := d.h.PlacementOf(key); ok {
+	if pl, ok := d.h.PlacementOf(id); ok {
 		owner = pl.Node
 	}
 	if owner != t.origin {
@@ -243,10 +244,15 @@ func (d *DSM) submit(p *vtime.Proc, t *MemoryTask) {
 		d.runtimes[owner].submit(t)
 		return
 	}
-	ch := d.chains[key]
+	ch := d.chains[id]
 	if ch == nil {
-		ch = &pageChain{}
-		d.chains[key] = ch
+		if n := len(d.chainFree); n > 0 {
+			ch = d.chainFree[n-1]
+			d.chainFree = d.chainFree[:n-1]
+		} else {
+			ch = &pageChain{}
+		}
+		d.chains[id] = ch
 	}
 	if ch.busy {
 		ch.pending = append(ch.pending, t)
@@ -257,25 +263,50 @@ func (d *DSM) submit(p *vtime.Proc, t *MemoryTask) {
 	d.runtimes[owner].submit(t)
 }
 
+// newTask returns a zeroed MemoryTask, reusing a pooled one when
+// available. The hot path submits one task per fault and per commit;
+// pooling keeps those allocation-free in steady state.
+func (d *DSM) newTask() *MemoryTask {
+	if n := len(d.taskFree); n > 0 {
+		t := d.taskFree[n-1]
+		d.taskFree = d.taskFree[:n-1]
+		return t
+	}
+	return &MemoryTask{}
+}
+
+// recycleTask resets a completed task and returns it to the pool. Only
+// call once per task, when no other reference to it remains. The done
+// event is reset rather than replaced so its waiter queue's capacity
+// survives the round trip.
+func (d *DSM) recycleTask(t *MemoryTask) {
+	done := t.done
+	done.Reset()
+	*t = MemoryTask{done: done}
+	d.taskFree = append(d.taskFree, t)
+}
+
 // pageDone releases a page's chain after a task completes and dispatches
 // the next queued task (re-resolving the owner, since the completed task
 // may have moved the page).
 func (d *DSM) pageDone(t *MemoryTask) {
-	key := t.blobKey()
-	ch := d.chains[key]
+	id := t.blobID()
+	ch := d.chains[id]
 	if ch == nil {
 		return
 	}
 	if len(ch.pending) == 0 {
 		ch.busy = false
 		d.busyChains--
-		delete(d.chains, key)
+		delete(d.chains, id)
+		ch.pending = nil
+		d.chainFree = append(d.chainFree, ch)
 		return
 	}
 	next := ch.pending[0]
 	ch.pending = ch.pending[1:]
 	owner := next.origin
-	if pl, ok := d.h.PlacementOf(key); ok {
+	if pl, ok := d.h.PlacementOf(id); ok {
 		owner = pl.Node
 	}
 	d.runtimes[owner].submit(next)
@@ -329,7 +360,7 @@ func (d *DSM) Shutdown(p *vtime.Proc) error {
 // mark.
 func (d *DSM) stageOut(p *vtime.Proc, m *vecMeta, page int64, node int) error {
 	defer delete(m.staging, page)
-	data, ok := d.h.Get(p, node, m.pageKey(page))
+	data, ok := d.h.Get(p, node, m.pageID(page))
 	if !ok {
 		return nil // page was destroyed or never materialized
 	}
@@ -355,6 +386,9 @@ func (d *DSM) stageOut(p *vtime.Proc, m *vecMeta, page int64, node int) error {
 // vecMeta is the cluster-wide shared state of one vector.
 type vecMeta struct {
 	name     string
+	id       uint32 // interned name; all page IDs derive from it
+	home     int    // metadata home node (hash of the ID, cached at open)
+	faults   int64  // synchronous faults (diagnostics)
 	elemSize int64
 	pageSize int64
 	epp      int64 // elements per page
@@ -371,12 +405,12 @@ type vecMeta struct {
 	access string // access key required to open ("" = open to all)
 }
 
-func (m *vecMeta) pageKey(idx int64) string {
-	return fmt.Sprintf("%s/p%07d", m.name, idx)
+func (m *vecMeta) pageID(idx int64) blob.ID {
+	return blob.PageID(m.id, idx)
 }
 
-func (m *vecMeta) replicaKey(idx int64, node int) string {
-	return fmt.Sprintf("%s/p%07d@n%d", m.name, idx, node)
+func (m *vecMeta) replicaID(idx int64, node int) blob.ID {
+	return blob.PageID(m.id, idx).Replica(node)
 }
 
 // sizeBytes returns the logical size in bytes.
@@ -393,7 +427,7 @@ func (m *vecMeta) dirtyPages() []int64 {
 	for pg := range m.dirty {
 		out = append(out, pg)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortInt64s(out)
 	return out
 }
 
@@ -453,6 +487,17 @@ func hashString(s string) uint32 {
 		h *= 16777619
 	}
 	return h
+}
+
+// FaultsByVec returns a snapshot of the per-vector synchronous-fault
+// counters (diagnostics). The counters themselves live on each vecMeta so
+// the fault path never touches a string-keyed map.
+func (d *DSM) FaultsByVec() map[string]int64 {
+	out := make(map[string]int64, len(d.vecs))
+	for name, m := range d.vecs {
+		out[name] = m.faults
+	}
+	return out
 }
 
 // ReplicasOf exposes a vector's replica map for diagnostics and tests.

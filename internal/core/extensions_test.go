@@ -127,7 +127,7 @@ func TestChecksumDetectsBitFlip(t *testing.T) {
 		v.Close()
 
 		// Flip one bit of page 0 wherever it landed.
-		key := d.vecs["ecc"].pageKey(0)
+		key := d.vecs["ecc"].pageID(0)
 		pl, ok := d.h.PlacementOf(key)
 		if !ok {
 			t.Fatal("page 0 not in scache")

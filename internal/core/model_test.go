@@ -256,7 +256,7 @@ func TestFaultsByVecDiagnostic(t *testing.T) {
 			_ = v.Get(i)
 		}
 		v.TxEnd()
-		if d.FaultsByVec["diag"] == 0 {
+		if d.FaultsByVec()["diag"] == 0 {
 			t.Error("per-vector fault counter not incremented")
 		}
 	})

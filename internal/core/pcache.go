@@ -4,6 +4,11 @@ package core
 // configurable maximum size (paper §III-B). Reads and writes hit the
 // pcache first; misses fault pages in from the scache, and evictions
 // commit dirty regions back asynchronously.
+//
+// Victim selection is indexed: every resident page sits in a min-heap
+// ordered by (score, lastUse, idx), so an eviction costs O(log n) instead
+// of a full page-table walk — and the page-index tie-break makes victim
+// choice deterministic where a map walk would pick by random map order.
 
 // cachedPage is one page resident in a pcache.
 type cachedPage struct {
@@ -12,6 +17,12 @@ type cachedPage struct {
 	dirty   []dirtyRange
 	lastUse int64   // pcache clock at last access (LRU)
 	score   float64 // local priority; 0 means evict first
+	// nextMerge is the dirty-list length at which the next mergeRanges
+	// pass runs; it doubles after a merge that can't shrink the list, so
+	// scattered strided writes don't re-merge O(n) on every append.
+	nextMerge int
+	// heapIdx is the page's position in the pcache eviction heap.
+	heapIdx int
 	// partial marks a write-allocated page: only the locally written
 	// regions are real, the rest is zero fill. Partial pages must never
 	// serve reads that a new read phase could direct at foreign regions.
@@ -20,8 +31,14 @@ type cachedPage struct {
 
 func (cp *cachedPage) isDirty() bool { return len(cp.dirty) > 0 }
 
+// mergeThreshold is the dirty-range count above which markDirty starts
+// coalescing the list.
+const mergeThreshold = 64
+
 // markDirty records a modified byte span, merging lazily once the range
-// list grows.
+// list grows — and re-merging only after it grows 2x past the last
+// merge's result, so incompressible (scattered strided) lists aren't
+// re-scanned on every write.
 func (cp *cachedPage) markDirty(off, end int64) {
 	// Fast path: extend the most recent range (sequential writes).
 	if n := len(cp.dirty); n > 0 {
@@ -37,8 +54,9 @@ func (cp *cachedPage) markDirty(off, end int64) {
 		}
 	}
 	cp.dirty = append(cp.dirty, dirtyRange{off: off, end: end})
-	if len(cp.dirty) > 64 {
+	if len(cp.dirty) > mergeThreshold && len(cp.dirty) >= cp.nextMerge {
 		cp.dirty = mergeRanges(cp.dirty)
+		cp.nextMerge = 2 * len(cp.dirty)
 	}
 }
 
@@ -49,10 +67,49 @@ type pcache struct {
 	bound int64 // max bytes (0 = unbounded)
 	used  int64 // bytes of resident and reserved pages
 	clock int64
+	// heap is the eviction min-heap over all resident pages, ordered by
+	// evictBefore. Positions are tracked intrusively in cachedPage.heapIdx.
+	heap []*cachedPage
+	// free recycles page frames: bounded workloads churn one cachedPage
+	// per fault, all the same shape.
+	free []*cachedPage
 }
 
 func newPCache() *pcache {
 	return &pcache{pages: make(map[int64]*cachedPage)}
+}
+
+// evictBefore is the eviction order: lowest score first, then least
+// recently used, then lowest page index (the deterministic tie-break).
+func evictBefore(a, b *cachedPage) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	if a.lastUse != b.lastUse {
+		return a.lastUse < b.lastUse
+	}
+	return a.idx < b.idx
+}
+
+// newPage returns a fresh page frame, reusing a recycled one when
+// available.
+func (pc *pcache) newPage(idx int64, data []byte, score float64, partial bool) *cachedPage {
+	if n := len(pc.free); n > 0 {
+		cp := pc.free[n-1]
+		pc.free = pc.free[:n-1]
+		*cp = cachedPage{idx: idx, data: data, score: score, partial: partial}
+		return cp
+	}
+	return &cachedPage{idx: idx, data: data, score: score, partial: partial}
+}
+
+// recycle returns a removed page's frame to the freelist. The data and
+// dirty slices may have escaped into in-flight commit tasks, so their
+// references are dropped rather than reused.
+func (pc *pcache) recycle(cp *cachedPage) {
+	cp.data = nil
+	cp.dirty = nil
+	pc.free = append(pc.free, cp)
 }
 
 // get returns the resident page and bumps its LRU stamp.
@@ -61,6 +118,7 @@ func (pc *pcache) get(idx int64) *cachedPage {
 	if cp != nil {
 		pc.clock++
 		cp.lastUse = pc.clock
+		pc.siftDown(cp.heapIdx) // later use = worse victim = away from root
 	}
 	return cp
 }
@@ -70,31 +128,111 @@ func (pc *pcache) insert(cp *cachedPage) {
 	pc.clock++
 	cp.lastUse = pc.clock
 	pc.pages[cp.idx] = cp
+	cp.heapIdx = len(pc.heap)
+	pc.heap = append(pc.heap, cp)
+	pc.siftUp(cp.heapIdx)
 }
 
 // remove drops a page from the table without releasing reservation
 // accounting (the caller owns that).
-func (pc *pcache) remove(idx int64) { delete(pc.pages, idx) }
+func (pc *pcache) remove(idx int64) {
+	cp := pc.pages[idx]
+	if cp == nil {
+		return
+	}
+	delete(pc.pages, idx)
+	pc.heapRemove(cp.heapIdx)
+}
 
 // needsEviction reports whether reserving n more bytes exceeds the bound.
 func (pc *pcache) needsEviction(n int64) bool {
 	return pc.bound > 0 && pc.used+n > pc.bound
 }
 
-// victim selects the page to evict: lowest score first, then least
-// recently used, never the page pinned by the caller. It returns nil if
-// no evictable page exists.
+// victim selects the page to evict — the heap root, or its successor when
+// the root is the page pinned by the caller. It returns nil if no
+// evictable page exists.
 func (pc *pcache) victim(pinned int64) *cachedPage {
-	var best *cachedPage
-	for _, cp := range pc.pages {
-		if cp.idx == pinned {
-			continue
-		}
-		if best == nil ||
-			cp.score < best.score ||
-			(cp.score == best.score && cp.lastUse < best.lastUse) {
-			best = cp
+	if len(pc.heap) == 0 {
+		return nil
+	}
+	root := pc.heap[0]
+	if root.idx != pinned {
+		return root
+	}
+	if len(pc.heap) == 1 {
+		return nil
+	}
+	// Lift the pinned root out, read the true minimum, and put it back.
+	pc.heapRemove(0)
+	best := pc.heap[0]
+	root.heapIdx = len(pc.heap)
+	pc.heap = append(pc.heap, root)
+	pc.siftUp(root.heapIdx)
+	return best
+}
+
+// fix restores a page's heap position after its score changed.
+func (pc *pcache) fix(cp *cachedPage) {
+	if !pc.siftUp(cp.heapIdx) {
+		pc.siftDown(cp.heapIdx)
+	}
+}
+
+// heapRemove deletes the element at heap position i.
+func (pc *pcache) heapRemove(i int) {
+	last := len(pc.heap) - 1
+	if i != last {
+		pc.heap[i] = pc.heap[last]
+		pc.heap[i].heapIdx = i
+	}
+	pc.heap = pc.heap[:last]
+	if i < last {
+		if !pc.siftUp(i) {
+			pc.siftDown(i)
 		}
 	}
-	return best
+}
+
+// siftUp moves the element at i toward the root while it sorts before its
+// parent, reporting whether it moved.
+func (pc *pcache) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !evictBefore(pc.heap[i], pc.heap[parent]) {
+			break
+		}
+		pc.heapSwap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// siftDown moves the element at i away from the root while a child sorts
+// before it.
+func (pc *pcache) siftDown(i int) {
+	n := len(pc.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && evictBefore(pc.heap[right], pc.heap[left]) {
+			least = right
+		}
+		if !evictBefore(pc.heap[least], pc.heap[i]) {
+			return
+		}
+		pc.heapSwap(i, least)
+		i = least
+	}
+}
+
+func (pc *pcache) heapSwap(i, j int) {
+	pc.heap[i], pc.heap[j] = pc.heap[j], pc.heap[i]
+	pc.heap[i].heapIdx = i
+	pc.heap[j].heapIdx = j
 }

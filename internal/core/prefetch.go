@@ -54,6 +54,7 @@ func (v *Vector[T]) runPrefetcher(current int64) {
 		v.scoreAsync(pg, 0)
 		if cp := v.pc.pages[pg]; cp != nil {
 			cp.score = 0
+			v.pc.fix(cp)
 			v.evict(cp)
 		}
 	}
@@ -107,13 +108,12 @@ func (v *Vector[T]) runPrefetcher(current int64) {
 // scoreAsync sends an importance score to the Data Organizer for pages
 // that exist in the scache (pcache-only pages have nothing to organize).
 func (v *Vector[T]) scoreAsync(pg int64, score float64) {
-	if _, ok := v.c.d.h.PlacementOf(v.m.pageKey(pg)); !ok {
+	if _, ok := v.c.d.h.PlacementOf(v.m.pageID(pg)); !ok {
 		return
 	}
-	t := &MemoryTask{
-		kind: taskScore, vec: v.m, page: pg,
-		score: score, origin: v.c.node.ID,
-	}
+	t := v.c.d.newTask()
+	t.kind, t.vec, t.page = taskScore, v.m, pg
+	t.score, t.origin, t.recycle = score, v.c.node.ID, true
 	v.c.submitAsync(t)
 }
 
@@ -121,10 +121,9 @@ func (v *Vector[T]) scoreAsync(pg int64, score float64) {
 // integrateFills later installs.
 func (v *Vector[T]) issueFill(pg, pinned int64) {
 	v.ensureSpace(pinned)
-	t := &MemoryTask{
-		kind: taskRead, vec: v.m, page: pg,
-		origin: v.c.node.ID, replicate: v.replicable(),
-	}
+	t := v.c.d.newTask()
+	t.kind, t.vec, t.page = taskRead, v.m, pg
+	t.origin, t.replicate = v.c.node.ID, v.replicable()
 	v.c.submitAsync(t)
 	v.fills[pg] = &fillReq{t: t, stamp: v.pageWrites[pg]}
 }
@@ -132,7 +131,7 @@ func (v *Vector[T]) issueFill(pg, pinned int64) {
 // tierReadBW estimates the read bandwidth of the tier currently holding a
 // page; pages not in the scache would stage in from the PFS backend.
 func (v *Vector[T]) tierReadBW(pg int64) float64 {
-	if pl, ok := v.c.d.h.PlacementOf(v.m.pageKey(pg)); ok {
+	if pl, ok := v.c.d.h.PlacementOf(v.m.pageID(pg)); ok {
 		return v.c.d.c.Nodes[pl.Node].Devices[pl.Tier].Profile().ReadBW
 	}
 	return v.c.d.c.PFS.Profile().ReadBW

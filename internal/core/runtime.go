@@ -76,7 +76,7 @@ func (r *Runtime) submit(t *MemoryTask) {
 	if len(r.lowQ) > 0 && t.bytes() < r.d.cfg.LowLatThreshold {
 		group = r.lowQ
 	}
-	w := int(hashString(t.blobKey()) % uint32(len(group)))
+	w := int(t.blobID().Hash() % uint32(len(group)))
 	r.inWork.Add(1)
 	// Queue depth is effectively unbounded for simulation purposes; the
 	// buffer is far deeper than any burst, so enqueueing never fails.
@@ -113,9 +113,11 @@ func (r *Runtime) worker(p *vtime.Proc, q *vtime.Chan[*MemoryTask]) {
 		start := p.Now()
 		r.exec(p, t)
 		if tr := r.d.trace; tr != nil {
-			vecName := t.chainKey
+			var vecName string
 			if t.vec != nil {
 				vecName = t.vec.name
+			} else {
+				vecName = r.d.h.DisplayName(t.chainID)
 			}
 			tr.Events = append(tr.Events, TraceEvent{
 				Kind: t.kind.String(), Vector: vecName, Page: t.page,
@@ -131,6 +133,9 @@ func (r *Runtime) worker(p *vtime.Proc, q *vtime.Chan[*MemoryTask]) {
 		if t.notify != nil {
 			t.notify.Done()
 		}
+		if t.recycle {
+			r.d.recycleTask(t)
+		}
 		r.inWork.Done()
 	}
 }
@@ -145,7 +150,7 @@ func (r *Runtime) exec(p *vtime.Proc, t *MemoryTask) {
 	case taskWrite:
 		t.err = r.writePage(p, t)
 	case taskScore:
-		r.d.h.SetScore(p, t.origin, t.vec.pageKey(t.page), t.score)
+		r.d.h.SetScore(p, t.origin, t.vec.pageID(t.page), t.score)
 	case taskStage:
 		t.err = r.d.stageOut(p, t.vec, t.page, r.node.ID)
 	case taskDestroy:
@@ -159,11 +164,11 @@ func (r *Runtime) exec(p *vtime.Proc, t *MemoryTask) {
 // miss and creating node-local replicas when the coherence mode allows.
 func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
 	m := t.vec
-	key := m.pageKey(t.page)
+	key := m.pageID(t.page)
 	// Replicated phase: serve from (or install) a replica local to the
 	// requesting node.
 	if t.replicate {
-		rkey := m.replicaKey(t.page, t.origin)
+		rkey := m.replicaID(t.page, t.origin)
 		if nodes := m.replicas[t.page]; nodes != nil && nodes[t.origin] {
 			if data, ok := r.d.h.Get(p, t.origin, rkey); ok {
 				r.d.replicaHits++
@@ -197,7 +202,7 @@ func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
 	if t.replicate {
 		pl, havePl := r.d.h.PlacementOf(key)
 		if havePl && pl.Node != t.origin {
-			rkey := m.replicaKey(t.page, t.origin)
+			rkey := m.replicaID(t.page, t.origin)
 			if r.d.h.PutLocal(p, t.origin, rkey, data, 0.4) {
 				if m.replicas[t.page] == nil {
 					m.replicas[t.page] = make(map[int]bool)
@@ -243,7 +248,7 @@ func (r *Runtime) stageIn(p *vtime.Proc, m *vecMeta, page int64) ([]byte, error)
 // is disabled). It also invalidates any replicas of the page.
 func (r *Runtime) writePage(p *vtime.Proc, t *MemoryTask) error {
 	m := t.vec
-	key := m.pageKey(t.page)
+	key := m.pageID(t.page)
 	regions := t.regions
 	if r.d.cfg.DisablePartialPaging {
 		regions = []dirtyRange{{off: 0, end: int64(len(t.data))}}
@@ -317,7 +322,7 @@ func (r *Runtime) writePage(p *vtime.Proc, t *MemoryTask) error {
 // pageImage returns the current full page image from the scache (padded)
 // or the backend/zeros when absent.
 func (r *Runtime) pageImage(p *vtime.Proc, m *vecMeta, page int64) ([]byte, error) {
-	if data, ok := r.d.h.Get(p, r.node.ID, m.pageKey(page)); ok {
+	if data, ok := r.d.h.Get(p, r.node.ID, m.pageID(page)); ok {
 		if int64(len(data)) < m.pageSize {
 			full := make([]byte, m.pageSize)
 			copy(full, data)
@@ -336,7 +341,7 @@ func (r *Runtime) invalidateReplicas(p *vtime.Proc, m *vecMeta, page int64) {
 		return
 	}
 	for node := range nodes {
-		r.d.h.Delete(p, r.node.ID, m.replicaKey(page, node))
+		r.d.h.Delete(p, r.node.ID, m.replicaID(page, node))
 	}
 	delete(m.replicas, page)
 }
@@ -344,7 +349,7 @@ func (r *Runtime) invalidateReplicas(p *vtime.Proc, m *vecMeta, page int64) {
 // destroyPage removes a page and its replicas from the scache.
 func (r *Runtime) destroyPage(p *vtime.Proc, t *MemoryTask) {
 	m := t.vec
-	r.d.h.Delete(p, r.node.ID, m.pageKey(t.page))
+	r.d.h.Delete(p, r.node.ID, m.pageID(t.page))
 	r.invalidateReplicas(p, m, t.page)
 	delete(m.dirty, t.page)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"megammap/internal/blob"
 	"megammap/internal/vtime"
 )
 
@@ -77,15 +78,21 @@ type MemoryTask struct {
 	// origin: node of the submitting client (locality + replica target).
 	origin int
 
-	// move: the planned relocation; chainKey overrides the chain/blob key
+	// move: the planned relocation; chainID overrides the chain/blob ID
 	// for tasks that address raw blobs rather than vector pages.
-	move     any // hermes.Move, typed any to keep the import local
-	chainKey string
+	move    any // hermes.Move, typed any to keep the import local
+	chainID blob.ID
 
 	done      vtime.Event
 	err       error
 	notify    *vtime.WaitGroup // decremented when the task completes
 	submitted vtime.Duration   // submission stamp (tracing)
+
+	// recycle marks a fire-and-forget task: no caller holds a reference
+	// after submission, so the worker returns it to the DSM task pool on
+	// completion. Tasks whose results are read later (sync reads,
+	// prefetch fills) are recycled by their reader instead, or not at all.
+	recycle bool
 }
 
 // bytes returns the payload size used for low/high-latency routing.

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+
+	"megammap/internal/blob"
 )
 
 // Vector is MegaMmap's shared memory abstraction: a distributed,
@@ -90,6 +92,8 @@ func Open[T any](c *Client, name string, codec Codec[T], opts ...VectorOpt) (*Ve
 			sums:     make(map[int64]uint32),
 			access:   o.accessKey,
 		}
+		m.id = c.d.h.Intern(name)
+		m.home = int(blob.Raw(m.id).Hash() % uint32(len(c.d.c.Nodes)))
 		if strings.Contains(name, "://") {
 			b, err := c.d.st.Open(name)
 			if err != nil {
@@ -227,6 +231,9 @@ func (v *Vector[T]) TxEnd() {
 // releaseFills drops every pending prefetch fill (all complete after a
 // Drain) so fills never leak across transaction phases.
 func (v *Vector[T]) releaseFills() {
+	if len(v.fills) == 0 {
+		return
+	}
 	pgs := make([]int64, 0, len(v.fills))
 	for pg := range v.fills {
 		pgs = append(pgs, pg)
@@ -382,8 +389,7 @@ const appendReserveBatch = 64
 // batched: one metadata round-trip per 64 appends.
 func (v *Vector[T]) Append(val T) int64 {
 	if v.m.appendsSinceRT%appendReserveBatch == 0 {
-		owner := int(hashString(v.m.name) % uint32(len(v.c.d.c.Nodes)))
-		v.c.d.c.Fabric.RoundTrip(v.c.p, v.c.node.ID, owner)
+		v.c.d.c.Fabric.RoundTrip(v.c.p, v.c.node.ID, v.m.home)
 	}
 	v.m.appendsSinceRT++
 	idx := v.m.length
@@ -414,7 +420,8 @@ func (v *Vector[T]) Destroy() {
 	}
 	v.last = nil
 	for pg := int64(0); pg < v.m.pageCount(); pg++ {
-		t := &MemoryTask{kind: taskDestroy, vec: v.m, page: pg, origin: v.c.node.ID}
+		t := v.c.d.newTask()
+		t.kind, t.vec, t.page, t.origin, t.recycle = taskDestroy, v.m, pg, v.c.node.ID, true
 		v.c.submitAsync(t)
 	}
 	v.c.Drain()
@@ -488,32 +495,36 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 			// The page was committed after the fill was issued; its data
 			// is stale. Keep the reservation and fault fresh data.
 			v.c.d.faults++
-			v.c.d.FaultsByVec[v.m.name]++
-			t := &MemoryTask{
-				kind: taskRead, vec: m, page: pg,
-				origin: v.c.node.ID, replicate: v.replicable(),
-			}
+			m.faults++
+			t := v.c.d.newTask()
+			t.kind, t.vec, t.page = taskRead, m, pg
+			t.origin, t.replicate = v.c.node.ID, v.replicable()
 			if err := v.c.submitSync(t); err != nil {
 				panic(fmt.Sprintf("core: page fault on %s page %d failed: %v", m.name, pg, err))
 			}
-			cp := &cachedPage{idx: pg, data: t.data, score: 1}
+			fresh := t.data
+			v.c.d.recycleTask(t)
+			v.c.d.recycleTask(f.t)
+			cp := v.pc.newPage(pg, fresh, 1, false)
 			v.pc.insert(cp)
 			return cp
 		}
 		// The fill already reserved space; hand its buffer over.
-		cp := &cachedPage{idx: pg, data: f.t.data, score: 1}
+		cp := v.pc.newPage(pg, f.t.data, 1, false)
+		v.c.d.recycleTask(f.t)
 		v.pc.insert(cp)
 		return cp
 	default:
-		t := &MemoryTask{
-			kind: taskRead, vec: m, page: pg,
-			origin: v.c.node.ID, replicate: v.replicable(),
-		}
+		t := v.c.d.newTask()
+		t.kind, t.vec, t.page = taskRead, m, pg
+		t.origin, t.replicate = v.c.node.ID, v.replicable()
 		// Collective phases coalesce faults: one fetch per (page, node),
 		// later ranks share the arriving data (Fig. 3's tree pattern).
-		if v.tx != nil && v.tx.tx.Flags().Has(Collective) {
+		collective := v.tx != nil && v.tx.tx.Flags().Has(Collective)
+		if collective {
 			if lead, shared := v.c.d.coalesceRead(t); shared {
 				v.c.d.coalesced++
+				v.c.d.recycleTask(t)
 				if err := lead.Wait(v.c.p); err != nil {
 					panic(fmt.Sprintf("core: coalesced fault on %s page %d failed: %v", m.name, pg, err))
 				}
@@ -524,14 +535,17 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 			defer v.c.d.readDone(t)
 		}
 		v.c.d.faults++
-		v.c.d.FaultsByVec[v.m.name]++
+		m.faults++
 		if err := v.c.submitSync(t); err != nil {
 			panic(fmt.Sprintf("core: page fault on %s page %d failed: %v", m.name, pg, err))
 		}
 		data = t.data
+		if !collective {
+			v.c.d.recycleTask(t)
+		}
 	}
 	v.ensureSpace(pg)
-	cp := &cachedPage{idx: pg, data: data, score: 1, partial: partial}
+	cp := v.pc.newPage(pg, data, 1, partial)
 	v.pc.insert(cp)
 	return cp
 }
@@ -576,6 +590,7 @@ func (v *Vector[T]) dropPage(cp *cachedPage) {
 	if v.last == cp {
 		v.last = nil
 	}
+	v.pc.recycle(cp)
 }
 
 // commitPage submits an asynchronous write task carrying the page's dirty
@@ -597,10 +612,9 @@ func (v *Vector[T]) commitPage(cp *cachedPage, retain bool) {
 		copy(data, cp.data)
 		cp.dirty = cp.dirty[:0]
 	}
-	t := &MemoryTask{
-		kind: taskWrite, vec: v.m, page: cp.idx,
-		regions: regions, data: data, origin: v.c.node.ID,
-	}
+	t := v.c.d.newTask()
+	t.kind, t.vec, t.page = taskWrite, v.m, cp.idx
+	t.regions, t.data, t.origin, t.recycle = regions, data, v.c.node.ID, true
 	v.pageWrites[cp.idx]++
 	v.c.submitAsync(t)
 }
@@ -608,6 +622,9 @@ func (v *Vector[T]) commitPage(cp *cachedPage, retain bool) {
 // integrateFills installs completed prefetch fills into the pcache and
 // releases reservations of fills that became redundant.
 func (v *Vector[T]) integrateFills() {
+	if len(v.fills) == 0 {
+		return
+	}
 	pgs := make([]int64, 0, len(v.fills))
 	for pg := range v.fills {
 		pgs = append(pgs, pg)
@@ -624,10 +641,12 @@ func (v *Vector[T]) integrateFills() {
 			// Redundant, stale, or failed: release the reserved space.
 			v.pc.used -= v.m.pageSize
 			v.c.node.Free(v.m.pageSize)
+			v.c.d.recycleTask(f.t)
 			continue
 		}
 		v.c.d.prefetches++
-		v.pc.insert(&cachedPage{idx: pg, data: f.t.data, score: 1})
+		v.pc.insert(v.pc.newPage(pg, f.t.data, 1, false))
+		v.c.d.recycleTask(f.t)
 	}
 }
 
@@ -638,6 +657,4 @@ func min64i(a, b int64) int64 {
 	return b
 }
 
-func sortInt64s(s []int64) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-}
+func sortInt64s(s []int64) { slices.Sort(s) }

@@ -51,13 +51,13 @@ func TestPeakTracksHighWaterMark(t *testing.T) {
 	e := vtime.NewEngine()
 	d := New("d", DRAMProfile(MB))
 	e.Spawn("p", func(p *vtime.Proc) {
-		if err := d.Write(p, "a", make([]byte, 1000)); err != nil {
+		if err := d.Write(p, bid("a"), make([]byte, 1000)); err != nil {
 			t.Fatal(err)
 		}
-		if err := d.Write(p, "b", make([]byte, 500)); err != nil {
+		if err := d.Write(p, bid("b"), make([]byte, 500)); err != nil {
 			t.Fatal(err)
 		}
-		d.Delete(p, "a")
+		d.Delete(p, bid("a"))
 		if d.Used() != 500 {
 			t.Errorf("Used = %d, want 500", d.Used())
 		}
@@ -78,11 +78,11 @@ func TestPeekReturnsCopyWithoutTime(t *testing.T) {
 	d := New("d", DRAMProfile(MB))
 	e.Spawn("p", func(p *vtime.Proc) {
 		data := []byte("immutable view")
-		if err := d.Write(p, "k", data); err != nil {
+		if err := d.Write(p, bid("k"), data); err != nil {
 			t.Fatal(err)
 		}
 		before := p.Now()
-		got, ok := d.Peek("k")
+		got, ok := d.Peek(bid("k"))
 		if !ok || !bytes.Equal(got, data) {
 			t.Fatalf("Peek = %q, %v", got, ok)
 		}
@@ -90,11 +90,11 @@ func TestPeekReturnsCopyWithoutTime(t *testing.T) {
 			t.Error("Peek charged virtual time")
 		}
 		got[0] = 'X' // mutating the copy must not touch the stored blob
-		again, _ := d.Peek("k")
+		again, _ := d.Peek(bid("k"))
 		if again[0] != 'i' {
 			t.Error("Peek returned a view into device storage, not a copy")
 		}
-		if _, ok := d.Peek("ghost"); ok {
+		if _, ok := d.Peek(bid("ghost")); ok {
 			t.Error("Peek found a missing blob")
 		}
 	})
@@ -107,20 +107,20 @@ func TestCorruptBitFlipsExactlyOneBit(t *testing.T) {
 	e := vtime.NewEngine()
 	d := New("d", DRAMProfile(MB))
 	e.Spawn("p", func(p *vtime.Proc) {
-		if err := d.Write(p, "k", []byte{0b00000000, 0xFF}); err != nil {
+		if err := d.Write(p, bid("k"), []byte{0b00000000, 0xFF}); err != nil {
 			t.Fatal(err)
 		}
-		if !d.CorruptBit("k", 0, 3) {
+		if !d.CorruptBit(bid("k"), 0, 3) {
 			t.Fatal("CorruptBit failed on an existing blob")
 		}
-		got, _ := d.Peek("k")
+		got, _ := d.Peek(bid("k"))
 		if got[0] != 0b00001000 || got[1] != 0xFF {
 			t.Errorf("after flip: %08b %08b", got[0], got[1])
 		}
-		if d.CorruptBit("k", 99, 0) {
+		if d.CorruptBit(bid("k"), 99, 0) {
 			t.Error("CorruptBit succeeded past the blob end")
 		}
-		if d.CorruptBit("ghost", 0, 0) {
+		if d.CorruptBit(bid("ghost"), 0, 0) {
 			t.Error("CorruptBit succeeded on a missing blob")
 		}
 	})
@@ -134,18 +134,17 @@ func TestListSorted(t *testing.T) {
 	d := New("d", DRAMProfile(MB))
 	e.Spawn("p", func(p *vtime.Proc) {
 		for _, k := range []string{"zeta", "alpha", "mid"} {
-			if err := d.Write(p, k, []byte("x")); err != nil {
+			if err := d.Write(p, bid(k), []byte("x")); err != nil {
 				t.Fatal(err)
 			}
 		}
 		got := d.List()
-		want := []string{"alpha", "mid", "zeta"}
-		if len(got) != len(want) {
+		if len(got) != 3 {
 			t.Fatalf("List = %v", got)
 		}
-		for i := range want {
-			if got[i] != want[i] {
-				t.Errorf("List[%d] = %q, want %q", i, got[i], want[i])
+		for i := 1; i < len(got); i++ {
+			if !got[i-1].Less(got[i]) {
+				t.Errorf("List not in blob order at %d: %v", i, got)
 			}
 		}
 	})

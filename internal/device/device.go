@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"megammap/internal/blob"
 	"megammap/internal/vtime"
 )
 
@@ -116,7 +117,7 @@ type Device struct {
 	peak  int64
 	chans *vtime.Resource // queue depth: latency phases overlap
 	bw    *vtime.Resource // media bandwidth: transfers serialize
-	blobs map[string][]byte
+	blobs map[blob.ID][]byte
 
 	// Counters for the resource monitor.
 	readOps, writeOps     int64
@@ -134,7 +135,7 @@ func New(name string, prof Profile) *Device {
 		name:  name,
 		chans: vtime.NewResource(prof.Channels),
 		bw:    vtime.NewResource(1),
-		blobs: make(map[string][]byte),
+		blobs: make(map[blob.ID][]byte),
 	}
 }
 
@@ -180,13 +181,13 @@ func (e *ErrNoSpace) Error() string {
 }
 
 // Has reports whether a blob exists.
-func (d *Device) Has(key string) bool {
+func (d *Device) Has(key blob.ID) bool {
 	_, ok := d.blobs[key]
 	return ok
 }
 
 // BlobSize returns the size of a blob, or -1 if absent.
-func (d *Device) BlobSize(key string) int64 {
+func (d *Device) BlobSize(key blob.ID) int64 {
 	b, ok := d.blobs[key]
 	if !ok {
 		return -1
@@ -214,7 +215,7 @@ func (d *Device) charge(p *vtime.Proc, n int64, bw float64) {
 
 // Write stores data under key, replacing any previous contents, and
 // charges write cost. It fails with ErrNoSpace if the device is full.
-func (d *Device) Write(p *vtime.Proc, key string, data []byte) error {
+func (d *Device) Write(p *vtime.Proc, key blob.ID, data []byte) error {
 	old := int64(len(d.blobs[key]))
 	delta := int64(len(data)) - old
 	if delta > d.Free() {
@@ -232,7 +233,7 @@ func (d *Device) Write(p *vtime.Proc, key string, data []byte) error {
 
 // WriteAt overwrites a byte range of an existing blob, extending it if the
 // range runs past the current end, and charges write cost for the range.
-func (d *Device) WriteAt(p *vtime.Proc, key string, off int64, data []byte) error {
+func (d *Device) WriteAt(p *vtime.Proc, key blob.ID, off int64, data []byte) error {
 	blob := d.blobs[key]
 	end := off + int64(len(data))
 	if end > int64(len(blob)) {
@@ -255,7 +256,7 @@ func (d *Device) WriteAt(p *vtime.Proc, key string, off int64, data []byte) erro
 
 // Read returns a copy of the blob and charges read cost. It returns false
 // if the blob is absent (no cost is charged for a miss).
-func (d *Device) Read(p *vtime.Proc, key string) ([]byte, bool) {
+func (d *Device) Read(p *vtime.Proc, key blob.ID) ([]byte, bool) {
 	blob, ok := d.blobs[key]
 	if !ok {
 		return nil, false
@@ -270,7 +271,7 @@ func (d *Device) Read(p *vtime.Proc, key string) ([]byte, bool) {
 
 // ReadAt reads length bytes of a blob starting at off and charges read
 // cost for the range. Reads past the end are truncated.
-func (d *Device) ReadAt(p *vtime.Proc, key string, off, length int64) ([]byte, bool) {
+func (d *Device) ReadAt(p *vtime.Proc, key blob.ID, off, length int64) ([]byte, bool) {
 	blob, ok := d.blobs[key]
 	if !ok {
 		return nil, false
@@ -292,7 +293,7 @@ func (d *Device) ReadAt(p *vtime.Proc, key string, off, length int64) ([]byte, b
 
 // Delete removes a blob, freeing its space. Deleting an absent blob is a
 // no-op. Deletion charges only the fixed latency (metadata update).
-func (d *Device) Delete(p *vtime.Proc, key string) {
+func (d *Device) Delete(p *vtime.Proc, key blob.ID) {
 	blob, ok := d.blobs[key]
 	if !ok {
 		return
@@ -308,7 +309,7 @@ func (d *Device) Delete(p *vtime.Proc, key string) {
 // virtual time. It exists to inject the silent hardware corruption the
 // MegaMmap checksum extension detects (paper §V "Memory Corruption").
 // It reports whether the blob existed and was long enough.
-func (d *Device) CorruptBit(key string, byteOff int64, bit uint) bool {
+func (d *Device) CorruptBit(key blob.ID, byteOff int64, bit uint) bool {
 	blob, ok := d.blobs[key]
 	if !ok || byteOff >= int64(len(blob)) {
 		return false
@@ -320,7 +321,7 @@ func (d *Device) CorruptBit(key string, byteOff int64, bit uint) bool {
 // Peek returns a copy of a blob's bytes without charging any virtual
 // time. It exists for simulation setup and metadata snooping (e.g. sizing
 // a dataset at open) where modeling an access would distort results.
-func (d *Device) Peek(key string) ([]byte, bool) {
+func (d *Device) Peek(key blob.ID) ([]byte, bool) {
 	blob, ok := d.blobs[key]
 	if !ok {
 		return nil, false
@@ -330,13 +331,13 @@ func (d *Device) Peek(key string) ([]byte, bool) {
 	return out, true
 }
 
-// List returns all blob keys in sorted order.
-func (d *Device) List() []string {
-	keys := make([]string, 0, len(d.blobs))
+// List returns all blob IDs in blob.Less order (deterministic).
+func (d *Device) List() []blob.ID {
+	keys := make([]blob.ID, 0, len(d.blobs))
 	for k := range d.blobs {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	return keys
 }
 

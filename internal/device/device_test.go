@@ -7,10 +7,17 @@ import (
 	"testing"
 	"testing/quick"
 
+	"megammap/internal/blob"
 	"megammap/internal/vtime"
 )
 
 // run executes fn in a one-process simulation and fails the test on error.
+// testIDs interns test key names; device keys are blob.IDs, so string
+// tests go through one shared table.
+var testIDs = blob.NewInterner()
+
+func bid(name string) blob.ID { return blob.Raw(testIDs.Intern(name)) }
+
 func run(t *testing.T, fn func(p *vtime.Proc)) {
 	t.Helper()
 	e := vtime.NewEngine()
@@ -24,10 +31,10 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("nvme0", NVMeProfile(MB))
 		data := []byte("hello tiered world")
-		if err := d.Write(p, "k", data); err != nil {
+		if err := d.Write(p, bid("k"), data); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := d.Read(p, "k")
+		got, ok := d.Read(p, bid("k"))
 		if !ok || !bytes.Equal(got, data) {
 			t.Errorf("read = %q, %v; want %q", got, ok, data)
 		}
@@ -40,12 +47,12 @@ func TestWriteReadRoundTrip(t *testing.T) {
 func TestReadIsACopy(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("d", DRAMProfile(MB))
-		if err := d.Write(p, "k", []byte{1, 2, 3}); err != nil {
+		if err := d.Write(p, bid("k"), []byte{1, 2, 3}); err != nil {
 			t.Fatal(err)
 		}
-		got, _ := d.Read(p, "k")
+		got, _ := d.Read(p, bid("k"))
 		got[0] = 99
-		again, _ := d.Read(p, "k")
+		again, _ := d.Read(p, bid("k"))
 		if again[0] != 1 {
 			t.Error("Read returned aliased storage; mutation leaked")
 		}
@@ -56,11 +63,11 @@ func TestWriteCopiesCallerBuffer(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("d", DRAMProfile(MB))
 		buf := []byte{1, 2, 3}
-		if err := d.Write(p, "k", buf); err != nil {
+		if err := d.Write(p, bid("k"), buf); err != nil {
 			t.Fatal(err)
 		}
 		buf[0] = 99
-		got, _ := d.Read(p, "k")
+		got, _ := d.Read(p, bid("k"))
 		if got[0] != 1 {
 			t.Error("Write aliased the caller's buffer")
 		}
@@ -70,10 +77,10 @@ func TestWriteCopiesCallerBuffer(t *testing.T) {
 func TestCapacityEnforced(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("small", DRAMProfile(10))
-		if err := d.Write(p, "a", make([]byte, 8)); err != nil {
+		if err := d.Write(p, bid("a"), make([]byte, 8)); err != nil {
 			t.Fatal(err)
 		}
-		err := d.Write(p, "b", make([]byte, 8))
+		err := d.Write(p, bid("b"), make([]byte, 8))
 		var ns *ErrNoSpace
 		if !errors.As(err, &ns) {
 			t.Fatalf("expected ErrNoSpace, got %v", err)
@@ -87,17 +94,17 @@ func TestCapacityEnforced(t *testing.T) {
 func TestOverwriteAccountsDelta(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("d", DRAMProfile(100))
-		if err := d.Write(p, "k", make([]byte, 60)); err != nil {
+		if err := d.Write(p, bid("k"), make([]byte, 60)); err != nil {
 			t.Fatal(err)
 		}
 		// Replacing with an equal-size blob must not double-count.
-		if err := d.Write(p, "k", make([]byte, 60)); err != nil {
+		if err := d.Write(p, bid("k"), make([]byte, 60)); err != nil {
 			t.Fatalf("overwrite failed: %v", err)
 		}
 		if d.Used() != 60 {
 			t.Errorf("used = %d, want 60", d.Used())
 		}
-		if err := d.Write(p, "k", make([]byte, 20)); err != nil {
+		if err := d.Write(p, bid("k"), make([]byte, 20)); err != nil {
 			t.Fatal(err)
 		}
 		if d.Used() != 20 {
@@ -109,22 +116,22 @@ func TestOverwriteAccountsDelta(t *testing.T) {
 func TestWriteAtAndReadAt(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("d", NVMeProfile(MB))
-		if err := d.Write(p, "k", []byte("0123456789")); err != nil {
+		if err := d.Write(p, bid("k"), []byte("0123456789")); err != nil {
 			t.Fatal(err)
 		}
-		if err := d.WriteAt(p, "k", 3, []byte("XYZ")); err != nil {
+		if err := d.WriteAt(p, bid("k"), 3, []byte("XYZ")); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := d.ReadAt(p, "k", 2, 6)
+		got, ok := d.ReadAt(p, bid("k"), 2, 6)
 		if !ok || string(got) != "2XYZ67" {
 			t.Errorf("ReadAt = %q, %v; want 2XYZ67", got, ok)
 		}
 		// Extend past end.
-		if err := d.WriteAt(p, "k", 10, []byte("ab")); err != nil {
+		if err := d.WriteAt(p, bid("k"), 10, []byte("ab")); err != nil {
 			t.Fatal(err)
 		}
-		if d.BlobSize("k") != 12 {
-			t.Errorf("size = %d, want 12", d.BlobSize("k"))
+		if d.BlobSize(bid("k")) != 12 {
+			t.Errorf("size = %d, want 12", d.BlobSize(bid("k")))
 		}
 		if d.Used() != 12 {
 			t.Errorf("used = %d, want 12", d.Used())
@@ -135,14 +142,14 @@ func TestWriteAtAndReadAt(t *testing.T) {
 func TestReadAtPastEnd(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("d", DRAMProfile(MB))
-		if err := d.Write(p, "k", []byte("abc")); err != nil {
+		if err := d.Write(p, bid("k"), []byte("abc")); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := d.ReadAt(p, "k", 2, 10)
+		got, ok := d.ReadAt(p, bid("k"), 2, 10)
 		if !ok || string(got) != "c" {
 			t.Errorf("truncated ReadAt = %q, %v", got, ok)
 		}
-		got, ok = d.ReadAt(p, "k", 5, 10)
+		got, ok = d.ReadAt(p, bid("k"), 5, 10)
 		if !ok || len(got) != 0 {
 			t.Errorf("ReadAt fully past end = %q, %v; want empty, true", got, ok)
 		}
@@ -152,27 +159,27 @@ func TestReadAtPastEnd(t *testing.T) {
 func TestDeleteFreesSpace(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("d", DRAMProfile(100))
-		if err := d.Write(p, "k", make([]byte, 100)); err != nil {
+		if err := d.Write(p, bid("k"), make([]byte, 100)); err != nil {
 			t.Fatal(err)
 		}
-		d.Delete(p, "k")
-		if d.Used() != 0 || d.Has("k") {
-			t.Errorf("delete left used=%d has=%v", d.Used(), d.Has("k"))
+		d.Delete(p, bid("k"))
+		if d.Used() != 0 || d.Has(bid("k")) {
+			t.Errorf("delete left used=%d has=%v", d.Used(), d.Has(bid("k")))
 		}
-		d.Delete(p, "missing") // no-op, must not panic
+		d.Delete(p, bid("missing")) // no-op, must not panic
 	})
 }
 
 func TestMissingBlob(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("d", DRAMProfile(MB))
-		if _, ok := d.Read(p, "nope"); ok {
+		if _, ok := d.Read(p, bid("nope")); ok {
 			t.Error("Read of missing blob returned ok")
 		}
-		if _, ok := d.ReadAt(p, "nope", 0, 10); ok {
+		if _, ok := d.ReadAt(p, bid("nope"), 0, 10); ok {
 			t.Error("ReadAt of missing blob returned ok")
 		}
-		if d.BlobSize("nope") != -1 {
+		if d.BlobSize(bid("nope")) != -1 {
 			t.Error("BlobSize of missing blob should be -1")
 		}
 	})
@@ -185,7 +192,7 @@ func TestTimingHDDSlowerThanNVMe(t *testing.T) {
 		e.Spawn("t", func(p *vtime.Proc) {
 			d := New("d", prof)
 			start := p.Now()
-			if err := d.Write(p, "k", make([]byte, int(8*MB))); err != nil {
+			if err := d.Write(p, bid("k"), make([]byte, int(8*MB))); err != nil {
 				t.Fatal(err)
 			}
 			took = p.Now() - start
@@ -220,7 +227,7 @@ func TestChannelsOverlapLatencyOnly(t *testing.T) {
 		for i := 0; i < writers; i++ {
 			key := fmt.Sprintf("k%d", i)
 			e.Spawn(key, func(p *vtime.Proc) {
-				if err := d.Write(p, key, make([]byte, bytes)); err != nil {
+				if err := d.Write(p, bid(key), make([]byte, bytes)); err != nil {
 					t.Error(err)
 				}
 				wg.Done()
@@ -273,11 +280,11 @@ func TestPropertyRoundTripArbitrary(t *testing.T) {
 		ok := true
 		run(t, func(p *vtime.Proc) {
 			d := New("d", DRAMProfile(GB))
-			if err := d.Write(p, key, data); err != nil {
+			if err := d.Write(p, bid(key), data); err != nil {
 				ok = false
 				return
 			}
-			got, found := d.Read(p, key)
+			got, found := d.Read(p, bid(key))
 			ok = found && bytes.Equal(got, data)
 		})
 		return ok
@@ -290,9 +297,9 @@ func TestPropertyRoundTripArbitrary(t *testing.T) {
 func TestStatsCounters(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("d", DRAMProfile(MB))
-		_ = d.Write(p, "a", make([]byte, 100))
-		_, _ = d.Read(p, "a")
-		_, _ = d.Read(p, "a")
+		_ = d.Write(p, bid("a"), make([]byte, 100))
+		_, _ = d.Read(p, bid("a"))
+		_, _ = d.Read(p, bid("a"))
 		r, w, br, bw := d.Stats()
 		if r != 2 || w != 1 || br != 200 || bw != 100 {
 			t.Errorf("stats = %d %d %d %d, want 2 1 200 100", r, w, br, bw)

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"megammap/internal/blob"
 	"megammap/internal/vtime"
 )
 
@@ -12,65 +13,72 @@ import (
 // the substrate directly each get their own namespace so keys never
 // collide and whole datasets can be dropped in one call.
 type Bucket struct {
-	h    *Hermes
-	name string
+	h      *Hermes
+	name   string
+	nameID blob.ID // interned bucket name; anchors the metadata shard
 }
 
 // Bucket returns the named bucket (creating the namespace lazily).
 func (h *Hermes) Bucket(name string) *Bucket {
-	return &Bucket{h: h, name: name}
+	return &Bucket{h: h, name: name, nameID: h.Key(name)}
 }
 
 // Name returns the bucket name.
 func (b *Bucket) Name() string { return b.name }
 
-func (b *Bucket) key(blob string) string { return b.name + "#" + blob }
+// key interns the namespaced blob name. Bucket operations address blobs
+// by caller-supplied strings, so the string→ID translation lives here at
+// the namespace boundary.
+func (b *Bucket) key(blobName string) blob.ID { return b.h.Key(b.name + "#" + blobName) }
 
 // Put stores a blob in the bucket.
-func (b *Bucket) Put(p *vtime.Proc, fromNode int, blob string, data []byte, score float64, prefNode int) error {
-	return b.h.Put(p, fromNode, b.key(blob), data, score, prefNode)
+func (b *Bucket) Put(p *vtime.Proc, fromNode int, blobName string, data []byte, score float64, prefNode int) error {
+	return b.h.Put(p, fromNode, b.key(blobName), data, score, prefNode)
 }
 
 // PutAt overwrites a byte range of a blob in the bucket.
-func (b *Bucket) PutAt(p *vtime.Proc, fromNode int, blob string, off int64, data []byte) error {
-	return b.h.PutAt(p, fromNode, b.key(blob), off, data)
+func (b *Bucket) PutAt(p *vtime.Proc, fromNode int, blobName string, off int64, data []byte) error {
+	return b.h.PutAt(p, fromNode, b.key(blobName), off, data)
 }
 
 // Get reads a blob from the bucket.
-func (b *Bucket) Get(p *vtime.Proc, fromNode int, blob string) ([]byte, bool) {
-	return b.h.Get(p, fromNode, b.key(blob))
+func (b *Bucket) Get(p *vtime.Proc, fromNode int, blobName string) ([]byte, bool) {
+	return b.h.Get(p, fromNode, b.key(blobName))
 }
 
 // GetRange reads a byte range of a blob in the bucket.
-func (b *Bucket) GetRange(p *vtime.Proc, fromNode int, blob string, off, length int64) ([]byte, bool) {
-	return b.h.GetRange(p, fromNode, b.key(blob), off, length)
+func (b *Bucket) GetRange(p *vtime.Proc, fromNode int, blobName string, off, length int64) ([]byte, bool) {
+	return b.h.GetRange(p, fromNode, b.key(blobName), off, length)
 }
 
 // Has reports whether the bucket contains the blob.
-func (b *Bucket) Has(p *vtime.Proc, fromNode int, blob string) bool {
-	return b.h.Has(p, fromNode, b.key(blob))
+func (b *Bucket) Has(p *vtime.Proc, fromNode int, blobName string) bool {
+	return b.h.Has(p, fromNode, b.key(blobName))
 }
 
 // Delete removes one blob from the bucket.
-func (b *Bucket) Delete(p *vtime.Proc, fromNode int, blob string) {
-	b.h.Delete(p, fromNode, b.key(blob))
+func (b *Bucket) Delete(p *vtime.Proc, fromNode int, blobName string) {
+	b.h.Delete(p, fromNode, b.key(blobName))
 }
 
 // SetScore updates a blob's organizer score.
-func (b *Bucket) SetScore(p *vtime.Proc, fromNode int, blob string, score float64) {
-	b.h.SetScore(p, fromNode, b.key(blob), score)
+func (b *Bucket) SetScore(p *vtime.Proc, fromNode int, blobName string, score float64) {
+	b.h.SetScore(p, fromNode, b.key(blobName), score)
 }
 
 // Blobs lists the bucket's blob names in sorted order (metadata scan;
 // charges one lookup).
 func (b *Bucket) Blobs(p *vtime.Proc, fromNode int) []string {
 	b.h.mdLookups++
-	b.h.c.Fabric.RoundTrip(p, fromNode, b.h.shardOwner(b.name))
+	b.h.c.Fabric.RoundTrip(p, fromNode, b.h.shardOwner(b.nameID))
 	prefix := b.name + "#"
 	var out []string
-	for k := range b.h.meta {
-		if strings.HasPrefix(k, prefix) && !strings.Contains(k, "!bak") {
-			out = append(out, strings.TrimPrefix(k, prefix))
+	for id := range b.h.meta {
+		if !id.IsPrimary() {
+			continue
+		}
+		if name := b.h.ids.Name(id.Vec); strings.HasPrefix(name, prefix) {
+			out = append(out, strings.TrimPrefix(name, prefix))
 		}
 	}
 	sort.Strings(out)
@@ -81,8 +89,11 @@ func (b *Bucket) Blobs(p *vtime.Proc, fromNode int) []string {
 func (b *Bucket) Size() int64 {
 	prefix := b.name + "#"
 	var total int64
-	for k, pl := range b.h.meta {
-		if strings.HasPrefix(k, prefix) && !strings.Contains(k, "!bak") {
+	for id, pl := range b.h.meta {
+		if !id.IsPrimary() {
+			continue
+		}
+		if strings.HasPrefix(b.h.ids.Name(id.Vec), prefix) {
 			total += pl.Size
 		}
 	}
@@ -91,7 +102,7 @@ func (b *Bucket) Size() int64 {
 
 // Destroy removes every blob in the bucket (and their replicas).
 func (b *Bucket) Destroy(p *vtime.Proc, fromNode int) {
-	for _, blob := range b.Blobs(p, fromNode) {
-		b.Delete(p, fromNode, blob)
+	for _, blobName := range b.Blobs(p, fromNode) {
+		b.Delete(p, fromNode, blobName)
 	}
 }

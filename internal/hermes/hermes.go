@@ -8,13 +8,18 @@
 // Blobs hold real bytes on simulated devices; every metadata lookup and
 // data movement charges virtual time (network round-trips for remote
 // metadata shards, fabric transfers for remote data).
+//
+// Blobs are addressed by typed blob.IDs. Names are interned into the
+// store's table once — at vector open or a stage/bucket boundary — and
+// all per-access bookkeeping (shard routing, replica classification,
+// backup derivation) is integer work on the ID.
 package hermes
 
 import (
 	"fmt"
 	"sort"
-	"strings"
 
+	"megammap/internal/blob"
 	"megammap/internal/cluster"
 	"megammap/internal/vtime"
 )
@@ -37,10 +42,22 @@ type Placement struct {
 type Hermes struct {
 	c     *cluster.Cluster
 	tiers []string // fastest first
-	// Metadata shards: blob key -> placement, owned by hash(key) % nodes.
+	// Metadata shards: blob ID -> placement, owned by Hash(id) % nodes.
 	// The map itself is process-wide (the simulation is single-threaded);
 	// the owning shard determines the charged lookup cost.
-	meta map[string]*Placement
+	meta map[blob.ID]*Placement
+	ids  *blob.Interner // blob/vector name table
+
+	// byNode indexes the primary blobs currently placed on each node,
+	// sorted in blob.Less order. The organizer walks these instead of
+	// collecting and re-sorting every key in the DMSH each period; they
+	// are maintained incrementally on placement changes.
+	byNode [][]blob.ID
+
+	// replCnt counts live node-local read replicas per primary blob
+	// (keyed by ID.Base()), so "does this blob have replicas?" is O(1)
+	// instead of probing one synthesized key per node.
+	replCnt map[blob.ID]int
 
 	// replicas is the number of backup copies kept on other nodes (the
 	// paper's §V node-failure extension); failed marks nodes whose data
@@ -63,8 +80,27 @@ func New(c *cluster.Cluster, tiers []string) *Hermes {
 			}
 		}
 	}
-	return &Hermes{c: c, tiers: tiers, meta: make(map[string]*Placement), failed: make(map[int]bool)}
+	return &Hermes{
+		c:       c,
+		tiers:   tiers,
+		meta:    make(map[blob.ID]*Placement),
+		ids:     blob.NewInterner(),
+		byNode:  make([][]blob.ID, len(c.Nodes)),
+		replCnt: make(map[blob.ID]int),
+		failed:  make(map[int]bool),
+	}
 }
+
+// Intern maps a blob/vector name to its stable handle, assigning one on
+// first use. Call at open/boundary time, never per access.
+func (h *Hermes) Intern(name string) uint32 { return h.ids.Intern(name) }
+
+// Key interns a raw blob name and returns its primary ID (boundary and
+// test convenience).
+func (h *Hermes) Key(name string) blob.ID { return blob.Raw(h.ids.Intern(name)) }
+
+// DisplayName reconstructs a human-readable key for errors and traces.
+func (h *Hermes) DisplayName(id blob.ID) string { return h.ids.DisplayName(id) }
 
 // SetReplicas keeps n backup copies of every blob on distinct other
 // nodes. Existing blobs are not retroactively replicated.
@@ -83,47 +119,98 @@ func (h *Hermes) FailNode(id int) { h.failed[id] = true }
 // alive reports whether a node's data is reachable.
 func (h *Hermes) alive(node int) bool { return !h.failed[node] }
 
-// bakKey names the i-th backup copy of a blob.
-func bakKey(key string, i int) string { return fmt.Sprintf("%s!bak%d", key, i) }
-
 // hasReplicas reports whether any node-local read replica of the blob
-// exists (keys of the form "<key>@n<node>").
-func (h *Hermes) hasReplicas(key string) bool {
-	for i := range h.c.Nodes {
-		if h.meta[fmt.Sprintf("%s@n%d", key, i)] != nil {
-			return true
-		}
-	}
-	return false
-}
+// exists.
+func (h *Hermes) hasReplicas(id blob.ID) bool { return h.replCnt[id.Base()] > 0 }
 
 // Tiers returns the managed tier names, fastest first.
 func (h *Hermes) Tiers() []string { return h.tiers }
 
-// shardOwner returns the node owning a key's metadata shard.
-func (h *Hermes) shardOwner(key string) int {
-	var hash uint32 = 2166136261
-	for i := 0; i < len(key); i++ {
-		hash ^= uint32(key[i])
-		hash *= 16777619
+// shardOwner returns the node owning an ID's metadata shard.
+func (h *Hermes) shardOwner(id blob.ID) int {
+	return int(id.Hash() % uint32(len(h.c.Nodes)))
+}
+
+// metaPut installs (or replaces) a blob's placement, maintaining the
+// per-node primary index and the replica counter.
+func (h *Hermes) metaPut(id blob.ID, pl *Placement) {
+	if old, ok := h.meta[id]; ok {
+		h.metaDrop(id, old)
 	}
-	return int(hash % uint32(len(h.c.Nodes)))
+	h.meta[id] = pl
+	if id.IsPrimary() {
+		h.idxInsert(pl.Node, id)
+	} else if id.Kind == blob.KindReplica {
+		h.replCnt[id.Base()]++
+	}
+}
+
+// metaDelete removes a blob's placement and its index contributions.
+func (h *Hermes) metaDelete(id blob.ID) {
+	if pl, ok := h.meta[id]; ok {
+		h.metaDrop(id, pl)
+		delete(h.meta, id)
+	}
+}
+
+func (h *Hermes) metaDrop(id blob.ID, pl *Placement) {
+	if id.IsPrimary() {
+		h.idxRemove(pl.Node, id)
+	} else if id.Kind == blob.KindReplica {
+		base := id.Base()
+		if h.replCnt[base]--; h.replCnt[base] <= 0 {
+			delete(h.replCnt, base)
+		}
+	}
+}
+
+// idxInsert adds id to a node's sorted primary index.
+func (h *Hermes) idxInsert(node int, id blob.ID) {
+	s := h.byNode[node]
+	i := sort.Search(len(s), func(i int) bool { return !s[i].Less(id) })
+	if i < len(s) && s[i] == id {
+		return
+	}
+	s = append(s, blob.ID{})
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	h.byNode[node] = s
+}
+
+// idxRemove drops id from a node's sorted primary index.
+func (h *Hermes) idxRemove(node int, id blob.ID) {
+	s := h.byNode[node]
+	i := sort.Search(len(s), func(i int) bool { return !s[i].Less(id) })
+	if i >= len(s) || s[i] != id {
+		return
+	}
+	h.byNode[node] = append(s[:i], s[i+1:]...)
+}
+
+// reindex moves a primary id between node indices when its placement
+// migrates.
+func (h *Hermes) reindex(id blob.ID, from, to int) {
+	if !id.IsPrimary() || from == to {
+		return
+	}
+	h.idxRemove(from, id)
+	h.idxInsert(to, id)
 }
 
 // lookup charges a metadata access from the given node and returns the
 // placement, or nil if the blob does not exist.
-func (h *Hermes) lookup(p *vtime.Proc, fromNode int, key string) *Placement {
+func (h *Hermes) lookup(p *vtime.Proc, fromNode int, id blob.ID) *Placement {
 	h.mdLookups++
-	owner := h.shardOwner(key)
+	owner := h.shardOwner(id)
 	if owner != fromNode {
 		h.c.Fabric.RoundTrip(p, fromNode, owner)
 	}
-	return h.meta[key]
+	return h.meta[id]
 }
 
 // Has reports whether a blob exists, charging a metadata lookup.
-func (h *Hermes) Has(p *vtime.Proc, fromNode int, key string) bool {
-	return h.lookup(p, fromNode, key) != nil
+func (h *Hermes) Has(p *vtime.Proc, fromNode int, id blob.ID) bool {
+	return h.lookup(p, fromNode, id) != nil
 }
 
 // Stats returns cumulative metadata lookups and organizer movements.
@@ -167,8 +254,8 @@ func (h *Hermes) place(size int64, prefNode int) (int, string, bool) {
 
 // Put stores (or replaces) a blob, choosing a target near prefNode. The
 // caller runs on fromNode; data crossing nodes charges fabric time.
-func (h *Hermes) Put(p *vtime.Proc, fromNode int, key string, data []byte, score float64, prefNode int) error {
-	pl := h.lookup(p, fromNode, key)
+func (h *Hermes) Put(p *vtime.Proc, fromNode int, id blob.ID, data []byte, score float64, prefNode int) error {
+	pl := h.lookup(p, fromNode, id)
 	if pl != nil {
 		// Replace in place if the target still fits the new size.
 		dev := h.c.Nodes[pl.Node].Devices[pl.Tier]
@@ -176,36 +263,36 @@ func (h *Hermes) Put(p *vtime.Proc, fromNode int, key string, data []byte, score
 			if pl.Node != fromNode {
 				h.c.Fabric.Transfer(p, fromNode, pl.Node, int64(len(data)))
 			}
-			if err := dev.Write(p, key, data); err != nil {
+			if err := dev.Write(p, id, data); err != nil {
 				return err
 			}
 			pl.Size = int64(len(data))
 			pl.Score = score
 			pl.ScoreNode = prefNode
-			h.replicate(p, pl.Node, key, data)
+			h.replicate(p, pl.Node, id, data)
 			return nil
 		}
-		h.deleteData(p, pl, key)
+		h.deleteData(p, pl, id)
 	}
 	node, tier, ok := h.place(int64(len(data)), prefNode)
 	if !ok {
-		return &ErrNoCapacity{Key: key, Size: int64(len(data))}
+		return &ErrNoCapacity{Key: h.DisplayName(id), Size: int64(len(data))}
 	}
 	if node != fromNode {
 		h.c.Fabric.Transfer(p, fromNode, node, int64(len(data)))
 	}
-	if err := h.c.Nodes[node].Devices[tier].Write(p, key, data); err != nil {
+	if err := h.c.Nodes[node].Devices[tier].Write(p, id, data); err != nil {
 		return err
 	}
-	h.meta[key] = &Placement{Node: node, Tier: tier, Size: int64(len(data)), Score: score, ScoreNode: prefNode}
-	h.replicate(p, node, key, data)
+	h.metaPut(id, &Placement{Node: node, Tier: tier, Size: int64(len(data)), Score: score, ScoreNode: prefNode})
+	h.replicate(p, node, id, data)
 	return nil
 }
 
 // replicate writes the backup copies of a freshly (re)put blob to
 // distinct nodes other than the primary, best effort.
-func (h *Hermes) replicate(p *vtime.Proc, primary int, key string, data []byte) {
-	if h.replicas == 0 || strings.Contains(key, "!bak") {
+func (h *Hermes) replicate(p *vtime.Proc, primary int, id blob.ID, data []byte) {
+	if h.replicas == 0 || id.Kind == blob.KindBackup {
 		return
 	}
 	nodes := len(h.c.Nodes)
@@ -215,10 +302,10 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, key string, data []byte) 
 		if !h.alive(node) {
 			continue
 		}
-		bk := bakKey(key, placed)
+		bk := id.Backup(placed)
 		if old, ok := h.meta[bk]; ok {
 			h.deleteData(p, old, bk)
-			delete(h.meta, bk)
+			h.metaDelete(bk)
 		}
 		stored := false
 		for _, t := range h.tiers {
@@ -226,7 +313,7 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, key string, data []byte) 
 			if dev.Free() >= int64(len(data)) {
 				h.c.Fabric.Transfer(p, primary, node, int64(len(data)))
 				if err := dev.Write(p, bk, data); err == nil {
-					h.meta[bk] = &Placement{Node: node, Tier: t, Size: int64(len(data)), Score: 0.05, ScoreNode: node}
+					h.metaPut(bk, &Placement{Node: node, Tier: t, Size: int64(len(data)), Score: 0.05, ScoreNode: node})
 					stored = true
 				}
 				break
@@ -242,14 +329,14 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, key string, data []byte) 
 // it reports whether the blob was stored. It exists for best-effort
 // node-local replicas (read-only coherence), which must never displace
 // primary data to other nodes.
-func (h *Hermes) PutLocal(p *vtime.Proc, node int, key string, data []byte, score float64) bool {
+func (h *Hermes) PutLocal(p *vtime.Proc, node int, id blob.ID, data []byte, score float64) bool {
 	n := h.c.Nodes[node]
 	for _, t := range h.tiers {
 		if n.Devices[t].Free() >= int64(len(data)) {
-			if err := n.Devices[t].Write(p, key, data); err != nil {
+			if err := n.Devices[t].Write(p, id, data); err != nil {
 				return false
 			}
-			h.meta[key] = &Placement{Node: node, Tier: t, Size: int64(len(data)), Score: score, ScoreNode: node}
+			h.metaPut(id, &Placement{Node: node, Tier: t, Size: int64(len(data)), Score: score, ScoreNode: node})
 			return true
 		}
 	}
@@ -258,16 +345,16 @@ func (h *Hermes) PutLocal(p *vtime.Proc, node int, key string, data []byte, scor
 
 // PutAt overwrites a byte range of an existing blob (partial paging: only
 // the modified region crosses the network and touches the device).
-func (h *Hermes) PutAt(p *vtime.Proc, fromNode int, key string, off int64, data []byte) error {
-	pl := h.lookup(p, fromNode, key)
+func (h *Hermes) PutAt(p *vtime.Proc, fromNode int, id blob.ID, off int64, data []byte) error {
+	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
-		return fmt.Errorf("hermes: PutAt on missing blob %q", key)
+		return fmt.Errorf("hermes: PutAt on missing blob %q", h.DisplayName(id))
 	}
 	if pl.Node != fromNode {
 		h.c.Fabric.Transfer(p, fromNode, pl.Node, int64(len(data)))
 	}
 	dev := h.c.Nodes[pl.Node].Devices[pl.Tier]
-	if err := dev.WriteAt(p, key, off, data); err != nil {
+	if err := dev.WriteAt(p, id, off, data); err != nil {
 		return err
 	}
 	if end := off + int64(len(data)); end > pl.Size {
@@ -275,7 +362,7 @@ func (h *Hermes) PutAt(p *vtime.Proc, fromNode int, key string, off int64, data 
 	}
 	// Keep backup replicas in sync with the modified region.
 	for i := 0; i < h.replicas; i++ {
-		bk := bakKey(key, i)
+		bk := id.Backup(i)
 		bp := h.meta[bk]
 		if bp == nil || !h.alive(bp.Node) {
 			continue
@@ -295,19 +382,19 @@ func (h *Hermes) PutAt(p *vtime.Proc, fromNode int, key string, off int64, data 
 // Get returns a copy of the blob's bytes, charging device and network
 // costs, or false if absent. If the primary copy's node has failed, the
 // read fails over to a backup replica.
-func (h *Hermes) Get(p *vtime.Proc, fromNode int, key string) ([]byte, bool) {
-	pl := h.lookup(p, fromNode, key)
+func (h *Hermes) Get(p *vtime.Proc, fromNode int, id blob.ID) ([]byte, bool) {
+	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
 		return nil, false
 	}
-	readKey := key
+	readID := id
 	if !h.alive(pl.Node) {
-		pl, readKey = h.failover(key)
+		pl, readID = h.failover(id)
 		if pl == nil {
 			return nil, false
 		}
 	}
-	data, ok := h.c.Nodes[pl.Node].Devices[pl.Tier].Read(p, readKey)
+	data, ok := h.c.Nodes[pl.Node].Devices[pl.Tier].Read(p, readID)
 	if ok && pl.Node != fromNode {
 		h.c.Fabric.Transfer(p, pl.Node, fromNode, int64(len(data)))
 	}
@@ -315,32 +402,32 @@ func (h *Hermes) Get(p *vtime.Proc, fromNode int, key string) ([]byte, bool) {
 }
 
 // failover locates a live backup replica of a blob whose primary node
-// failed. It returns the replica's placement and storage key, or nil.
-func (h *Hermes) failover(key string) (*Placement, string) {
+// failed. It returns the replica's placement and storage ID, or nil.
+func (h *Hermes) failover(id blob.ID) (*Placement, blob.ID) {
 	for i := 0; i < h.replicas; i++ {
-		bk := bakKey(key, i)
+		bk := id.Backup(i)
 		if bp := h.meta[bk]; bp != nil && h.alive(bp.Node) {
 			return bp, bk
 		}
 	}
-	return nil, ""
+	return nil, blob.ID{}
 }
 
 // GetRange reads a byte range of a blob, failing over to a backup when
 // the primary's node is down.
-func (h *Hermes) GetRange(p *vtime.Proc, fromNode int, key string, off, length int64) ([]byte, bool) {
-	pl := h.lookup(p, fromNode, key)
+func (h *Hermes) GetRange(p *vtime.Proc, fromNode int, id blob.ID, off, length int64) ([]byte, bool) {
+	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
 		return nil, false
 	}
-	readKey := key
+	readID := id
 	if !h.alive(pl.Node) {
-		pl, readKey = h.failover(key)
+		pl, readID = h.failover(id)
 		if pl == nil {
 			return nil, false
 		}
 	}
-	data, ok := h.c.Nodes[pl.Node].Devices[pl.Tier].ReadAt(p, readKey, off, length)
+	data, ok := h.c.Nodes[pl.Node].Devices[pl.Tier].ReadAt(p, readID, off, length)
 	if ok && pl.Node != fromNode {
 		h.c.Fabric.Transfer(p, pl.Node, fromNode, int64(len(data)))
 	}
@@ -348,36 +435,36 @@ func (h *Hermes) GetRange(p *vtime.Proc, fromNode int, key string, off, length i
 }
 
 // Delete removes a blob, its metadata, and any backup replicas.
-func (h *Hermes) Delete(p *vtime.Proc, fromNode int, key string) {
-	pl := h.lookup(p, fromNode, key)
+func (h *Hermes) Delete(p *vtime.Proc, fromNode int, id blob.ID) {
+	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
 		return
 	}
-	h.deleteData(p, pl, key)
-	delete(h.meta, key)
+	h.deleteData(p, pl, id)
+	h.metaDelete(id)
 	for i := 0; i < h.replicas; i++ {
-		bk := bakKey(key, i)
+		bk := id.Backup(i)
 		if bp := h.meta[bk]; bp != nil {
 			if h.alive(bp.Node) {
 				h.deleteData(p, bp, bk)
 			}
-			delete(h.meta, bk)
+			h.metaDelete(bk)
 		}
 	}
 }
 
-func (h *Hermes) deleteData(p *vtime.Proc, pl *Placement, key string) {
+func (h *Hermes) deleteData(p *vtime.Proc, pl *Placement, id blob.ID) {
 	if !h.alive(pl.Node) {
 		return // the data died with the node
 	}
-	h.c.Nodes[pl.Node].Devices[pl.Tier].Delete(p, key)
+	h.c.Nodes[pl.Node].Devices[pl.Tier].Delete(p, id)
 }
 
 // SetScore updates a blob's importance score; the Data Organizer acts on
 // it at the next Organize pass. Following the paper, the maximum of
 // concurrently-set scores wins within an organization period.
-func (h *Hermes) SetScore(p *vtime.Proc, fromNode int, key string, score float64) {
-	pl := h.lookup(p, fromNode, key)
+func (h *Hermes) SetScore(p *vtime.Proc, fromNode int, id blob.ID, score float64) {
+	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
 		return
 	}
@@ -387,10 +474,10 @@ func (h *Hermes) SetScore(p *vtime.Proc, fromNode int, key string, score float64
 	}
 }
 
-// Placement returns a copy of a blob's placement without charging time
+// PlacementOf returns a copy of a blob's placement without charging time
 // (test/diagnostic use).
-func (h *Hermes) PlacementOf(key string) (Placement, bool) {
-	pl, ok := h.meta[key]
+func (h *Hermes) PlacementOf(id blob.ID) (Placement, bool) {
+	pl, ok := h.meta[id]
 	if !ok {
 		return Placement{}, false
 	}
@@ -413,52 +500,49 @@ func (h *Hermes) DecayScores(f float64) {
 // demoting the coldest blobs down the hierarchy. budget caps the bytes
 // planned per pass (0 = unlimited) so reorganization never monopolizes
 // device bandwidth between periods. Replicas and backups are pinned
-// (node-local caches and fault-tolerance copies must not migrate).
+// (node-local caches and fault-tolerance copies must not migrate); they
+// never enter the per-node primary indices, so the pass walks only
+// candidate blobs, already in deterministic order.
 func (h *Hermes) PlanOrganize(budget int64) []Move {
 	type entry struct {
-		key string
-		pl  *Placement
+		id blob.ID
+		pl *Placement
 	}
-	// Group blobs by their desired node (locality first).
-	byNode := make([][]entry, len(h.c.Nodes))
-	keys := make([]string, 0, len(h.meta))
-	for k := range h.meta {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys) // deterministic order
-	for _, k := range keys {
-		pl := h.meta[k]
-		if !h.alive(pl.Node) {
+	// Group blobs by their desired node (locality first), walking the
+	// maintained per-node indices instead of re-sorting the whole DMSH.
+	byWant := make([][]entry, len(h.c.Nodes))
+	for nodeID := range h.byNode {
+		if !h.alive(nodeID) {
 			continue // unreachable data cannot be reorganized
 		}
-		if strings.Contains(k, "!bak") || strings.Contains(k, "@n") {
-			continue // backups and node-local replicas are pinned
+		for _, id := range h.byNode[nodeID] {
+			pl := h.meta[id]
+			want := pl.Node
+			// Migrate toward a node only when its interest is stable across
+			// two periods: shared read phases flap the hint every pass, and
+			// chasing the last reader ping-pongs pages between nodes. Pages
+			// with node-local replicas are shared by construction — replicas
+			// already provide locality, so the primary stays put.
+			if pl.Score > 0.5 && pl.ScoreNode != pl.Node &&
+				pl.ScoreNode == pl.PrevScoreNode && h.alive(pl.ScoreNode) &&
+				!h.hasReplicas(id) {
+				want = pl.ScoreNode
+			}
+			byWant[want] = append(byWant[want], entry{id: id, pl: pl})
 		}
-		want := pl.Node
-		// Migrate toward a node only when its interest is stable across
-		// two periods: shared read phases flap the hint every pass, and
-		// chasing the last reader ping-pongs pages between nodes. Pages
-		// with node-local replicas are shared by construction — replicas
-		// already provide locality, so the primary stays put.
-		if pl.Score > 0.5 && pl.ScoreNode != pl.Node &&
-			pl.ScoreNode == pl.PrevScoreNode && h.alive(pl.ScoreNode) &&
-			!h.hasReplicas(k) {
-			want = pl.ScoreNode
-		}
-		byNode[want] = append(byNode[want], entry{key: k, pl: pl})
 	}
 	var moves []Move
 	tierIdx := make(map[string]int, len(h.tiers))
 	for i, t := range h.tiers {
 		tierIdx[t] = i
 	}
-	for nodeID, entries := range byNode {
-		// Hot blobs first; ties broken by key for determinism.
+	for nodeID, entries := range byWant {
+		// Hot blobs first; ties broken by ID for determinism.
 		sort.SliceStable(entries, func(i, j int) bool {
 			if entries[i].pl.Score != entries[j].pl.Score {
 				return entries[i].pl.Score > entries[j].pl.Score
 			}
-			return entries[i].key < entries[j].key
+			return entries[i].id.Less(entries[j].id)
 		})
 		// Greedy pack into tiers fastest-first using capacity budgets that
 		// assume all of this node's blobs were lifted out.
@@ -481,13 +565,13 @@ func (h *Hermes) PlanOrganize(budget int64) []Move {
 			if e.pl.Node == nodeID && e.pl.Tier == placedTier {
 				continue
 			}
-			moves = append(moves, Move{Key: e.key, Node: nodeID, Tier: placedTier})
+			moves = append(moves, Move{ID: e.id, Node: nodeID, Tier: placedTier})
 		}
 	}
 	// Execute demotions before promotions so demoted blobs free the fast
 	// tiers the promoted blobs are moving into.
 	sort.SliceStable(moves, func(i, j int) bool {
-		pi, pj := h.meta[moves[i].Key], h.meta[moves[j].Key]
+		pi, pj := h.meta[moves[i].ID], h.meta[moves[j].ID]
 		di := tierIdx[moves[i].Tier] - tierIdx[pi.Tier]
 		dj := tierIdx[moves[j].Tier] - tierIdx[pj.Tier]
 		return di > dj // largest downward shift first
@@ -495,7 +579,7 @@ func (h *Hermes) PlanOrganize(budget int64) []Move {
 	var spent int64
 	var out []Move
 	for _, m := range moves {
-		size := h.meta[m.Key].Size
+		size := h.meta[m.ID].Size
 		if budget > 0 && spent+size > budget {
 			break
 		}
@@ -507,7 +591,7 @@ func (h *Hermes) PlanOrganize(budget int64) []Move {
 
 // Move is one planned blob relocation.
 type Move struct {
-	Key  string
+	ID   blob.ID
 	Node int
 	Tier string
 }
@@ -515,11 +599,11 @@ type Move struct {
 // ApplyMove executes one planned relocation, tolerating plans gone stale
 // (blob deleted or moved since planning).
 func (h *Hermes) ApplyMove(p *vtime.Proc, m Move) {
-	pl := h.meta[m.Key]
+	pl := h.meta[m.ID]
 	if pl == nil || (pl.Node == m.Node && pl.Tier == m.Tier) || !h.alive(pl.Node) || !h.alive(m.Node) {
 		return
 	}
-	h.move(p, m.Key, pl, m.Node, m.Tier)
+	h.move(p, m.ID, pl, m.Node, m.Tier)
 }
 
 // Organize plans and immediately applies one reorganization pass; use
@@ -533,20 +617,21 @@ func (h *Hermes) Organize(p *vtime.Proc, budget int64) {
 
 // move relocates a blob to (node, tier), charging the read, transfer and
 // write costs.
-func (h *Hermes) move(p *vtime.Proc, key string, pl *Placement, node int, tier string) {
+func (h *Hermes) move(p *vtime.Proc, id blob.ID, pl *Placement, node int, tier string) {
 	src := h.c.Nodes[pl.Node].Devices[pl.Tier]
 	dst := h.c.Nodes[node].Devices[tier]
-	data, ok := src.Read(p, key)
+	data, ok := src.Read(p, id)
 	if !ok {
 		return
 	}
 	if pl.Node != node {
 		h.c.Fabric.Transfer(p, pl.Node, node, int64(len(data)))
 	}
-	if err := dst.Write(p, key, data); err != nil {
+	if err := dst.Write(p, id, data); err != nil {
 		return // destination filled up concurrently; keep the source copy
 	}
-	src.Delete(p, key)
+	src.Delete(p, id)
+	h.reindex(id, pl.Node, node)
 	pl.Node = node
 	pl.Tier = tier
 	h.moved++

@@ -44,14 +44,14 @@ func TestPutGetRoundTrip(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
 		data := []byte("page contents")
-		if err := h.Put(p, 0, "v/0", data, 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), data, 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := h.Get(p, 1, "v/0") // remote get
+		got, ok := h.Get(p, 1, h.Key("v/0")) // remote get
 		if !ok || !bytes.Equal(got, data) {
 			t.Errorf("get = %q, %v", got, ok)
 		}
-		if !h.Has(p, 0, "v/0") || h.Has(p, 0, "v/1") {
+		if !h.Has(p, 0, h.Key("v/0")) || h.Has(p, 0, h.Key("v/1")) {
 			t.Error("Has gave wrong answers")
 		}
 	})
@@ -60,10 +60,10 @@ func TestPutGetRoundTrip(t *testing.T) {
 func TestPlacementPrefersFastTierOnPreferredNode(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "k", make([]byte, 1000), 1.0, 1); err != nil {
+		if err := h.Put(p, 0, h.Key("k"), make([]byte, 1000), 1.0, 1); err != nil {
 			t.Fatal(err)
 		}
-		pl, ok := h.PlacementOf("k")
+		pl, ok := h.PlacementOf(h.Key("k"))
 		if !ok || pl.Node != 1 || pl.Tier != "dram" {
 			t.Errorf("placement = %+v, want node 1 tier dram", pl)
 		}
@@ -75,14 +75,14 @@ func TestOverflowSpillsDownTiers(t *testing.T) {
 	run(t, c, func(p *vtime.Proc) {
 		// Fill DRAM (1MB), overflow must land on nvme.
 		big := make([]byte, int(900*device.KB))
-		if err := h.Put(p, 0, "a", big, 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("a"), big, 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 0, "b", big, 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("b"), big, 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		pa, _ := h.PlacementOf("a")
-		pb, _ := h.PlacementOf("b")
+		pa, _ := h.PlacementOf(h.Key("a"))
+		pb, _ := h.PlacementOf(h.Key("b"))
 		if pa.Tier != "dram" || pb.Tier != "nvme" {
 			t.Errorf("tiers = %s,%s; want dram,nvme", pa.Tier, pb.Tier)
 		}
@@ -93,13 +93,13 @@ func TestOverflowSpillsToRemoteNode(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
 		big := make([]byte, int(900*device.KB))
-		if err := h.Put(p, 0, "a", big, 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("a"), big, 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 0, "b", big, 1, 0); err != nil { // node0 dram full
+		if err := h.Put(p, 0, h.Key("b"), big, 1, 0); err != nil { // node0 dram full
 			t.Fatal(err)
 		}
-		pb, _ := h.PlacementOf("b")
+		pb, _ := h.PlacementOf(h.Key("b"))
 		// Remote DRAM beats local NVMe in the fastest-first sweep only
 		// after the preferred node is exhausted entirely; preferred-node
 		// NVMe wins here.
@@ -107,16 +107,16 @@ func TestOverflowSpillsToRemoteNode(t *testing.T) {
 			t.Errorf("b placed %+v, want node0/nvme", pb)
 		}
 		// Fill node0 nvme+hdd, then the next put must go remote.
-		if err := h.Put(p, 0, "c", make([]byte, int(3*device.MB)), 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("c"), make([]byte, int(3*device.MB)), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 0, "d", make([]byte, int(15*device.MB)), 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("d"), make([]byte, int(15*device.MB)), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 0, "e", make([]byte, int(14*device.MB)), 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("e"), make([]byte, int(14*device.MB)), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		pe, _ := h.PlacementOf("e")
+		pe, _ := h.PlacementOf(h.Key("e"))
 		if pe.Node != 1 {
 			t.Errorf("e placed %+v, want remote node 1", pe)
 		}
@@ -126,7 +126,7 @@ func TestOverflowSpillsToRemoteNode(t *testing.T) {
 func TestNoCapacityError(t *testing.T) {
 	c, h := newHermes(1)
 	run(t, c, func(p *vtime.Proc) {
-		err := h.Put(p, 0, "huge", make([]byte, int(32*device.MB)), 1, 0)
+		err := h.Put(p, 0, h.Key("huge"), make([]byte, int(32*device.MB)), 1, 0)
 		var nc *ErrNoCapacity
 		if !errors.As(err, &nc) {
 			t.Errorf("expected ErrNoCapacity, got %v", err)
@@ -137,17 +137,17 @@ func TestNoCapacityError(t *testing.T) {
 func TestPutReplaceInPlace(t *testing.T) {
 	c, h := newHermes(1)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "k", []byte("aaaa"), 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("k"), []byte("aaaa"), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 0, "k", []byte("bb"), 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("k"), []byte("bb"), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		got, _ := h.Get(p, 0, "k")
+		got, _ := h.Get(p, 0, h.Key("k"))
 		if string(got) != "bb" {
 			t.Errorf("replace lost: %q", got)
 		}
-		pl, _ := h.PlacementOf("k")
+		pl, _ := h.PlacementOf(h.Key("k"))
 		if pl.Size != 2 {
 			t.Errorf("size = %d, want 2", pl.Size)
 		}
@@ -157,17 +157,17 @@ func TestPutReplaceInPlace(t *testing.T) {
 func TestPutAtPartialUpdate(t *testing.T) {
 	c, h := newHermes(1)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "k", []byte("0123456789"), 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("k"), []byte("0123456789"), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.PutAt(p, 0, "k", 4, []byte("QQ")); err != nil {
+		if err := h.PutAt(p, 0, h.Key("k"), 4, []byte("QQ")); err != nil {
 			t.Fatal(err)
 		}
-		got, _ := h.Get(p, 0, "k")
+		got, _ := h.Get(p, 0, h.Key("k"))
 		if string(got) != "0123QQ6789" {
 			t.Errorf("partial update = %q", got)
 		}
-		if err := h.PutAt(p, 0, "missing", 0, []byte("x")); err == nil {
+		if err := h.PutAt(p, 0, h.Key("missing"), 0, []byte("x")); err == nil {
 			t.Error("PutAt on missing blob should fail")
 		}
 	})
@@ -176,10 +176,10 @@ func TestPutAtPartialUpdate(t *testing.T) {
 func TestGetRange(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "k", []byte("abcdefgh"), 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("k"), []byte("abcdefgh"), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := h.GetRange(p, 1, "k", 2, 3)
+		got, ok := h.GetRange(p, 1, h.Key("k"), 2, 3)
 		if !ok || string(got) != "cde" {
 			t.Errorf("range = %q, %v", got, ok)
 		}
@@ -189,11 +189,11 @@ func TestGetRange(t *testing.T) {
 func TestDelete(t *testing.T) {
 	c, h := newHermes(1)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "k", []byte("x"), 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("k"), []byte("x"), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		h.Delete(p, 0, "k")
-		if _, ok := h.Get(p, 0, "k"); ok {
+		h.Delete(p, 0, h.Key("k"))
+		if _, ok := h.Get(p, 0, h.Key("k")); ok {
 			t.Error("blob survived delete")
 		}
 		if used := h.TierUsage()["dram"]; used != 0 {
@@ -205,12 +205,12 @@ func TestDelete(t *testing.T) {
 func TestSetScoreTakesMax(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "k", []byte("x"), 0.4, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("k"), []byte("x"), 0.4, 0); err != nil {
 			t.Fatal(err)
 		}
-		h.SetScore(p, 1, "k", 0.9)
-		h.SetScore(p, 0, "k", 0.2) // lower: ignored
-		pl, _ := h.PlacementOf("k")
+		h.SetScore(p, 1, h.Key("k"), 0.9)
+		h.SetScore(p, 0, h.Key("k"), 0.2) // lower: ignored
+		pl, _ := h.PlacementOf(h.Key("k"))
 		if pl.Score != 0.9 || pl.ScoreNode != 1 {
 			t.Errorf("score = %v from node %d, want 0.9 from 1", pl.Score, pl.ScoreNode)
 		}
@@ -222,25 +222,25 @@ func TestOrganizePromotesHotDemotesCold(t *testing.T) {
 	run(t, c, func(p *vtime.Proc) {
 		big := make([]byte, int(600*device.KB))
 		// Two blobs can't both fit in 1MB DRAM.
-		if err := h.Put(p, 0, "hot", big, 0.2, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("hot"), big, 0.2, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 0, "cold", big, 0.1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("cold"), big, 0.1, 0); err != nil {
 			t.Fatal(err)
 		}
 		// hot landed in dram, cold in nvme. Now invert the scores.
-		h.SetScore(p, 0, "hot", 0.2)
-		h.SetScore(p, 0, "cold", 0.95)
+		h.SetScore(p, 0, h.Key("hot"), 0.2)
+		h.SetScore(p, 0, h.Key("cold"), 0.95)
 		h.Organize(p, 0)
-		phot, _ := h.PlacementOf("hot")
-		pcold, _ := h.PlacementOf("cold")
+		phot, _ := h.PlacementOf(h.Key("hot"))
+		pcold, _ := h.PlacementOf(h.Key("cold"))
 		if pcold.Tier != "dram" {
 			t.Errorf("cold (now hot) tier = %s, want dram", pcold.Tier)
 		}
 		if phot.Tier != "nvme" {
 			t.Errorf("hot (now cold) tier = %s, want nvme", phot.Tier)
 		}
-		got, _ := h.Get(p, 0, "cold")
+		got, _ := h.Get(p, 0, h.Key("cold"))
 		if !bytes.Equal(got, big) {
 			t.Error("organize corrupted blob contents")
 		}
@@ -250,14 +250,14 @@ func TestOrganizePromotesHotDemotesCold(t *testing.T) {
 func TestOrganizeMigratesTowardScoreNode(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "k", []byte("data"), 0.9, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("k"), []byte("data"), 0.9, 0); err != nil {
 			t.Fatal(err)
 		}
-		h.SetScore(p, 1, "k", 0.95) // node 1 wants it...
-		h.DecayScores(1)            // (rotate the hysteresis history)
-		h.SetScore(p, 1, "k", 0.95) // ...for two consecutive periods
+		h.SetScore(p, 1, h.Key("k"), 0.95) // node 1 wants it...
+		h.DecayScores(1)                   // (rotate the hysteresis history)
+		h.SetScore(p, 1, h.Key("k"), 0.95) // ...for two consecutive periods
 		h.Organize(p, 0)
-		pl, _ := h.PlacementOf("k")
+		pl, _ := h.PlacementOf(h.Key("k"))
 		if pl.Node != 1 {
 			t.Errorf("blob stayed on node %d, want migration to 1", pl.Node)
 		}
@@ -267,11 +267,11 @@ func TestOrganizeMigratesTowardScoreNode(t *testing.T) {
 func TestDecayScores(t *testing.T) {
 	c, h := newHermes(1)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "k", []byte("x"), 0.8, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("k"), []byte("x"), 0.8, 0); err != nil {
 			t.Fatal(err)
 		}
 		h.DecayScores(0.5)
-		pl, _ := h.PlacementOf("k")
+		pl, _ := h.PlacementOf(h.Key("k"))
 		if pl.Score != 0.4 {
 			t.Errorf("score = %v, want 0.4", pl.Score)
 		}
@@ -285,10 +285,10 @@ func TestRemoteMetadataCostsMore(t *testing.T) {
 	var local, remote string
 	for i := 0; ; i++ {
 		k := fmt.Sprintf("key%d", i)
-		if h.shardOwner(k) == 0 && local == "" {
+		if h.shardOwner(h.Key(k)) == 0 && local == "" {
 			local = k
 		}
-		if h.shardOwner(k) == 3 && remote == "" {
+		if h.shardOwner(h.Key(k)) == 3 && remote == "" {
 			remote = k
 		}
 		if local != "" && remote != "" {
@@ -297,17 +297,17 @@ func TestRemoteMetadataCostsMore(t *testing.T) {
 	}
 	var tLocal, tRemote vtime.Duration
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, local, []byte("x"), 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key(local), []byte("x"), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 0, remote, []byte("x"), 1, 0); err != nil {
+		if err := h.Put(p, 0, h.Key(remote), []byte("x"), 1, 0); err != nil {
 			t.Fatal(err)
 		}
 		s := p.Now()
-		h.Has(p, 0, local)
+		h.Has(p, 0, h.Key(local))
 		tLocal = p.Now() - s
 		s = p.Now()
-		h.Has(p, 0, remote)
+		h.Has(p, 0, h.Key(remote))
 		tRemote = p.Now() - s
 	})
 	if tRemote <= tLocal {
@@ -318,8 +318,8 @@ func TestRemoteMetadataCostsMore(t *testing.T) {
 func TestStatsCount(t *testing.T) {
 	c, h := newHermes(1)
 	run(t, c, func(p *vtime.Proc) {
-		_ = h.Put(p, 0, "k", []byte("x"), 1, 0)
-		h.Get(p, 0, "k")
+		_ = h.Put(p, 0, h.Key("k"), []byte("x"), 1, 0)
+		h.Get(p, 0, h.Key("k"))
 	})
 	lookups, _, _ := h.Stats()
 	if lookups < 2 {
@@ -331,24 +331,24 @@ func TestPutLocalRespectsNodeCapacity(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
 		// Fill node 1 entirely (1MB dram + 4MB nvme + 16MB hdd).
-		if err := h.Put(p, 1, "fill1", make([]byte, int(900*device.KB)), 1, 1); err != nil {
+		if err := h.Put(p, 1, h.Key("fill1"), make([]byte, int(900*device.KB)), 1, 1); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 1, "fill2", make([]byte, int(3900*device.KB)), 1, 1); err != nil {
+		if err := h.Put(p, 1, h.Key("fill2"), make([]byte, int(3900*device.KB)), 1, 1); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 1, "fill3", make([]byte, int(15900*device.KB)), 1, 1); err != nil {
+		if err := h.Put(p, 1, h.Key("fill3"), make([]byte, int(15900*device.KB)), 1, 1); err != nil {
 			t.Fatal(err)
 		}
 		// PutLocal on the full node must refuse rather than spill remotely.
-		if ok := h.PutLocal(p, 1, "replica", make([]byte, int(500*device.KB)), 0.4); ok {
+		if ok := h.PutLocal(p, 1, h.Key("replica"), make([]byte, int(500*device.KB)), 0.4); ok {
 			t.Error("PutLocal succeeded on a full node")
 		}
 		// On the empty node it lands in the fastest tier.
-		if ok := h.PutLocal(p, 0, "replica", []byte("r"), 0.4); !ok {
+		if ok := h.PutLocal(p, 0, h.Key("replica"), []byte("r"), 0.4); !ok {
 			t.Fatal("PutLocal failed on an empty node")
 		}
-		pl, _ := h.PlacementOf("replica")
+		pl, _ := h.PlacementOf(h.Key("replica"))
 		if pl.Node != 0 || pl.Tier != "dram" {
 			t.Errorf("replica placed %+v, want node0/dram", pl)
 		}
@@ -361,14 +361,14 @@ func TestOrganizeBudgetCapsMovement(t *testing.T) {
 		// Ten 200KB blobs land across dram+nvme; inverting all scores
 		// wants ~everything moved, but a 300KB budget allows at most one
 		// 200KB blob per pass.
-		blob := make([]byte, int(200*device.KB))
+		data := make([]byte, int(200*device.KB))
 		for i := 0; i < 10; i++ {
-			if err := h.Put(p, 0, fmt.Sprintf("b%d", i), blob, float64(10-i)/10, 0); err != nil {
+			if err := h.Put(p, 0, h.Key(fmt.Sprintf("b%d", i)), data, float64(10-i)/10, 0); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for i := 0; i < 10; i++ {
-			h.SetScore(p, 0, fmt.Sprintf("b%d", i), float64(i+1)/11)
+			h.SetScore(p, 0, h.Key(fmt.Sprintf("b%d", i)), float64(i+1)/11)
 		}
 		_, movedBefore, _ := h.Stats()
 		h.Organize(p, int64(300*device.KB))
@@ -385,23 +385,23 @@ func TestOrganizeBudgetCapsMovement(t *testing.T) {
 func TestOrganizeUnlimitedBudget(t *testing.T) {
 	c, h := newHermes(1)
 	run(t, c, func(p *vtime.Proc) {
-		blob := make([]byte, int(400*device.KB))
-		if err := h.Put(p, 0, "a", blob, 0.9, 0); err != nil {
+		data := make([]byte, int(400*device.KB))
+		if err := h.Put(p, 0, h.Key("a"), data, 0.9, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 0, "b", blob, 0.8, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("b"), data, 0.8, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 0, "c", blob, 0.7, 0); err != nil { // spills to nvme
+		if err := h.Put(p, 0, h.Key("c"), data, 0.7, 0); err != nil { // spills to nvme
 			t.Fatal(err)
 		}
 		// Scores only rise via SetScore; aging happens through decay.
 		h.DecayScores(0.1)
-		h.SetScore(p, 0, "b", 0.8)
-		h.SetScore(p, 0, "c", 0.7)
+		h.SetScore(p, 0, h.Key("b"), 0.8)
+		h.SetScore(p, 0, h.Key("c"), 0.7)
 		h.Organize(p, 0)
-		pa, _ := h.PlacementOf("a")
-		pc, _ := h.PlacementOf("c")
+		pa, _ := h.PlacementOf(h.Key("a"))
+		pc, _ := h.PlacementOf(h.Key("c"))
 		if pa.Tier != "nvme" || pc.Tier != "dram" {
 			t.Errorf("unbudgeted organize did not fully repack: a=%s c=%s", pa.Tier, pc.Tier)
 		}
@@ -478,7 +478,7 @@ func TestBucketPartialOps(t *testing.T) {
 			t.Errorf("range = %q, %v", got, ok)
 		}
 		bk.SetScore(p, 0, "x", 0.9)
-		pl, _ := h.PlacementOf("parts#x")
+		pl, _ := h.PlacementOf(h.Key("parts#x"))
 		if pl.Score != 0.9 {
 			t.Errorf("score = %v", pl.Score)
 		}

@@ -1,0 +1,64 @@
+package hermes
+
+// Host-time microbenchmark of the Data Organizer planning pass. Planning
+// runs every OrganizePeriod over the whole DMSH, so its per-blob cost is
+// a background tax on every workload. Before/after numbers for the
+// typed-blob-identity refactor live in BENCH_hotpath.json.
+
+import (
+	"testing"
+
+	"megammap/internal/blob"
+	"megammap/internal/cluster"
+	"megammap/internal/device"
+	"megammap/internal/simnet"
+	"megammap/internal/vtime"
+)
+
+// keyForBench names the i-th benchmark blob the way the DSM derives
+// vector-page IDs: the vector name is interned once and pages are
+// arithmetic derivations of the handle.
+func keyForBench(h *Hermes, i int) blob.ID {
+	return blob.PageID(h.Intern("vec"), int64(i))
+}
+
+func benchCluster() *cluster.Cluster {
+	return cluster.New(cluster.Spec{
+		Nodes:    4,
+		CoresPer: 8,
+		DRAMPer:  64 * device.MB,
+		Tiers: []cluster.TierSpec{
+			{Name: "dram", Profile: device.DRAMProfile(8 * device.MB)},
+			{Name: "nvme", Profile: device.NVMeProfile(64 * device.MB)},
+		},
+		Link: simnet.RoCE40(),
+		PFS:  device.PFSProfile(device.GB),
+	})
+}
+
+// BenchmarkOrganizePath measures one PlanOrganize pass over a DMSH of
+// 1024 blobs spread across 4 nodes with mixed scores.
+func BenchmarkOrganizePath(b *testing.B) {
+	c := benchCluster()
+	h := New(c, []string{"dram", "nvme"})
+	c.Engine.Spawn("setup", func(p *vtime.Proc) {
+		blobData := make([]byte, 4<<10)
+		for i := 0; i < 1024; i++ {
+			key := keyForBench(h, i)
+			score := float64(i%10) / 10
+			if err := h.Put(p, i%4, key, blobData, score, i%4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := c.Engine.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if moves := h.PlanOrganize(0); moves == nil {
+			_ = moves
+		}
+	}
+}

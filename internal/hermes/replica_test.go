@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"megammap/internal/blob"
 	"megammap/internal/vtime"
 )
 
@@ -14,16 +15,16 @@ func TestReplicatePlacesBackupsOnDistinctNodes(t *testing.T) {
 	h.SetReplicas(2)
 	run(t, c, func(p *vtime.Proc) {
 		data := bytes.Repeat([]byte{7}, 1024)
-		if err := h.Put(p, 0, "v/0", data, 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), data, 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		pri, ok := h.PlacementOf("v/0")
+		pri, ok := h.PlacementOf(h.Key("v/0"))
 		if !ok {
 			t.Fatal("primary missing")
 		}
 		seen := map[int]bool{pri.Node: true}
 		for i := 0; i < 2; i++ {
-			bp, ok := h.PlacementOf(bakKey("v/0", i))
+			bp, ok := h.PlacementOf(h.Key("v/0").Backup(i))
 			if !ok {
 				t.Fatalf("backup %d missing", i)
 			}
@@ -48,16 +49,16 @@ func TestGetFailsOverToBackup(t *testing.T) {
 	h.SetReplicas(1)
 	run(t, c, func(p *vtime.Proc) {
 		data := []byte("survives the crash")
-		if err := h.Put(p, 0, "v/0", data, 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), data, 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		pri, _ := h.PlacementOf("v/0")
+		pri, _ := h.PlacementOf(h.Key("v/0"))
 		h.FailNode(pri.Node)
-		got, ok := h.Get(p, (pri.Node+1)%3, "v/0")
+		got, ok := h.Get(p, (pri.Node+1)%3, h.Key("v/0"))
 		if !ok || !bytes.Equal(got, data) {
 			t.Fatalf("failover get = %q, %v", got, ok)
 		}
-		sub, ok := h.GetRange(p, (pri.Node+1)%3, "v/0", 9, 3)
+		sub, ok := h.GetRange(p, (pri.Node+1)%3, h.Key("v/0"), 9, 3)
 		if !ok || string(sub) != "the" {
 			t.Errorf("failover GetRange = %q, %v", sub, ok)
 		}
@@ -67,15 +68,15 @@ func TestGetFailsOverToBackup(t *testing.T) {
 func TestGetFailsWithoutReplicaAfterNodeFailure(t *testing.T) {
 	c, h := newHermes(3)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "v/0", []byte("lost"), 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), []byte("lost"), 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		pri, _ := h.PlacementOf("v/0")
+		pri, _ := h.PlacementOf(h.Key("v/0"))
 		h.FailNode(pri.Node)
-		if _, ok := h.Get(p, (pri.Node+1)%3, "v/0"); ok {
+		if _, ok := h.Get(p, (pri.Node+1)%3, h.Key("v/0")); ok {
 			t.Error("get succeeded with no backup and a dead primary")
 		}
-		if _, ok := h.GetRange(p, (pri.Node+1)%3, "v/0", 0, 2); ok {
+		if _, ok := h.GetRange(p, (pri.Node+1)%3, h.Key("v/0"), 0, 2); ok {
 			t.Error("GetRange succeeded with no backup and a dead primary")
 		}
 	})
@@ -86,15 +87,15 @@ func TestPutAtPropagatesToBackups(t *testing.T) {
 	h.SetReplicas(1)
 	run(t, c, func(p *vtime.Proc) {
 		data := bytes.Repeat([]byte{0}, 64)
-		if err := h.Put(p, 0, "v/0", data, 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), data, 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.PutAt(p, 0, "v/0", 8, []byte("dirty")); err != nil {
+		if err := h.PutAt(p, 0, h.Key("v/0"), 8, []byte("dirty")); err != nil {
 			t.Fatal(err)
 		}
-		pri, _ := h.PlacementOf("v/0")
+		pri, _ := h.PlacementOf(h.Key("v/0"))
 		h.FailNode(pri.Node)
-		got, ok := h.Get(p, (pri.Node+1)%3, "v/0")
+		got, ok := h.Get(p, (pri.Node+1)%3, h.Key("v/0"))
 		if !ok || string(got[8:13]) != "dirty" {
 			t.Errorf("backup did not receive the partial write: %q", got[8:13])
 		}
@@ -104,7 +105,7 @@ func TestPutAtPropagatesToBackups(t *testing.T) {
 func TestPutAtMissingBlobErrors(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.PutAt(p, 0, "nope", 0, []byte("x")); err == nil {
+		if err := h.PutAt(p, 0, h.Key("nope"), 0, []byte("x")); err == nil {
 			t.Error("PutAt on a missing blob should error")
 		}
 	})
@@ -113,13 +114,13 @@ func TestPutAtMissingBlobErrors(t *testing.T) {
 func TestPutAtGrowsBlobSize(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "v/0", []byte("abcd"), 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), []byte("abcd"), 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.PutAt(p, 0, "v/0", 2, []byte("XYZW")); err != nil {
+		if err := h.PutAt(p, 0, h.Key("v/0"), 2, []byte("XYZW")); err != nil {
 			t.Fatal(err)
 		}
-		pl, _ := h.PlacementOf("v/0")
+		pl, _ := h.PlacementOf(h.Key("v/0"))
 		if pl.Size != 6 {
 			t.Errorf("size after extending PutAt = %d, want 6", pl.Size)
 		}
@@ -130,15 +131,15 @@ func TestDeleteRemovesBackups(t *testing.T) {
 	c, h := newHermes(3)
 	h.SetReplicas(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "v/0", []byte("bye"), 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), []byte("bye"), 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		h.Delete(p, 0, "v/0")
-		if _, ok := h.PlacementOf("v/0"); ok {
+		h.Delete(p, 0, h.Key("v/0"))
+		if _, ok := h.PlacementOf(h.Key("v/0")); ok {
 			t.Error("primary metadata survived delete")
 		}
 		for i := 0; i < 2; i++ {
-			if _, ok := h.PlacementOf(bakKey("v/0", i)); ok {
+			if _, ok := h.PlacementOf(h.Key("v/0").Backup(i)); ok {
 				t.Errorf("backup %d metadata survived delete", i)
 			}
 		}
@@ -156,7 +157,7 @@ func TestDeleteRemovesBackups(t *testing.T) {
 func TestDeleteMissingBlobIsNoop(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		h.Delete(p, 0, "ghost") // must not panic
+		h.Delete(p, 0, h.Key("ghost")) // must not panic
 	})
 }
 
@@ -164,15 +165,15 @@ func TestReplaceInPlaceRefreshesBackups(t *testing.T) {
 	c, h := newHermes(3)
 	h.SetReplicas(1)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "v/0", []byte("version-1"), 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), []byte("version-1"), 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := h.Put(p, 0, "v/0", []byte("version-2"), 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), []byte("version-2"), 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		pri, _ := h.PlacementOf("v/0")
+		pri, _ := h.PlacementOf(h.Key("v/0"))
 		h.FailNode(pri.Node)
-		got, ok := h.Get(p, (pri.Node+1)%3, "v/0")
+		got, ok := h.Get(p, (pri.Node+1)%3, h.Key("v/0"))
 		if !ok || string(got) != "version-2" {
 			t.Errorf("backup serves %q after in-place replace", got)
 		}
@@ -183,10 +184,10 @@ func TestPlacementAvoidsFailedNodes(t *testing.T) {
 	c, h := newHermes(3)
 	h.FailNode(0)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 1, "v/0", []byte("x"), 1.0, 0); err != nil {
+		if err := h.Put(p, 1, h.Key("v/0"), []byte("x"), 1.0, 0); err != nil {
 			t.Fatal(err) // preferred node is dead; must place elsewhere
 		}
-		pl, _ := h.PlacementOf("v/0")
+		pl, _ := h.PlacementOf(h.Key("v/0"))
 		if pl.Node == 0 {
 			t.Error("blob placed on a failed node")
 		}
@@ -198,10 +199,10 @@ func TestReplicateSkipsFailedNodes(t *testing.T) {
 	h.SetReplicas(1)
 	run(t, c, func(p *vtime.Proc) {
 		h.FailNode(1) // the node replicate would try first after primary 0
-		if err := h.Put(p, 0, "v/0", []byte("x"), 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), []byte("x"), 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		bp, ok := h.PlacementOf(bakKey("v/0", 0))
+		bp, ok := h.PlacementOf(h.Key("v/0").Backup(0))
 		if !ok {
 			t.Fatal("no backup placed")
 		}
@@ -218,20 +219,22 @@ func TestPlanOrganizePinsBackupsAndReplicas(t *testing.T) {
 		// plus one ordinary cold blob; give them all hot scores so the
 		// organizer would promote anything it is allowed to touch.
 		big := bytes.Repeat([]byte{1}, 1024)
-		for _, k := range []string{"v/0!bak0", "v/0@n1", "v/plain"} {
+		pinned := []blob.ID{h.Key("v/0").Backup(0), h.Key("v/0").Replica(1)}
+		plain := h.Key("v/plain")
+		for _, k := range append(pinned, plain) {
 			node, tier := 0, "hdd"
 			if err := c.Nodes[node].Devices[tier].Write(p, k, big); err != nil {
 				t.Fatal(err)
 			}
-			h.meta[k] = &Placement{Node: node, Tier: tier, Size: 1024, Score: 1.0, ScoreNode: node, PrevScoreNode: node}
+			h.metaPut(k, &Placement{Node: node, Tier: tier, Size: 1024, Score: 1.0, ScoreNode: node, PrevScoreNode: node})
 		}
 		moves := h.PlanOrganize(0)
 		for _, m := range moves {
-			if strings.Contains(m.Key, "!bak") || strings.Contains(m.Key, "@n") {
-				t.Errorf("organizer planned a move for pinned key %q", m.Key)
+			if m.ID.Kind == blob.KindBackup || m.ID.Kind == blob.KindReplica {
+				t.Errorf("organizer planned a move for pinned key %q", h.DisplayName(m.ID))
 			}
 		}
-		if len(moves) != 1 || moves[0].Key != "v/plain" || moves[0].Tier != "dram" {
+		if len(moves) != 1 || moves[0].ID != plain || moves[0].Tier != "dram" {
 			t.Errorf("moves = %+v, want v/plain promoted to dram", moves)
 		}
 	})
@@ -240,11 +243,11 @@ func TestPlanOrganizePinsBackupsAndReplicas(t *testing.T) {
 func TestPlanOrganizeMigrationNeedsStableHint(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "v/0", bytes.Repeat([]byte{1}, 64), 0.2, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), bytes.Repeat([]byte{1}, 64), 0.2, 0); err != nil {
 			t.Fatal(err)
 		}
 		// A hot score from node 1 for one period only: no migration.
-		h.SetScore(p, 1, "v/0", 0.9)
+		h.SetScore(p, 1, h.Key("v/0"), 0.9)
 		for _, m := range h.PlanOrganize(0) {
 			if m.Node == 1 {
 				t.Errorf("migrated on a one-period hint: %+v", m)
@@ -252,10 +255,10 @@ func TestPlanOrganizeMigrationNeedsStableHint(t *testing.T) {
 		}
 		// After a second period with the same interested node, it moves.
 		h.DecayScores(0.9) // rotates PrevScoreNode = ScoreNode
-		h.SetScore(p, 1, "v/0", 0.9)
+		h.SetScore(p, 1, h.Key("v/0"), 0.9)
 		found := false
 		for _, m := range h.PlanOrganize(0) {
-			if m.Key == "v/0" && m.Node == 1 {
+			if m.ID == h.Key("v/0") && m.Node == 1 {
 				found = true
 			}
 		}
@@ -271,11 +274,11 @@ func TestPlanOrganizeBudgetCapsBytes(t *testing.T) {
 		// Fill dram, then mark several nvme blobs hot; a small budget must
 		// cap how many promotions are planned per pass.
 		for i := 0; i < 8; i++ {
-			k := fmt.Sprintf("cold/%d", i)
+			k := h.Key(fmt.Sprintf("cold/%d", i))
 			if err := c.Nodes[0].Devices["nvme"].Write(p, k, bytes.Repeat([]byte{2}, 1024)); err != nil {
 				t.Fatal(err)
 			}
-			h.meta[k] = &Placement{Node: 0, Tier: "nvme", Size: 1024, Score: 0.9, ScoreNode: 0, PrevScoreNode: 0}
+			h.metaPut(k, &Placement{Node: 0, Tier: "nvme", Size: 1024, Score: 0.9, ScoreNode: 0, PrevScoreNode: 0})
 		}
 		all := h.PlanOrganize(0)
 		capped := h.PlanOrganize(2048)
@@ -284,7 +287,7 @@ func TestPlanOrganizeBudgetCapsBytes(t *testing.T) {
 		}
 		var bytesPlanned int64
 		for _, m := range capped {
-			bytesPlanned += h.meta[m.Key].Size
+			bytesPlanned += h.meta[m.ID].Size
 		}
 		if bytesPlanned > 2048 {
 			t.Errorf("planned %d bytes, budget 2048", bytesPlanned)
@@ -295,22 +298,22 @@ func TestPlanOrganizeBudgetCapsBytes(t *testing.T) {
 func TestApplyMoveToleratesStalePlans(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "v/0", []byte("data"), 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), []byte("data"), 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		pl, _ := h.PlacementOf("v/0")
+		pl, _ := h.PlacementOf(h.Key("v/0"))
 		// Deleted since planning: no-op.
-		h.ApplyMove(p, Move{Key: "ghost", Node: 1, Tier: "dram"})
+		h.ApplyMove(p, Move{ID: h.Key("ghost"), Node: 1, Tier: "dram"})
 		// Already at the target: no-op, no byte movement.
 		_, _, before := h.Stats()
-		h.ApplyMove(p, Move{Key: "v/0", Node: pl.Node, Tier: pl.Tier})
+		h.ApplyMove(p, Move{ID: h.Key("v/0"), Node: pl.Node, Tier: pl.Tier})
 		if _, _, after := h.Stats(); after != before {
 			t.Error("no-op move still moved bytes")
 		}
 		// Destination node failed since planning: blob stays put.
 		h.FailNode(1)
-		h.ApplyMove(p, Move{Key: "v/0", Node: 1, Tier: "dram"})
-		if got, _ := h.PlacementOf("v/0"); got.Node != pl.Node {
+		h.ApplyMove(p, Move{ID: h.Key("v/0"), Node: 1, Tier: "dram"})
+		if got, _ := h.PlacementOf(h.Key("v/0")); got.Node != pl.Node {
 			t.Error("move executed onto a failed node")
 		}
 	})
@@ -319,28 +322,28 @@ func TestApplyMoveToleratesStalePlans(t *testing.T) {
 func TestSetScoreMaxWins(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "v/0", []byte("x"), 0.4, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), []byte("x"), 0.4, 0); err != nil {
 			t.Fatal(err)
 		}
-		h.SetScore(p, 1, "v/0", 0.8)
-		h.SetScore(p, 0, "v/0", 0.3) // lower: ignored
-		pl, _ := h.PlacementOf("v/0")
+		h.SetScore(p, 1, h.Key("v/0"), 0.8)
+		h.SetScore(p, 0, h.Key("v/0"), 0.3) // lower: ignored
+		pl, _ := h.PlacementOf(h.Key("v/0"))
 		if pl.Score != 0.8 || pl.ScoreNode != 1 {
 			t.Errorf("score = %.2f from node %d, want 0.80 from node 1", pl.Score, pl.ScoreNode)
 		}
-		h.SetScore(p, 0, "ghost", 1.0) // missing key: no-op
+		h.SetScore(p, 0, h.Key("ghost"), 1.0) // missing key: no-op
 	})
 }
 
 func TestDecayScoresRotatesHintHistory(t *testing.T) {
 	c, h := newHermes(2)
 	run(t, c, func(p *vtime.Proc) {
-		if err := h.Put(p, 0, "v/0", []byte("x"), 1.0, 0); err != nil {
+		if err := h.Put(p, 0, h.Key("v/0"), []byte("x"), 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		h.SetScore(p, 1, "v/0", 1.0)
+		h.SetScore(p, 1, h.Key("v/0"), 1.0)
 		h.DecayScores(0.5)
-		pl, _ := h.PlacementOf("v/0")
+		pl, _ := h.PlacementOf(h.Key("v/0"))
 		if pl.Score != 0.5 {
 			t.Errorf("score after decay = %v, want 0.5", pl.Score)
 		}
@@ -379,7 +382,7 @@ func TestPutLocalRefusesWhenFull(t *testing.T) {
 		var total int64
 		for _, tier := range h.Tiers() {
 			free := c.Nodes[0].Devices[tier].Free()
-			if err := c.Nodes[0].Devices[tier].Write(p, "fill-"+tier, make([]byte, free)); err != nil {
+			if err := c.Nodes[0].Devices[tier].Write(p, h.Key("fill-"+tier), make([]byte, free)); err != nil {
 				t.Fatal(err)
 			}
 			total += free
@@ -387,7 +390,7 @@ func TestPutLocalRefusesWhenFull(t *testing.T) {
 		if total == 0 {
 			t.Fatal("test cluster has no capacity at all")
 		}
-		if h.PutLocal(p, 0, "v/0@n0", []byte("no room"), 0.1) {
+		if h.PutLocal(p, 0, h.Key("v/0").Replica(0), []byte("no room"), 0.1) {
 			t.Error("PutLocal claimed success on a full node")
 		}
 	})

@@ -146,7 +146,7 @@ type globBackend struct {
 
 func newGlobBackend(c *cluster.Cluster, u URL) (*globBackend, error) {
 	b := &globBackend{c: c, u: u}
-	for _, key := range c.PFS.List() {
+	for _, key := range c.PFSList() {
 		ok, err := path.Match(u.Path, key)
 		if err != nil {
 			return nil, fmt.Errorf("stager: bad glob %q: %w", u.Path, err)
@@ -353,7 +353,7 @@ func (b *pqBackend) Size() int64 {
 	if !b.loaded {
 		// Size is a metadata peek used at open time, before any process
 		// context exists; it must not charge virtual time.
-		raw, ok := b.c.PFS.Peek(b.footerKey())
+		raw, ok := b.c.PFSPeek(b.footerKey())
 		if !ok {
 			return 0
 		}

@@ -15,7 +15,6 @@
 package vtime
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -67,18 +66,57 @@ type event struct {
 	p   *Proc
 }
 
+// eventHeap is a typed binary min-heap ordered by (at, seq). seq is
+// unique, so the order is strictly total and the pop sequence is fully
+// determined — the hand-rolled heap exists to avoid the interface boxing
+// container/heap costs on every scheduler operation.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{}
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && s.less(right, left) {
+			least = right
+		}
+		if !s.less(least, i) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewEngine.
@@ -164,7 +202,7 @@ func (e *Engine) schedule(p *Proc, at Duration) {
 	if at < e.now {
 		at = e.now
 	}
-	heap.Push(&e.pq, event{at: at, seq: e.seq, p: p})
+	e.pq.push(event{at: at, seq: e.seq, p: p})
 	e.seq++
 	p.scheduled = true
 }
@@ -196,7 +234,7 @@ const starvationLimit = 4 << 20
 func (e *Engine) Run() error {
 	daemonOnly := 0
 	for len(e.pq) > 0 && e.nonDaemon > 0 {
-		ev := heap.Pop(&e.pq).(event)
+		ev := e.pq.pop()
 		if ev.p.done {
 			continue
 		}

@@ -23,7 +23,15 @@ func (ev *Event) Fire() {
 	for _, w := range ev.waiters {
 		w.wake()
 	}
-	ev.waiters = nil
+	ev.waiters = ev.waiters[:0]
+}
+
+// Reset returns a fired event to its unfired state, retaining the waiter
+// queue's capacity. For owners that pool their events (the DSM task pool);
+// resetting an event someone still waits on is a caller bug.
+func (ev *Event) Reset() {
+	ev.fired = false
+	ev.waiters = ev.waiters[:0]
 }
 
 // Wait blocks p until the event fires.
@@ -168,6 +176,9 @@ type Chan[T any] struct {
 	sendq    []*chanSender[T]
 	recvq    []*chanReceiver[T]
 	closed   bool
+	// freeR recycles receiver wait records: a blocking Recv parks one per
+	// call, and worker loops live in Recv.
+	freeR []*chanReceiver[T]
 }
 
 type chanSender[T any] struct {
@@ -276,12 +287,21 @@ func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
 	if c.closed {
 		return v, false
 	}
-	rw := &chanReceiver[T]{p: p}
+	var rw *chanReceiver[T]
+	if n := len(c.freeR); n > 0 {
+		rw = c.freeR[n-1]
+		c.freeR = c.freeR[:n-1]
+		*rw = chanReceiver[T]{p: p}
+	} else {
+		rw = &chanReceiver[T]{p: p}
+	}
 	c.recvq = append(c.recvq, rw)
 	for !rw.ready {
 		p.park()
 	}
-	return rw.v, rw.ok
+	v, ok = rw.v, rw.ok
+	c.freeR = append(c.freeR, rw)
+	return v, ok
 }
 
 // TryRecv receives a value without blocking. ok is false if none is ready.
