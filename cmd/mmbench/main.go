@@ -22,9 +22,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|ablations|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|ablations|failover|all")
 	profName := flag.String("profile", "small", "size profile: small|full")
 	outDir := flag.String("o", "", "directory for CSV output (optional)")
+	faultSpec := flag.String("faults", "", "fault plan for -exp failover, e.g. \"seed=42;drop=0.02;readerr=0.01;crash=1@40ms\" (empty = default plan)")
 	flag.Parse()
 
 	var prof experiments.Profile
@@ -49,6 +50,9 @@ func main() {
 		{"fig7", func() (*stats.Table, error) { return experiments.Fig7(prof) }},
 		{"fig8", func() (*stats.Table, error) { return experiments.Fig8(prof) }},
 		{"ablations", func() (*stats.Table, error) { return nil, nil }}, // expanded below
+		// failover is opt-in (not part of "all"): it exercises the fault
+		// plane, which the paper's figures run without.
+		{"failover", func() (*stats.Table, error) { return experiments.Failover(prof, *faultSpec) }},
 	}
 
 	ablations := []driver{
@@ -70,8 +74,8 @@ func main() {
 	case "ablations":
 		selected = ablations
 	default:
-		for _, d := range drivers[:5] {
-			if d.name == *exp {
+		for _, d := range drivers {
+			if d.name == *exp && d.name != "ablations" {
 				selected = append(selected, d)
 			}
 		}

@@ -14,6 +14,7 @@ import (
 
 	"megammap/internal/blob"
 	"megammap/internal/device"
+	"megammap/internal/faults"
 	"megammap/internal/simnet"
 	"megammap/internal/vtime"
 )
@@ -130,7 +131,42 @@ type Cluster struct {
 	PFS    *device.Device
 	pfsSrv *vtime.Resource
 	pfsIDs *blob.Interner // PFS object names; devices store by blob.ID
+	inj    *faults.Injector
 }
+
+// InstallFaults activates a fault plan: a seeded injector is wired into
+// the fabric, every node device, and the PFS, and a chaos daemon is
+// spawned to execute the plan's node crashes at their virtual times.
+// Call it after New and before building higher layers (hermes, core),
+// which capture the injector at construction.
+func (c *Cluster) InstallFaults(plan faults.Plan) *faults.Injector {
+	inj := faults.NewInjector(plan, c.Engine.Now)
+	c.inj = inj
+	c.Fabric.SetFaults(inj)
+	for _, n := range c.Nodes {
+		for tier, d := range n.Devices {
+			d.SetFaults(inj, n.ID, tier)
+		}
+	}
+	c.PFS.SetFaults(inj, faults.PFSNode, "pfs")
+	if len(plan.Crashes) > 0 {
+		crashes := append([]faults.Crash(nil), plan.Crashes...)
+		sort.SliceStable(crashes, func(i, j int) bool { return crashes[i].At < crashes[j].At })
+		c.Engine.SpawnDaemon("chaos", func(p *vtime.Proc) {
+			for _, cr := range crashes {
+				if d := cr.At - p.Now(); d > 0 {
+					p.Sleep(d)
+				}
+				inj.CrashNode(cr.Node)
+			}
+		})
+	}
+	return inj
+}
+
+// Faults returns the installed fault injector, or nil when running
+// fault-free.
+func (c *Cluster) Faults() *faults.Injector { return c.inj }
 
 // New builds a cluster on a fresh engine.
 func New(spec Spec) *Cluster {
@@ -179,26 +215,40 @@ func (c *Cluster) pfsLookup(key string) (blob.ID, bool) {
 // addressing data by name.
 func (c *Cluster) PFSWrite(p *vtime.Proc, node int, key string, off int64, data []byte) error {
 	c.chargePFSNet(p, node, int64(len(data)))
+	id := c.pfsID(key)
 	c.pfsSrv.Acquire(p, 1)
-	err := c.PFS.WriteAt(p, c.pfsID(key), off, data)
+	err := c.PFS.WriteAt(p, id, off, data)
+	for attempt := 1; err != nil && faults.Transient(err) && c.inj.Allow(attempt); attempt++ {
+		c.inj.Backoff(p, "retry.pfs_write", attempt)
+		err = c.PFS.WriteAt(p, id, off, data)
+	}
 	c.pfsSrv.Release(1)
 	return err
 }
 
-// PFSRead reads a blob range from the shared parallel filesystem into the
-// given node.
-func (c *Cluster) PFSRead(p *vtime.Proc, node int, key string, off, length int64) ([]byte, bool) {
+// PFSRead reads a blob range from the shared parallel filesystem into
+// the given node. Injected transient faults are retried under the
+// cluster's backoff policy; a persistent fault surfaces as an error with
+// ok=true (the object exists but cannot be served).
+func (c *Cluster) PFSRead(p *vtime.Proc, node int, key string, off, length int64) ([]byte, bool, error) {
 	id, ok := c.pfsLookup(key)
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	c.pfsSrv.Acquire(p, 1)
-	data, ok := c.PFS.ReadAt(p, id, off, length)
+	data, ok, err := c.PFS.ReadAt(p, id, off, length)
+	for attempt := 1; err != nil && faults.Transient(err) && c.inj.Allow(attempt); attempt++ {
+		c.inj.Backoff(p, "retry.pfs_read", attempt)
+		data, ok, err = c.PFS.ReadAt(p, id, off, length)
+	}
 	c.pfsSrv.Release(1)
+	if err != nil {
+		return nil, ok, fmt.Errorf("cluster: pfs read %q: %w", key, err)
+	}
 	if ok {
 		c.chargePFSNet(p, node, int64(len(data)))
 	}
-	return data, ok
+	return data, ok, nil
 }
 
 // PFSSize returns the size of a PFS object, or -1 if absent.

@@ -107,7 +107,7 @@ func TestPFSRoundTrip(t *testing.T) {
 		if err := c.PFSWrite(p, 0, "f", 0, []byte("persistent")); err != nil {
 			t.Error(err)
 		}
-		data, ok := c.PFSRead(p, 1, "f", 0, 10)
+		data, ok, _ := c.PFSRead(p, 1, "f", 0, 10)
 		if !ok || string(data) != "persistent" {
 			t.Errorf("read = %q, %v", data, ok)
 		}

@@ -26,6 +26,34 @@
 //	  organize_period: 20ms
 //	  replicas: 1
 //	  checksum_pages: true
+//	faults:
+//	  seed: 42
+//	  attempts: 5
+//	  backoff: 50us
+//	  backoff_cap: 2ms
+//	  jitter: 0.2
+//	  links:
+//	    - src: any
+//	      dst: any
+//	      drop: 0.02
+//	      duplicate: 0.01
+//	      delay_spike: 200us
+//	      delay_prob: 0.01
+//	  partitions:
+//	    - src: 0
+//	      dst: 1
+//	      from: 10ms
+//	      to: 12ms
+//	  devices:
+//	    - node: 1
+//	      tier: nvme
+//	      read_error: 0.01
+//	      write_error: 0.005
+//	      slow_factor: 4
+//	      slow_from: 30ms
+//	  crashes:
+//	    - node: 1
+//	      at: 40ms
 package config
 
 import (
@@ -36,6 +64,7 @@ import (
 	"megammap/internal/cluster"
 	"megammap/internal/core"
 	"megammap/internal/device"
+	"megammap/internal/faults"
 	"megammap/internal/simnet"
 	"megammap/internal/vtime"
 )
@@ -44,6 +73,9 @@ import (
 type Deployment struct {
 	Cluster cluster.Spec
 	Runtime core.Config
+	// Faults is the deterministic fault plan, nil when the document has
+	// no faults section (fault-free run).
+	Faults *faults.Plan
 }
 
 // Load parses a configuration document and builds the deployment specs.
@@ -66,12 +98,48 @@ func Load(doc string) (*Deployment, error) {
 			return nil, err
 		}
 	}
+	if fn, ok := root.child("faults"); ok {
+		if err := d.loadFaults(fn); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 
-// Build constructs the cluster and DSM described by the deployment.
+// validate rejects deployments that would build a degenerate simulation
+// (found by fuzzing: zero-node clusters, zero-byte pages).
+func (d *Deployment) validate() error {
+	if d.Cluster.Nodes < 1 {
+		return fmt.Errorf("config: cluster.nodes must be >= 1 (got %d)", d.Cluster.Nodes)
+	}
+	if d.Cluster.CoresPer < 1 {
+		return fmt.Errorf("config: cluster.cores_per_node must be >= 1 (got %d)", d.Cluster.CoresPer)
+	}
+	if d.Cluster.DRAMPer < 0 {
+		return fmt.Errorf("config: cluster.dram_per_node must be >= 0 (got %d)", d.Cluster.DRAMPer)
+	}
+	if d.Runtime.DefaultPageSize < 1 {
+		return fmt.Errorf("config: runtime.page_size must be >= 1 (got %d)", d.Runtime.DefaultPageSize)
+	}
+	for i, t := range d.Cluster.Tiers {
+		if t.Profile.Capacity < 0 {
+			return fmt.Errorf("config: cluster.tiers[%d].capacity must be >= 0", i)
+		}
+	}
+	return nil
+}
+
+// Build constructs the cluster and DSM described by the deployment. When
+// the deployment carries a fault plan it is installed between the cluster
+// and the runtime, so every layer above the devices sees the injector.
 func (d *Deployment) Build() (*cluster.Cluster, *core.DSM) {
 	c := cluster.New(d.Cluster)
+	if d.Faults != nil {
+		c.InstallFaults(*d.Faults)
+	}
 	return c, core.New(c, d.Runtime)
 }
 
@@ -187,6 +255,146 @@ func (d *Deployment) loadRuntime(n *node) error {
 	return nil
 }
 
+func (d *Deployment) loadFaults(n *node) error {
+	p := &faults.Plan{Seed: 1}
+	var err error
+	set := func(key string, f func(v string) error) {
+		if err != nil {
+			return
+		}
+		if v, ok := n.scalar(key); ok {
+			if e := f(v); e != nil {
+				err = fmt.Errorf("config: faults.%s: %w", key, e)
+			}
+		}
+	}
+	set("seed", func(v string) error {
+		s, e := strconv.ParseUint(v, 10, 64)
+		p.Seed = s
+		return e
+	})
+	set("attempts", func(v string) error { return parseInt(v, &p.Retry.Attempts) })
+	set("backoff", func(v string) error { return parseDuration(v, &p.Retry.Base) })
+	set("backoff_cap", func(v string) error { return parseDuration(v, &p.Retry.Cap) })
+	set("jitter", func(v string) error { return parseFloat(v, &p.Retry.Jitter) })
+	if err != nil {
+		return err
+	}
+	if seq, ok := n.child("links"); ok {
+		for i, item := range seq.items {
+			lf := faults.LinkFault{Src: faults.AnyNode, Dst: faults.AnyNode}
+			e := loadFields(item, map[string]func(string) error{
+				"src":         func(v string) error { return parseNodeRef(v, &lf.Src) },
+				"dst":         func(v string) error { return parseNodeRef(v, &lf.Dst) },
+				"drop":        func(v string) error { return parseProb(v, &lf.Drop) },
+				"duplicate":   func(v string) error { return parseProb(v, &lf.Dup) },
+				"delay_prob":  func(v string) error { return parseProb(v, &lf.DelayProb) },
+				"delay_spike": func(v string) error { return parseDuration(v, &lf.DelaySpike) },
+			})
+			if e != nil {
+				return fmt.Errorf("config: faults.links[%d]: %w", i, e)
+			}
+			if lf.DelaySpike > 0 && lf.DelayProb == 0 {
+				lf.DelayProb = 1
+			}
+			p.Links = append(p.Links, lf)
+		}
+	}
+	if seq, ok := n.child("partitions"); ok {
+		for i, item := range seq.items {
+			pt := faults.Partition{Src: faults.AnyNode, Dst: faults.AnyNode}
+			e := loadFields(item, map[string]func(string) error{
+				"src":  func(v string) error { return parseNodeRef(v, &pt.Src) },
+				"dst":  func(v string) error { return parseNodeRef(v, &pt.Dst) },
+				"from": func(v string) error { return parseDuration(v, &pt.From) },
+				"to":   func(v string) error { return parseDuration(v, &pt.To) },
+			})
+			if e != nil {
+				return fmt.Errorf("config: faults.partitions[%d]: %w", i, e)
+			}
+			if pt.To <= pt.From {
+				return fmt.Errorf("config: faults.partitions[%d]: window [%v, %v) is empty", i, pt.From, pt.To)
+			}
+			p.Partitions = append(p.Partitions, pt)
+		}
+	}
+	if seq, ok := n.child("devices"); ok {
+		for i, item := range seq.items {
+			df := faults.DeviceFault{Node: faults.AnyNode}
+			e := loadFields(item, map[string]func(string) error{
+				"node":        func(v string) error { return parseNodeRef(v, &df.Node) },
+				"tier":        func(v string) error { df.Tier = v; return nil },
+				"read_error":  func(v string) error { return parseProb(v, &df.ReadErr) },
+				"write_error": func(v string) error { return parseProb(v, &df.WriteErr) },
+				"slow_factor": func(v string) error { return parseFloat(v, &df.SlowFactor) },
+				"slow_from":   func(v string) error { return parseDuration(v, &df.SlowFrom) },
+			})
+			if e != nil {
+				return fmt.Errorf("config: faults.devices[%d]: %w", i, e)
+			}
+			p.Devices = append(p.Devices, df)
+		}
+	}
+	if seq, ok := n.child("crashes"); ok {
+		for i, item := range seq.items {
+			cr := faults.Crash{}
+			e := loadFields(item, map[string]func(string) error{
+				"node": func(v string) error { return parseInt(v, &cr.Node) },
+				"at":   func(v string) error { return parseDuration(v, &cr.At) },
+			})
+			if e != nil {
+				return fmt.Errorf("config: faults.crashes[%d]: %w", i, e)
+			}
+			p.Crashes = append(p.Crashes, cr)
+		}
+	}
+	d.Faults = p
+	return nil
+}
+
+// loadFields applies every present field of a sequence-item mapping,
+// rejecting keys the schema does not know (typos in fault plans must not
+// silently produce a fault-free run).
+func loadFields(item *node, schema map[string]func(string) error) error {
+	for _, key := range item.order {
+		f, ok := schema[key]
+		if !ok {
+			return fmt.Errorf("unknown key %q", key)
+		}
+		v, _ := item.scalar(key)
+		if err := f(v); err != nil {
+			return fmt.Errorf("%s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+// parseNodeRef parses a node reference: an integer, "any", or "pfs".
+func parseNodeRef(v string, dst *int) error {
+	switch strings.ToLower(v) {
+	case "any", "*":
+		*dst = faults.AnyNode
+	case "pfs":
+		*dst = faults.PFSNode
+	default:
+		return parseInt(v, dst)
+	}
+	return nil
+}
+
+// parseProb parses a probability and rejects values outside [0, 1].
+func parseProb(v string, dst *float64) error {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return err
+	}
+	if f < 0 || f > 1 {
+		return fmt.Errorf("probability %v outside [0,1]", f)
+	}
+	*dst = f
+	return nil
+}
+
 // ------------------------------------------------------------- scalars --
 
 func parseInt(v string, dst *int) error {
@@ -255,6 +463,9 @@ func parseDuration(v string, dst *vtime.Duration) error {
 	n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 	if err != nil {
 		return fmt.Errorf("bad duration %q", v)
+	}
+	if n < 0 {
+		return fmt.Errorf("negative duration %q", v)
 	}
 	*dst = vtime.Duration(n * float64(mult))
 	return nil

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"megammap/internal/faults"
 	"megammap/internal/vtime"
 )
 
@@ -177,5 +178,124 @@ func TestSequenceBareDashAndErrors(t *testing.T) {
 	bad := "cluster:\n  tiers:\n    - name: nvme\n      capacity: 1MB\n    oops: 1\n"
 	if _, err := Load(bad); err == nil {
 		t.Error("mixed sequence/mapping at one indent accepted")
+	}
+}
+
+const faultsSample = `
+cluster:
+  nodes: 3
+faults:
+  seed: 42
+  attempts: 5
+  backoff: 50us
+  backoff_cap: 2ms
+  jitter: 0.2
+  links:
+    - src: any
+      dst: any
+      drop: 0.02
+      duplicate: 0.01
+      delay_spike: 200us
+      delay_prob: 0.01
+  partitions:
+    - src: 0
+      dst: 1
+      from: 10ms
+      to: 12ms
+  devices:
+    - node: 1
+      tier: nvme
+      read_error: 0.01
+      write_error: 0.005
+      slow_factor: 4
+      slow_from: 30ms
+    - node: pfs
+      read_error: 0.001
+  crashes:
+    - node: 1
+      at: 40ms
+`
+
+func TestLoadFaults(t *testing.T) {
+	d, err := Load(faultsSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := d.Faults
+	if p == nil {
+		t.Fatal("faults section not loaded")
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed = %d", p.Seed)
+	}
+	if p.Retry.Attempts != 5 || p.Retry.Base != 50*vtime.Microsecond ||
+		p.Retry.Cap != 2*vtime.Millisecond || p.Retry.Jitter != 0.2 {
+		t.Errorf("retry policy = %+v", p.Retry)
+	}
+	if len(p.Links) != 1 {
+		t.Fatalf("links = %+v", p.Links)
+	}
+	lf := p.Links[0]
+	if lf.Src != faults.AnyNode || lf.Dst != faults.AnyNode || lf.Drop != 0.02 ||
+		lf.Dup != 0.01 || lf.DelaySpike != 200*vtime.Microsecond || lf.DelayProb != 0.01 {
+		t.Errorf("link = %+v", lf)
+	}
+	if len(p.Partitions) != 1 || p.Partitions[0].From != 10*vtime.Millisecond ||
+		p.Partitions[0].To != 12*vtime.Millisecond {
+		t.Errorf("partitions = %+v", p.Partitions)
+	}
+	if len(p.Devices) != 2 {
+		t.Fatalf("devices = %+v", p.Devices)
+	}
+	df := p.Devices[0]
+	if df.Node != 1 || df.Tier != "nvme" || df.ReadErr != 0.01 || df.WriteErr != 0.005 ||
+		df.SlowFactor != 4 || df.SlowFrom != 30*vtime.Millisecond {
+		t.Errorf("device = %+v", df)
+	}
+	if p.Devices[1].Node != faults.PFSNode || p.Devices[1].ReadErr != 0.001 {
+		t.Errorf("pfs device = %+v", p.Devices[1])
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0].Node != 1 || p.Crashes[0].At != 40*vtime.Millisecond {
+		t.Errorf("crashes = %+v", p.Crashes)
+	}
+}
+
+func TestLoadFaultsErrors(t *testing.T) {
+	cases := []string{
+		"faults:\n  seed: notanumber\n",
+		"faults:\n  links:\n    - drop: 1.5\n",                                                 // probability out of range
+		"faults:\n  links:\n    - dorp: 0.1\n",                                                 // typo'd key must not silently no-op
+		"faults:\n  partitions:\n    - src: 0\n      dst: 1\n      from: 5ms\n      to: 5ms\n", // empty window
+		"faults:\n  crashes:\n    - node: x\n      at: 1ms\n",
+		"faults:\n  devices:\n    - slow_from: -3ms\n",
+	}
+	for _, doc := range cases {
+		if _, err := Load(doc); err == nil {
+			t.Errorf("Load(%q) accepted invalid faults", doc)
+		}
+	}
+}
+
+func TestBuildInstallsFaults(t *testing.T) {
+	d, err := Load("cluster:\n  nodes: 2\nfaults:\n  seed: 7\n  crashes:\n    - node: 1\n      at: 1ms\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, dsm := d.Build()
+	if c.Faults() == nil {
+		t.Fatal("Build did not install the fault plan")
+	}
+	if c.Faults().Plan().Seed != 7 {
+		t.Errorf("seed = %d", c.Faults().Plan().Seed)
+	}
+	c.Engine.Spawn("app", func(p *vtime.Proc) {
+		p.Sleep(2 * vtime.Millisecond)
+		_ = dsm.Shutdown(p)
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Faults().Count("crash") != 1 {
+		t.Errorf("crash counter = %d, want 1", c.Faults().Count("crash"))
 	}
 }

@@ -1,0 +1,315 @@
+package core_test
+
+// Chaos regression suite: real workloads (kmeans, the kvstore case
+// study) run under scripted fault plans — message drops, duplicates,
+// delay spikes, transient device errors, and a mid-run node crash. The
+// contracts tested:
+//
+//   - fault absorption: with retry/backoff and (for crashes) one backup
+//     replica, workload results are identical to a fault-free run;
+//   - determinism: replaying the same seeded plan yields byte-identical
+//     fault/retry counters, results, and virtual end times;
+//   - typed failure: a crash that actually loses data (no replicas)
+//     surfaces as faults.ErrNodeDown, never as silently wrong data.
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"megammap/internal/apps/kmeans"
+	"megammap/internal/apps/kvstore"
+	"megammap/internal/cluster"
+	"megammap/internal/core"
+	"megammap/internal/datagen"
+	"megammap/internal/device"
+	"megammap/internal/faults"
+	"megammap/internal/mpi"
+	"megammap/internal/simnet"
+	"megammap/internal/stager"
+	"megammap/internal/vtime"
+)
+
+func chaosSpec(nodes int) cluster.Spec {
+	return cluster.Spec{
+		Nodes:    nodes,
+		CoresPer: 8,
+		DRAMPer:  64 * device.MB,
+		Tiers: []cluster.TierSpec{
+			{Name: "dram", Profile: device.DRAMProfile(2 * device.MB)},
+			{Name: "nvme", Profile: device.NVMeProfile(32 * device.MB)},
+		},
+		Link: simnet.RoCE40(),
+		PFS:  device.PFSProfile(device.GB),
+	}
+}
+
+func chaosConfig(replicas int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Tiers = []string{"dram", "nvme"}
+	cfg.DefaultPageSize = 12 << 10 // multiple of 24-byte particles
+	cfg.Replicas = replicas
+	return cfg
+}
+
+// dropPlan is the background-noise plan: lossy links plus transient
+// device errors everywhere, no permanent failures.
+func dropPlan(seed uint64) *faults.Plan {
+	return &faults.Plan{
+		Seed: seed,
+		Links: []faults.LinkFault{{
+			Src: faults.AnyNode, Dst: faults.AnyNode,
+			Drop: 0.03, Dup: 0.02,
+			DelayProb: 0.05, DelaySpike: 100 * vtime.Microsecond,
+		}},
+		Devices: []faults.DeviceFault{{
+			Node: faults.AnyNode, ReadErr: 0.08, WriteErr: 0.05,
+		}},
+	}
+}
+
+type chaosRun struct {
+	result   kmeans.Result
+	end      vtime.Duration
+	counters []faults.Counter
+	err      error
+}
+
+// runChaosKMeans executes the kmeans workload on a fresh 2-node cluster,
+// optionally under a fault plan. Dataset generation runs fault-free
+// (both runs share it deterministically); the plan is installed before
+// the DSM so the whole runtime sees the injector.
+func runChaosKMeans(t *testing.T, plan *faults.Plan, replicas int) chaosRun {
+	t.Helper()
+	c := cluster.New(chaosSpec(2))
+	const url = "pq:///data/points.parquet:pos"
+	g := datagen.New(datagen.DefaultSpec(4000, 4, 42))
+	c.Engine.Spawn("datagen", func(p *vtime.Proc) {
+		b, err := stager.New(c).Open(url)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := g.WriteTo(p, b, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var inj *faults.Injector
+	if plan != nil {
+		inj = c.InstallFaults(*plan)
+	}
+	d := core.New(c, chaosConfig(replicas))
+	w := mpi.NewWorld(c, 4)
+	var out chaosRun
+	out.err = w.Run(func(r *mpi.Rank) {
+		res, err := kmeans.Mega(r, d, kmeans.Config{
+			DatasetURL: url, K: 4, MaxIter: 4,
+			AssignURL: "file:///out/assign.bin",
+			// A tight pcache bound keeps pages churning through the
+			// scache, so the fault plan has real traffic to chew on.
+			BoundBytes: 24 << 10,
+		})
+		if err != nil {
+			r.Fail(err)
+			return
+		}
+		if r.Rank() == 0 {
+			out.result = res
+			if err := d.Shutdown(r.Proc()); err != nil {
+				r.Fail(err)
+			}
+		}
+	})
+	out.end = c.Engine.Now()
+	out.counters = inj.Counters()
+	return out
+}
+
+func TestChaosKMeansMatchesFaultFreeRun(t *testing.T) {
+	clean := runChaosKMeans(t, nil, 0)
+	if clean.err != nil {
+		t.Fatal(clean.err)
+	}
+	noisy := runChaosKMeans(t, dropPlan(7), 0)
+	if noisy.err != nil {
+		t.Fatalf("workload failed under transient faults: %v", noisy.err)
+	}
+	if !reflect.DeepEqual(clean.result, noisy.result) {
+		t.Errorf("results diverge under transient faults:\nclean %+v\nnoisy %+v",
+			clean.result, noisy.result)
+	}
+	var injected, retried int64
+	for _, ct := range noisy.counters {
+		switch ct.Name {
+		case "net.drop", "net.dup", "net.delay", "dev.read_err", "dev.write_err":
+			injected += ct.Value
+		case "retry.pfs_read", "retry.pfs_write", "retry.scache_read",
+			"retry.scache_write", "retry.organize":
+			retried += ct.Value
+		}
+	}
+	if injected == 0 {
+		t.Error("fault plan injected nothing; the chaos run tested nothing")
+	}
+	if retried == 0 {
+		t.Error("device errors were injected but no retries were recorded")
+	}
+	if noisy.end <= clean.end {
+		t.Errorf("faulted run (%v) not slower than clean run (%v)", noisy.end, clean.end)
+	}
+}
+
+func TestChaosSameSeedIsByteIdentical(t *testing.T) {
+	a := runChaosKMeans(t, dropPlan(99), 0)
+	b := runChaosKMeans(t, dropPlan(99), 0)
+	if a.err != nil || b.err != nil {
+		t.Fatalf("errs: %v / %v", a.err, b.err)
+	}
+	if !reflect.DeepEqual(a.counters, b.counters) {
+		t.Errorf("same seed, different counters:\n%v\n%v", a.counters, b.counters)
+	}
+	if !reflect.DeepEqual(a.result, b.result) {
+		t.Errorf("same seed, different results:\n%+v\n%+v", a.result, b.result)
+	}
+	if a.end != b.end {
+		t.Errorf("same seed, different end times: %v vs %v", a.end, b.end)
+	}
+	// A different seed must actually change the injected schedule.
+	c := runChaosKMeans(t, dropPlan(100), 0)
+	if c.err != nil {
+		t.Fatal(c.err)
+	}
+	if reflect.DeepEqual(a.counters, c.counters) && a.end == c.end {
+		t.Error("different seeds produced identical runs; PRNG is not wired through")
+	}
+}
+
+// kvChecksum folds the store's final contents against the model map.
+type kvRun struct {
+	end      vtime.Duration
+	counters []faults.Counter
+	err      error
+	mismatch int
+}
+
+// runChaosKV drives a deterministic put/get/delete workload against a
+// kvstore on a 2-node cluster, then re-reads every key and counts
+// divergences from an in-memory model. crashAt > 0 schedules node 1's
+// storage to fail mid-run.
+func runChaosKV(t *testing.T, plan *faults.Plan, replicas int) kvRun {
+	t.Helper()
+	c := cluster.New(chaosSpec(2))
+	var inj *faults.Injector
+	if plan != nil {
+		inj = c.InstallFaults(*plan)
+	}
+	d := core.New(c, chaosConfig(replicas))
+	var out kvRun
+	c.Engine.Spawn("app", func(p *vtime.Proc) {
+		// The client lives on node 1 so the table's pages place locally
+		// there — the node whose storage the crash plans take down. The
+		// compute plane survives the crash (the paper's storage-failure
+		// model); only the stored pages are at stake.
+		cl := d.NewClient(p, 1)
+		s, err := kvstore.Open(cl, "kv", 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		model := make(map[uint64]int64)
+		rng := rand.New(rand.NewSource(17))
+		for op := 0; op < 1500; op++ {
+			key := uint64(rng.Intn(700))
+			switch rng.Intn(4) {
+			case 0, 1:
+				val := rng.Int63()
+				if err := s.Put(key, val); err != nil {
+					t.Errorf("op %d: Put: %v", op, err)
+					return
+				}
+				model[key] = val
+			case 2:
+				got, ok := s.Get(key)
+				want, wok := model[key]
+				if ok != wok || (ok && got != want) {
+					out.mismatch++
+				}
+			case 3:
+				if s.Delete(key) != (func() bool { _, ok := model[key]; return ok })() {
+					out.mismatch++
+				}
+				delete(model, key)
+			}
+		}
+		// Final audit: every key the model knows must read back exactly.
+		for key := uint64(0); key < 700; key++ {
+			got, ok := s.Get(key)
+			want, wok := model[key]
+			if ok != wok || (ok && got != want) {
+				out.mismatch++
+			}
+		}
+		if err := d.Shutdown(p); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	out.err = c.Engine.Run()
+	out.end = c.Engine.Now()
+	out.counters = inj.Counters()
+	return out
+}
+
+// crashPlan schedules node 1's storage to go down at the given virtual
+// time, on top of light link noise.
+func crashPlan(seed uint64, at vtime.Duration) *faults.Plan {
+	p := dropPlan(seed)
+	p.Devices = nil // device errors stay off so only the crash is permanent
+	p.Crashes = []faults.Crash{{Node: 1, At: at}}
+	return p
+}
+
+func TestChaosKVStoreNodeCrashFailsOverWithReplicas(t *testing.T) {
+	// Measure the fault-free runtime, then replay with node 1 crashing
+	// halfway through. One backup replica per page must absorb the loss.
+	clean := runChaosKV(t, nil, 1)
+	if clean.err != nil {
+		t.Fatal(clean.err)
+	}
+	if clean.mismatch != 0 {
+		t.Fatalf("fault-free run diverged from model %d times", clean.mismatch)
+	}
+	crashed := runChaosKV(t, crashPlan(3, clean.end/2), 1)
+	if crashed.err != nil {
+		t.Fatalf("workload failed despite replicas=1: %v", crashed.err)
+	}
+	if crashed.mismatch != 0 {
+		t.Errorf("store diverged from model %d times after failover", crashed.mismatch)
+	}
+	var crashes int64
+	for _, ct := range crashed.counters {
+		if ct.Name == "crash" {
+			crashes = ct.Value
+		}
+	}
+	if crashes != 1 {
+		t.Errorf("crash counter = %d, want 1 (did the crash fire mid-run?)", crashes)
+	}
+}
+
+func TestChaosKVStoreCrashWithoutReplicasSurfacesTypedError(t *testing.T) {
+	clean := runChaosKV(t, nil, 0)
+	if clean.err != nil {
+		t.Fatal(clean.err)
+	}
+	crashed := runChaosKV(t, crashPlan(3, clean.end/2), 0)
+	if crashed.err == nil {
+		t.Fatal("crash with no replicas completed; data loss went undetected")
+	}
+	if !errors.Is(crashed.err, faults.ErrNodeDown) {
+		t.Errorf("error does not identify the down node: %v", crashed.err)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzCodecRoundTrip checks both directions of every element codec on
+// arbitrary bytes: decode→encode must reproduce the wire bytes (codecs
+// are bijections onto their fixed width) and encode→decode must
+// reproduce the value. Float comparisons are at the bit level so NaN
+// payloads count too.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN())))
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.Inf(-1))))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) >= 8 {
+			src := data[:8]
+			reEnc := make([]byte, 8)
+			Int64Codec{}.Encode(reEnc, Int64Codec{}.Decode(src))
+			if !bytes.Equal(src, reEnc) {
+				t.Errorf("Int64Codec decode→encode changed bytes: % x -> % x", src, reEnc)
+			}
+			Float64Codec{}.Encode(reEnc, Float64Codec{}.Decode(src))
+			if !bytes.Equal(src, reEnc) {
+				t.Errorf("Float64Codec decode→encode changed bytes: % x -> % x", src, reEnc)
+			}
+			v := int64(binary.LittleEndian.Uint64(src))
+			buf := make([]byte, 8)
+			Int64Codec{}.Encode(buf, v)
+			if got := (Int64Codec{}).Decode(buf); got != v {
+				t.Errorf("Int64Codec value round trip: %d -> %d", v, got)
+			}
+			fv := math.Float64frombits(binary.LittleEndian.Uint64(src))
+			Float64Codec{}.Encode(buf, fv)
+			if got := (Float64Codec{}).Decode(buf); math.Float64bits(got) != math.Float64bits(fv) {
+				t.Errorf("Float64Codec value round trip: %x -> %x", math.Float64bits(fv), math.Float64bits(got))
+			}
+		}
+		if len(data) >= 4 {
+			src := data[:4]
+			reEnc := make([]byte, 4)
+			Int32Codec{}.Encode(reEnc, Int32Codec{}.Decode(src))
+			if !bytes.Equal(src, reEnc) {
+				t.Errorf("Int32Codec decode→encode changed bytes: % x -> % x", src, reEnc)
+			}
+			Float32Codec{}.Encode(reEnc, Float32Codec{}.Decode(src))
+			if !bytes.Equal(src, reEnc) {
+				t.Errorf("Float32Codec decode→encode changed bytes: % x -> % x", src, reEnc)
+			}
+		}
+		if len(data) >= 1 {
+			if got := (ByteCodec{}).Decode(data); got != data[0] {
+				t.Errorf("ByteCodec decode: %d != %d", got, data[0])
+			}
+		}
+	})
+}

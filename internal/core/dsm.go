@@ -22,6 +22,7 @@ type DSM struct {
 
 	runtimes []*Runtime
 	vecs     map[string]*vecMeta
+	handles  []vectorHandle // every open Vector, for invariant audits
 	barriers map[string]*barrierState
 	locks    map[string]*dsmLock
 	// chains serialize data-bearing tasks per page in submission order:
@@ -360,7 +361,10 @@ func (d *DSM) Shutdown(p *vtime.Proc) error {
 // mark.
 func (d *DSM) stageOut(p *vtime.Proc, m *vecMeta, page int64, node int) error {
 	defer delete(m.staging, page)
-	data, ok := d.h.Get(p, node, m.pageID(page))
+	data, ok, err := d.h.Get(p, node, m.pageID(page))
+	if err != nil {
+		return fmt.Errorf("core: staging out %s page %d: %w", m.name, page, err)
+	}
 	if !ok {
 		return nil // page was destroyed or never materialized
 	}

@@ -41,7 +41,9 @@ func newTestDSM(nodes int) (*cluster.Cluster, *DSM) {
 }
 
 // runDSM spawns fn as the application process, shuts the DSM down after
-// it completes, and drives the engine.
+// it completes, and drives the engine. After a clean run it audits the
+// DSM's steady-state invariants (no dirty pcache pages, no in-flight
+// staging, scache metadata consistent).
 func runDSM(t *testing.T, c *cluster.Cluster, d *DSM, fn func(p *vtime.Proc)) {
 	t.Helper()
 	c.Engine.Spawn("app", func(p *vtime.Proc) {
@@ -52,6 +54,15 @@ func runDSM(t *testing.T, c *cluster.Cluster, d *DSM, fn func(p *vtime.Proc)) {
 	})
 	if err := c.Engine.Run(); err != nil {
 		t.Fatal(err)
+	}
+	auditDSM(t, d)
+}
+
+// auditDSM reports every violated DSM invariant as a test error.
+func auditDSM(t *testing.T, d *DSM) {
+	t.Helper()
+	for _, viol := range d.CheckInvariants() {
+		t.Errorf("invariant violated: %s", viol)
 	}
 }
 
@@ -638,4 +649,44 @@ func TestTxMisuse(t *testing.T) {
 	if err := c.Engine.Run(); err == nil {
 		t.Error("expected error from double TxBegin")
 	}
+}
+
+// Regression: Flush snapshots a retained page's dirty-region list. Before
+// the fix, the in-flight commit's regions slice aliased cp.dirty's backing
+// array, so writes landing between Flush and the async commit's execution
+// clobbered the region list and the pre-Flush data was never committed.
+func TestFlushSnapshotIsolatedFromLaterWrites(t *testing.T) {
+	c, d := newTestDSM(1)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, err := Open[int64](cl, "flushsnap", Int64Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 512 // exactly one 4KB page of int64s
+		v.Resize(n)
+		v.SeqTxBegin(0, n, WriteOnly|Global)
+		for i := int64(0); i < 256; i++ {
+			v.Set(i, i+1)
+		}
+		v.Flush()
+		// These writes land while the Flush commit may still be queued;
+		// they must not disturb the snapshot's region list.
+		for i := int64(300); i < 400; i++ {
+			v.Set(i, i*10)
+		}
+		v.TxEnd() // Global write phase drops residency: scache is truth
+		v.SeqTxBegin(0, n, ReadOnly)
+		for i := int64(0); i < 256; i++ {
+			if got := v.Get(i); got != i+1 {
+				t.Fatalf("v[%d] = %d, want %d (pre-Flush write lost)", i, got, i+1)
+			}
+		}
+		for i := int64(300); i < 400; i++ {
+			if got := v.Get(i); got != i*10 {
+				t.Fatalf("v[%d] = %d, want %d", i, got, i*10)
+			}
+		}
+		v.TxEnd()
+	})
 }

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// vectorHandle is the type-erased view of an open Vector[T] that the DSM
+// keeps for post-run audits; Open registers every vector here.
+type vectorHandle interface {
+	Name() string
+	dirtyResident() int
+}
+
+// CheckInvariants audits the DSM's steady-state invariants. It is meant to
+// run after Shutdown, when no tasks are in flight: every violation of the
+// consistency contract is returned as a human-readable string (empty slice
+// means the state is clean). It inspects metadata only — no virtual time is
+// charged, so tests can call it outside the simulation.
+//
+// Checked invariants:
+//   - no pcache page of any opened vector still carries dirty ranges
+//     (Shutdown must have committed everything);
+//   - no vector has an in-flight staging task recorded;
+//   - the scache is internally consistent: every blob reachable from
+//     exactly one primary placement, indices mirror metadata, and replica
+//     counts match what SetReplicas promised (hermes.CheckIntegrity).
+func (d *DSM) CheckInvariants() []string {
+	var out []string
+	for _, h := range d.handles {
+		if n := h.dirtyResident(); n > 0 {
+			out = append(out, fmt.Sprintf("vector %s: %d pcache page(s) still dirty after shutdown", h.Name(), n))
+		}
+	}
+	names := make([]string, 0, len(d.vecs))
+	for name := range d.vecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := d.vecs[name]
+		if len(m.staging) > 0 {
+			out = append(out, fmt.Sprintf("vector %s: %d page(s) marked staging after shutdown", name, len(m.staging)))
+		}
+	}
+	out = append(out, d.h.CheckIntegrity()...)
+	return out
+}

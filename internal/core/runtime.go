@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 
 	"megammap/internal/cluster"
+	"megammap/internal/faults"
 	"megammap/internal/hermes"
 	"megammap/internal/vtime"
 )
@@ -170,16 +172,25 @@ func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
 	if t.replicate {
 		rkey := m.replicaID(t.page, t.origin)
 		if nodes := m.replicas[t.page]; nodes != nil && nodes[t.origin] {
-			if data, ok := r.d.h.Get(p, t.origin, rkey); ok {
+			if data, ok, err := r.d.h.Get(p, t.origin, rkey); err == nil && ok {
 				r.d.replicaHits++
 				return data, nil
 			}
 		}
 		r.d.replicaMisses++
 	}
-	data, ok := r.d.h.Get(p, r.node.ID, key)
+	data, ok, err := r.d.h.Get(p, r.node.ID, key)
+	if err != nil && errors.Is(err, faults.ErrNodeDown) && !m.dirty[t.page] {
+		// The primary died with its node, but the page was not modified
+		// since its last stage-out, so the backend (or zero fill, for a
+		// never-written volatile page) still holds the truth: recover by
+		// re-staging instead of surfacing the loss.
+		ok, err = false, nil
+	}
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
-		var err error
 		data, err = r.stageIn(p, m, t.page)
 		if err != nil {
 			return nil, err
@@ -322,7 +333,14 @@ func (r *Runtime) writePage(p *vtime.Proc, t *MemoryTask) error {
 // pageImage returns the current full page image from the scache (padded)
 // or the backend/zeros when absent.
 func (r *Runtime) pageImage(p *vtime.Proc, m *vecMeta, page int64) ([]byte, error) {
-	if data, ok := r.d.h.Get(p, r.node.ID, m.pageID(page)); ok {
+	data, ok, err := r.d.h.Get(p, r.node.ID, m.pageID(page))
+	if err != nil {
+		if errors.Is(err, faults.ErrNodeDown) && !m.dirty[page] {
+			return r.stageIn(p, m, page) // clean page: the backend is truth
+		}
+		return nil, err
+	}
+	if ok {
 		if int64(len(data)) < m.pageSize {
 			full := make([]byte, m.pageSize)
 			copy(full, data)

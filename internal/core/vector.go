@@ -114,14 +114,28 @@ func Open[T any](c *Client, name string, codec Codec[T], opts ...VectorOpt) (*Ve
 			return nil, fmt.Errorf("core: vector %q opened with page size %d, created with %d", name, o.pageSize, m.pageSize)
 		}
 	}
-	return &Vector[T]{
+	v := &Vector[T]{
 		c:          c,
 		m:          m,
 		codec:      codec,
 		pc:         newPCache(),
 		fills:      make(map[int64]*fillReq),
 		pageWrites: make(map[int64]int64),
-	}, nil
+	}
+	c.d.handles = append(c.d.handles, v)
+	return v, nil
+}
+
+// dirtyResident counts pcache pages with uncommitted modifications
+// (invariant audits: must be zero after Shutdown).
+func (v *Vector[T]) dirtyResident() int {
+	n := 0
+	for _, cp := range v.pc.pages {
+		if cp.isDirty() {
+			n++
+		}
+	}
+	return n
 }
 
 // Name returns the vector's shared name.
@@ -489,7 +503,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		f := v.fills[pg]
 		delete(v.fills, pg)
 		if err := f.t.Wait(v.c.p); err != nil {
-			panic(fmt.Sprintf("core: prefetch of %s page %d failed: %v", m.name, pg, err))
+			panic(fmt.Errorf("core: prefetch of %s page %d failed: %w", m.name, pg, err))
 		}
 		if f.stamp != v.pageWrites[pg] {
 			// The page was committed after the fill was issued; its data
@@ -500,7 +514,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 			t.kind, t.vec, t.page = taskRead, m, pg
 			t.origin, t.replicate = v.c.node.ID, v.replicable()
 			if err := v.c.submitSync(t); err != nil {
-				panic(fmt.Sprintf("core: page fault on %s page %d failed: %v", m.name, pg, err))
+				panic(fmt.Errorf("core: page fault on %s page %d failed: %w", m.name, pg, err))
 			}
 			fresh := t.data
 			v.c.d.recycleTask(t)
@@ -526,7 +540,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 				v.c.d.coalesced++
 				v.c.d.recycleTask(t)
 				if err := lead.Wait(v.c.p); err != nil {
-					panic(fmt.Sprintf("core: coalesced fault on %s page %d failed: %v", m.name, pg, err))
+					panic(fmt.Errorf("core: coalesced fault on %s page %d failed: %w", m.name, pg, err))
 				}
 				data = make([]byte, len(lead.data))
 				copy(data, lead.data)
@@ -537,7 +551,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		v.c.d.faults++
 		m.faults++
 		if err := v.c.submitSync(t); err != nil {
-			panic(fmt.Sprintf("core: page fault on %s page %d failed: %v", m.name, pg, err))
+			panic(fmt.Errorf("core: page fault on %s page %d failed: %w", m.name, pg, err))
 		}
 		data = t.data
 		if !collective {
@@ -610,6 +624,11 @@ func (v *Vector[T]) commitPage(cp *cachedPage, retain bool) {
 	if retain {
 		data = make([]byte, len(cp.data))
 		copy(data, cp.data)
+		// mergeRanges coalesced in place, so regions still aliases
+		// cp.dirty's backing array; snapshot it before resetting cp.dirty,
+		// or writes landing between Flush and the async commit's execution
+		// would clobber the in-flight region list.
+		regions = append([]dirtyRange(nil), regions...)
 		cp.dirty = cp.dirty[:0]
 	}
 	t := v.c.d.newTask()

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"megammap/internal/blob"
+	"megammap/internal/faults"
 	"megammap/internal/vtime"
 )
 
@@ -119,6 +120,11 @@ type Device struct {
 	bw    *vtime.Resource // media bandwidth: transfers serialize
 	blobs map[blob.ID][]byte
 
+	// Fault injection (nil when no plan is installed).
+	inj   *faults.Injector
+	fnode int
+	ftier string
+
 	// Counters for the resource monitor.
 	readOps, writeOps     int64
 	bytesRead, bytesWrite int64
@@ -137,6 +143,13 @@ func New(name string, prof Profile) *Device {
 		bw:    vtime.NewResource(1),
 		blobs: make(map[blob.ID][]byte),
 	}
+}
+
+// SetFaults attaches a fault injector. node and tier identify this
+// device in the plan's device rules (faults.PFSNode for the shared
+// filesystem).
+func (d *Device) SetFaults(inj *faults.Injector, node int, tier string) {
+	d.inj, d.fnode, d.ftier = inj, node, tier
 }
 
 // Name returns the device name.
@@ -201,16 +214,24 @@ func (d *Device) Keys() int { return len(d.blobs) }
 // charge models an n-byte access: the fixed latency overlaps across the
 // device's channels (queue depth), while the data transfer serializes on
 // the media bandwidth, so concurrent streams share the device's total
-// throughput rather than multiplying it.
+// throughput rather than multiplying it. A sticky fault-plan slowdown
+// multiplies latency and divides bandwidth.
 func (d *Device) charge(p *vtime.Proc, n int64, bw float64) {
+	lat := d.prof.Latency
+	if d.inj != nil {
+		if s := d.inj.DeviceSlowdown(d.fnode, d.ftier); s > 1 {
+			lat = vtime.Duration(float64(lat) * s)
+			bw /= s
+		}
+	}
 	d.chans.Acquire(p, 1)
-	p.Sleep(d.prof.Latency)
+	p.Sleep(lat)
 	xfer := vtime.BytesAt(n, bw)
 	if xfer > 0 {
 		d.bw.Use(p, 1, xfer)
 	}
 	d.chans.Release(1)
-	d.busy += d.prof.Latency + xfer
+	d.busy += lat + xfer
 }
 
 // Write stores data under key, replacing any previous contents, and
@@ -222,6 +243,11 @@ func (d *Device) Write(p *vtime.Proc, key blob.ID, data []byte) error {
 		return &ErrNoSpace{Device: d.name, Need: delta, Free: d.Free()}
 	}
 	d.charge(p, int64(len(data)), d.prof.WriteBW)
+	if d.inj != nil {
+		if err := d.inj.DeviceWrite(d.fnode, d.ftier); err != nil {
+			return err
+		}
+	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	d.blobs[key] = buf
@@ -248,47 +274,64 @@ func (d *Device) WriteAt(p *vtime.Proc, key blob.ID, off int64, data []byte) err
 		d.blobs[key] = blob
 	}
 	d.charge(p, int64(len(data)), d.prof.WriteBW)
+	if d.inj != nil {
+		if err := d.inj.DeviceWrite(d.fnode, d.ftier); err != nil {
+			return err
+		}
+	}
 	copy(blob[off:end], data)
 	d.writeOps++
 	d.bytesWrite += int64(len(data))
 	return nil
 }
 
-// Read returns a copy of the blob and charges read cost. It returns false
-// if the blob is absent (no cost is charged for a miss).
-func (d *Device) Read(p *vtime.Proc, key blob.ID) ([]byte, bool) {
+// Read returns a copy of the blob and charges read cost. It returns
+// ok=false if the blob is absent (no cost is charged for a miss). An
+// injected transient fault charges the failed attempt's cost and returns
+// (nil, true, err).
+func (d *Device) Read(p *vtime.Proc, key blob.ID) ([]byte, bool, error) {
 	blob, ok := d.blobs[key]
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	d.charge(p, int64(len(blob)), d.prof.ReadBW)
+	if d.inj != nil {
+		if err := d.inj.DeviceRead(d.fnode, d.ftier); err != nil {
+			return nil, true, err
+		}
+	}
 	out := make([]byte, len(blob))
 	copy(out, blob)
 	d.readOps++
 	d.bytesRead += int64(len(blob))
-	return out, true
+	return out, true, nil
 }
 
 // ReadAt reads length bytes of a blob starting at off and charges read
 // cost for the range. Reads past the end are truncated.
-func (d *Device) ReadAt(p *vtime.Proc, key blob.ID, off, length int64) ([]byte, bool) {
+func (d *Device) ReadAt(p *vtime.Proc, key blob.ID, off, length int64) ([]byte, bool, error) {
 	blob, ok := d.blobs[key]
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	if off >= int64(len(blob)) {
-		return nil, true
+		return nil, true, nil
 	}
 	end := off + length
 	if end > int64(len(blob)) {
 		end = int64(len(blob))
 	}
 	d.charge(p, end-off, d.prof.ReadBW)
+	if d.inj != nil {
+		if err := d.inj.DeviceRead(d.fnode, d.ftier); err != nil {
+			return nil, true, err
+		}
+	}
 	out := make([]byte, end-off)
 	copy(out, blob[off:end])
 	d.readOps++
 	d.bytesRead += end - off
-	return out, true
+	return out, true, nil
 }
 
 // Delete removes a blob, freeing its space. Deleting an absent blob is a

@@ -34,7 +34,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		if err := d.Write(p, bid("k"), data); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := d.Read(p, bid("k"))
+		got, ok, _ := d.Read(p, bid("k"))
 		if !ok || !bytes.Equal(got, data) {
 			t.Errorf("read = %q, %v; want %q", got, ok, data)
 		}
@@ -50,9 +50,9 @@ func TestReadIsACopy(t *testing.T) {
 		if err := d.Write(p, bid("k"), []byte{1, 2, 3}); err != nil {
 			t.Fatal(err)
 		}
-		got, _ := d.Read(p, bid("k"))
+		got, _, _ := d.Read(p, bid("k"))
 		got[0] = 99
-		again, _ := d.Read(p, bid("k"))
+		again, _, _ := d.Read(p, bid("k"))
 		if again[0] != 1 {
 			t.Error("Read returned aliased storage; mutation leaked")
 		}
@@ -67,7 +67,7 @@ func TestWriteCopiesCallerBuffer(t *testing.T) {
 			t.Fatal(err)
 		}
 		buf[0] = 99
-		got, _ := d.Read(p, bid("k"))
+		got, _, _ := d.Read(p, bid("k"))
 		if got[0] != 1 {
 			t.Error("Write aliased the caller's buffer")
 		}
@@ -122,7 +122,7 @@ func TestWriteAtAndReadAt(t *testing.T) {
 		if err := d.WriteAt(p, bid("k"), 3, []byte("XYZ")); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := d.ReadAt(p, bid("k"), 2, 6)
+		got, ok, _ := d.ReadAt(p, bid("k"), 2, 6)
 		if !ok || string(got) != "2XYZ67" {
 			t.Errorf("ReadAt = %q, %v; want 2XYZ67", got, ok)
 		}
@@ -145,11 +145,11 @@ func TestReadAtPastEnd(t *testing.T) {
 		if err := d.Write(p, bid("k"), []byte("abc")); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := d.ReadAt(p, bid("k"), 2, 10)
+		got, ok, _ := d.ReadAt(p, bid("k"), 2, 10)
 		if !ok || string(got) != "c" {
 			t.Errorf("truncated ReadAt = %q, %v", got, ok)
 		}
-		got, ok = d.ReadAt(p, bid("k"), 5, 10)
+		got, ok, _ = d.ReadAt(p, bid("k"), 5, 10)
 		if !ok || len(got) != 0 {
 			t.Errorf("ReadAt fully past end = %q, %v; want empty, true", got, ok)
 		}
@@ -173,10 +173,10 @@ func TestDeleteFreesSpace(t *testing.T) {
 func TestMissingBlob(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("d", DRAMProfile(MB))
-		if _, ok := d.Read(p, bid("nope")); ok {
+		if _, ok, _ := d.Read(p, bid("nope")); ok {
 			t.Error("Read of missing blob returned ok")
 		}
-		if _, ok := d.ReadAt(p, bid("nope"), 0, 10); ok {
+		if _, ok, _ := d.ReadAt(p, bid("nope"), 0, 10); ok {
 			t.Error("ReadAt of missing blob returned ok")
 		}
 		if d.BlobSize(bid("nope")) != -1 {
@@ -284,7 +284,7 @@ func TestPropertyRoundTripArbitrary(t *testing.T) {
 				ok = false
 				return
 			}
-			got, found := d.Read(p, bid(key))
+			got, found, _ := d.Read(p, bid(key))
 			ok = found && bytes.Equal(got, data)
 		})
 		return ok
@@ -298,8 +298,8 @@ func TestStatsCounters(t *testing.T) {
 	run(t, func(p *vtime.Proc) {
 		d := New("d", DRAMProfile(MB))
 		_ = d.Write(p, bid("a"), make([]byte, 100))
-		_, _ = d.Read(p, bid("a"))
-		_, _ = d.Read(p, bid("a"))
+		_, _, _ = d.Read(p, bid("a"))
+		_, _, _ = d.Read(p, bid("a"))
 		r, w, br, bw := d.Stats()
 		if r != 2 || w != 1 || br != 200 || bw != 100 {
 			t.Errorf("stats = %d %d %d %d, want 2 1 200 100", r, w, br, bw)

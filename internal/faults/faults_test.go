@@ -1,0 +1,271 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"megammap/internal/vtime"
+)
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("seed=42;drop=0.02;dup=0.01;delay=200us@0.01;readerr=0.01;writeerr=0.005;slow=nvme:4@30ms;crash=1@40ms;part=0-1@10ms-12ms;attempts=5;backoff=50us;cap=2ms;jitter=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed = %d, want 42", p.Seed)
+	}
+	if len(p.Links) != 1 {
+		t.Fatalf("links = %d, want 1", len(p.Links))
+	}
+	lf := p.Links[0]
+	if lf.Drop != 0.02 || lf.Dup != 0.01 || lf.DelayProb != 0.01 || lf.DelaySpike != 200*vtime.Microsecond {
+		t.Errorf("link fault = %+v", lf)
+	}
+	if len(p.Devices) != 2 {
+		t.Fatalf("devices = %d, want 2 (slow rule + error rule)", len(p.Devices))
+	}
+	slow := p.Devices[0]
+	if slow.Tier != "nvme" || slow.SlowFactor != 4 || slow.SlowFrom != 30*vtime.Millisecond {
+		t.Errorf("slow rule = %+v", slow)
+	}
+	errs := p.Devices[1]
+	if errs.ReadErr != 0.01 || errs.WriteErr != 0.005 || errs.Node != AnyNode || errs.Tier != "" {
+		t.Errorf("error rule = %+v", errs)
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0] != (Crash{Node: 1, At: 40 * vtime.Millisecond}) {
+		t.Errorf("crashes = %+v", p.Crashes)
+	}
+	want := Partition{Src: 0, Dst: 1, From: 10 * vtime.Millisecond, To: 12 * vtime.Millisecond}
+	if len(p.Partitions) != 1 || p.Partitions[0] != want {
+		t.Errorf("partitions = %+v", p.Partitions)
+	}
+	if p.Retry != (Policy{Attempts: 5, Base: 50 * vtime.Microsecond, Cap: 2 * vtime.Millisecond, Jitter: 0.2}) {
+		t.Errorf("retry = %+v", p.Retry)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drop", "drop=2", "drop=x", "bogus=1", "crash=1", "crash=x@1ms",
+		"part=0@1ms-2ms", "part=0-1@1ms", "delay=@0.5", "backoff=-1ms",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(7).Uint64() == NewRand(8).Uint64() {
+		t.Error("different seeds collided on first draw")
+	}
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn(10) = %d", n)
+		}
+	}
+}
+
+func TestTransient(t *testing.T) {
+	devErr := &DeviceError{Device: "node0/nvme", Op: "read"}
+	if !Transient(devErr) {
+		t.Error("DeviceError not transient")
+	}
+	if !Transient(fmt.Errorf("wrapped: %w", devErr)) {
+		t.Error("wrapped DeviceError not transient")
+	}
+	if Transient(ErrNodeDown) {
+		t.Error("ErrNodeDown classified transient")
+	}
+	if Transient(fmt.Errorf("blob gone: %w", ErrNodeDown)) {
+		t.Error("wrapped ErrNodeDown classified transient")
+	}
+	if Transient(nil) || Transient(errors.New("other")) {
+		t.Error("non-fault errors classified transient")
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if eff := in.NetMessage(0, 1); eff != (NetEffect{}) {
+		t.Errorf("nil NetMessage = %+v", eff)
+	}
+	if err := in.DeviceRead(0, "nvme"); err != nil {
+		t.Error("nil DeviceRead errored")
+	}
+	if err := in.DeviceWrite(0, "nvme"); err != nil {
+		t.Error("nil DeviceWrite errored")
+	}
+	if s := in.DeviceSlowdown(0, "nvme"); s != 1 {
+		t.Errorf("nil slowdown = %v", s)
+	}
+	if in.Crashed(0) {
+		t.Error("nil injector reports crashes")
+	}
+	if !in.Allow(1) || in.Allow(DefaultPolicy().Attempts) {
+		t.Error("nil Allow does not follow default policy")
+	}
+	if in.Count("x") != 0 || in.Counters() != nil {
+		t.Error("nil counters not empty")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	plan, err := ParseSpec("seed=9;drop=0.3;dup=0.2;delay=100us@0.5;readerr=0.25;writeerr=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []Counter {
+		in := NewInjector(*plan, func() vtime.Duration { return 0 })
+		for i := 0; i < 500; i++ {
+			in.NetMessage(0, 1)
+			in.DeviceRead(0, "nvme")
+			in.DeviceWrite(1, "dram")
+		}
+		return in.Counters()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults fired at these probabilities")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed, different counters:\n%v\n%v", a, b)
+	}
+}
+
+func TestPartitionHold(t *testing.T) {
+	plan := Plan{Seed: 1, Partitions: []Partition{{Src: 0, Dst: 1, From: 10, To: 20}}}
+	now := vtime.Duration(0)
+	in := NewInjector(plan, func() vtime.Duration { return now })
+	if eff := in.NetMessage(0, 1); eff.HoldUntil != 0 {
+		t.Errorf("partition active before From: %+v", eff)
+	}
+	now = 15
+	if eff := in.NetMessage(1, 0); eff.HoldUntil != 20 {
+		t.Errorf("partition (reverse direction) HoldUntil = %v, want 20", eff.HoldUntil)
+	}
+	if eff := in.NetMessage(0, 2); eff.HoldUntil != 0 {
+		t.Errorf("partition leaked to unmatched link: %+v", eff)
+	}
+	now = 20
+	if eff := in.NetMessage(0, 1); eff.HoldUntil != 0 {
+		t.Errorf("partition active at To: %+v", eff)
+	}
+	if in.Count("net.partition") != 1 {
+		t.Errorf("partition counter = %d, want 1", in.Count("net.partition"))
+	}
+}
+
+func TestDeviceSlowdown(t *testing.T) {
+	plan := Plan{Seed: 1, Devices: []DeviceFault{{Node: 2, Tier: "nvme", SlowFactor: 4, SlowFrom: 100}}}
+	now := vtime.Duration(0)
+	in := NewInjector(plan, func() vtime.Duration { return now })
+	if s := in.DeviceSlowdown(2, "nvme"); s != 1 {
+		t.Errorf("slowdown before SlowFrom = %v", s)
+	}
+	now = 100
+	if s := in.DeviceSlowdown(2, "nvme"); s != 4 {
+		t.Errorf("slowdown = %v, want 4", s)
+	}
+	if s := in.DeviceSlowdown(2, "hdd"); s != 1 {
+		t.Errorf("slowdown leaked to other tier: %v", s)
+	}
+	if s := in.DeviceSlowdown(1, "nvme"); s != 1 {
+		t.Errorf("slowdown leaked to other node: %v", s)
+	}
+}
+
+func TestCrashCallbacks(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1}, func() vtime.Duration { return 0 })
+	var fired []int
+	in.OnCrash(func(n int) { fired = append(fired, n) })
+	in.CrashNode(2)
+	in.CrashNode(2) // idempotent
+	if !in.Crashed(2) || in.Crashed(1) {
+		t.Error("Crashed state wrong")
+	}
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Errorf("callbacks fired = %v", fired)
+	}
+	if in.Count("crash") != 1 {
+		t.Errorf("crash counter = %d", in.Count("crash"))
+	}
+}
+
+func TestBackoffAndDo(t *testing.T) {
+	e := vtime.NewEngine()
+	plan := Plan{Seed: 1, Retry: Policy{Attempts: 3, Base: 100, Cap: 400, Jitter: 0}}
+	in := NewInjector(plan, e.Now)
+	var elapsed vtime.Duration
+	e.Spawn("t", func(p *vtime.Proc) {
+		start := e.Now()
+		in.Backoff(p, "retry.test", 1) // 100
+		in.Backoff(p, "retry.test", 2) // 200
+		in.Backoff(p, "retry.test", 3) // 400
+		in.Backoff(p, "retry.test", 9) // capped at 400
+		elapsed = e.Now() - start
+
+		calls := 0
+		err := in.Do(p, "retry.do", func() error {
+			calls++
+			if calls < 3 {
+				return &DeviceError{Device: "x", Op: "read"}
+			}
+			return nil
+		})
+		if err != nil || calls != 3 {
+			t.Errorf("Do: err=%v calls=%d", err, calls)
+		}
+		calls = 0
+		err = in.Do(p, "retry.do", func() error {
+			calls++
+			return &DeviceError{Device: "x", Op: "read"}
+		})
+		if !Transient(err) || calls != 3 {
+			t.Errorf("exhausted Do: err=%v calls=%d (want transient after 3)", err, calls)
+		}
+		err = in.Do(p, "retry.do", func() error { return ErrNodeDown })
+		if !errors.Is(err, ErrNodeDown) {
+			t.Errorf("permanent Do: err=%v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 100+200+400+400 {
+		t.Errorf("backoff elapsed = %v, want 1100", elapsed)
+	}
+	if in.Count("retry.test") != 4 {
+		t.Errorf("retry.test counter = %d", in.Count("retry.test"))
+	}
+}
+
+func TestDropCapped(t *testing.T) {
+	plan := Plan{Seed: 1, Links: []LinkFault{{Src: AnyNode, Dst: AnyNode, Drop: 1}}}
+	in := NewInjector(plan, func() vtime.Duration { return 0 })
+	eff := in.NetMessage(0, 1)
+	if eff.Resend != maxResends {
+		t.Errorf("Resend = %d, want cap %d", eff.Resend, maxResends)
+	}
+}
+
+func TestTable(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1}, func() vtime.Duration { return 0 })
+	in.CrashNode(0)
+	tb := in.Table()
+	if tb.Len() != 1 || tb.Cell(0, "event") != "crash" || tb.Cell(0, "count") != "1" {
+		t.Errorf("table = %v", tb)
+	}
+}

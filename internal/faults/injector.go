@@ -1,0 +1,269 @@
+package faults
+
+import (
+	"sort"
+
+	"megammap/internal/stats"
+	"megammap/internal/vtime"
+)
+
+// maxResends caps injected retransmissions per message so a drop
+// probability of 1.0 degrades the link instead of livelocking it.
+const maxResends = 8
+
+// NetEffect is what the injector decided for one message: retransmit it
+// Resend extra times, add Delay on the wire, and hold it until HoldUntil
+// if a partition covers the send time.
+type NetEffect struct {
+	Resend    int
+	Delay     vtime.Duration
+	HoldUntil vtime.Duration
+}
+
+// Injector executes a Plan against the virtual clock. All methods are
+// nil-safe: a nil *Injector behaves as "no faults", so fault-aware call
+// sites need no branching beyond the pointer check they already do.
+//
+// The engine runs one process at a time, so the injector needs no
+// locking and its PRNG consumes draws in a deterministic order.
+type Injector struct {
+	plan     Plan
+	rng      *Rand
+	now      func() vtime.Duration
+	crashed  map[int]bool
+	onCrash  []func(node int)
+	counters map[string]int64
+}
+
+// NewInjector builds an injector for plan. now reports the current
+// virtual time (typically Engine.Now); retry-policy defaults are filled
+// in here.
+func NewInjector(plan Plan, now func() vtime.Duration) *Injector {
+	plan.Retry = plan.Retry.withDefaults()
+	return &Injector{
+		plan:     plan,
+		rng:      NewRand(plan.Seed),
+		now:      now,
+		crashed:  make(map[int]bool),
+		counters: make(map[string]int64),
+	}
+}
+
+// Plan returns the plan the injector executes.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// count bumps a named fault/retry counter.
+func (in *Injector) count(name string) { in.counters[name]++ }
+
+// Note bumps a named counter from a fault-aware subsystem (e.g. a
+// hermes failover recovery). No-op on a nil injector.
+func (in *Injector) Note(name string) {
+	if in != nil {
+		in.count(name)
+	}
+}
+
+// Count returns a named counter's value; 0 on a nil injector.
+func (in *Injector) Count(name string) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.counters[name]
+}
+
+// Crashed reports whether node's storage has been taken offline.
+func (in *Injector) Crashed(node int) bool {
+	return in != nil && in.crashed[node]
+}
+
+// Allow reports whether a retry is permitted after `attempt` failed
+// tries. With a nil injector the default policy applies.
+func (in *Injector) Allow(attempt int) bool {
+	if in == nil {
+		return attempt < DefaultPolicy().Attempts
+	}
+	return attempt < in.plan.Retry.Attempts
+}
+
+// OnCrash registers a callback fired when a node crashes (hermes uses
+// this to mark the node down and reroute to replicas).
+func (in *Injector) OnCrash(fn func(node int)) {
+	in.onCrash = append(in.onCrash, fn)
+}
+
+// CrashNode takes node's storage offline immediately and fires the
+// crash callbacks. Idempotent.
+func (in *Injector) CrashNode(node int) {
+	if in.crashed[node] {
+		return
+	}
+	in.crashed[node] = true
+	in.count("crash")
+	for _, fn := range in.onCrash {
+		fn(node)
+	}
+}
+
+// NetMessage rolls link faults for one message from src to dst. The
+// zero NetEffect means the message passes clean.
+func (in *Injector) NetMessage(src, dst int) NetEffect {
+	if in == nil {
+		return NetEffect{}
+	}
+	var eff NetEffect
+	now := in.now()
+	for i := range in.plan.Partitions {
+		pt := &in.plan.Partitions[i]
+		if pt.matches(src, dst) && now >= pt.From && now < pt.To {
+			if pt.To > eff.HoldUntil {
+				eff.HoldUntil = pt.To
+			}
+			in.count("net.partition")
+		}
+	}
+	for i := range in.plan.Links {
+		lf := &in.plan.Links[i]
+		if !lf.matches(src, dst) {
+			continue
+		}
+		if lf.Drop > 0 {
+			for eff.Resend < maxResends && in.rng.Float64() < lf.Drop {
+				eff.Resend++
+				in.count("net.drop")
+			}
+		}
+		if lf.Dup > 0 && in.rng.Float64() < lf.Dup {
+			eff.Resend++
+			in.count("net.dup")
+		}
+		if lf.DelayProb > 0 && in.rng.Float64() < lf.DelayProb {
+			eff.Delay += lf.DelaySpike
+			in.count("net.delay")
+		}
+	}
+	return eff
+}
+
+// DeviceRead rolls an injected transient read error for a device on
+// node (PFSNode for the shared filesystem) in the given tier.
+func (in *Injector) DeviceRead(node int, tier string) error {
+	if in == nil {
+		return nil
+	}
+	return in.deviceErr(node, tier, "read")
+}
+
+// DeviceWrite rolls an injected transient write error.
+func (in *Injector) DeviceWrite(node int, tier string) error {
+	if in == nil {
+		return nil
+	}
+	return in.deviceErr(node, tier, "write")
+}
+
+func (in *Injector) deviceErr(node int, tier, op string) error {
+	for i := range in.plan.Devices {
+		df := &in.plan.Devices[i]
+		if !df.matches(node, tier) {
+			continue
+		}
+		p := df.ReadErr
+		if op == "write" {
+			p = df.WriteErr
+		}
+		if p > 0 && in.rng.Float64() < p {
+			if op == "write" {
+				in.count("dev.write_err")
+			} else {
+				in.count("dev.read_err")
+			}
+			return &DeviceError{Device: tier, Op: op}
+		}
+	}
+	return nil
+}
+
+// DeviceSlowdown returns the sticky latency multiplier currently in
+// effect for a device (1 when healthy). Deterministic — no PRNG draw.
+func (in *Injector) DeviceSlowdown(node int, tier string) float64 {
+	if in == nil {
+		return 1
+	}
+	s := 1.0
+	now := in.now()
+	for i := range in.plan.Devices {
+		df := &in.plan.Devices[i]
+		if df.SlowFactor > 1 && df.matches(node, tier) && now >= df.SlowFrom {
+			s *= df.SlowFactor
+		}
+	}
+	return s
+}
+
+// Backoff sleeps the calling process for the policy's exponential
+// backoff after `attempt` failed tries (attempt >= 1) and bumps the
+// named retry counter. Pass a compile-time constant name (e.g.
+// "retry.scache_read") so the hot path stays allocation-free.
+func (in *Injector) Backoff(p *vtime.Proc, name string, attempt int) {
+	po := DefaultPolicy()
+	if in != nil {
+		po = in.plan.Retry
+	}
+	d := po.Base
+	for i := 1; i < attempt && d < po.Cap; i++ {
+		d *= 2
+	}
+	if d > po.Cap {
+		d = po.Cap
+	}
+	if in != nil {
+		in.count(name)
+		if po.Jitter > 0 {
+			// d * (1 - Jitter/2 + Jitter*u): mean-preserving jitter.
+			u := in.rng.Float64()
+			d = vtime.Duration(float64(d) * (1 - po.Jitter/2 + po.Jitter*u))
+		}
+	}
+	p.Sleep(d)
+}
+
+// Do runs op under the retry policy, backing off between attempts while
+// the error is transient. Not for hot paths (closure allocation) — the
+// pcache fault path writes its retry loop inline.
+func (in *Injector) Do(p *vtime.Proc, name string, op func() error) error {
+	err := op()
+	for attempt := 1; err != nil && Transient(err) && in.Allow(attempt); attempt++ {
+		in.Backoff(p, name, attempt)
+		err = op()
+	}
+	return err
+}
+
+// Counter is one named fault/retry statistic.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Counters returns all non-zero counters sorted by name. Two runs of the
+// same plan and seed produce identical slices.
+func (in *Injector) Counters() []Counter {
+	if in == nil {
+		return nil
+	}
+	out := make([]Counter, 0, len(in.counters))
+	for name, v := range in.counters {
+		out = append(out, Counter{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Table renders the counters as a stats table for report output.
+func (in *Injector) Table() *stats.Table {
+	t := stats.NewTable("faults", "event", "count")
+	for _, c := range in.Counters() {
+		t.Add(c.Name, c.Value)
+	}
+	return t
+}

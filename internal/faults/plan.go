@@ -1,0 +1,302 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"megammap/internal/vtime"
+)
+
+// AnyNode matches every node in a fault rule.
+const AnyNode = -1
+
+// PFSNode is the pseudo-node identifying the shared parallel filesystem
+// device in device fault rules.
+const PFSNode = -2
+
+// LinkFault injects per-message misbehaviour on matching links. Src/Dst
+// of AnyNode match every endpoint; a rule matches a message in either
+// direction.
+type LinkFault struct {
+	Src, Dst   int
+	Drop       float64        // P(message dropped; the reliable transport retransmits)
+	Dup        float64        // P(message duplicated on the wire)
+	DelayProb  float64        // P(delay spike added)
+	DelaySpike vtime.Duration // size of one delay spike
+}
+
+func (lf *LinkFault) matches(src, dst int) bool {
+	fwd := (lf.Src == AnyNode || lf.Src == src) && (lf.Dst == AnyNode || lf.Dst == dst)
+	rev := (lf.Src == AnyNode || lf.Src == dst) && (lf.Dst == AnyNode || lf.Dst == src)
+	return fwd || rev
+}
+
+// Partition blocks all traffic between the matching endpoints during
+// [From, To); a reliable transport holds messages until the partition
+// heals.
+type Partition struct {
+	Src, Dst int // AnyNode matches every endpoint
+	From, To vtime.Duration
+}
+
+func (pt *Partition) matches(src, dst int) bool {
+	lf := LinkFault{Src: pt.Src, Dst: pt.Dst}
+	return lf.matches(src, dst)
+}
+
+// DeviceFault injects transient I/O errors and sticky latency
+// degradation on matching devices. Node AnyNode matches all nodes,
+// PFSNode matches the shared filesystem; an empty Tier matches every
+// tier.
+type DeviceFault struct {
+	Node       int
+	Tier       string
+	ReadErr    float64        // P(transient read error per access)
+	WriteErr   float64        // P(transient write error per access)
+	SlowFactor float64        // latency multiplier / bandwidth divisor (>1 = degraded)
+	SlowFrom   vtime.Duration // when the degradation becomes sticky (0 = from start)
+}
+
+func (df *DeviceFault) matches(node int, tier string) bool {
+	return (df.Node == AnyNode || df.Node == node) && (df.Tier == "" || df.Tier == tier)
+}
+
+// Crash takes a node's stored data offline at a virtual time. The
+// compute plane keeps running (the paper's storage-failure model);
+// hermes marks the node down and fails reads over to backup replicas.
+type Crash struct {
+	Node int
+	At   vtime.Duration
+}
+
+// Policy is the retry/backoff policy wrapped around fault-exposed
+// operations: up to Attempts tries, exponential backoff from Base capped
+// at Cap, with a Jitter fraction drawn from the plan's seeded PRNG.
+type Policy struct {
+	Attempts int
+	Base     vtime.Duration
+	Cap      vtime.Duration
+	Jitter   float64 // fraction of each backoff randomized, in [0, 1]
+}
+
+// DefaultPolicy absorbs short transient bursts without masking real
+// outages: 4 attempts, 50us base doubling up to a 2ms cap, 20% jitter.
+func DefaultPolicy() Policy {
+	return Policy{Attempts: 4, Base: 50 * vtime.Microsecond, Cap: 2 * vtime.Millisecond, Jitter: 0.2}
+}
+
+// withDefaults fills unset policy fields.
+func (po Policy) withDefaults() Policy {
+	def := DefaultPolicy()
+	if po.Attempts <= 0 {
+		po.Attempts = def.Attempts
+	}
+	if po.Base <= 0 {
+		po.Base = def.Base
+	}
+	if po.Cap <= 0 {
+		po.Cap = def.Cap
+	}
+	if po.Jitter < 0 || po.Jitter > 1 {
+		po.Jitter = def.Jitter
+	}
+	return po
+}
+
+// Plan scripts one deterministic fault schedule.
+type Plan struct {
+	Seed       uint64
+	Links      []LinkFault
+	Partitions []Partition
+	Devices    []DeviceFault
+	Crashes    []Crash
+	Retry      Policy
+}
+
+// ParseSpec parses the compact fault-plan DSL used by the mmbench
+// -faults flag: semicolon-separated key=value clauses.
+//
+//	seed=42              PRNG seed
+//	drop=0.02            message drop probability (all links)
+//	dup=0.01             message duplication probability
+//	delay=200us@0.01     delay spike of 200us with probability 0.01
+//	readerr=0.01         transient device read-error probability
+//	writeerr=0.005       transient device write-error probability
+//	slow=nvme:4@30ms     nvme tier 4x slower from t=30ms ("@..." optional)
+//	crash=1@40ms         node 1's storage goes down at t=40ms
+//	part=0-1@10ms-12ms   partition nodes 0 and 1 during [10ms, 12ms)
+//	attempts=5 backoff=50us cap=2ms jitter=0.2   retry policy
+func ParseSpec(spec string) (*Plan, error) {
+	p := &Plan{Seed: 1}
+	var all LinkFault // accumulated any-to-any link rule
+	all.Src, all.Dst = AnyNode, AnyNode
+	var dev DeviceFault // accumulated any-device error rule
+	dev.Node = AnyNode
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad clause %q (want key=value)", clause)
+		}
+		var err error
+		switch k {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "drop":
+			all.Drop, err = parseProb(v)
+		case "dup":
+			all.Dup, err = parseProb(v)
+		case "delay":
+			spike, prob, e := cutAt(v)
+			if e != nil {
+				err = e
+				break
+			}
+			if all.DelaySpike, err = parseDur(spike); err != nil {
+				break
+			}
+			all.DelayProb = 1
+			if prob != "" {
+				all.DelayProb, err = parseProb(prob)
+			}
+		case "readerr":
+			dev.ReadErr, err = parseProb(v)
+		case "writeerr":
+			dev.WriteErr, err = parseProb(v)
+		case "slow":
+			df := DeviceFault{Node: AnyNode}
+			body, from, e := cutAt(v)
+			if e != nil {
+				err = e
+				break
+			}
+			if from != "" {
+				if df.SlowFrom, err = parseDur(from); err != nil {
+					break
+				}
+			}
+			tier, factor, ok := strings.Cut(body, ":")
+			if !ok {
+				tier, factor = "", body
+			}
+			df.Tier = tier
+			if df.SlowFactor, err = strconv.ParseFloat(factor, 64); err != nil {
+				break
+			}
+			p.Devices = append(p.Devices, df)
+		case "crash":
+			node, at, e := cutAt(v)
+			if e != nil {
+				err = e
+				break
+			}
+			cr := Crash{}
+			if cr.Node, err = strconv.Atoi(node); err != nil {
+				break
+			}
+			if cr.At, err = parseDur(at); err != nil {
+				break
+			}
+			p.Crashes = append(p.Crashes, cr)
+		case "part":
+			pair, window, e := cutAt(v)
+			if e != nil {
+				err = e
+				break
+			}
+			a, b, ok := strings.Cut(pair, "-")
+			if !ok {
+				err = fmt.Errorf("want src-dst")
+				break
+			}
+			from, to, ok := strings.Cut(window, "-")
+			if !ok {
+				err = fmt.Errorf("want from-to window")
+				break
+			}
+			pt := Partition{}
+			if pt.Src, err = strconv.Atoi(a); err != nil {
+				break
+			}
+			if pt.Dst, err = strconv.Atoi(b); err != nil {
+				break
+			}
+			if pt.From, err = parseDur(from); err != nil {
+				break
+			}
+			if pt.To, err = parseDur(to); err != nil {
+				break
+			}
+			p.Partitions = append(p.Partitions, pt)
+		case "attempts":
+			p.Retry.Attempts, err = strconv.Atoi(v)
+		case "backoff":
+			p.Retry.Base, err = parseDur(v)
+		case "cap":
+			p.Retry.Cap, err = parseDur(v)
+		case "jitter":
+			p.Retry.Jitter, err = parseProb(v)
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faults: clause %q: %v", clause, err)
+		}
+	}
+	if all.Drop > 0 || all.Dup > 0 || all.DelayProb > 0 {
+		p.Links = append(p.Links, all)
+	}
+	if dev.ReadErr > 0 || dev.WriteErr > 0 {
+		p.Devices = append(p.Devices, dev)
+	}
+	return p, nil
+}
+
+// cutAt splits "body@suffix"; the suffix is optional.
+func cutAt(v string) (body, suffix string, err error) {
+	body, suffix, _ = strings.Cut(v, "@")
+	if body == "" {
+		return "", "", fmt.Errorf("empty value")
+	}
+	return body, suffix, nil
+}
+
+func parseProb(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", f)
+	}
+	return f, nil
+}
+
+// parseDur parses "500ns", "50us", "2ms", "1.5s" (bare numbers are
+// nanoseconds).
+func parseDur(v string) (vtime.Duration, error) {
+	s := strings.TrimSpace(strings.ToLower(v))
+	mult := vtime.Nanosecond
+	for _, u := range []struct {
+		suffix string
+		mult   vtime.Duration
+	}{{"ns", vtime.Nanosecond}, {"us", vtime.Microsecond}, {"ms", vtime.Millisecond}, {"s", vtime.Second}} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			s = strings.TrimSuffix(s, u.suffix)
+			break
+		}
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", v)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("negative duration %q", v)
+	}
+	return vtime.Duration(f * float64(mult)), nil
+}

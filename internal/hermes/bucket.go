@@ -42,12 +42,12 @@ func (b *Bucket) PutAt(p *vtime.Proc, fromNode int, blobName string, off int64, 
 }
 
 // Get reads a blob from the bucket.
-func (b *Bucket) Get(p *vtime.Proc, fromNode int, blobName string) ([]byte, bool) {
+func (b *Bucket) Get(p *vtime.Proc, fromNode int, blobName string) ([]byte, bool, error) {
 	return b.h.Get(p, fromNode, b.key(blobName))
 }
 
 // GetRange reads a byte range of a blob in the bucket.
-func (b *Bucket) GetRange(p *vtime.Proc, fromNode int, blobName string, off, length int64) ([]byte, bool) {
+func (b *Bucket) GetRange(p *vtime.Proc, fromNode int, blobName string, off, length int64) ([]byte, bool, error) {
 	return b.h.GetRange(p, fromNode, b.key(blobName), off, length)
 }
 

@@ -21,6 +21,8 @@ import (
 
 	"megammap/internal/blob"
 	"megammap/internal/cluster"
+	"megammap/internal/device"
+	"megammap/internal/faults"
 	"megammap/internal/vtime"
 )
 
@@ -65,6 +67,10 @@ type Hermes struct {
 	replicas int
 	failed   map[int]bool
 
+	// inj is the cluster's fault injector (nil when fault-free); device
+	// I/O under it is retried per the plan's backoff policy.
+	inj *faults.Injector
+
 	mdLookups int64
 	moved     int64
 	movedByte int64
@@ -80,7 +86,7 @@ func New(c *cluster.Cluster, tiers []string) *Hermes {
 			}
 		}
 	}
-	return &Hermes{
+	h := &Hermes{
 		c:       c,
 		tiers:   tiers,
 		meta:    make(map[blob.ID]*Placement),
@@ -88,6 +94,20 @@ func New(c *cluster.Cluster, tiers []string) *Hermes {
 		byNode:  make([][]blob.ID, len(c.Nodes)),
 		replCnt: make(map[blob.ID]int),
 		failed:  make(map[int]bool),
+	}
+	h.SetFaults(c.Faults())
+	return h
+}
+
+// SetFaults attaches a fault injector: injected node crashes mark the
+// node down here (triggering replica failover), and device I/O is
+// retried under the plan's backoff policy. New picks up the cluster's
+// injector automatically; this exists for tests composing layers by
+// hand. A nil injector is a no-op.
+func (h *Hermes) SetFaults(inj *faults.Injector) {
+	h.inj = inj
+	if inj != nil {
+		inj.OnCrash(func(node int) { h.FailNode(node) })
 	}
 }
 
@@ -252,10 +272,42 @@ func (h *Hermes) place(size int64, prefNode int) (int, string, bool) {
 	return 0, "", false
 }
 
+// nodeDownErr reports a blob whose every copy died with a crashed node.
+func (h *Hermes) nodeDownErr(id blob.ID) error {
+	return fmt.Errorf("hermes: blob %q unreachable, no live replica: %w", h.DisplayName(id), faults.ErrNodeDown)
+}
+
+// writeRetry writes a blob to dev, absorbing injected transient faults
+// under the retry policy.
+func (h *Hermes) writeRetry(p *vtime.Proc, dev *device.Device, id blob.ID, data []byte) error {
+	err := dev.Write(p, id, data)
+	for attempt := 1; err != nil && faults.Transient(err) && h.inj.Allow(attempt); attempt++ {
+		h.inj.Backoff(p, "retry.scache_write", attempt)
+		err = dev.Write(p, id, data)
+	}
+	return err
+}
+
+// writeAtRetry is writeRetry for partial-range writes.
+func (h *Hermes) writeAtRetry(p *vtime.Proc, dev *device.Device, id blob.ID, off int64, data []byte) error {
+	err := dev.WriteAt(p, id, off, data)
+	for attempt := 1; err != nil && faults.Transient(err) && h.inj.Allow(attempt); attempt++ {
+		h.inj.Backoff(p, "retry.scache_write", attempt)
+		err = dev.WriteAt(p, id, off, data)
+	}
+	return err
+}
+
 // Put stores (or replaces) a blob, choosing a target near prefNode. The
 // caller runs on fromNode; data crossing nodes charges fabric time.
 func (h *Hermes) Put(p *vtime.Proc, fromNode int, id blob.ID, data []byte, score float64, prefNode int) error {
 	pl := h.lookup(p, fromNode, id)
+	if pl != nil && !h.alive(pl.Node) {
+		// The old copy died with its node; Put replaces the whole blob, so
+		// drop the stale placement and store fresh on a live node.
+		h.metaDelete(id)
+		pl = nil
+	}
 	if pl != nil {
 		// Replace in place if the target still fits the new size.
 		dev := h.c.Nodes[pl.Node].Devices[pl.Tier]
@@ -263,7 +315,7 @@ func (h *Hermes) Put(p *vtime.Proc, fromNode int, id blob.ID, data []byte, score
 			if pl.Node != fromNode {
 				h.c.Fabric.Transfer(p, fromNode, pl.Node, int64(len(data)))
 			}
-			if err := dev.Write(p, id, data); err != nil {
+			if err := h.writeRetry(p, dev, id, data); err != nil {
 				return err
 			}
 			pl.Size = int64(len(data))
@@ -281,7 +333,7 @@ func (h *Hermes) Put(p *vtime.Proc, fromNode int, id blob.ID, data []byte, score
 	if node != fromNode {
 		h.c.Fabric.Transfer(p, fromNode, node, int64(len(data)))
 	}
-	if err := h.c.Nodes[node].Devices[tier].Write(p, id, data); err != nil {
+	if err := h.writeRetry(p, h.c.Nodes[node].Devices[tier], id, data); err != nil {
 		return err
 	}
 	h.metaPut(id, &Placement{Node: node, Tier: tier, Size: int64(len(data)), Score: score, ScoreNode: prefNode})
@@ -312,7 +364,7 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, id blob.ID, data []byte) 
 			dev := h.c.Nodes[node].Devices[t]
 			if dev.Free() >= int64(len(data)) {
 				h.c.Fabric.Transfer(p, primary, node, int64(len(data)))
-				if err := dev.Write(p, bk, data); err == nil {
+				if err := h.writeRetry(p, dev, bk, data); err == nil {
 					h.metaPut(bk, &Placement{Node: node, Tier: t, Size: int64(len(data)), Score: 0.05, ScoreNode: node})
 					stored = true
 				}
@@ -333,7 +385,7 @@ func (h *Hermes) PutLocal(p *vtime.Proc, node int, id blob.ID, data []byte, scor
 	n := h.c.Nodes[node]
 	for _, t := range h.tiers {
 		if n.Devices[t].Free() >= int64(len(data)) {
-			if err := n.Devices[t].Write(p, id, data); err != nil {
+			if err := h.writeRetry(p, n.Devices[t], id, data); err != nil {
 				return false
 			}
 			h.metaPut(id, &Placement{Node: node, Tier: t, Size: int64(len(data)), Score: score, ScoreNode: node})
@@ -343,18 +395,63 @@ func (h *Hermes) PutLocal(p *vtime.Proc, node int, id blob.ID, data []byte, scor
 	return false
 }
 
+// recoverPrimary rebuilds a blob whose primary node crashed: the bytes
+// are read back from a live backup replica, re-placed on a live node,
+// and re-registered as the new primary. It returns the fresh placement
+// or a typed error when no replica survived.
+func (h *Hermes) recoverPrimary(p *vtime.Proc, id blob.ID) (*Placement, error) {
+	bp, bk := h.failover(id)
+	if bp == nil {
+		return nil, h.nodeDownErr(id)
+	}
+	src := h.c.Nodes[bp.Node].Devices[bp.Tier]
+	data, ok, err := src.Read(p, bk)
+	for attempt := 1; err != nil && faults.Transient(err) && h.inj.Allow(attempt); attempt++ {
+		h.inj.Backoff(p, "retry.scache_read", attempt)
+		data, ok, err = src.Read(p, bk)
+	}
+	if err != nil || !ok {
+		if err == nil {
+			err = h.nodeDownErr(id)
+		}
+		return nil, fmt.Errorf("hermes: recovering blob %q: %w", h.DisplayName(id), err)
+	}
+	h.metaDelete(id) // stale placement on the dead node
+	node, tier, found := h.place(int64(len(data)), bp.Node)
+	if !found {
+		return nil, &ErrNoCapacity{Key: h.DisplayName(id), Size: int64(len(data))}
+	}
+	if node != bp.Node {
+		h.c.Fabric.Transfer(p, bp.Node, node, int64(len(data)))
+	}
+	if err := h.writeRetry(p, h.c.Nodes[node].Devices[tier], id, data); err != nil {
+		return nil, err
+	}
+	pl := &Placement{Node: node, Tier: tier, Size: int64(len(data)), Score: 0.5, ScoreNode: node}
+	h.metaPut(id, pl)
+	h.inj.Note("hermes.failover_recover")
+	return pl, nil
+}
+
 // PutAt overwrites a byte range of an existing blob (partial paging: only
-// the modified region crosses the network and touches the device).
+// the modified region crosses the network and touches the device). If the
+// primary's node crashed, the blob is first rebuilt from a backup.
 func (h *Hermes) PutAt(p *vtime.Proc, fromNode int, id blob.ID, off int64, data []byte) error {
 	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
 		return fmt.Errorf("hermes: PutAt on missing blob %q", h.DisplayName(id))
 	}
+	if !h.alive(pl.Node) {
+		var err error
+		if pl, err = h.recoverPrimary(p, id); err != nil {
+			return err
+		}
+	}
 	if pl.Node != fromNode {
 		h.c.Fabric.Transfer(p, fromNode, pl.Node, int64(len(data)))
 	}
 	dev := h.c.Nodes[pl.Node].Devices[pl.Tier]
-	if err := dev.WriteAt(p, id, off, data); err != nil {
+	if err := h.writeAtRetry(p, dev, id, off, data); err != nil {
 		return err
 	}
 	if end := off + int64(len(data)); end > pl.Size {
@@ -370,7 +467,7 @@ func (h *Hermes) PutAt(p *vtime.Proc, fromNode int, id blob.ID, off int64, data 
 		if bp.Node != pl.Node {
 			h.c.Fabric.Transfer(p, pl.Node, bp.Node, int64(len(data)))
 		}
-		if err := h.c.Nodes[bp.Node].Devices[bp.Tier].WriteAt(p, bk, off, data); err == nil {
+		if err := h.writeAtRetry(p, h.c.Nodes[bp.Node].Devices[bp.Tier], bk, off, data); err == nil {
 			if end := off + int64(len(data)); end > bp.Size {
 				bp.Size = end
 			}
@@ -380,25 +477,40 @@ func (h *Hermes) PutAt(p *vtime.Proc, fromNode int, id blob.ID, off int64, data 
 }
 
 // Get returns a copy of the blob's bytes, charging device and network
-// costs, or false if absent. If the primary copy's node has failed, the
-// read fails over to a backup replica.
-func (h *Hermes) Get(p *vtime.Proc, fromNode int, id blob.ID) ([]byte, bool) {
+// costs, or ok=false if the blob does not exist. If the primary copy's
+// node has failed, the read fails over to a backup replica; when no live
+// copy remains the error wraps faults.ErrNodeDown. Injected transient
+// device faults are retried under the backoff policy.
+func (h *Hermes) Get(p *vtime.Proc, fromNode int, id blob.ID) ([]byte, bool, error) {
 	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
-		return nil, false
+		return nil, false, nil
 	}
 	readID := id
 	if !h.alive(pl.Node) {
 		pl, readID = h.failover(id)
 		if pl == nil {
-			return nil, false
+			return nil, false, h.nodeDownErr(id)
 		}
 	}
-	data, ok := h.c.Nodes[pl.Node].Devices[pl.Tier].Read(p, readID)
+	data, ok, err := h.c.Nodes[pl.Node].Devices[pl.Tier].Read(p, readID)
+	for attempt := 1; err != nil && faults.Transient(err) && h.inj.Allow(attempt); attempt++ {
+		h.inj.Backoff(p, "retry.scache_read", attempt)
+		if !h.alive(pl.Node) { // a crash can land during the backoff sleep
+			pl, readID = h.failover(id)
+			if pl == nil {
+				return nil, false, h.nodeDownErr(id)
+			}
+		}
+		data, ok, err = h.c.Nodes[pl.Node].Devices[pl.Tier].Read(p, readID)
+	}
+	if err != nil {
+		return nil, ok, fmt.Errorf("hermes: reading blob %q: %w", h.DisplayName(id), err)
+	}
 	if ok && pl.Node != fromNode {
 		h.c.Fabric.Transfer(p, pl.Node, fromNode, int64(len(data)))
 	}
-	return data, ok
+	return data, ok, nil
 }
 
 // failover locates a live backup replica of a blob whose primary node
@@ -414,24 +526,38 @@ func (h *Hermes) failover(id blob.ID) (*Placement, blob.ID) {
 }
 
 // GetRange reads a byte range of a blob, failing over to a backup when
-// the primary's node is down.
-func (h *Hermes) GetRange(p *vtime.Proc, fromNode int, id blob.ID, off, length int64) ([]byte, bool) {
+// the primary's node is down, with the same retry and typed-error
+// contract as Get.
+func (h *Hermes) GetRange(p *vtime.Proc, fromNode int, id blob.ID, off, length int64) ([]byte, bool, error) {
 	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
-		return nil, false
+		return nil, false, nil
 	}
 	readID := id
 	if !h.alive(pl.Node) {
 		pl, readID = h.failover(id)
 		if pl == nil {
-			return nil, false
+			return nil, false, h.nodeDownErr(id)
 		}
 	}
-	data, ok := h.c.Nodes[pl.Node].Devices[pl.Tier].ReadAt(p, readID, off, length)
+	data, ok, err := h.c.Nodes[pl.Node].Devices[pl.Tier].ReadAt(p, readID, off, length)
+	for attempt := 1; err != nil && faults.Transient(err) && h.inj.Allow(attempt); attempt++ {
+		h.inj.Backoff(p, "retry.scache_read", attempt)
+		if !h.alive(pl.Node) {
+			pl, readID = h.failover(id)
+			if pl == nil {
+				return nil, false, h.nodeDownErr(id)
+			}
+		}
+		data, ok, err = h.c.Nodes[pl.Node].Devices[pl.Tier].ReadAt(p, readID, off, length)
+	}
+	if err != nil {
+		return nil, ok, fmt.Errorf("hermes: reading blob %q: %w", h.DisplayName(id), err)
+	}
 	if ok && pl.Node != fromNode {
 		h.c.Fabric.Transfer(p, pl.Node, fromNode, int64(len(data)))
 	}
-	return data, ok
+	return data, ok, nil
 }
 
 // Delete removes a blob, its metadata, and any backup replicas.
@@ -620,14 +746,18 @@ func (h *Hermes) Organize(p *vtime.Proc, budget int64) {
 func (h *Hermes) move(p *vtime.Proc, id blob.ID, pl *Placement, node int, tier string) {
 	src := h.c.Nodes[pl.Node].Devices[pl.Tier]
 	dst := h.c.Nodes[node].Devices[tier]
-	data, ok := src.Read(p, id)
-	if !ok {
-		return
+	data, ok, err := src.Read(p, id)
+	for attempt := 1; err != nil && faults.Transient(err) && h.inj.Allow(attempt); attempt++ {
+		h.inj.Backoff(p, "retry.organize", attempt)
+		data, ok, err = src.Read(p, id)
+	}
+	if !ok || err != nil {
+		return // unreadable right now; the next pass can retry the move
 	}
 	if pl.Node != node {
 		h.c.Fabric.Transfer(p, pl.Node, node, int64(len(data)))
 	}
-	if err := dst.Write(p, id, data); err != nil {
+	if err := h.writeRetry(p, dst, id, data); err != nil {
 		return // destination filled up concurrently; keep the source copy
 	}
 	src.Delete(p, id)

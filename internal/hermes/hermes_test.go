@@ -47,7 +47,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 		if err := h.Put(p, 0, h.Key("v/0"), data, 1.0, 0); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := h.Get(p, 1, h.Key("v/0")) // remote get
+		got, ok, _ := h.Get(p, 1, h.Key("v/0")) // remote get
 		if !ok || !bytes.Equal(got, data) {
 			t.Errorf("get = %q, %v", got, ok)
 		}
@@ -143,7 +143,7 @@ func TestPutReplaceInPlace(t *testing.T) {
 		if err := h.Put(p, 0, h.Key("k"), []byte("bb"), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		got, _ := h.Get(p, 0, h.Key("k"))
+		got, _, _ := h.Get(p, 0, h.Key("k"))
 		if string(got) != "bb" {
 			t.Errorf("replace lost: %q", got)
 		}
@@ -163,7 +163,7 @@ func TestPutAtPartialUpdate(t *testing.T) {
 		if err := h.PutAt(p, 0, h.Key("k"), 4, []byte("QQ")); err != nil {
 			t.Fatal(err)
 		}
-		got, _ := h.Get(p, 0, h.Key("k"))
+		got, _, _ := h.Get(p, 0, h.Key("k"))
 		if string(got) != "0123QQ6789" {
 			t.Errorf("partial update = %q", got)
 		}
@@ -179,7 +179,7 @@ func TestGetRange(t *testing.T) {
 		if err := h.Put(p, 0, h.Key("k"), []byte("abcdefgh"), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := h.GetRange(p, 1, h.Key("k"), 2, 3)
+		got, ok, _ := h.GetRange(p, 1, h.Key("k"), 2, 3)
 		if !ok || string(got) != "cde" {
 			t.Errorf("range = %q, %v", got, ok)
 		}
@@ -193,7 +193,7 @@ func TestDelete(t *testing.T) {
 			t.Fatal(err)
 		}
 		h.Delete(p, 0, h.Key("k"))
-		if _, ok := h.Get(p, 0, h.Key("k")); ok {
+		if _, ok, _ := h.Get(p, 0, h.Key("k")); ok {
 			t.Error("blob survived delete")
 		}
 		if used := h.TierUsage()["dram"]; used != 0 {
@@ -240,7 +240,7 @@ func TestOrganizePromotesHotDemotesCold(t *testing.T) {
 		if phot.Tier != "nvme" {
 			t.Errorf("hot (now cold) tier = %s, want nvme", phot.Tier)
 		}
-		got, _ := h.Get(p, 0, h.Key("cold"))
+		got, _, _ := h.Get(p, 0, h.Key("cold"))
 		if !bytes.Equal(got, big) {
 			t.Error("organize corrupted blob contents")
 		}
@@ -419,11 +419,11 @@ func TestBucketNamespacing(t *testing.T) {
 		if err := b.Put(p, 0, "blob", []byte("from-b"), 1, 0); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := a.Get(p, 0, "blob")
+		got, ok, _ := a.Get(p, 0, "blob")
 		if !ok || string(got) != "from-a" {
 			t.Errorf("bucket a blob = %q, %v", got, ok)
 		}
-		got, ok = b.Get(p, 1, "blob")
+		got, ok, _ = b.Get(p, 1, "blob")
 		if !ok || string(got) != "from-b" {
 			t.Errorf("bucket b blob = %q, %v", got, ok)
 		}
@@ -473,7 +473,7 @@ func TestBucketPartialOps(t *testing.T) {
 		if err := bk.PutAt(p, 0, "x", 2, []byte("AB")); err != nil {
 			t.Fatal(err)
 		}
-		got, ok := bk.GetRange(p, 0, "x", 1, 4)
+		got, ok, _ := bk.GetRange(p, 0, "x", 1, 4)
 		if !ok || string(got) != "1AB4" {
 			t.Errorf("range = %q, %v", got, ok)
 		}

@@ -54,11 +54,11 @@ func TestGetFailsOverToBackup(t *testing.T) {
 		}
 		pri, _ := h.PlacementOf(h.Key("v/0"))
 		h.FailNode(pri.Node)
-		got, ok := h.Get(p, (pri.Node+1)%3, h.Key("v/0"))
+		got, ok, _ := h.Get(p, (pri.Node+1)%3, h.Key("v/0"))
 		if !ok || !bytes.Equal(got, data) {
 			t.Fatalf("failover get = %q, %v", got, ok)
 		}
-		sub, ok := h.GetRange(p, (pri.Node+1)%3, h.Key("v/0"), 9, 3)
+		sub, ok, _ := h.GetRange(p, (pri.Node+1)%3, h.Key("v/0"), 9, 3)
 		if !ok || string(sub) != "the" {
 			t.Errorf("failover GetRange = %q, %v", sub, ok)
 		}
@@ -73,10 +73,10 @@ func TestGetFailsWithoutReplicaAfterNodeFailure(t *testing.T) {
 		}
 		pri, _ := h.PlacementOf(h.Key("v/0"))
 		h.FailNode(pri.Node)
-		if _, ok := h.Get(p, (pri.Node+1)%3, h.Key("v/0")); ok {
+		if _, ok, _ := h.Get(p, (pri.Node+1)%3, h.Key("v/0")); ok {
 			t.Error("get succeeded with no backup and a dead primary")
 		}
-		if _, ok := h.GetRange(p, (pri.Node+1)%3, h.Key("v/0"), 0, 2); ok {
+		if _, ok, _ := h.GetRange(p, (pri.Node+1)%3, h.Key("v/0"), 0, 2); ok {
 			t.Error("GetRange succeeded with no backup and a dead primary")
 		}
 	})
@@ -95,7 +95,7 @@ func TestPutAtPropagatesToBackups(t *testing.T) {
 		}
 		pri, _ := h.PlacementOf(h.Key("v/0"))
 		h.FailNode(pri.Node)
-		got, ok := h.Get(p, (pri.Node+1)%3, h.Key("v/0"))
+		got, ok, _ := h.Get(p, (pri.Node+1)%3, h.Key("v/0"))
 		if !ok || string(got[8:13]) != "dirty" {
 			t.Errorf("backup did not receive the partial write: %q", got[8:13])
 		}
@@ -173,7 +173,7 @@ func TestReplaceInPlaceRefreshesBackups(t *testing.T) {
 		}
 		pri, _ := h.PlacementOf(h.Key("v/0"))
 		h.FailNode(pri.Node)
-		got, ok := h.Get(p, (pri.Node+1)%3, h.Key("v/0"))
+		got, ok, _ := h.Get(p, (pri.Node+1)%3, h.Key("v/0"))
 		if !ok || string(got) != "version-2" {
 			t.Errorf("backup serves %q after in-place replace", got)
 		}

@@ -13,6 +13,7 @@ package simnet
 import (
 	"fmt"
 
+	"megammap/internal/faults"
 	"megammap/internal/vtime"
 )
 
@@ -52,6 +53,31 @@ type Fabric struct {
 	nics  []*nic
 	sent  int64
 	bytes int64
+	inj   *faults.Injector // nil when no fault plan is installed
+}
+
+// SetFaults attaches a fault injector; its link rules apply to every
+// subsequent transfer.
+func (f *Fabric) SetFaults(inj *faults.Injector) { f.inj = inj }
+
+// chaos applies the injector's verdict for one message: wait out any
+// partition covering the send time, add delay spikes, and charge
+// retransmissions of the given per-copy cost. The transport is reliable,
+// so faults cost time rather than losing data.
+func (f *Fabric) chaos(p *vtime.Proc, src, dst int, perCopy vtime.Duration) {
+	eff := f.inj.NetMessage(src, dst)
+	if eff.HoldUntil > 0 {
+		if d := eff.HoldUntil - p.Now(); d > 0 {
+			p.Sleep(d)
+		}
+	}
+	if eff.Delay > 0 {
+		p.Sleep(eff.Delay)
+	}
+	if eff.Resend > 0 {
+		p.Sleep(vtime.Duration(int64(eff.Resend)) * perCopy)
+		f.sent += int64(eff.Resend)
+	}
 }
 
 type nic struct {
@@ -99,6 +125,9 @@ func (f *Fabric) Transfer(p *vtime.Proc, src, dst int, n int64) {
 	rx := f.nics[dst]
 	tx.egress.Acquire(p, 1)
 	p.Sleep(f.prof.PerMsg + wire)
+	if f.inj != nil {
+		f.chaos(p, src, dst, f.prof.PerMsg+wire+f.prof.Latency)
+	}
 	tx.egress.Release(1)
 	p.Sleep(f.prof.Latency)
 	rx.ingress.Acquire(p, 1)
@@ -116,4 +145,7 @@ func (f *Fabric) RoundTrip(p *vtime.Proc, src, dst int) {
 	}
 	p.Sleep(2 * (f.prof.Latency + f.prof.PerMsg))
 	f.sent += 2
+	if f.inj != nil {
+		f.chaos(p, src, dst, f.prof.Latency+f.prof.PerMsg)
+	}
 }

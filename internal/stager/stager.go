@@ -121,7 +121,10 @@ func (b *fileBackend) Size() int64 {
 }
 
 func (b *fileBackend) ReadRange(p *vtime.Proc, node int, off, length int64) ([]byte, error) {
-	data, ok := b.c.PFSRead(p, node, b.u.Path, off, length)
+	data, ok, err := b.c.PFSRead(p, node, b.u.Path, off, length)
+	if err != nil {
+		return nil, fmt.Errorf("stager: %s: %w", b.u, err)
+	}
 	if !ok {
 		return nil, fmt.Errorf("stager: %s: no such object", b.u)
 	}
@@ -181,7 +184,10 @@ func (b *globBackend) ReadRange(p *vtime.Proc, node int, off, length int64) ([]b
 		if off < end && off+length > base {
 			localOff := max64(0, off-base)
 			localLen := min64(end, off+length) - (base + localOff)
-			data, ok := b.c.PFSRead(p, node, name, localOff, localLen)
+			data, ok, err := b.c.PFSRead(p, node, name, localOff, localLen)
+			if err != nil {
+				return nil, fmt.Errorf("stager: %s: %w", b.u, err)
+			}
 			if !ok {
 				return nil, fmt.Errorf("stager: %s: member %q vanished", b.u, name)
 			}
@@ -222,7 +228,10 @@ func (b *h5Backend) Size() int64 {
 }
 
 func (b *h5Backend) ReadRange(p *vtime.Proc, node int, off, length int64) ([]byte, error) {
-	data, ok := b.c.PFSRead(p, node, b.key, off, length)
+	data, ok, err := b.c.PFSRead(p, node, b.key, off, length)
+	if err != nil {
+		return nil, fmt.Errorf("stager: %s: %w", b.u, err)
+	}
 	if !ok {
 		return nil, fmt.Errorf("stager: %s: no such group", b.u)
 	}
@@ -267,7 +276,10 @@ func ListGroups(p *vtime.Proc, c *cluster.Cluster, node int, containerPath strin
 	if n <= 0 {
 		return nil, nil
 	}
-	raw, ok := c.PFSRead(p, node, key, 0, n)
+	raw, ok, err := c.PFSRead(p, node, key, 0, n)
+	if err != nil {
+		return nil, fmt.Errorf("stager: reading h5 index for %q: %w", containerPath, err)
+	}
 	if !ok {
 		return nil, nil
 	}
@@ -326,12 +338,12 @@ func (b *pqBackend) loadFooter(p *vtime.Proc, node int) {
 		b.loaded = true
 		return
 	}
-	raw, ok := b.c.PFSRead(p, node, b.footerKey(), 0, n)
+	raw, ok, err := b.c.PFSRead(p, node, b.footerKey(), 0, n)
 	if b.loaded {
 		return // a concurrent reader finished first
 	}
 	b.loaded = true
-	if !ok {
+	if !ok || err != nil {
 		return
 	}
 	var f pqFooter
@@ -380,7 +392,10 @@ func (b *pqBackend) ReadRange(p *vtime.Proc, node int, off, length int64) ([]byt
 		ci := off / cs
 		localOff := off % cs
 		localLen := min64(cs-localOff, length)
-		data, ok := b.c.PFSRead(p, node, b.chunkKey(ci), localOff, localLen)
+		data, ok, err := b.c.PFSRead(p, node, b.chunkKey(ci), localOff, localLen)
+		if err != nil {
+			return nil, fmt.Errorf("stager: %s: %w", b.u, err)
+		}
 		if !ok {
 			return nil, fmt.Errorf("stager: %s: missing row group %d", b.u, ci)
 		}

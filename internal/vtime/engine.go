@@ -180,7 +180,13 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if e.failed == nil {
-					e.failed = fmt.Errorf("vtime: process %q panicked: %v", p.name, r)
+					if err, ok := r.(error); ok {
+						// Preserve the error chain so callers can classify
+						// the failure with errors.Is/As on Run's result.
+						e.failed = fmt.Errorf("vtime: process %q panicked: %w", p.name, err)
+					} else {
+						e.failed = fmt.Errorf("vtime: process %q panicked: %v", p.name, r)
+					}
 				}
 			}
 			p.done = true
