@@ -19,6 +19,8 @@ import (
 
 	"megammap/internal/experiments"
 	"megammap/internal/stats"
+	"megammap/internal/telemetry"
+	"megammap/internal/vtime"
 )
 
 func main() {
@@ -26,7 +28,19 @@ func main() {
 	profName := flag.String("profile", "small", "size profile: small|full")
 	outDir := flag.String("o", "", "directory for CSV output (optional)")
 	faultSpec := flag.String("faults", "", "fault plan for -exp failover, e.g. \"seed=42;drop=0.02;readerr=0.01;crash=1@40ms\" (empty = default plan)")
+	telem := flag.Bool("telemetry", false, "install the telemetry plane on every experiment cluster and write per-run metric/sample tables under <o>/telemetry/ (requires -o)")
 	flag.Parse()
+
+	if *telem {
+		if *outDir == "" {
+			fmt.Fprintln(os.Stderr, "mmbench: -telemetry requires -o")
+			os.Exit(2)
+		}
+		experiments.EnableTelemetry(telemetry.Options{
+			Metrics:      true,
+			SamplePeriod: vtime.Millisecond,
+		})
+	}
 
 	var prof experiments.Profile
 	switch *profName {
@@ -104,7 +118,43 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *telem {
+			if err := writeTelemetry(*outDir, d.name); err != nil {
+				fmt.Fprintf(os.Stderr, "mmbench: telemetry for %s: %v\n", d.name, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeTelemetry drains the telemetry planes of the driver's runs and
+// writes each plane's tables as <o>/telemetry/<exp>_run<i>_<table>.csv.
+func writeTelemetry(dir, exp string) error {
+	runs := experiments.DrainTelemetry()
+	if len(runs) == 0 {
+		return nil
+	}
+	tdir := filepath.Join(dir, "telemetry")
+	if err := os.MkdirAll(tdir, 0o755); err != nil {
+		return err
+	}
+	for i, tel := range runs {
+		for _, tb := range tel.Tables() {
+			name := fmt.Sprintf("%s_run%d_%s.csv", exp, i, tb.Name())
+			f, err := os.Create(filepath.Join(tdir, name))
+			if err != nil {
+				return err
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func writeCSV(dir string, tb *stats.Table) error {

@@ -1,8 +1,10 @@
 // Command mmctl works with MegaMmap deployment files (the paper's YAML
 // configuration interface):
 //
-//	mmctl validate configs/example.yaml   parse and print the deployment
-//	mmctl smoke configs/example.yaml      run a write/read smoke workload
+//	mmctl validate configs/example.yaml        parse and print the deployment
+//	mmctl smoke configs/example.yaml           run a write/read smoke workload
+//	mmctl trace configs/example.yaml out.json  run a traced KMeans workload and
+//	                                           emit Chrome trace-event JSON
 package main
 
 import (
@@ -13,8 +15,8 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: mmctl {validate|smoke} <deployment.yaml>")
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: mmctl {validate|smoke|trace} <deployment.yaml> [trace-out.json]")
 		os.Exit(2)
 	}
 	raw, err := os.ReadFile(os.Args[2])
@@ -34,6 +36,15 @@ func main() {
 		printDeployment(d)
 		if err := smoke(d); err != nil {
 			fmt.Fprintln(os.Stderr, "mmctl: smoke:", err)
+			os.Exit(1)
+		}
+	case "trace":
+		out := "trace.json"
+		if len(os.Args) > 3 {
+			out = os.Args[3]
+		}
+		if err := trace(d, out); err != nil {
+			fmt.Fprintln(os.Stderr, "mmctl: trace:", err)
 			os.Exit(1)
 		}
 	default:

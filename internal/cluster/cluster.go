@@ -16,6 +16,7 @@ import (
 	"megammap/internal/device"
 	"megammap/internal/faults"
 	"megammap/internal/simnet"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -132,6 +133,7 @@ type Cluster struct {
 	pfsSrv *vtime.Resource
 	pfsIDs *blob.Interner // PFS object names; devices store by blob.ID
 	inj    *faults.Injector
+	tel    *telemetry.Telemetry
 }
 
 // InstallFaults activates a fault plan: a seeded injector is wired into
@@ -149,6 +151,7 @@ func (c *Cluster) InstallFaults(plan faults.Plan) *faults.Injector {
 		}
 	}
 	c.PFS.SetFaults(inj, faults.PFSNode, "pfs")
+	inj.SetTelemetry(c.tel.Tracer()) // no-op unless telemetry came first
 	if len(plan.Crashes) > 0 {
 		crashes := append([]faults.Crash(nil), plan.Crashes...)
 		sort.SliceStable(crashes, func(i, j int) bool { return crashes[i].At < crashes[j].At })
@@ -167,6 +170,90 @@ func (c *Cluster) InstallFaults(plan faults.Plan) *faults.Injector {
 // Faults returns the installed fault injector, or nil when running
 // fault-free.
 func (c *Cluster) Faults() *faults.Injector { return c.inj }
+
+// InstallTelemetry activates a telemetry plane: the span tracer is wired
+// into every node device, the PFS, and the fault injector, and — when the
+// options ask for sampling — a vtime-ticker daemon records cluster
+// resource samples each period. Like InstallFaults, call it after New and
+// before building higher layers (hermes, core), which capture the plane
+// at construction. Install order relative to InstallFaults is free.
+func (c *Cluster) InstallTelemetry(opts telemetry.Options) *telemetry.Telemetry {
+	tel := telemetry.New(opts)
+	c.tel = tel
+	trc := tel.Tracer()
+	for _, n := range c.Nodes {
+		for _, d := range n.Devices {
+			d.SetTelemetry(trc, n.ID)
+		}
+	}
+	c.PFS.SetTelemetry(trc, -1)
+	c.inj.SetTelemetry(trc) // no-op unless faults came first
+	if smp := tel.Sampler(); smp.Period() > 0 {
+		c.spawnSampler(smp)
+	}
+	return tel
+}
+
+// Telemetry returns the installed telemetry plane, or nil when running
+// without one. All plane accessors are nil-safe, so layers may capture
+// c.Telemetry().Tracer() etc. unconditionally.
+func (c *Cluster) Telemetry() *telemetry.Telemetry { return c.tel }
+
+// spawnSampler starts the periodic resource-sampling daemon: per-tier
+// occupancy, PFS usage, NIC occupancy and queue depth, cumulative network
+// traffic, and the injector's retry/failover/crash counters.
+func (c *Cluster) spawnSampler(smp *telemetry.Sampler) {
+	tiers := make([]string, 0, len(c.Spec.Tiers))
+	for _, ts := range c.Spec.Tiers {
+		tiers = append(tiers, ts.Name)
+	}
+	cols := []string{"dram_used"}
+	for _, t := range tiers {
+		cols = append(cols, "used."+t)
+	}
+	cols = append(cols, "pfs_used", "nic_inuse", "nic_queued",
+		"net_msgs", "net_bytes", "retries", "failovers", "crashes")
+	smp.SetColumns(cols...)
+	vals := make([]int64, len(cols))
+	c.Engine.SpawnDaemon("telemetry-sampler", func(p *vtime.Proc) {
+		for {
+			k := 0
+			var dram int64
+			for _, n := range c.Nodes {
+				dram += n.dramUsed
+			}
+			vals[k] = dram
+			k++
+			for _, t := range tiers {
+				var used int64
+				for _, n := range c.Nodes {
+					used += n.Devices[t].Used()
+				}
+				vals[k] = used
+				k++
+			}
+			vals[k] = c.PFS.Used()
+			k++
+			inUse, queued := c.Fabric.NICLoad()
+			vals[k] = int64(inUse)
+			k++
+			vals[k] = int64(queued)
+			k++
+			msgs, bytes := c.Fabric.Stats()
+			vals[k] = msgs
+			k++
+			vals[k] = bytes
+			k++
+			vals[k] = c.inj.CountPrefix("retry.")
+			k++
+			vals[k] = c.inj.Count("hermes.failover_recover")
+			k++
+			vals[k] = c.inj.Count("crash")
+			smp.Record(p.Now(), vals...)
+			p.Sleep(smp.Period())
+		}
+	})
+}
 
 // New builds a cluster on a fresh engine.
 func New(spec Spec) *Cluster {
@@ -214,6 +301,12 @@ func (c *Cluster) pfsLookup(key string) (blob.ID, bool) {
 // key is interned here; the stage backends are the only layer still
 // addressing data by name.
 func (c *Cluster) PFSWrite(p *vtime.Proc, node int, key string, off int64, data []byte) error {
+	trc := c.tel.Tracer()
+	sp := trc.Begin(telemetry.OpPFSWrite, node, telemetry.SpanID(p.TraceSpan()), p.Now())
+	var prev uint32
+	if sp != 0 {
+		prev = p.SetTraceSpan(uint32(sp))
+	}
 	c.chargePFSNet(p, node, int64(len(data)))
 	id := c.pfsID(key)
 	c.pfsSrv.Acquire(p, 1)
@@ -223,6 +316,14 @@ func (c *Cluster) PFSWrite(p *vtime.Proc, node int, key string, off int64, data 
 		err = c.PFS.WriteAt(p, id, off, data)
 	}
 	c.pfsSrv.Release(1)
+	if sp != 0 {
+		p.SetTraceSpan(prev)
+		s := trc.At(sp)
+		// Vec stays 0: PFS keys live in the cluster's own interner, not
+		// the vector namespace the trace resolver understands.
+		s.Arg, s.Bytes, s.Err = off, int64(len(data)), err != nil
+		trc.End(sp, p.Now())
+	}
 	return err
 }
 
@@ -235,6 +336,12 @@ func (c *Cluster) PFSRead(p *vtime.Proc, node int, key string, off, length int64
 	if !ok {
 		return nil, false, nil
 	}
+	trc := c.tel.Tracer()
+	sp := trc.Begin(telemetry.OpPFSRead, node, telemetry.SpanID(p.TraceSpan()), p.Now())
+	var prev uint32
+	if sp != 0 {
+		prev = p.SetTraceSpan(uint32(sp))
+	}
 	c.pfsSrv.Acquire(p, 1)
 	data, ok, err := c.PFS.ReadAt(p, id, off, length)
 	for attempt := 1; err != nil && faults.Transient(err) && c.inj.Allow(attempt); attempt++ {
@@ -242,11 +349,17 @@ func (c *Cluster) PFSRead(p *vtime.Proc, node int, key string, off, length int64
 		data, ok, err = c.PFS.ReadAt(p, id, off, length)
 	}
 	c.pfsSrv.Release(1)
+	if err == nil && ok {
+		c.chargePFSNet(p, node, int64(len(data)))
+	}
+	if sp != 0 {
+		p.SetTraceSpan(prev)
+		s := trc.At(sp)
+		s.Arg, s.Bytes, s.Err = off, int64(len(data)), err != nil
+		trc.End(sp, p.Now())
+	}
 	if err != nil {
 		return nil, ok, fmt.Errorf("cluster: pfs read %q: %w", key, err)
-	}
-	if ok {
-		c.chargePFSNet(p, node, int64(len(data)))
 	}
 	return data, ok, nil
 }

@@ -54,6 +54,11 @@
 //	  crashes:
 //	    - node: 1
 //	      at: 40ms
+//	telemetry:
+//	  metrics: true
+//	  spans: true
+//	  max_spans: 1048576
+//	  sample_period: 1ms
 package config
 
 import (
@@ -66,6 +71,7 @@ import (
 	"megammap/internal/device"
 	"megammap/internal/faults"
 	"megammap/internal/simnet"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -76,6 +82,9 @@ type Deployment struct {
 	// Faults is the deterministic fault plan, nil when the document has
 	// no faults section (fault-free run).
 	Faults *faults.Plan
+	// Telemetry selects the observability plane, nil when the document
+	// has no telemetry section (plane not installed).
+	Telemetry *telemetry.Options
 }
 
 // Load parses a configuration document and builds the deployment specs.
@@ -100,6 +109,11 @@ func Load(doc string) (*Deployment, error) {
 	}
 	if fn, ok := root.child("faults"); ok {
 		if err := d.loadFaults(fn); err != nil {
+			return nil, err
+		}
+	}
+	if tn, ok := root.child("telemetry"); ok {
+		if err := d.loadTelemetry(tn); err != nil {
 			return nil, err
 		}
 	}
@@ -134,9 +148,14 @@ func (d *Deployment) validate() error {
 
 // Build constructs the cluster and DSM described by the deployment. When
 // the deployment carries a fault plan it is installed between the cluster
-// and the runtime, so every layer above the devices sees the injector.
+// and the runtime, so every layer above the devices sees the injector;
+// the telemetry plane likewise goes in before the runtime so every layer
+// is instrumented from the first event.
 func (d *Deployment) Build() (*cluster.Cluster, *core.DSM) {
 	c := cluster.New(d.Cluster)
+	if d.Telemetry != nil {
+		c.InstallTelemetry(*d.Telemetry)
+	}
 	if d.Faults != nil {
 		c.InstallFaults(*d.Faults)
 	}
@@ -349,6 +368,21 @@ func (d *Deployment) loadFaults(n *node) error {
 		}
 	}
 	d.Faults = p
+	return nil
+}
+
+func (d *Deployment) loadTelemetry(n *node) error {
+	o := &telemetry.Options{}
+	err := loadFields(n, map[string]func(string) error{
+		"metrics":       func(v string) error { return parseBool(v, &o.Metrics) },
+		"spans":         func(v string) error { return parseBool(v, &o.Spans) },
+		"max_spans":     func(v string) error { return parseInt(v, &o.MaxSpans) },
+		"sample_period": func(v string) error { return parseDuration(v, &o.SamplePeriod) },
+	})
+	if err != nil {
+		return fmt.Errorf("config: telemetry: %w", err)
+	}
+	d.Telemetry = o
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"megammap/internal/cluster"
 	"megammap/internal/hermes"
 	"megammap/internal/stager"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -59,7 +60,17 @@ type DSM struct {
 	// missing) a node-local replica (diagnostics).
 	replicaHits, replicaMisses int64
 
-	trace *TaskTrace
+	// Telemetry plane. trc is nil (and the handle slices hold zero-value
+	// no-op handles) when no plane is installed, so the fault path pays
+	// one predictable branch per update.
+	tel        *telemetry.Telemetry
+	trc        *telemetry.Tracer
+	mFaults    []telemetry.Counter // per client node
+	mEvictions []telemetry.Counter
+	mPrefetch  []telemetry.Counter
+	mCoalesced []telemetry.Counter
+	hFault     []telemetry.Histogram // per-node fault latency, ns
+	hTask      []telemetry.Histogram // per-node task service time, ns
 }
 
 // New deploys MegaMmap on the cluster: it validates the configured tiers,
@@ -76,6 +87,12 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 	if len(tiers) == 0 {
 		panic("core: no configured tier exists on the cluster")
 	}
+	// The legacy TraceTasks knob is implemented on the telemetry span
+	// plane: when set with no plane installed, a span-only plane is
+	// installed here so d.Trace() has spans to fold.
+	if cfg.TraceTasks && c.Telemetry() == nil {
+		c.InstallTelemetry(telemetry.Options{Spans: true})
+	}
 	d := &DSM{
 		c:            c,
 		cfg:          cfg,
@@ -87,9 +104,9 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 		chains:       make(map[blob.ID]*pageChain),
 		pendingReads: make(map[pendingKey]*MemoryTask),
 	}
-	if cfg.TraceTasks {
-		d.trace = &TaskTrace{}
-	}
+	d.tel = c.Telemetry()
+	d.trc = d.tel.Tracer()
+	d.registerMetrics()
 	if cfg.Replicas > 0 {
 		d.h.SetReplicas(cfg.Replicas)
 	}
@@ -103,6 +120,30 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 		c.Engine.SpawnDaemon("mm-stager", d.stagerLoop)
 	}
 	return d
+}
+
+// registerMetrics builds the per-node metric handles. Without a plane
+// the slices hold zero-value handles whose updates no-op.
+func (d *DSM) registerMetrics() {
+	n := len(d.c.Nodes)
+	d.mFaults = make([]telemetry.Counter, n)
+	d.mEvictions = make([]telemetry.Counter, n)
+	d.mPrefetch = make([]telemetry.Counter, n)
+	d.mCoalesced = make([]telemetry.Counter, n)
+	d.hFault = make([]telemetry.Histogram, n)
+	d.hTask = make([]telemetry.Histogram, n)
+	reg := d.tel.Registry()
+	if reg == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		d.mFaults[i] = reg.Counter(telemetry.Key{Name: "core.faults", Node: i, Subsystem: "core"})
+		d.mEvictions[i] = reg.Counter(telemetry.Key{Name: "core.evictions", Node: i, Subsystem: "core"})
+		d.mPrefetch[i] = reg.Counter(telemetry.Key{Name: "core.prefetches", Node: i, Subsystem: "core"})
+		d.mCoalesced[i] = reg.Counter(telemetry.Key{Name: "core.coalesced_reads", Node: i, Subsystem: "core"})
+		d.hFault[i] = reg.Histogram(telemetry.Key{Name: "core.fault_ns", Node: i, Subsystem: "core"})
+		d.hTask[i] = reg.Histogram(telemetry.Key{Name: "core.task_ns", Node: i, Subsystem: "core"})
+	}
 }
 
 // Cluster returns the underlying cluster.
@@ -233,6 +274,18 @@ func (d *DSM) readDone(t *MemoryTask) {
 // complete. Score tasks are metadata-only and bypass the chain.
 func (d *DSM) submit(p *vtime.Proc, t *MemoryTask) {
 	t.submitted = p.Now()
+	if d.trc != nil {
+		t.span = d.trc.Begin(t.kind.op(), t.origin, telemetry.SpanID(p.TraceSpan()), t.submitted)
+		if s := d.trc.At(t.span); s != nil {
+			s.Submit = t.submitted
+			if t.vec != nil {
+				s.Vec = t.vec.id
+			} else {
+				s.Vec = t.chainID.Vec
+			}
+			s.Arg = t.page
+		}
+	}
 	id := t.blobID()
 	owner := t.origin
 	if pl, ok := d.h.PlacementOf(id); ok {
@@ -360,6 +413,21 @@ func (d *DSM) Shutdown(p *vtime.Proc) error {
 // stageOut persists one page to the vector's backend and clears its dirty
 // mark.
 func (d *DSM) stageOut(p *vtime.Proc, m *vecMeta, page int64, node int) error {
+	sp := d.trc.Begin(telemetry.OpStageOut, node, telemetry.SpanID(p.TraceSpan()), p.Now())
+	if sp == 0 {
+		return d.stageOutData(p, m, page, node)
+	}
+	s := d.trc.At(sp)
+	s.Vec, s.Arg = m.id, page
+	prev := p.SetTraceSpan(uint32(sp))
+	err := d.stageOutData(p, m, page, node)
+	p.SetTraceSpan(prev)
+	s.Bytes, s.Err = m.pageSize, err != nil
+	d.trc.End(sp, p.Now())
+	return err
+}
+
+func (d *DSM) stageOutData(p *vtime.Proc, m *vecMeta, page int64, node int) error {
 	defer delete(m.staging, page)
 	data, ok, err := d.h.Get(p, node, m.pageID(page))
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"megammap/internal/cluster"
 	"megammap/internal/device"
 	"megammap/internal/simnet"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -58,12 +59,26 @@ func runBench(b *testing.B, fn func(p *vtime.Proc, d *DSM)) {
 	}
 }
 
-// BenchmarkFaultPath measures one synchronous page fault served by the
-// scache: pcache miss -> read task -> hermes lookup -> device read ->
-// install. The pcache is bounded to 2 pages while the loop cycles over 8,
-// so every access at page granularity misses.
-func BenchmarkFaultPath(b *testing.B) {
-	runBench(b, func(p *vtime.Proc, d *DSM) {
+// runBenchTraced is runBench with the full telemetry plane (metrics +
+// spans) installed, so the Traced benchmark variants measure the
+// instrumented hot path.
+func runBenchTraced(b *testing.B, fn func(p *vtime.Proc, d *DSM)) {
+	b.Helper()
+	c := cluster.New(benchSpec())
+	c.InstallTelemetry(telemetry.Options{Metrics: true, Spans: true})
+	d := New(c, benchConfig())
+	c.Engine.Spawn("bench", func(p *vtime.Proc) {
+		fn(p, d)
+	})
+	if err := c.Engine.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// faultLoop is the shared body of BenchmarkFaultPath and its Traced
+// variant: one synchronous page fault per op, served by the scache.
+func faultLoop(b *testing.B) func(p *vtime.Proc, d *DSM) {
+	return func(p *vtime.Proc, d *DSM) {
 		cl := d.NewClient(p, 0)
 		v, err := Open[int64](cl, "bench/fault", Int64Codec{})
 		if err != nil {
@@ -93,7 +108,23 @@ func BenchmarkFaultPath(b *testing.B) {
 		if err := d.Shutdown(p); err != nil {
 			b.Fatal(err)
 		}
-	})
+	}
+}
+
+// BenchmarkFaultPath measures one synchronous page fault served by the
+// scache: pcache miss -> read task -> hermes lookup -> device read ->
+// install. The pcache is bounded to 2 pages while the loop cycles over 8,
+// so every access at page granularity misses.
+func BenchmarkFaultPath(b *testing.B) {
+	runBench(b, faultLoop(b))
+}
+
+// BenchmarkFaultPathTraced is the same fault loop with metrics and span
+// tracing enabled. The span arena is chunked and metric handles are
+// pre-registered, so the instrumented path must hold the same allocs/op
+// budget as the bare one (the occasional arena chunk amortizes to ~0).
+func BenchmarkFaultPathTraced(b *testing.B) {
+	runBenchTraced(b, faultLoop(b))
 }
 
 // BenchmarkCommitPath measures one asynchronous dirty-page commit: Set a

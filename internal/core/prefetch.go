@@ -1,5 +1,7 @@
 package core
 
+import "megammap/internal/telemetry"
+
 // The private cache prefetcher (paper Algorithm 1). It runs on every page
 // transition of an active transaction and, using the transaction's
 // predicted access sequence:
@@ -124,7 +126,16 @@ func (v *Vector[T]) issueFill(pg, pinned int64) {
 	t := v.c.d.newTask()
 	t.kind, t.vec, t.page = taskRead, v.m, pg
 	t.origin, t.replicate = v.c.node.ID, v.replicable()
-	v.c.submitAsync(t)
+	if sp := v.c.d.trc.Begin(telemetry.OpPrefetch, v.c.node.ID, v.parentSpan(), v.c.p.Now()); sp != 0 {
+		s := v.c.d.trc.At(sp)
+		s.Vec, s.Arg, s.Bytes = v.m.id, pg, v.m.pageSize
+		prev := v.c.p.SetTraceSpan(uint32(sp))
+		v.c.submitAsync(t)
+		v.c.p.SetTraceSpan(prev)
+		v.c.d.trc.End(sp, v.c.p.Now())
+	} else {
+		v.c.submitAsync(t)
+	}
 	v.fills[pg] = &fillReq{t: t, stamp: v.pageWrites[pg]}
 }
 

@@ -8,6 +8,7 @@ import (
 	"megammap/internal/cluster"
 	"megammap/internal/faults"
 	"megammap/internal/hermes"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -113,21 +114,24 @@ func (r *Runtime) worker(p *vtime.Proc, q *vtime.Chan[*MemoryTask]) {
 			return
 		}
 		start := p.Now()
-		r.exec(p, t)
-		if tr := r.d.trace; tr != nil {
-			var vecName string
-			if t.vec != nil {
-				vecName = t.vec.name
-			} else {
-				vecName = r.d.h.DisplayName(t.chainID)
+		if t.span != 0 {
+			// Execute under the task span so the hermes/device/stager
+			// spans the task triggers nest beneath it causally.
+			prev := p.SetTraceSpan(uint32(t.span))
+			r.exec(p, t)
+			p.SetTraceSpan(prev)
+			if s := r.d.trc.At(t.span); s != nil {
+				s.Start = start // queue delay = Start - Submit
+				s.Node = int32(r.node.ID)
+				s.Origin = int32(t.origin)
+				s.Bytes = t.bytes()
+				s.Err = t.err != nil
+				s.End = p.Now()
 			}
-			tr.Events = append(tr.Events, TraceEvent{
-				Kind: t.kind.String(), Vector: vecName, Page: t.page,
-				Origin: t.origin, ExecNode: r.node.ID,
-				Submit: t.submitted, Start: start, End: p.Now(),
-				Bytes: t.bytes(), Err: t.err != nil,
-			})
+		} else {
+			r.exec(p, t)
 		}
+		r.d.hTask[r.node.ID].Observe(int64(p.Now() - start))
 		if t.kind != taskScore {
 			r.d.pageDone(t)
 		}
@@ -233,6 +237,21 @@ func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
 // stageIn materializes a page image from the vector's backend (or zeros
 // for volatile/unwritten pages).
 func (r *Runtime) stageIn(p *vtime.Proc, m *vecMeta, page int64) ([]byte, error) {
+	sp := r.d.trc.Begin(telemetry.OpStageIn, r.node.ID, telemetry.SpanID(p.TraceSpan()), p.Now())
+	if sp == 0 {
+		return r.stageInData(p, m, page)
+	}
+	s := r.d.trc.At(sp)
+	s.Vec, s.Arg = m.id, page
+	prev := p.SetTraceSpan(uint32(sp))
+	data, err := r.stageInData(p, m, page)
+	p.SetTraceSpan(prev)
+	s.Bytes, s.Err = int64(len(data)), err != nil
+	r.d.trc.End(sp, p.Now())
+	return data, err
+}
+
+func (r *Runtime) stageInData(p *vtime.Proc, m *vecMeta, page int64) ([]byte, error) {
 	data := make([]byte, m.pageSize)
 	if m.backend == nil {
 		return data, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"megammap/internal/blob"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -49,6 +50,45 @@ func (k taskKind) String() string {
 	}
 }
 
+// op maps a task kind to its telemetry span operation.
+func (k taskKind) op() telemetry.Op {
+	switch k {
+	case taskRead:
+		return telemetry.OpTaskRead
+	case taskWrite:
+		return telemetry.OpTaskWrite
+	case taskScore:
+		return telemetry.OpTaskScore
+	case taskStage:
+		return telemetry.OpTaskStage
+	case taskDestroy:
+		return telemetry.OpTaskDestroy
+	case taskMove:
+		return telemetry.OpTaskMove
+	default:
+		return telemetry.OpNone
+	}
+}
+
+// taskOpKind is the inverse of taskKind.op, for folding task spans back
+// into the TaskTrace view.
+func taskOpKind(op telemetry.Op) taskKind {
+	switch op {
+	case telemetry.OpTaskRead:
+		return taskRead
+	case telemetry.OpTaskWrite:
+		return taskWrite
+	case telemetry.OpTaskScore:
+		return taskScore
+	case telemetry.OpTaskStage:
+		return taskStage
+	case telemetry.OpTaskDestroy:
+		return taskDestroy
+	default:
+		return taskMove
+	}
+}
+
 // dirtyRange is a modified byte span within a page.
 type dirtyRange struct {
 	off, end int64 // page-relative [off, end)
@@ -87,6 +127,7 @@ type MemoryTask struct {
 	err       error
 	notify    *vtime.WaitGroup // decremented when the task completes
 	submitted vtime.Duration   // submission stamp (tracing)
+	span      telemetry.SpanID // task span, 0 when tracing is off
 
 	// recycle marks a fire-and-forget task: no caller holds a reference
 	// after submission, so the worker returns it to the DSM task pool on

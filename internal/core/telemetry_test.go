@@ -1,0 +1,224 @@
+package core_test
+
+// Telemetry-plane integration tests: the observability plane must be as
+// deterministic as the simulation it observes, must not perturb results,
+// and must record a well-formed causal span forest even while the fault
+// injector is deleting messages and failing devices under it.
+
+import (
+	"bytes"
+	"testing"
+
+	"megammap/internal/apps/kmeans"
+	"megammap/internal/blob"
+	"megammap/internal/cluster"
+	"megammap/internal/core"
+	"megammap/internal/datagen"
+	"megammap/internal/faults"
+	"megammap/internal/mpi"
+	"megammap/internal/stager"
+	"megammap/internal/telemetry"
+	"megammap/internal/vtime"
+)
+
+// runTracedKMeans is runChaosKMeans with the full telemetry plane
+// installed before the fault plan and the DSM.
+func runTracedKMeans(t *testing.T, plan *faults.Plan) (*telemetry.Telemetry, *core.DSM, chaosRun) {
+	t.Helper()
+	c := cluster.New(chaosSpec(2))
+	tel := c.InstallTelemetry(telemetry.Options{
+		Metrics:      true,
+		Spans:        true,
+		SamplePeriod: 100 * vtime.Microsecond,
+	})
+	const url = "pq:///data/points.parquet:pos"
+	g := datagen.New(datagen.DefaultSpec(4000, 4, 42))
+	c.Engine.Spawn("datagen", func(p *vtime.Proc) {
+		b, err := stager.New(c).Open(url)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := g.WriteTo(p, b, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var inj *faults.Injector
+	if plan != nil {
+		inj = c.InstallFaults(*plan)
+	}
+	d := core.New(c, chaosConfig(0))
+	w := mpi.NewWorld(c, 4)
+	var out chaosRun
+	out.err = w.Run(func(r *mpi.Rank) {
+		res, err := kmeans.Mega(r, d, kmeans.Config{
+			DatasetURL: url, K: 4, MaxIter: 4,
+			AssignURL:  "file:///out/assign.bin",
+			BoundBytes: 24 << 10,
+		})
+		if err != nil {
+			r.Fail(err)
+			return
+		}
+		if r.Rank() == 0 {
+			out.result = res
+			if err := d.Shutdown(r.Proc()); err != nil {
+				r.Fail(err)
+			}
+		}
+	})
+	out.end = c.Engine.Now()
+	out.counters = inj.Counters()
+	return tel, d, out
+}
+
+// exportAll renders every telemetry output format to bytes: the Chrome
+// trace plus each summary table's CSV.
+func exportAll(t *testing.T, tel *telemetry.Telemetry, d *core.DSM) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	vecName := func(vec uint32) string { return d.Hermes().DisplayName(blob.Raw(vec)) }
+	if err := tel.WriteChromeTrace(&buf, vecName); err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tel.Tables() {
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestTelemetrySameSeedByteIdentical: every exporter output of a seeded
+// chaos run — Chrome trace, metric, histogram, and sample tables — must
+// be byte-identical across replays. Telemetry that flaps between
+// identical runs is useless for regression diffing.
+func TestTelemetrySameSeedByteIdentical(t *testing.T) {
+	telA, dA, runA := runTracedKMeans(t, dropPlan(99))
+	if runA.err != nil {
+		t.Fatal(runA.err)
+	}
+	telB, dB, runB := runTracedKMeans(t, dropPlan(99))
+	if runB.err != nil {
+		t.Fatal(runB.err)
+	}
+	a := exportAll(t, telA, dA)
+	b := exportAll(t, telB, dB)
+	if !bytes.Equal(a, b) {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo, hi := i-40, i+40
+		if lo < 0 {
+			lo = 0
+		}
+		clip := func(s []byte) []byte {
+			if hi > len(s) {
+				return s[lo:]
+			}
+			return s[lo:hi]
+		}
+		t.Errorf("same seed, telemetry output diverges at byte %d:\n%q\n%q", i, clip(a), clip(b))
+	}
+}
+
+// TestTelemetryDoesNotPerturbRun: installing the plane must not change
+// the workload's virtual timing or results (observation, not
+// intervention).
+func TestTelemetryDoesNotPerturbRun(t *testing.T) {
+	bare := runChaosKMeans(t, dropPlan(7), 0)
+	if bare.err != nil {
+		t.Fatal(bare.err)
+	}
+	_, _, traced := runTracedKMeans(t, dropPlan(7))
+	if traced.err != nil {
+		t.Fatal(traced.err)
+	}
+	if bare.end != traced.end {
+		t.Errorf("telemetry changed virtual end time: %v vs %v", bare.end, traced.end)
+	}
+	if bare.result.Inertia != traced.result.Inertia {
+		t.Errorf("telemetry changed the result: %v vs %v", bare.result.Inertia, traced.result.Inertia)
+	}
+}
+
+// TestTelemetrySpanTreeWellFormed: under the chaos plan, every recorded
+// span must reference an earlier parent (no orphans, no cycles), must
+// end no earlier than it starts, and the forest must cover the whole
+// fault path — core, hermes, device, stager, cluster/PFS, and the retry
+// spans the injected device errors force.
+func TestTelemetrySpanTreeWellFormed(t *testing.T) {
+	tel, _, run := runTracedKMeans(t, dropPlan(7))
+	if run.err != nil {
+		t.Fatal(run.err)
+	}
+	trc := tel.Tracer()
+	if trc.Len() == 0 {
+		t.Fatal("chaos run recorded no spans")
+	}
+	if trc.Dropped() != 0 {
+		t.Fatalf("span arena dropped %d spans below its cap", trc.Dropped())
+	}
+	ops := make(map[telemetry.Op]int)
+	bad := 0
+	trc.Each(func(id telemetry.SpanID, s *telemetry.Span) {
+		ops[s.Op]++
+		if s.Parent != 0 {
+			if s.Parent >= id {
+				t.Errorf("span %d (%v) has non-causal parent %d", id, s.Op, s.Parent)
+				bad++
+			} else if trc.At(s.Parent) == nil {
+				t.Errorf("span %d (%v) has dangling parent %d", id, s.Op, s.Parent)
+				bad++
+			}
+		}
+		if s.End < s.Start {
+			t.Errorf("span %d (%v) ends at %v before its start %v", id, s.Op, s.End, s.Start)
+			bad++
+		}
+		if s.Op.IsTask() && s.Start < s.Submit {
+			t.Errorf("task span %d (%v) started at %v before submission %v", id, s.Op, s.Start, s.Submit)
+			bad++
+		}
+		if bad > 20 {
+			t.FailNow()
+		}
+	})
+	for _, op := range []telemetry.Op{
+		telemetry.OpFault, telemetry.OpCommit, telemetry.OpTx,
+		telemetry.OpTaskRead, telemetry.OpTaskWrite,
+		telemetry.OpScacheGet, telemetry.OpScachePut,
+		telemetry.OpDeviceRead, telemetry.OpDeviceWrite,
+		telemetry.OpStageIn, telemetry.OpPFSRead,
+		telemetry.OpRetry,
+	} {
+		if ops[op] == 0 {
+			t.Errorf("no %v spans recorded; fault path coverage is incomplete", op)
+		}
+	}
+}
+
+// TestTelemetryMetricsMatchStats: the per-node fault counters must sum to
+// the DSM's own aggregate counter — one event, one count, everywhere.
+func TestTelemetryMetricsMatchStats(t *testing.T) {
+	tel, d, run := runTracedKMeans(t, nil)
+	if run.err != nil {
+		t.Fatal(run.err)
+	}
+	faultsN, prefetches, _ := d.Stats()
+	var mf, mp int64
+	for node := 0; node < 2; node++ {
+		mf += tel.Registry().Counter(telemetry.Key{Name: "core.faults", Node: node, Subsystem: "core"}).Value()
+		mp += tel.Registry().Counter(telemetry.Key{Name: "core.prefetches", Node: node, Subsystem: "core"}).Value()
+	}
+	if mf != faultsN {
+		t.Errorf("metric faults %d != DSM faults %d", mf, faultsN)
+	}
+	if mp != prefetches {
+		t.Errorf("metric prefetches %d != DSM prefetches %d", mp, prefetches)
+	}
+}

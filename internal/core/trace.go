@@ -1,10 +1,12 @@
 package core
 
 import (
-	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
+	"megammap/internal/blob"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -37,20 +39,69 @@ func (e TraceEvent) QueueDelay() vtime.Duration { return e.Start - e.Submit }
 // Service returns the task's execution time.
 func (e TraceEvent) Service() vtime.Duration { return e.End - e.Start }
 
-// Trace returns the task trace, or nil when tracing is disabled.
-func (d *DSM) Trace() *TaskTrace { return d.trace }
+// Trace returns the task trace, or nil when tracing is disabled. The view
+// is folded on demand from the telemetry plane's task spans — there is one
+// trace plumbing (the span arena), and TaskTrace is a projection of it.
+func (d *DSM) Trace() *TaskTrace {
+	if !d.cfg.TraceTasks || d.trc == nil {
+		return nil
+	}
+	t := &TaskTrace{Events: make([]TraceEvent, 0, d.trc.Len())}
+	d.trc.Each(func(_ telemetry.SpanID, s *telemetry.Span) {
+		if !s.Op.IsTask() {
+			return
+		}
+		t.Events = append(t.Events, TraceEvent{
+			Kind:     taskOpKind(s.Op).String(),
+			Vector:   d.h.DisplayName(blob.Raw(s.Vec)),
+			Page:     s.Arg,
+			Origin:   int(s.Origin),
+			ExecNode: int(s.Node),
+			Submit:   s.Submit,
+			Start:    s.Start,
+			End:      s.End,
+			Bytes:    s.Bytes,
+			Err:      s.Err,
+		})
+	})
+	return t
+}
 
-// WriteCSV emits the trace as CSV.
+// WriteCSV emits the trace as CSV. Rows are assembled in a reused buffer
+// with strconv appends, so a large trace exports without a per-event
+// allocation storm.
 func (t *TaskTrace) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "kind,vector,page,origin,exec_node,submit_s,start_s,end_s,queue_us,service_us,bytes,err"); err != nil {
+	if _, err := io.WriteString(w, "kind,vector,page,origin,exec_node,submit_s,start_s,end_s,queue_us,service_us,bytes,err\n"); err != nil {
 		return err
 	}
+	buf := make([]byte, 0, 160)
 	for _, e := range t.Events {
-		row := fmt.Sprintf("%s,%s,%d,%d,%d,%.9f,%.9f,%.9f,%.3f,%.3f,%d,%v",
-			e.Kind, csvEscape(e.Vector), e.Page, e.Origin, e.ExecNode,
-			e.Submit.Seconds(), e.Start.Seconds(), e.End.Seconds(),
-			float64(e.QueueDelay())/1e3, float64(e.Service())/1e3, e.Bytes, e.Err)
-		if _, err := fmt.Fprintln(w, row); err != nil {
+		buf = buf[:0]
+		buf = append(buf, e.Kind...)
+		buf = append(buf, ',')
+		buf = append(buf, csvEscape(e.Vector)...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, e.Page, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.Origin), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.ExecNode), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, e.Submit.Seconds(), 'f', 9, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, e.Start.Seconds(), 'f', 9, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, e.End.Seconds(), 'f', 9, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, float64(e.QueueDelay())/1e3, 'f', 3, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, float64(e.Service())/1e3, 'f', 3, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, e.Bytes, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendBool(buf, e.Err)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}

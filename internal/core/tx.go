@@ -1,5 +1,7 @@
 package core
 
+import "megammap/internal/telemetry"
+
 // Transactions declare the access pattern a region of shared memory is
 // about to incur, between TxBegin and TxEnd (paper §III-A). The declared
 // intent drives the coherence policy (Fig. 3) and the prefetcher
@@ -159,6 +161,10 @@ type activeTx struct {
 	tx   Tx
 	head int64 // accesses acknowledged by the prefetcher
 	tail int64 // accesses performed so far
+
+	// span is the transaction's telemetry span (0 when tracing is off);
+	// faults and commits issued during the phase parent under it.
+	span telemetry.SpanID
 }
 
 // pagesIn returns the distinct page indices touched by accesses

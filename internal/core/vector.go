@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"megammap/internal/blob"
+	"megammap/internal/telemetry"
 )
 
 // Vector is MegaMmap's shared memory abstraction: a distributed,
@@ -217,6 +218,11 @@ func (v *Vector[T]) TxBegin(tx Tx) {
 		}
 	}
 	v.tx = &activeTx{tx: tx}
+	if sp := v.c.d.trc.Begin(telemetry.OpTx, v.c.node.ID, telemetry.SpanID(v.c.p.TraceSpan()), v.c.p.Now()); sp != 0 {
+		s := v.c.d.trc.At(sp)
+		s.Vec, s.Arg = v.m.id, int64(tx.Flags())
+		v.tx.span = sp
+	}
 	v.m.flags = tx.Flags()
 }
 
@@ -238,6 +244,9 @@ func (v *Vector[T]) TxEnd() {
 		for _, idx := range v.residentPages() {
 			v.dropPage(v.pc.pages[idx])
 		}
+	}
+	if v.tx.span != 0 {
+		v.c.d.trc.End(v.tx.span, v.c.p.Now())
 	}
 	v.tx = nil
 }
@@ -469,7 +478,7 @@ func (v *Vector[T]) page(pg int64, forWrite bool) *cachedPage {
 		cp = v.pc.get(pg)
 	}
 	if cp == nil {
-		cp = v.fault(pg, forWrite)
+		cp = v.faultTraced(pg, forWrite)
 	}
 	v.last = cp
 	// Run the prefetcher on page transitions, rate-limited to once per
@@ -479,6 +488,37 @@ func (v *Vector[T]) page(pg int64, forWrite bool) *cachedPage {
 		(v.tx.head == 0 || v.tx.tail-v.tx.head >= v.m.epp) {
 		v.runPrefetcher(pg)
 	}
+	return cp
+}
+
+// parentSpan returns the causal parent for spans opened by this handle:
+// the active transaction's span when one is open, else whatever span the
+// client process is currently inside.
+func (v *Vector[T]) parentSpan() telemetry.SpanID {
+	if v.tx != nil && v.tx.span != 0 {
+		return v.tx.span
+	}
+	return telemetry.SpanID(v.c.p.TraceSpan())
+}
+
+// faultTraced wraps fault in an OpFault span and feeds the fault-latency
+// histogram. Tracing-off costs one nil check plus a zero-handle branch.
+func (v *Vector[T]) faultTraced(pg int64, forWrite bool) *cachedPage {
+	d := v.c.d
+	start := v.c.p.Now()
+	sp := d.trc.Begin(telemetry.OpFault, v.c.node.ID, v.parentSpan(), start)
+	var prev uint32
+	if sp != 0 {
+		s := d.trc.At(sp)
+		s.Vec, s.Arg, s.Bytes = v.m.id, pg, v.m.pageSize
+		prev = v.c.p.SetTraceSpan(uint32(sp))
+	}
+	cp := v.fault(pg, forWrite)
+	if sp != 0 {
+		v.c.p.SetTraceSpan(prev)
+		d.trc.End(sp, v.c.p.Now())
+	}
+	d.hFault[v.c.node.ID].Observe(int64(v.c.p.Now() - start))
 	return cp
 }
 
@@ -510,6 +550,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 			// is stale. Keep the reservation and fault fresh data.
 			v.c.d.faults++
 			m.faults++
+			v.c.d.mFaults[v.c.node.ID].Inc()
 			t := v.c.d.newTask()
 			t.kind, t.vec, t.page = taskRead, m, pg
 			t.origin, t.replicate = v.c.node.ID, v.replicable()
@@ -538,6 +579,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		if collective {
 			if lead, shared := v.c.d.coalesceRead(t); shared {
 				v.c.d.coalesced++
+				v.c.d.mCoalesced[v.c.node.ID].Inc()
 				v.c.d.recycleTask(t)
 				if err := lead.Wait(v.c.p); err != nil {
 					panic(fmt.Errorf("core: coalesced fault on %s page %d failed: %w", m.name, pg, err))
@@ -550,6 +592,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		}
 		v.c.d.faults++
 		m.faults++
+		v.c.d.mFaults[v.c.node.ID].Inc()
 		if err := v.c.submitSync(t); err != nil {
 			panic(fmt.Errorf("core: page fault on %s page %d failed: %w", m.name, pg, err))
 		}
@@ -590,6 +633,7 @@ func (v *Vector[T]) ensureSpace(pinned int64) {
 // application pays only the cost of handing the buffer to the runtime.
 func (v *Vector[T]) evict(cp *cachedPage) {
 	v.c.d.evictions++
+	v.c.d.mEvictions[v.c.node.ID].Inc()
 	if cp.isDirty() {
 		v.commitPage(cp, false)
 	}
@@ -635,7 +679,16 @@ func (v *Vector[T]) commitPage(cp *cachedPage, retain bool) {
 	t.kind, t.vec, t.page = taskWrite, v.m, cp.idx
 	t.regions, t.data, t.origin, t.recycle = regions, data, v.c.node.ID, true
 	v.pageWrites[cp.idx]++
-	v.c.submitAsync(t)
+	if sp := v.c.d.trc.Begin(telemetry.OpCommit, v.c.node.ID, v.parentSpan(), v.c.p.Now()); sp != 0 {
+		s := v.c.d.trc.At(sp)
+		s.Vec, s.Arg, s.Bytes = v.m.id, cp.idx, t.bytes()
+		prev := v.c.p.SetTraceSpan(uint32(sp))
+		v.c.submitAsync(t)
+		v.c.p.SetTraceSpan(prev)
+		v.c.d.trc.End(sp, v.c.p.Now())
+	} else {
+		v.c.submitAsync(t)
+	}
 }
 
 // integrateFills installs completed prefetch fills into the pcache and
@@ -664,6 +717,7 @@ func (v *Vector[T]) integrateFills() {
 			continue
 		}
 		v.c.d.prefetches++
+		v.c.d.mPrefetch[v.c.node.ID].Inc()
 		v.pc.insert(v.pc.newPage(pg, f.t.data, 1, false))
 		v.c.d.recycleTask(f.t)
 	}

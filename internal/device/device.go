@@ -15,6 +15,7 @@ import (
 
 	"megammap/internal/blob"
 	"megammap/internal/faults"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -125,6 +126,10 @@ type Device struct {
 	fnode int
 	ftier string
 
+	// Span tracing (nil when no telemetry plane is installed).
+	trc   *telemetry.Tracer
+	tnode int
+
 	// Counters for the resource monitor.
 	readOps, writeOps     int64
 	bytesRead, bytesWrite int64
@@ -150,6 +155,34 @@ func New(name string, prof Profile) *Device {
 // filesystem).
 func (d *Device) SetFaults(inj *faults.Injector, node int, tier string) {
 	d.inj, d.fnode, d.ftier = inj, node, tier
+}
+
+// SetTelemetry attaches a span tracer; node identifies this device's
+// host in the trace (-1 for the shared filesystem).
+func (d *Device) SetTelemetry(trc *telemetry.Tracer, node int) {
+	d.trc, d.tnode = trc, node
+}
+
+// beginSpan opens a device I/O span parented on the caller's current
+// span. Returns 0 (and records nothing) when tracing is off.
+func (d *Device) beginSpan(p *vtime.Proc, op telemetry.Op, key blob.ID) telemetry.SpanID {
+	sp := d.trc.Begin(op, d.tnode, telemetry.SpanID(p.TraceSpan()), p.Now())
+	if s := d.trc.At(sp); s != nil {
+		// The PFS device (node < 0) stores keys from the cluster's own
+		// interner; its vec ids mean nothing to the trace resolver.
+		if d.tnode >= 0 {
+			s.Vec = key.Vec
+		}
+		s.Arg = key.Page
+	}
+	return sp
+}
+
+func (d *Device) endSpan(p *vtime.Proc, sp telemetry.SpanID, n int64, failed bool) {
+	if s := d.trc.At(sp); s != nil {
+		s.Bytes, s.Err = n, failed
+		s.End = p.Now()
+	}
 }
 
 // Name returns the device name.
@@ -242,9 +275,11 @@ func (d *Device) Write(p *vtime.Proc, key blob.ID, data []byte) error {
 	if delta > d.Free() {
 		return &ErrNoSpace{Device: d.name, Need: delta, Free: d.Free()}
 	}
+	sp := d.beginSpan(p, telemetry.OpDeviceWrite, key)
 	d.charge(p, int64(len(data)), d.prof.WriteBW)
 	if d.inj != nil {
 		if err := d.inj.DeviceWrite(d.fnode, d.ftier); err != nil {
+			d.endSpan(p, sp, int64(len(data)), true)
 			return err
 		}
 	}
@@ -254,6 +289,7 @@ func (d *Device) Write(p *vtime.Proc, key blob.ID, data []byte) error {
 	d.note(delta)
 	d.writeOps++
 	d.bytesWrite += int64(len(data))
+	d.endSpan(p, sp, int64(len(data)), false)
 	return nil
 }
 
@@ -273,15 +309,18 @@ func (d *Device) WriteAt(p *vtime.Proc, key blob.ID, off int64, data []byte) err
 		d.note(delta)
 		d.blobs[key] = blob
 	}
+	sp := d.beginSpan(p, telemetry.OpDeviceWrite, key)
 	d.charge(p, int64(len(data)), d.prof.WriteBW)
 	if d.inj != nil {
 		if err := d.inj.DeviceWrite(d.fnode, d.ftier); err != nil {
+			d.endSpan(p, sp, int64(len(data)), true)
 			return err
 		}
 	}
 	copy(blob[off:end], data)
 	d.writeOps++
 	d.bytesWrite += int64(len(data))
+	d.endSpan(p, sp, int64(len(data)), false)
 	return nil
 }
 
@@ -294,9 +333,11 @@ func (d *Device) Read(p *vtime.Proc, key blob.ID) ([]byte, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
+	sp := d.beginSpan(p, telemetry.OpDeviceRead, key)
 	d.charge(p, int64(len(blob)), d.prof.ReadBW)
 	if d.inj != nil {
 		if err := d.inj.DeviceRead(d.fnode, d.ftier); err != nil {
+			d.endSpan(p, sp, int64(len(blob)), true)
 			return nil, true, err
 		}
 	}
@@ -304,6 +345,7 @@ func (d *Device) Read(p *vtime.Proc, key blob.ID) ([]byte, bool, error) {
 	copy(out, blob)
 	d.readOps++
 	d.bytesRead += int64(len(blob))
+	d.endSpan(p, sp, int64(len(blob)), false)
 	return out, true, nil
 }
 
@@ -321,9 +363,11 @@ func (d *Device) ReadAt(p *vtime.Proc, key blob.ID, off, length int64) ([]byte, 
 	if end > int64(len(blob)) {
 		end = int64(len(blob))
 	}
+	sp := d.beginSpan(p, telemetry.OpDeviceRead, key)
 	d.charge(p, end-off, d.prof.ReadBW)
 	if d.inj != nil {
 		if err := d.inj.DeviceRead(d.fnode, d.ftier); err != nil {
+			d.endSpan(p, sp, end-off, true)
 			return nil, true, err
 		}
 	}
@@ -331,6 +375,7 @@ func (d *Device) ReadAt(p *vtime.Proc, key blob.ID, off, length int64) ([]byte, 
 	copy(out, blob[off:end])
 	d.readOps++
 	d.bytesRead += end - off
+	d.endSpan(p, sp, end-off, false)
 	return out, true, nil
 }
 

@@ -6,7 +6,6 @@ import (
 	"megammap/internal/apps/grayscott"
 	"megammap/internal/apps/kmeans"
 	"megammap/internal/apps/rf"
-	"megammap/internal/cluster"
 	"megammap/internal/core"
 	"megammap/internal/device"
 	"megammap/internal/mpi"
@@ -24,7 +23,7 @@ func ablationKMeans(prof Profile, cfg core.Config, bound int64) (measured, int64
 	nodes := 2
 	ranks := nodes * prof.ProcsPerNode
 	total := prof.Fig8BytesPerNode * int64(nodes)
-	c := cluster.New(testbedSpec(nodes, total/2))
+	c := newCluster(testbedSpec(nodes, total/2))
 	ptsURL, _, err := genParticles(c, particlesFor(total), 8, false)
 	if err != nil {
 		return measured{}, 0, 0, err
@@ -92,7 +91,7 @@ func AblationPartialPaging(prof Profile) (*stats.Table, error) {
 	for _, disable := range []bool{false, true} {
 		cfg := tieredConfig()
 		cfg.DisablePartialPaging = disable
-		c := cluster.New(testbedSpec(nodes, prof.Fig8BytesPerNode))
+		c := newCluster(testbedSpec(nodes, prof.Fig8BytesPerNode))
 		d := core.New(c, cfg)
 		m, err := runWorld(c, d, ranks, func(r *mpi.Rank) error {
 			_, err := grayscott.Mega(r, d, grayscott.Config{
@@ -146,7 +145,7 @@ func AblationCoherence(prof Profile) (*stats.Table, error) {
 	for _, disable := range []bool{false, true} {
 		cfg := tieredConfig()
 		cfg.DisableReplication = disable
-		c := cluster.New(testbedSpec(nodes, total))
+		c := newCluster(testbedSpec(nodes, total))
 		ptsURL, _, err := genParticles(c, particlesFor(total), 8, false)
 		if err != nil {
 			return nil, err
@@ -199,7 +198,7 @@ func AblationBagOrder(prof Profile) (*stats.Table, error) {
 	total := prof.Fig8BytesPerNode * int64(nodes)
 	bound := total / int64(ranks) / 2 // half the partition spills
 	for _, unsorted := range []bool{false, true} {
-		c := cluster.New(testbedSpec(nodes, total))
+		c := newCluster(testbedSpec(nodes, total))
 		ptsURL, labURL, err := genParticles(c, particlesFor(total), 8, true)
 		if err != nil {
 			return nil, err

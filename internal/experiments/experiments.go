@@ -22,6 +22,7 @@ import (
 	"megammap/internal/mpi"
 	"megammap/internal/simnet"
 	"megammap/internal/stager"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -118,6 +119,40 @@ func Full() Profile {
 		Fig8BytesPerNode: 8 * device.MB,
 		Fig8Fracs:        []float64{1, 0.75, 0.5, 0.375, 0.25, 0.125},
 	}
+}
+
+// telemetryOpts, when non-nil, is installed on every cluster the drivers
+// build (mmbench -telemetry); the resulting planes accumulate in
+// telemetryRuns for the caller to drain after each driver.
+var (
+	telemetryOpts *telemetry.Options
+	telemetryRuns []*telemetry.Telemetry
+)
+
+// EnableTelemetry installs a telemetry plane with the given options on
+// every experiment cluster built from now on. Not safe for concurrent
+// drivers (mmbench runs them sequentially).
+func EnableTelemetry(opts telemetry.Options) {
+	telemetryOpts = &opts
+	telemetryRuns = nil
+}
+
+// DrainTelemetry returns the telemetry planes of the runs since the last
+// drain, in construction order.
+func DrainTelemetry() []*telemetry.Telemetry {
+	out := telemetryRuns
+	telemetryRuns = nil
+	return out
+}
+
+// newCluster is the drivers' cluster constructor: cluster.New plus the
+// optional telemetry plane.
+func newCluster(spec cluster.Spec) *cluster.Cluster {
+	c := cluster.New(spec)
+	if telemetryOpts != nil {
+		telemetryRuns = append(telemetryRuns, c.InstallTelemetry(*telemetryOpts))
+	}
+	return c
 }
 
 // testbedSpec builds the standard scaled testbed: per-node DRAM plus the

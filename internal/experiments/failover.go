@@ -5,7 +5,6 @@ import (
 	"reflect"
 
 	"megammap/internal/apps/kmeans"
-	"megammap/internal/cluster"
 	"megammap/internal/core"
 	"megammap/internal/datagen"
 	"megammap/internal/faults"
@@ -95,7 +94,7 @@ type failoverOut struct {
 // failoverRun executes one KMeans run on a fresh testbed, optionally
 // under a fault plan, with one backup replica per scache page.
 func failoverRun(prof Profile, cfg kmeans.Config, plan *faults.Plan, nodes, ranks, n int, total int64) (failoverOut, error) {
-	c := cluster.New(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
+	c := newCluster(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
 	ptsURL, _, err := genParticles(c, n, cfg.K, false)
 	if err != nil {
 		return failoverOut{}, err

@@ -64,7 +64,7 @@ func fig5KMeans(prof Profile, t *stats.Table, nodes, ranks int) error {
 	}
 
 	// MegaMmap.
-	c := cluster.New(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
+	c := newCluster(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
 	ptsURL, _, err := genParticles(c, n, cfg.K, false)
 	if err != nil {
 		return err
@@ -85,7 +85,7 @@ func fig5KMeans(prof Profile, t *stats.Table, nodes, ranks int) error {
 	t.Add("kmeans", "megammap", nodes, ranks, m.Runtime.Seconds(), m.PeakMemMB)
 
 	// Spark model.
-	cs := cluster.New(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
+	cs := newCluster(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
 	ptsURL, _, err = genParticles(cs, n, cfg.K, false)
 	if err != nil {
 		return err
@@ -110,7 +110,7 @@ func fig5RF(prof Profile, t *stats.Table, nodes, ranks int) error {
 	n := particlesFor(total)
 	cfg := rf.Config{Classes: 8, MaxDepth: 10, Seed: 9, CostPerSample: scaleCost(20 * vtime.Nanosecond)}
 
-	c := cluster.New(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
+	c := newCluster(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
 	ptsURL, labURL, err := genParticles(c, n, cfg.Classes, true)
 	if err != nil {
 		return err
@@ -131,7 +131,7 @@ func fig5RF(prof Profile, t *stats.Table, nodes, ranks int) error {
 	}
 	t.Add("rf", "megammap", nodes, ranks, m.Runtime.Seconds(), m.PeakMemMB)
 
-	cs := cluster.New(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
+	cs := newCluster(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
 	ptsURL, labURL, err = genParticles(cs, n, cfg.Classes, true)
 	if err != nil {
 		return err
@@ -156,7 +156,7 @@ func fig5DBSCAN(prof Profile, t *stats.Table, nodes, ranks int) error {
 	n := particlesFor(total)
 	cfg := dbscan.Config{Eps: 8, MinPts: 64, CostPerPoint: scaleCost(8 * vtime.Nanosecond)}
 
-	c := cluster.New(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
+	c := newCluster(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
 	ptsURL, _, err := genParticles(c, n, 8, false)
 	if err != nil {
 		return err
@@ -173,7 +173,7 @@ func fig5DBSCAN(prof Profile, t *stats.Table, nodes, ranks int) error {
 	}
 	t.Add("dbscan", "megammap", nodes, ranks, m.Runtime.Seconds(), m.PeakMemMB)
 
-	cp := cluster.New(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
+	cp := newCluster(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
 	ptsURL, _, err = genParticles(cp, n, 8, false)
 	if err != nil {
 		return err
@@ -211,7 +211,7 @@ func fig5GrayScott(prof Profile, t *stats.Table, nodes, ranks int) error {
 		CostPerCell: scaleCost(36 * vtime.Nanosecond),
 	}
 
-	c := cluster.New(testbedSpec(nodes, fig5DRAMTier(total*2, nodes)))
+	c := newCluster(testbedSpec(nodes, fig5DRAMTier(total*2, nodes)))
 	d := core.New(c, inMemoryConfig())
 	m, err := runWorld(c, d, ranks, func(r *mpi.Rank) error {
 		_, err := grayscott.Mega(r, d, cfg)
@@ -222,7 +222,7 @@ func fig5GrayScott(prof Profile, t *stats.Table, nodes, ranks int) error {
 	}
 	t.Add("grayscott", "megammap", nodes, ranks, m.Runtime.Seconds(), m.PeakMemMB)
 
-	cp := cluster.New(testbedSpec(nodes, fig5DRAMTier(total*2, nodes)))
+	cp := newCluster(testbedSpec(nodes, fig5DRAMTier(total*2, nodes)))
 	st := stager.New(cp)
 	mp, err := runWorld(cp, nil, ranks, func(r *mpi.Rank) error {
 		_, err := grayscott.MPI(r, st, cfg)

@@ -52,7 +52,7 @@ func Fig6(prof Profile) (*stats.Table, error) {
 		// MegaMmap: bounded pcache, tiered scache over the same DRAM.
 		spec := testbedSpec(nodes, dram*3/4)
 		spec.DRAMPer = dram
-		c := cluster.New(spec)
+		c := newCluster(spec)
 		d := core.New(c, tieredConfig())
 		mcfg := cfg
 		// Three vectors (two grids + checkpoint) per rank share the node's
@@ -70,7 +70,7 @@ func Fig6(prof Profile) (*stats.Table, error) {
 		// MPI: plain in-memory slabs on identical hardware.
 		specP := testbedSpec(nodes, dram*3/4)
 		specP.DRAMPer = dram
-		cp := cluster.New(specP)
+		cp := newCluster(specP)
 		st := stager.New(cp)
 		mp, err := runWorld(cp, nil, ranks, func(r *mpi.Rank) error {
 			_, err := grayscott.MPI(r, st, cfg)

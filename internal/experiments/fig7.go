@@ -62,7 +62,7 @@ func Fig7(prof Profile) (*stats.Table, error) {
 			CostPerCell: scaleCost(36 * vtime.Nanosecond),
 		}
 		spec := fig7Spec(nodes, dc)
-		c := cluster.New(spec)
+		c := newCluster(spec)
 		d := core.New(c, fig7CoreConfig(dc))
 		var ckpts int
 		m, err := runWorld(c, d, ranks, func(r *mpi.Rank) error {

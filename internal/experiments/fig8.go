@@ -100,7 +100,7 @@ func fig8Impl(prof Profile, only string) (*stats.Table, error) {
 			if dramTier < 512<<10 {
 				dramTier = 512 << 10
 			}
-			c := cluster.New(testbedSpec(nodes, dramTier))
+			c := newCluster(testbedSpec(nodes, dramTier))
 			ptsURL, labURL := "", ""
 			if app.name != "grayscott" {
 				n := particlesFor(total)

@@ -2,8 +2,10 @@ package faults
 
 import (
 	"sort"
+	"strings"
 
 	"megammap/internal/stats"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -33,6 +35,7 @@ type Injector struct {
 	crashed  map[int]bool
 	onCrash  []func(node int)
 	counters map[string]int64
+	trc      *telemetry.Tracer // nil when no telemetry plane is installed
 }
 
 // NewInjector builds an injector for plan. now reports the current
@@ -69,6 +72,29 @@ func (in *Injector) Count(name string) int64 {
 		return 0
 	}
 	return in.counters[name]
+}
+
+// CountPrefix sums every counter whose name starts with prefix (e.g.
+// "retry." for all retry events); 0 on a nil injector.
+func (in *Injector) CountPrefix(prefix string) int64 {
+	if in == nil {
+		return 0
+	}
+	var sum int64
+	for name, v := range in.counters {
+		if strings.HasPrefix(name, prefix) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// SetTelemetry attaches a span tracer: each Backoff sleep records an
+// OpRetry span under the caller's current span. No-op on a nil injector.
+func (in *Injector) SetTelemetry(trc *telemetry.Tracer) {
+	if in != nil {
+		in.trc = trc
+	}
 }
 
 // Crashed reports whether node's storage has been taken offline.
@@ -216,7 +242,9 @@ func (in *Injector) Backoff(p *vtime.Proc, name string, attempt int) {
 	if d > po.Cap {
 		d = po.Cap
 	}
+	var trc *telemetry.Tracer
 	if in != nil {
+		trc = in.trc
 		in.count(name)
 		if po.Jitter > 0 {
 			// d * (1 - Jitter/2 + Jitter*u): mean-preserving jitter.
@@ -224,7 +252,12 @@ func (in *Injector) Backoff(p *vtime.Proc, name string, attempt int) {
 			d = vtime.Duration(float64(d) * (1 - po.Jitter/2 + po.Jitter*u))
 		}
 	}
+	sp := trc.Begin(telemetry.OpRetry, -1, telemetry.SpanID(p.TraceSpan()), p.Now())
+	if s := trc.At(sp); s != nil {
+		s.Arg = int64(attempt)
+	}
 	p.Sleep(d)
+	trc.End(sp, p.Now())
 }
 
 // Do runs op under the retry policy, backing off between attempts while

@@ -2,7 +2,6 @@ package hermes
 
 import (
 	"sort"
-	"strings"
 
 	"megammap/internal/blob"
 	"megammap/internal/vtime"
@@ -28,8 +27,30 @@ func (b *Bucket) Name() string { return b.name }
 
 // key interns the namespaced blob name. Bucket operations address blobs
 // by caller-supplied strings, so the string→ID translation lives here at
-// the namespace boundary.
-func (b *Bucket) key(blobName string) blob.ID { return b.h.Key(b.name + "#" + blobName) }
+// the namespace boundary — and so does membership registration: this is
+// the only place that knows the "bucket#blob" naming convention, so the
+// per-bucket member index is maintained here instead of being recovered
+// by prefix-scanning the whole DMSH on every listing.
+func (b *Bucket) key(blobName string) blob.ID {
+	id := b.h.Key(b.name + "#" + blobName)
+	b.h.registerMember(b.nameID.Vec, id.Vec, blobName)
+	return id
+}
+
+// registerMember records vec as a member of the bucket, keeping the
+// member list sorted by blob name. Idempotent in O(1) after first use.
+func (h *Hermes) registerMember(bucketVec, vec uint32, name string) {
+	if h.memberOf[vec] {
+		return
+	}
+	h.memberOf[vec] = true
+	s := h.buckets[bucketVec]
+	i := sort.Search(len(s), func(i int) bool { return s[i].name >= name })
+	s = append(s, bucketMember{})
+	copy(s[i+1:], s[i:])
+	s[i] = bucketMember{vec: vec, name: name}
+	h.buckets[bucketVec] = s
+}
 
 // Put stores a blob in the bucket.
 func (b *Bucket) Put(p *vtime.Proc, fromNode int, blobName string, data []byte, score float64, prefNode int) error {
@@ -66,34 +87,29 @@ func (b *Bucket) SetScore(p *vtime.Proc, fromNode int, blobName string, score fl
 	b.h.SetScore(p, fromNode, b.key(blobName), score)
 }
 
-// Blobs lists the bucket's blob names in sorted order (metadata scan;
-// charges one lookup).
+// Blobs lists the bucket's blob names in sorted order, walking the
+// bucket's member index (cost proportional to the bucket, not the DMSH;
+// charges one lookup). Members whose blobs were deleted are filtered by
+// an existence check against the metadata map.
 func (b *Bucket) Blobs(p *vtime.Proc, fromNode int) []string {
 	b.h.mdLookups++
+	b.h.mLookups.Inc()
 	b.h.c.Fabric.RoundTrip(p, fromNode, b.h.shardOwner(b.nameID))
-	prefix := b.name + "#"
-	var out []string
-	for id := range b.h.meta {
-		if !id.IsPrimary() {
-			continue
-		}
-		if name := b.h.ids.Name(id.Vec); strings.HasPrefix(name, prefix) {
-			out = append(out, strings.TrimPrefix(name, prefix))
+	members := b.h.buckets[b.nameID.Vec]
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		if _, ok := b.h.meta[blob.Raw(m.vec)]; ok {
+			out = append(out, m.name) // index order is already sorted
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 
-// Size sums the bucket's primary blob bytes.
+// Size sums the bucket's primary blob bytes via the member index.
 func (b *Bucket) Size() int64 {
-	prefix := b.name + "#"
 	var total int64
-	for id, pl := range b.h.meta {
-		if !id.IsPrimary() {
-			continue
-		}
-		if strings.HasPrefix(b.h.ids.Name(id.Vec), prefix) {
+	for _, m := range b.h.buckets[b.nameID.Vec] {
+		if pl, ok := b.h.meta[blob.Raw(m.vec)]; ok {
 			total += pl.Size
 		}
 	}
@@ -102,7 +118,10 @@ func (b *Bucket) Size() int64 {
 
 // Destroy removes every blob in the bucket (and their replicas).
 func (b *Bucket) Destroy(p *vtime.Proc, fromNode int) {
-	for _, blobName := range b.Blobs(p, fromNode) {
-		b.Delete(p, fromNode, blobName)
+	for _, m := range b.h.buckets[b.nameID.Vec] {
+		id := blob.Raw(m.vec)
+		if _, ok := b.h.meta[id]; ok {
+			b.h.Delete(p, fromNode, id)
+		}
 	}
 }

@@ -17,12 +17,14 @@ package hermes
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"megammap/internal/blob"
 	"megammap/internal/cluster"
 	"megammap/internal/device"
 	"megammap/internal/faults"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -71,9 +73,47 @@ type Hermes struct {
 	// I/O under it is retried per the plan's backoff policy.
 	inj *faults.Injector
 
+	// Telemetry plane (nil tracer / zero handles when not installed).
+	trc        *telemetry.Tracer
+	mLookups   telemetry.Counter
+	mFailovers telemetry.Counter
+
+	// buckets indexes bucket membership: interned bucket name -> member
+	// blobs (vec + bare blob name), sorted by name. memberOf marks vecs
+	// already registered, so re-interning a member is O(1). Blobs/Size/
+	// Destroy walk a bucket's members instead of prefix-scanning the DMSH.
+	buckets  map[uint32][]bucketMember
+	memberOf map[uint32]bool
+
+	// org is the organizer's per-pass scratch, reused across PlanOrganize
+	// passes so a steady-state pass allocates nothing.
+	org orgScratch
+
 	mdLookups int64
 	moved     int64
 	movedByte int64
+}
+
+// bucketMember is one blob registered under a bucket namespace.
+type bucketMember struct {
+	vec  uint32 // interned "bucket#blob" vec of the member's primary ID
+	name string // bare blob name within the bucket
+}
+
+// orgScratch holds PlanOrganize working state between passes. Slices are
+// truncated, not freed, so steady-state passes are allocation-free; the
+// returned []Move aliases out and is valid until the next pass.
+type orgScratch struct {
+	byWant  [][]orgEntry
+	moves   []Move
+	out     []Move
+	budgets []int64        // per-tier capacity budget, indexed like tiers
+	tierIdx map[string]int // tier name -> rank, built once
+}
+
+type orgEntry struct {
+	id blob.ID
+	pl *Placement
 }
 
 // New creates a Hermes instance managing the named tiers (ordered fastest
@@ -87,16 +127,51 @@ func New(c *cluster.Cluster, tiers []string) *Hermes {
 		}
 	}
 	h := &Hermes{
-		c:       c,
-		tiers:   tiers,
-		meta:    make(map[blob.ID]*Placement),
-		ids:     blob.NewInterner(),
-		byNode:  make([][]blob.ID, len(c.Nodes)),
-		replCnt: make(map[blob.ID]int),
-		failed:  make(map[int]bool),
+		c:        c,
+		tiers:    tiers,
+		meta:     make(map[blob.ID]*Placement),
+		ids:      blob.NewInterner(),
+		byNode:   make([][]blob.ID, len(c.Nodes)),
+		replCnt:  make(map[blob.ID]int),
+		failed:   make(map[int]bool),
+		buckets:  make(map[uint32][]bucketMember),
+		memberOf: make(map[uint32]bool),
+	}
+	h.org.tierIdx = make(map[string]int, len(tiers))
+	for i, t := range tiers {
+		h.org.tierIdx[t] = i
 	}
 	h.SetFaults(c.Faults())
+	h.SetTelemetry(c.Telemetry())
 	return h
+}
+
+// SetTelemetry attaches the telemetry plane: scache operations record
+// spans, and metadata lookups / failover recoveries count into the
+// registry. New picks up the cluster's plane automatically; this exists
+// for tests composing layers by hand. A nil plane is a no-op.
+func (h *Hermes) SetTelemetry(tel *telemetry.Telemetry) {
+	h.trc = tel.Tracer()
+	reg := tel.Registry()
+	h.mLookups = reg.Counter(telemetry.Key{Name: "hermes.md_lookups", Node: -1, Subsystem: "hermes"})
+	h.mFailovers = reg.Counter(telemetry.Key{Name: "hermes.failovers", Node: -1, Subsystem: "hermes"})
+}
+
+// beginSpan opens a scache span parented on the caller's current span;
+// 0 (recording nothing) when tracing is off.
+func (h *Hermes) beginSpan(p *vtime.Proc, op telemetry.Op, node int, id blob.ID) telemetry.SpanID {
+	sp := h.trc.Begin(op, node, telemetry.SpanID(p.TraceSpan()), p.Now())
+	if s := h.trc.At(sp); s != nil {
+		s.Vec, s.Arg = id.Vec, id.Page
+	}
+	return sp
+}
+
+func (h *Hermes) endSpan(p *vtime.Proc, sp telemetry.SpanID, n int64, failed bool) {
+	if s := h.trc.At(sp); s != nil {
+		s.Bytes, s.Err = n, failed
+		s.End = p.Now()
+	}
 }
 
 // SetFaults attaches a fault injector: injected node crashes mark the
@@ -221,6 +296,7 @@ func (h *Hermes) reindex(id blob.ID, from, to int) {
 // placement, or nil if the blob does not exist.
 func (h *Hermes) lookup(p *vtime.Proc, fromNode int, id blob.ID) *Placement {
 	h.mdLookups++
+	h.mLookups.Inc()
 	owner := h.shardOwner(id)
 	if owner != fromNode {
 		h.c.Fabric.RoundTrip(p, fromNode, owner)
@@ -301,6 +377,18 @@ func (h *Hermes) writeAtRetry(p *vtime.Proc, dev *device.Device, id blob.ID, off
 // Put stores (or replaces) a blob, choosing a target near prefNode. The
 // caller runs on fromNode; data crossing nodes charges fabric time.
 func (h *Hermes) Put(p *vtime.Proc, fromNode int, id blob.ID, data []byte, score float64, prefNode int) error {
+	sp := h.beginSpan(p, telemetry.OpScachePut, fromNode, id)
+	if sp == 0 {
+		return h.put(p, fromNode, id, data, score, prefNode)
+	}
+	prev := p.SetTraceSpan(uint32(sp))
+	err := h.put(p, fromNode, id, data, score, prefNode)
+	p.SetTraceSpan(prev)
+	h.endSpan(p, sp, int64(len(data)), err != nil)
+	return err
+}
+
+func (h *Hermes) put(p *vtime.Proc, fromNode int, id blob.ID, data []byte, score float64, prefNode int) error {
 	pl := h.lookup(p, fromNode, id)
 	if pl != nil && !h.alive(pl.Node) {
 		// The old copy died with its node; Put replaces the whole blob, so
@@ -382,6 +470,18 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, id blob.ID, data []byte) 
 // node-local replicas (read-only coherence), which must never displace
 // primary data to other nodes.
 func (h *Hermes) PutLocal(p *vtime.Proc, node int, id blob.ID, data []byte, score float64) bool {
+	sp := h.beginSpan(p, telemetry.OpScachePut, node, id)
+	if sp == 0 {
+		return h.putLocal(p, node, id, data, score)
+	}
+	prev := p.SetTraceSpan(uint32(sp))
+	stored := h.putLocal(p, node, id, data, score)
+	p.SetTraceSpan(prev)
+	h.endSpan(p, sp, int64(len(data)), false)
+	return stored
+}
+
+func (h *Hermes) putLocal(p *vtime.Proc, node int, id blob.ID, data []byte, score float64) bool {
 	n := h.c.Nodes[node]
 	for _, t := range h.tiers {
 		if n.Devices[t].Free() >= int64(len(data)) {
@@ -400,6 +500,23 @@ func (h *Hermes) PutLocal(p *vtime.Proc, node int, id blob.ID, data []byte, scor
 // and re-registered as the new primary. It returns the fresh placement
 // or a typed error when no replica survived.
 func (h *Hermes) recoverPrimary(p *vtime.Proc, id blob.ID) (*Placement, error) {
+	h.mFailovers.Inc()
+	sp := h.beginSpan(p, telemetry.OpFailover, -1, id)
+	if sp == 0 {
+		return h.recoverPrimaryData(p, id)
+	}
+	prev := p.SetTraceSpan(uint32(sp))
+	pl, err := h.recoverPrimaryData(p, id)
+	p.SetTraceSpan(prev)
+	var n int64
+	if pl != nil {
+		n = pl.Size
+	}
+	h.endSpan(p, sp, n, err != nil)
+	return pl, err
+}
+
+func (h *Hermes) recoverPrimaryData(p *vtime.Proc, id blob.ID) (*Placement, error) {
 	bp, bk := h.failover(id)
 	if bp == nil {
 		return nil, h.nodeDownErr(id)
@@ -437,6 +554,18 @@ func (h *Hermes) recoverPrimary(p *vtime.Proc, id blob.ID) (*Placement, error) {
 // the modified region crosses the network and touches the device). If the
 // primary's node crashed, the blob is first rebuilt from a backup.
 func (h *Hermes) PutAt(p *vtime.Proc, fromNode int, id blob.ID, off int64, data []byte) error {
+	sp := h.beginSpan(p, telemetry.OpScachePut, fromNode, id)
+	if sp == 0 {
+		return h.putAt(p, fromNode, id, off, data)
+	}
+	prev := p.SetTraceSpan(uint32(sp))
+	err := h.putAt(p, fromNode, id, off, data)
+	p.SetTraceSpan(prev)
+	h.endSpan(p, sp, int64(len(data)), err != nil)
+	return err
+}
+
+func (h *Hermes) putAt(p *vtime.Proc, fromNode int, id blob.ID, off int64, data []byte) error {
 	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
 		return fmt.Errorf("hermes: PutAt on missing blob %q", h.DisplayName(id))
@@ -482,6 +611,18 @@ func (h *Hermes) PutAt(p *vtime.Proc, fromNode int, id blob.ID, off int64, data 
 // copy remains the error wraps faults.ErrNodeDown. Injected transient
 // device faults are retried under the backoff policy.
 func (h *Hermes) Get(p *vtime.Proc, fromNode int, id blob.ID) ([]byte, bool, error) {
+	sp := h.beginSpan(p, telemetry.OpScacheGet, fromNode, id)
+	if sp == 0 {
+		return h.get(p, fromNode, id)
+	}
+	prev := p.SetTraceSpan(uint32(sp))
+	data, ok, err := h.get(p, fromNode, id)
+	p.SetTraceSpan(prev)
+	h.endSpan(p, sp, int64(len(data)), err != nil)
+	return data, ok, err
+}
+
+func (h *Hermes) get(p *vtime.Proc, fromNode int, id blob.ID) ([]byte, bool, error) {
 	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
 		return nil, false, nil
@@ -529,6 +670,18 @@ func (h *Hermes) failover(id blob.ID) (*Placement, blob.ID) {
 // the primary's node is down, with the same retry and typed-error
 // contract as Get.
 func (h *Hermes) GetRange(p *vtime.Proc, fromNode int, id blob.ID, off, length int64) ([]byte, bool, error) {
+	sp := h.beginSpan(p, telemetry.OpScacheGet, fromNode, id)
+	if sp == 0 {
+		return h.getRange(p, fromNode, id, off, length)
+	}
+	prev := p.SetTraceSpan(uint32(sp))
+	data, ok, err := h.getRange(p, fromNode, id, off, length)
+	p.SetTraceSpan(prev)
+	h.endSpan(p, sp, int64(len(data)), err != nil)
+	return data, ok, err
+}
+
+func (h *Hermes) getRange(p *vtime.Proc, fromNode int, id blob.ID, off, length int64) ([]byte, bool, error) {
 	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
 		return nil, false, nil
@@ -629,14 +782,19 @@ func (h *Hermes) DecayScores(f float64) {
 // (node-local caches and fault-tolerance copies must not migrate); they
 // never enter the per-node primary indices, so the pass walks only
 // candidate blobs, already in deterministic order.
+// The pass reuses per-node scratch (h.org) across invocations, so a
+// steady-state pass allocates nothing; the returned slice is valid only
+// until the next PlanOrganize call.
 func (h *Hermes) PlanOrganize(budget int64) []Move {
-	type entry struct {
-		id blob.ID
-		pl *Placement
-	}
+	o := &h.org
 	// Group blobs by their desired node (locality first), walking the
 	// maintained per-node indices instead of re-sorting the whole DMSH.
-	byWant := make([][]entry, len(h.c.Nodes))
+	if len(o.byWant) != len(h.c.Nodes) {
+		o.byWant = make([][]orgEntry, len(h.c.Nodes))
+	}
+	for i := range o.byWant {
+		o.byWant[i] = o.byWant[i][:0]
+	}
 	for nodeID := range h.byNode {
 		if !h.alive(nodeID) {
 			continue // unreachable data cannot be reorganized
@@ -654,65 +812,72 @@ func (h *Hermes) PlanOrganize(budget int64) []Move {
 				!h.hasReplicas(id) {
 				want = pl.ScoreNode
 			}
-			byWant[want] = append(byWant[want], entry{id: id, pl: pl})
+			o.byWant[want] = append(o.byWant[want], orgEntry{id: id, pl: pl})
 		}
 	}
-	var moves []Move
-	tierIdx := make(map[string]int, len(h.tiers))
-	for i, t := range h.tiers {
-		tierIdx[t] = i
+	o.moves = o.moves[:0]
+	if cap(o.budgets) < len(h.tiers) {
+		o.budgets = make([]int64, len(h.tiers))
 	}
-	for nodeID, entries := range byWant {
+	o.budgets = o.budgets[:len(h.tiers)]
+	for nodeID, entries := range o.byWant {
 		// Hot blobs first; ties broken by ID for determinism.
-		sort.SliceStable(entries, func(i, j int) bool {
-			if entries[i].pl.Score != entries[j].pl.Score {
-				return entries[i].pl.Score > entries[j].pl.Score
+		slices.SortStableFunc(entries, func(a, b orgEntry) int {
+			if a.pl.Score != b.pl.Score {
+				if a.pl.Score > b.pl.Score {
+					return -1
+				}
+				return 1
 			}
-			return entries[i].id.Less(entries[j].id)
+			if a.id.Less(b.id) {
+				return -1
+			}
+			if b.id.Less(a.id) {
+				return 1
+			}
+			return 0
 		})
 		// Greedy pack into tiers fastest-first using capacity budgets that
 		// assume all of this node's blobs were lifted out.
-		budget := make(map[string]int64, len(h.tiers))
-		for _, t := range h.tiers {
-			budget[t] = h.c.Nodes[nodeID].Devices[t].Profile().Capacity
+		for ti, t := range h.tiers {
+			o.budgets[ti] = h.c.Nodes[nodeID].Devices[t].Profile().Capacity
 		}
 		for _, e := range entries {
-			placedTier := ""
-			for _, t := range h.tiers {
-				if budget[t] >= e.pl.Size {
-					placedTier = t
+			placedTier := -1
+			for ti := range h.tiers {
+				if o.budgets[ti] >= e.pl.Size {
+					placedTier = ti
 					break
 				}
 			}
-			if placedTier == "" {
+			if placedTier < 0 {
 				continue // stays where it is; no capacity anywhere here
 			}
-			budget[placedTier] -= e.pl.Size
-			if e.pl.Node == nodeID && e.pl.Tier == placedTier {
+			o.budgets[placedTier] -= e.pl.Size
+			if e.pl.Node == nodeID && e.pl.Tier == h.tiers[placedTier] {
 				continue
 			}
-			moves = append(moves, Move{ID: e.id, Node: nodeID, Tier: placedTier})
+			o.moves = append(o.moves, Move{ID: e.id, Node: nodeID, Tier: h.tiers[placedTier]})
 		}
 	}
 	// Execute demotions before promotions so demoted blobs free the fast
 	// tiers the promoted blobs are moving into.
-	sort.SliceStable(moves, func(i, j int) bool {
-		pi, pj := h.meta[moves[i].ID], h.meta[moves[j].ID]
-		di := tierIdx[moves[i].Tier] - tierIdx[pi.Tier]
-		dj := tierIdx[moves[j].Tier] - tierIdx[pj.Tier]
-		return di > dj // largest downward shift first
+	slices.SortStableFunc(o.moves, func(a, b Move) int {
+		da := o.tierIdx[a.Tier] - o.tierIdx[h.meta[a.ID].Tier]
+		db := o.tierIdx[b.Tier] - o.tierIdx[h.meta[b.ID].Tier]
+		return db - da // largest downward shift first
 	})
 	var spent int64
-	var out []Move
-	for _, m := range moves {
+	o.out = o.out[:0]
+	for _, m := range o.moves {
 		size := h.meta[m.ID].Size
 		if budget > 0 && spent+size > budget {
 			break
 		}
 		spent += size
-		out = append(out, m)
+		o.out = append(o.out, m)
 	}
-	return out
+	return o.out
 }
 
 // Move is one planned blob relocation.

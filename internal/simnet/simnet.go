@@ -103,6 +103,24 @@ func (f *Fabric) Profile() LinkProfile { return f.prof }
 // Stats returns cumulative messages and bytes transferred.
 func (f *Fabric) Stats() (msgs, bytes int64) { return f.sent, f.bytes }
 
+// NICLoad sums the instantaneous NIC utilization across all nodes: inUse
+// counts directions (egress/ingress) currently occupied by a transfer,
+// queued counts transfers waiting behind them. The telemetry sampler turns
+// these into queue-depth/utilization time series.
+func (f *Fabric) NICLoad() (inUse, queued int) {
+	for _, n := range f.nics {
+		inUse += n.egress.InUse() + n.ingress.InUse()
+		queued += n.egress.Waiting() + n.ingress.Waiting()
+	}
+	return inUse, queued
+}
+
+// NodeNICLoad reports one node's NIC occupancy and queue depth.
+func (f *Fabric) NodeNICLoad(node int) (inUse, queued int) {
+	n := f.nics[node]
+	return n.egress.InUse() + n.ingress.InUse(), n.egress.Waiting() + n.ingress.Waiting()
+}
+
 // Transfer moves n bytes from node src to node dst, blocking the calling
 // process for the modeled duration. Transfers within a node cost only a
 // small software overhead (shared memory). Node indices must be valid.

@@ -1,0 +1,188 @@
+package telemetry
+
+import "megammap/internal/vtime"
+
+// SpanID names a recorded span. Zero means "no span": every Tracer method
+// accepts it (and a nil Tracer returns it), so call sites never branch on
+// whether tracing is enabled.
+type SpanID uint32
+
+// Op classifies a span. The enum spans every instrumented layer so that a
+// fault's journey — pcache miss → scache lookup → device I/O → stager and
+// backend fetch → retry/backoff — reads directly off the trace.
+type Op uint8
+
+// Span operations, grouped by subsystem.
+const (
+	OpNone Op = iota
+	// core: page-cache and transaction plane.
+	OpFault    // synchronous pcache miss (Vector.fault)
+	OpPrefetch // asynchronous fill issued by the prefetcher
+	OpCommit   // dirty-page commit issued by eviction or TxEnd
+	OpTx       // a transaction (TxBegin..TxEnd)
+	// core: task scheduler. One span per MemoryTask, from submit to done.
+	OpTaskRead
+	OpTaskWrite
+	OpTaskScore
+	OpTaskStage
+	OpTaskDestroy
+	OpTaskMove
+	// hermes: shared-cache (DSMH) operations.
+	OpScacheGet
+	OpScachePut
+	OpFailover // dead-primary recovery from backups
+	// device: tier I/O.
+	OpDeviceRead
+	OpDeviceWrite
+	// stager: cold-path staging between scache and backends.
+	OpStageIn
+	OpStageOut
+	// cluster: PFS access (backend reads/writes land here).
+	OpPFSRead
+	OpPFSWrite
+	// faults: one span per retry/backoff sleep; Arg is the attempt.
+	OpRetry
+	opCount
+)
+
+var opNames = [opCount]string{
+	"none", "fault", "prefetch", "commit", "tx",
+	"task.read", "task.write", "task.score", "task.stage", "task.destroy", "task.move",
+	"scache.get", "scache.put", "failover",
+	"device.read", "device.write",
+	"stage.in", "stage.out",
+	"pfs.read", "pfs.write",
+	"retry",
+}
+
+var opCats = [opCount]string{
+	"none", "core", "core", "core", "core",
+	"task", "task", "task", "task", "task", "task",
+	"hermes", "hermes", "hermes",
+	"device", "device",
+	"stager", "stager",
+	"cluster", "cluster",
+	"faults",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "invalid"
+}
+
+// Cat returns the subsystem the op belongs to.
+func (o Op) Cat() string {
+	if int(o) < len(opCats) {
+		return opCats[o]
+	}
+	return "invalid"
+}
+
+// IsTask reports whether o is a task-scheduler span.
+func (o Op) IsTask() bool { return o >= OpTaskRead && o <= OpTaskMove }
+
+// Span is one timed operation. Records are value types in a chunked arena;
+// callers mutate op-specific fields through Tracer.At.
+type Span struct {
+	Start  vtime.Duration
+	End    vtime.Duration
+	Submit vtime.Duration // task spans: when the task entered the queue
+	Bytes  int64          // payload moved, if any
+	Arg    int64          // op-specific: page index, retry attempt, offset
+	Parent SpanID         // causal parent, 0 for roots
+	Vec    uint32         // interned vector/blob name id, 0 = none
+	Node   int32          // executing node, -1 = cluster-global
+	Origin int32          // task spans: submitting node
+	Op     Op
+	Err    bool
+}
+
+const (
+	spanChunkBits = 12
+	spanChunk     = 1 << spanChunkBits
+)
+
+// Tracer records spans into a chunked arena. IDs are arena positions, so
+// Begin/At/End are O(1); allocation amortizes to one slab per 4096 spans,
+// which keeps a traced fault path at the same allocs/op as an untraced
+// one. All methods are nil-safe.
+type Tracer struct {
+	chunks  [][]Span
+	n       int
+	max     int
+	dropped int64
+}
+
+func newTracer(max int) *Tracer { return &Tracer{max: max} }
+
+// Begin records a new span starting (and, until End, also ending) at time
+// at, and returns its ID. Once the arena cap is reached, Begin counts the
+// span as dropped and returns 0.
+func (t *Tracer) Begin(op Op, node int, parent SpanID, at vtime.Duration) SpanID {
+	if t == nil {
+		return 0
+	}
+	if t.n >= t.max {
+		t.dropped++
+		return 0
+	}
+	ci := t.n >> spanChunkBits
+	if ci == len(t.chunks) {
+		t.chunks = append(t.chunks, make([]Span, 0, spanChunk))
+	}
+	t.chunks[ci] = append(t.chunks[ci], Span{
+		Op: op, Node: int32(node), Origin: int32(node), Parent: parent, Start: at, End: at,
+	})
+	t.n++
+	return SpanID(t.n)
+}
+
+// At returns the span record for id, or nil for id 0 (or a nil tracer).
+// The pointer stays valid for the tracer's lifetime.
+func (t *Tracer) At(id SpanID) *Span {
+	if t == nil || id == 0 {
+		return nil
+	}
+	i := int(id) - 1
+	return &t.chunks[i>>spanChunkBits][i&(spanChunk-1)]
+}
+
+// End stamps the span's end time.
+func (t *Tracer) End(id SpanID, at vtime.Duration) {
+	if s := t.At(id); s != nil {
+		s.End = at
+	}
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Dropped returns how many spans were discarded at the arena cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Each calls fn for every span in recording order (which is causal order:
+// a parent is always recorded before its children).
+func (t *Tracer) Each(fn func(id SpanID, s *Span)) {
+	if t == nil {
+		return
+	}
+	id := SpanID(1)
+	for _, c := range t.chunks {
+		for i := range c {
+			fn(id, &c[i])
+			id++
+		}
+	}
+}

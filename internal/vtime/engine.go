@@ -283,10 +283,26 @@ type Proc struct {
 	resume    chan struct{}
 	done      bool
 	scheduled bool
+	span      uint32
 }
 
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
+
+// TraceSpan returns the process's current telemetry span slot. The slot is
+// opaque to the engine: instrumented layers (hermes, devices, the stager)
+// read it to parent their spans without threading a context argument
+// through every call signature. Per-process state is safe here because Proc
+// methods are only ever called from the owning goroutine.
+func (p *Proc) TraceSpan() uint32 { return p.span }
+
+// SetTraceSpan installs s as the current span slot and returns the previous
+// value, so callers can restore it when their span closes.
+func (p *Proc) SetTraceSpan(s uint32) (prev uint32) {
+	prev = p.span
+	p.span = s
+	return prev
+}
 
 // Engine returns the engine the process belongs to.
 func (p *Proc) Engine() *Engine { return p.e }

@@ -107,6 +107,10 @@ func (r *Resource) Capacity() int { return r.capacity }
 // InUse returns the units currently held.
 func (r *Resource) InUse() int { return r.inUse }
 
+// Waiting returns the number of queued acquisitions — the facility's queue
+// depth, used by telemetry samplers to expose contention.
+func (r *Resource) Waiting() int { return len(r.waiters) }
+
 // Acquire blocks p until n units are available and takes them. It panics if
 // n exceeds the resource capacity (the request could never be satisfied).
 func (r *Resource) Acquire(p *Proc, n int) {

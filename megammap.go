@@ -37,6 +37,7 @@ import (
 	"megammap/internal/mpi"
 	"megammap/internal/simnet"
 	"megammap/internal/stager"
+	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
@@ -135,6 +136,21 @@ type (
 	World = mpi.World
 	// Rank is one process of a world.
 	Rank = mpi.Rank
+)
+
+// Observability: the vtime-native telemetry plane. Install it on a
+// cluster before constructing the DSM (cluster.InstallTelemetry), then
+// read metrics tables, the span arena, or a Chrome trace after the run.
+type (
+	// Telemetry bundles the metrics registry, span tracer, and resource
+	// sampler of one cluster.
+	Telemetry = telemetry.Telemetry
+	// TelemetryOptions selects which telemetry sub-planes to enable.
+	TelemetryOptions = telemetry.Options
+	// Span is one traced operation of the fault path.
+	Span = telemetry.Span
+	// TaskTrace is the task-level trace view (Config.TraceTasks).
+	TaskTrace = core.TaskTrace
 )
 
 // URL is a parsed dataset locator ("proto://path:param").
