@@ -24,10 +24,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|ablations|failover|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|ablations|failover|mttr|all")
 	profName := flag.String("profile", "small", "size profile: small|full")
 	outDir := flag.String("o", "", "directory for CSV output (optional)")
-	faultSpec := flag.String("faults", "", "fault plan for -exp failover, e.g. \"seed=42;drop=0.02;readerr=0.01;crash=1@40ms\" (empty = default plan)")
+	faultSpec := flag.String("faults", "", "fault plan for -exp failover/mttr, e.g. \"seed=42;drop=0.02;crash=1@40ms;revive=1@80ms\" (empty = default plan)")
 	telem := flag.Bool("telemetry", false, "install the telemetry plane on every experiment cluster and write per-run metric/sample tables under <o>/telemetry/ (requires -o)")
 	flag.Parse()
 
@@ -64,9 +64,10 @@ func main() {
 		{"fig7", func() (*stats.Table, error) { return experiments.Fig7(prof) }},
 		{"fig8", func() (*stats.Table, error) { return experiments.Fig8(prof) }},
 		{"ablations", func() (*stats.Table, error) { return nil, nil }}, // expanded below
-		// failover is opt-in (not part of "all"): it exercises the fault
-		// plane, which the paper's figures run without.
+		// failover and mttr are opt-in (not part of "all"): they exercise
+		// the fault plane, which the paper's figures run without.
 		{"failover", func() (*stats.Table, error) { return experiments.Failover(prof, *faultSpec) }},
+		{"mttr", func() (*stats.Table, error) { return experiments.MTTR(prof, *faultSpec) }},
 	}
 
 	ablations := []driver{

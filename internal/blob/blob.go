@@ -78,11 +78,17 @@ func (id ID) Backup(i int) ID {
 	return id
 }
 
-// Base strips the role, returning the (Vec, Page) identity shared by a
-// primary and all of its replicas and backups. It keys role-independent
-// bookkeeping such as replica counters.
+// Base strips the role, returning the primary ID shared by a primary
+// and all of its replicas and backups: KindRaw for raw-derived IDs
+// (page -1), KindPage otherwise. It keys role-independent bookkeeping
+// such as replica counters, and recovers the metadata key of a backup's
+// primary for repair enqueueing.
 func (id ID) Base() ID {
-	id.Kind = KindPage
+	if id.Page < 0 {
+		id.Kind = KindRaw
+	} else {
+		id.Kind = KindPage
+	}
 	id.Node = 0
 	return id
 }

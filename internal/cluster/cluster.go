@@ -138,9 +138,9 @@ type Cluster struct {
 
 // InstallFaults activates a fault plan: a seeded injector is wired into
 // the fabric, every node device, and the PFS, and a chaos daemon is
-// spawned to execute the plan's node crashes at their virtual times.
-// Call it after New and before building higher layers (hermes, core),
-// which capture the injector at construction.
+// spawned to execute the plan's node crashes and revivals at their
+// virtual times. Call it after New and before building higher layers
+// (hermes, core), which capture the injector at construction.
 func (c *Cluster) InstallFaults(plan faults.Plan) *faults.Injector {
 	inj := faults.NewInjector(plan, c.Engine.Now)
 	c.inj = inj
@@ -152,19 +152,62 @@ func (c *Cluster) InstallFaults(plan faults.Plan) *faults.Injector {
 	}
 	c.PFS.SetFaults(inj, faults.PFSNode, "pfs")
 	inj.SetTelemetry(c.tel.Tracer()) // no-op unless telemetry came first
-	if len(plan.Crashes) > 0 {
-		crashes := append([]faults.Crash(nil), plan.Crashes...)
-		sort.SliceStable(crashes, func(i, j int) bool { return crashes[i].At < crashes[j].At })
+	if events := c.chaosTimeline(plan); len(events) > 0 {
 		c.Engine.SpawnDaemon("chaos", func(p *vtime.Proc) {
-			for _, cr := range crashes {
-				if d := cr.At - p.Now(); d > 0 {
+			for _, ev := range events {
+				if d := ev.at - p.Now(); d > 0 {
 					p.Sleep(d)
 				}
-				inj.CrashNode(cr.Node)
+				if ev.revive {
+					// A revived node rejoins with cold storage: whatever
+					// its devices held died with it.
+					c.purgeNode(ev.node)
+					inj.ReviveNode(ev.node)
+				} else {
+					inj.CrashNode(ev.node)
+				}
 			}
 		})
 	}
 	return inj
+}
+
+// chaosEvent is one entry of the merged crash/revive timeline.
+type chaosEvent struct {
+	at     vtime.Duration
+	node   int
+	revive bool
+}
+
+// chaosTimeline merges a plan's crashes and revivals into one schedule,
+// ordered by virtual time (crashes first at equal instants, then plan
+// order — the sort is stable, so same-seed runs replay identically).
+func (c *Cluster) chaosTimeline(plan faults.Plan) []chaosEvent {
+	events := make([]chaosEvent, 0, len(plan.Crashes)+len(plan.Revives))
+	for _, cr := range plan.Crashes {
+		events = append(events, chaosEvent{at: cr.At, node: cr.Node})
+	}
+	for _, rv := range plan.Revives {
+		events = append(events, chaosEvent{at: rv.At, node: rv.Node, revive: true})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return !events[i].revive && events[j].revive
+	})
+	return events
+}
+
+// purgeNode wipes every storage tier of a node (uncharged): crashed
+// hardware comes back empty.
+func (c *Cluster) purgeNode(node int) {
+	n := c.Nodes[node]
+	for _, ts := range c.Spec.Tiers {
+		if d := n.Devices[ts.Name]; d != nil {
+			d.Purge()
+		}
+	}
 }
 
 // Faults returns the installed fault injector, or nil when running
@@ -212,7 +255,8 @@ func (c *Cluster) spawnSampler(smp *telemetry.Sampler) {
 		cols = append(cols, "used."+t)
 	}
 	cols = append(cols, "pfs_used", "nic_inuse", "nic_queued",
-		"net_msgs", "net_bytes", "retries", "failovers", "crashes")
+		"net_msgs", "net_bytes", "retries", "failovers", "crashes",
+		"revives", "repairs")
 	smp.SetColumns(cols...)
 	vals := make([]int64, len(cols))
 	c.Engine.SpawnDaemon("telemetry-sampler", func(p *vtime.Proc) {
@@ -249,6 +293,10 @@ func (c *Cluster) spawnSampler(smp *telemetry.Sampler) {
 			vals[k] = c.inj.Count("hermes.failover_recover")
 			k++
 			vals[k] = c.inj.Count("crash")
+			k++
+			vals[k] = c.inj.Count("revive")
+			k++
+			vals[k] = c.inj.CountPrefix("repair.")
 			smp.Record(p.Now(), vals...)
 			p.Sleep(smp.Period())
 		}

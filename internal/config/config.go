@@ -54,10 +54,14 @@
 //	  crashes:
 //	    - node: 1
 //	      at: 40ms
+//	  revives:
+//	    - node: 1
+//	      at: 80ms
 //	telemetry:
 //	  metrics: true
 //	  spans: true
 //	  max_spans: 1048576
+//	  span_ring: true
 //	  sample_period: 1ms
 package config
 
@@ -255,6 +259,8 @@ func (d *Deployment) loadRuntime(n *node) error {
 	set("organize_period", func(v string) error { return parseDuration(v, &d.Runtime.OrganizePeriod) })
 	set("organize_budget", func(v string) error { return parseSize(v, &d.Runtime.OrganizeBudget) })
 	set("stage_period", func(v string) error { return parseDuration(v, &d.Runtime.StagePeriod) })
+	set("scrub_period", func(v string) error { return parseDuration(v, &d.Runtime.ScrubPeriod) })
+	set("repair_period", func(v string) error { return parseDuration(v, &d.Runtime.RepairPeriod) })
 	set("min_score", func(v string) error { return parseFloat(v, &d.Runtime.MinScore) })
 	set("score_decay", func(v string) error { return parseFloat(v, &d.Runtime.ScoreDecay) })
 	set("replicas", func(v string) error { return parseInt(v, &d.Runtime.Replicas) })
@@ -367,6 +373,19 @@ func (d *Deployment) loadFaults(n *node) error {
 			p.Crashes = append(p.Crashes, cr)
 		}
 	}
+	if seq, ok := n.child("revives"); ok {
+		for i, item := range seq.items {
+			rv := faults.Revive{}
+			e := loadFields(item, map[string]func(string) error{
+				"node": func(v string) error { return parseInt(v, &rv.Node) },
+				"at":   func(v string) error { return parseDuration(v, &rv.At) },
+			})
+			if e != nil {
+				return fmt.Errorf("config: faults.revives[%d]: %w", i, e)
+			}
+			p.Revives = append(p.Revives, rv)
+		}
+	}
 	d.Faults = p
 	return nil
 }
@@ -377,6 +396,7 @@ func (d *Deployment) loadTelemetry(n *node) error {
 		"metrics":       func(v string) error { return parseBool(v, &o.Metrics) },
 		"spans":         func(v string) error { return parseBool(v, &o.Spans) },
 		"max_spans":     func(v string) error { return parseInt(v, &o.MaxSpans) },
+		"span_ring":     func(v string) error { return parseBool(v, &o.SpanRing) },
 		"sample_period": func(v string) error { return parseDuration(v, &o.SamplePeriod) },
 	})
 	if err != nil {

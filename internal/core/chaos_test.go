@@ -74,6 +74,7 @@ type chaosRun struct {
 	end      vtime.Duration
 	counters []faults.Counter
 	err      error
+	underRep int
 }
 
 // runChaosKMeans executes the kmeans workload on a fresh 2-node cluster,
@@ -119,6 +120,19 @@ func runChaosKMeans(t *testing.T, plan *faults.Plan, replicas int) chaosRun {
 		}
 		if r.Rank() == 0 {
 			out.result = res
+			// Let the anti-entropy daemon drain pending repairs before
+			// shutdown stops it. Stall-aware: a queue that cannot drain
+			// (e.g. the node re-crashed) stops the wait after a few idle
+			// periods instead of spinning.
+			for stall := 0; d.Hermes().UnderReplicated() > 0 && stall < 8; {
+				before := d.Hermes().UnderReplicated()
+				r.Proc().Sleep(5 * vtime.Millisecond)
+				if d.Hermes().UnderReplicated() >= before {
+					stall++
+				} else {
+					stall = 0
+				}
+			}
 			if err := d.Shutdown(r.Proc()); err != nil {
 				r.Fail(err)
 			}
@@ -126,6 +140,7 @@ func runChaosKMeans(t *testing.T, plan *faults.Plan, replicas int) chaosRun {
 	})
 	out.end = c.Engine.Now()
 	out.counters = inj.Counters()
+	out.underRep = d.Hermes().UnderReplicated()
 	return out
 }
 
@@ -297,6 +312,96 @@ func TestChaosKVStoreNodeCrashFailsOverWithReplicas(t *testing.T) {
 	}
 	if crashes != 1 {
 		t.Errorf("crash counter = %d, want 1 (did the crash fire mid-run?)", crashes)
+	}
+}
+
+// revivePlan schedules node 1's storage to crash and later restart
+// (cold), on top of light link noise.
+func revivePlan(seed uint64, crashAt, reviveAt vtime.Duration) *faults.Plan {
+	p := crashPlan(seed, crashAt)
+	p.Revives = []faults.Revive{{Node: 1, At: reviveAt}}
+	return p
+}
+
+func TestChaosKMeansCrashReviveCompletes(t *testing.T) {
+	// Node 1's storage crashes a third of the way through the measured
+	// runtime and revives cold two thirds in. With one backup replica per
+	// page the workload must complete with a result identical to the
+	// fault-free run, and the anti-entropy repair plane must have
+	// restored full redundancy (gauge 0) by the end.
+	clean := runChaosKMeans(t, nil, 1)
+	if clean.err != nil {
+		t.Fatal(clean.err)
+	}
+	revived := runChaosKMeans(t, revivePlan(11, clean.end/3, 2*clean.end/3), 1)
+	if revived.err != nil {
+		t.Fatalf("workload failed across crash+revive: %v", revived.err)
+	}
+	if !reflect.DeepEqual(clean.result, revived.result) {
+		t.Errorf("results diverge across crash+revive:\nclean   %+v\nrevived %+v",
+			clean.result, revived.result)
+	}
+	var crashes, revives int64
+	for _, ct := range revived.counters {
+		switch ct.Name {
+		case "crash":
+			crashes = ct.Value
+		case "revive":
+			revives = ct.Value
+		}
+	}
+	if crashes != 1 || revives != 1 {
+		t.Errorf("crash/revive counters = %d/%d, want 1/1 (did the schedule fire mid-run?)",
+			crashes, revives)
+	}
+	if revived.underRep != 0 {
+		t.Errorf("under-replicated gauge = %d at run end; repair did not converge",
+			revived.underRep)
+	}
+}
+
+func TestChaosCrashReviveRecrashSameSeedReplay(t *testing.T) {
+	// The full self-healing cycle — crash, cold revival, re-replication,
+	// second crash — under lossy links, twice with the same seed: every
+	// fault, retry, and repair decision must replay byte-identically.
+	clean := runChaosKMeans(t, nil, 1)
+	if clean.err != nil {
+		t.Fatal(clean.err)
+	}
+	plan := func() *faults.Plan {
+		p := revivePlan(23, clean.end/4, clean.end/2)
+		p.Crashes = append(p.Crashes, faults.Crash{Node: 1, At: 3 * clean.end / 4})
+		return p
+	}
+	a := runChaosKMeans(t, plan(), 1)
+	b := runChaosKMeans(t, plan(), 1)
+	if a.err != nil || b.err != nil {
+		t.Fatalf("workload failed across crash/revive/re-crash: %v / %v", a.err, b.err)
+	}
+	if !reflect.DeepEqual(a.result, clean.result) {
+		t.Errorf("results diverge across crash/revive/re-crash:\nclean   %+v\nchaotic %+v",
+			clean.result, a.result)
+	}
+	if !reflect.DeepEqual(a.counters, b.counters) {
+		t.Errorf("same seed, different counters:\n%v\n%v", a.counters, b.counters)
+	}
+	if !reflect.DeepEqual(a.result, b.result) {
+		t.Errorf("same seed, different results:\n%+v\n%+v", a.result, b.result)
+	}
+	if a.end != b.end {
+		t.Errorf("same seed, different end times: %v vs %v", a.end, b.end)
+	}
+	var crashes, revives int64
+	for _, ct := range a.counters {
+		switch ct.Name {
+		case "crash":
+			crashes = ct.Value
+		case "revive":
+			revives = ct.Value
+		}
+	}
+	if crashes != 2 || revives != 1 {
+		t.Errorf("crash/revive counters = %d/%d, want 2/1", crashes, revives)
 	}
 }
 

@@ -73,7 +73,22 @@ type Config struct {
 	// ChecksumPages verifies a CRC-32 of every page image on each fault,
 	// detecting silent corruption (the paper's §V memory-corruption
 	// extension). Commits materialize full page images when enabled.
+	// Detected mismatches repair transparently from a backup replica or
+	// the backend when a good copy exists; otherwise the fault surfaces
+	// faults.ErrCorrupt.
 	ChecksumPages bool
+
+	// ScrubPeriod is how often the background scrubber re-reads every
+	// checksummed page resident in the scache, catching corruption at
+	// rest instead of waiting for the next fault. Requires ChecksumPages;
+	// zero disables scrubbing (pages are still verified on access).
+	ScrubPeriod vtime.Duration
+
+	// RepairPeriod is how often the anti-entropy repair daemon runs one
+	// re-replication step, restoring the configured Replicas factor after
+	// a node crash or a degraded write. Zero disables background repair
+	// (the queue still fills; nothing drains it).
+	RepairPeriod vtime.Duration
 
 	// TraceTasks records every MemoryTask's lifecycle (submit, start,
 	// end, worker node) in DSM.Trace for diagnostics.
@@ -94,6 +109,7 @@ func DefaultConfig() Config {
 		OrganizeBudget:  256 << 10,
 		ScoreDecay:      0.5,
 		StagePeriod:     50 * vtime.Millisecond,
+		RepairPeriod:    5 * vtime.Millisecond,
 	}
 }
 

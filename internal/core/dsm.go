@@ -6,6 +6,7 @@ import (
 
 	"megammap/internal/blob"
 	"megammap/internal/cluster"
+	"megammap/internal/faults"
 	"megammap/internal/hermes"
 	"megammap/internal/stager"
 	"megammap/internal/telemetry"
@@ -35,6 +36,14 @@ type DSM struct {
 	taskFree   []*MemoryTask // recycled tasks; every fault/commit churns one
 	busyChains int
 
+	// bufFree recycles page data buffers, completing the allocation-free
+	// fault path: reads copy device bytes into a pooled buffer that
+	// becomes the page's data; the pcache returns it when the page drops
+	// clean, and commit payloads return through recycleTask once the
+	// scache holds its own copy. getBuf zeroes on acquisition, so the
+	// write-allocate and stage-in paths may treat pooled buffers as fresh.
+	bufFree [][]byte
+
 	// pendingMoves counts organizer relocations still queued or running;
 	// the organizer never plans from a state its own unfinished moves are
 	// about to change (replanning would duplicate the same moves every
@@ -56,6 +65,13 @@ type DSM struct {
 	evictions  int64
 	coalesced  int64
 
+	// pageRepairs counts checksum mismatches healed from a replica or the
+	// backend; scrubErr records the first unrepairable corruption a
+	// background scrub sweep hit (foreground faults surface theirs
+	// directly).
+	pageRepairs int64
+	scrubErr    error
+
 	// ReplicaHits/Misses count replicated-phase reads served by (or
 	// missing) a node-local replica (diagnostics).
 	replicaHits, replicaMisses int64
@@ -65,10 +81,12 @@ type DSM struct {
 	// one predictable branch per update.
 	tel        *telemetry.Telemetry
 	trc        *telemetry.Tracer
+	inj        *faults.Injector
 	mFaults    []telemetry.Counter // per client node
 	mEvictions []telemetry.Counter
 	mPrefetch  []telemetry.Counter
 	mCoalesced []telemetry.Counter
+	mRepairs   []telemetry.Counter   // per-node checksum page repairs
 	hFault     []telemetry.Histogram // per-node fault latency, ns
 	hTask      []telemetry.Histogram // per-node task service time, ns
 }
@@ -106,6 +124,7 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 	}
 	d.tel = c.Telemetry()
 	d.trc = d.tel.Tracer()
+	d.inj = c.Faults()
 	d.registerMetrics()
 	if cfg.Replicas > 0 {
 		d.h.SetReplicas(cfg.Replicas)
@@ -119,6 +138,12 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 	if cfg.StagePeriod > 0 {
 		c.Engine.SpawnDaemon("mm-stager", d.stagerLoop)
 	}
+	if cfg.Replicas > 0 && cfg.RepairPeriod > 0 {
+		c.Engine.SpawnDaemon("mm-repair", d.repairLoop)
+	}
+	if cfg.ChecksumPages && cfg.ScrubPeriod > 0 {
+		c.Engine.SpawnDaemon("mm-scrubber", d.scrubberLoop)
+	}
 	return d
 }
 
@@ -130,6 +155,7 @@ func (d *DSM) registerMetrics() {
 	d.mEvictions = make([]telemetry.Counter, n)
 	d.mPrefetch = make([]telemetry.Counter, n)
 	d.mCoalesced = make([]telemetry.Counter, n)
+	d.mRepairs = make([]telemetry.Counter, n)
 	d.hFault = make([]telemetry.Histogram, n)
 	d.hTask = make([]telemetry.Histogram, n)
 	reg := d.tel.Registry()
@@ -141,6 +167,7 @@ func (d *DSM) registerMetrics() {
 		d.mEvictions[i] = reg.Counter(telemetry.Key{Name: "core.evictions", Node: i, Subsystem: "core"})
 		d.mPrefetch[i] = reg.Counter(telemetry.Key{Name: "core.prefetches", Node: i, Subsystem: "core"})
 		d.mCoalesced[i] = reg.Counter(telemetry.Key{Name: "core.coalesced_reads", Node: i, Subsystem: "core"})
+		d.mRepairs[i] = reg.Counter(telemetry.Key{Name: "core.page_repairs", Node: i, Subsystem: "core"})
 		d.hFault[i] = reg.Histogram(telemetry.Key{Name: "core.fault_ns", Node: i, Subsystem: "core"})
 		d.hTask[i] = reg.Histogram(telemetry.Key{Name: "core.task_ns", Node: i, Subsystem: "core"})
 	}
@@ -220,6 +247,84 @@ func (d *DSM) stagerLoop(p *vtime.Proc) {
 		}
 	}
 }
+
+// repairLoop drives hermes anti-entropy: each period it executes one
+// repair step, re-replicating a blob that lost redundancy to a node
+// crash or a degraded write. Repair I/O charges devices and the fabric
+// like any foreground access, so redundancy restoration contends with
+// the workload instead of completing for free.
+func (d *DSM) repairLoop(p *vtime.Proc) {
+	for !d.stop.Fired() {
+		p.Sleep(d.cfg.RepairPeriod)
+		if d.stop.Fired() {
+			return
+		}
+		d.h.RepairStep(p)
+	}
+}
+
+// scrubberLoop periodically re-reads every checksummed page resident in
+// the scache, in deterministic (vector name, page) order. The reads run
+// through the normal per-page chains and the fault path's verify, so a
+// corrupted page found at rest repairs — or surfaces faults.ErrCorrupt —
+// exactly like one found on access. One sweep completes before the next
+// begins, so sweeps never pile onto the chains.
+func (d *DSM) scrubberLoop(p *vtime.Proc) {
+	var wg vtime.WaitGroup
+	var batch []*MemoryTask
+	for !d.stop.Fired() {
+		p.Sleep(d.cfg.ScrubPeriod)
+		if d.stop.Fired() {
+			return
+		}
+		sp := d.trc.Begin(telemetry.OpScrub, -1, telemetry.SpanID(p.TraceSpan()), p.Now())
+		var prev uint32
+		if sp != 0 {
+			prev = p.SetTraceSpan(uint32(sp))
+		}
+		for _, name := range d.vecNames() {
+			m := d.vecs[name]
+			if m == nil || len(m.sums) == 0 {
+				continue
+			}
+			for _, pg := range m.sumPages() {
+				if _, ok := d.h.PlacementOf(m.pageID(pg)); !ok {
+					continue // not scache-resident; nothing at rest to verify
+				}
+				t := d.newTask()
+				t.kind, t.vec, t.page, t.notify = taskRead, m, pg, &wg
+				wg.Add(1)
+				d.submit(p, t)
+				batch = append(batch, t)
+			}
+		}
+		wg.Wait(p)
+		pages := len(batch)
+		for i, t := range batch {
+			if t.err != nil && d.scrubErr == nil {
+				d.scrubErr = fmt.Errorf("core: scrub: %w", t.err)
+			}
+			d.recycleTask(t) // t.data unclaimed: the buffer re-pools here
+			batch[i] = nil
+		}
+		batch = batch[:0]
+		if sp != 0 {
+			p.SetTraceSpan(prev)
+			if s := d.trc.At(sp); s != nil {
+				s.Arg = int64(pages)
+			}
+			d.trc.End(sp, p.Now())
+		}
+	}
+}
+
+// ScrubError returns the first unrepairable corruption a background
+// scrub sweep encountered, or nil.
+func (d *DSM) ScrubError() error { return d.scrubErr }
+
+// PageRepairs returns how many checksum mismatches were healed from a
+// backup replica or the backend.
+func (d *DSM) PageRepairs() int64 { return d.pageRepairs }
 
 func (d *DSM) vecNames() []string {
 	names := make([]string, 0, len(d.vecs))
@@ -333,11 +438,50 @@ func (d *DSM) newTask() *MemoryTask {
 // call once per task, when no other reference to it remains. The done
 // event is reset rather than replaced so its waiter queue's capacity
 // survives the round trip.
+//
+// Buffer-ownership rule: a non-nil t.data here is unclaimed and reverts
+// to the buffer pool. Readers that keep a result buffer (the fault path
+// installing it as page data) must nil t.data before recycling; commit
+// payloads stay set and re-pool here once the scache holds its own copy
+// (devices always store copies, never the caller's slice).
 func (d *DSM) recycleTask(t *MemoryTask) {
+	d.putBuf(t.data)
 	done := t.done
 	done.Reset()
 	*t = MemoryTask{done: done}
 	d.taskFree = append(d.taskFree, t)
+}
+
+// maxPooledBufs caps the page-buffer pool; beyond it buffers are dropped
+// to the garbage collector rather than hoarded.
+const maxPooledBufs = 256
+
+// getBuf returns a zeroed buffer of length size, reusing a pooled one
+// that fits. The caller owns it until handing it to the pcache (page
+// data) or leaving it on a task for recycleTask to reclaim.
+func (d *DSM) getBuf(size int64) []byte {
+	for n := len(d.bufFree); n > 0; n = len(d.bufFree) {
+		b := d.bufFree[n-1]
+		d.bufFree[n-1] = nil
+		d.bufFree = d.bufFree[:n-1]
+		if int64(cap(b)) >= size {
+			b = b[:size]
+			clear(b)
+			return b
+		}
+		// Sized for a smaller page; let the GC take it.
+	}
+	return make([]byte, size)
+}
+
+// putBuf returns a buffer to the pool. The caller guarantees no other
+// reference to it remains (rule: whoever nils the owning pointer pools
+// the buffer). nil is accepted and ignored.
+func (d *DSM) putBuf(b []byte) {
+	if b == nil || len(d.bufFree) >= maxPooledBufs {
+		return
+	}
+	d.bufFree = append(d.bufFree, b)
 }
 
 // pageDone releases a page's chain after a task completes and dispatches
@@ -491,6 +635,17 @@ func (m *vecMeta) sizeBytes() int64 { return m.length * m.elemSize }
 // pageCount returns the number of pages covering the logical size.
 func (m *vecMeta) pageCount() int64 {
 	return (m.sizeBytes() + m.pageSize - 1) / m.pageSize
+}
+
+// sumPages returns the checksummed page indices in ascending order
+// (the scrubber's sweep set).
+func (m *vecMeta) sumPages() []int64 {
+	out := make([]int64, 0, len(m.sums))
+	for pg := range m.sums {
+		out = append(out, pg)
+	}
+	sortInt64s(out)
+	return out
 }
 
 // dirtyPages returns the dirty page indices in ascending order.

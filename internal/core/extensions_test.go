@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
 
 	"megammap/internal/cluster"
+	"megammap/internal/faults"
 	"megammap/internal/vtime"
 )
 
@@ -111,6 +113,9 @@ func TestNoReplicationLosesDataOnFailure(t *testing.T) {
 }
 
 func TestChecksumDetectsBitFlip(t *testing.T) {
+	// Volatile vector, no replicas: the corruption has no good copy
+	// anywhere, so the read must surface the typed faults.ErrCorrupt —
+	// never silently return zeros.
 	cfg := testConfig()
 	cfg.ChecksumPages = true
 	c := cluster.New(testSpec(1))
@@ -143,6 +148,150 @@ func TestChecksumDetectsBitFlip(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
 		t.Fatalf("corruption not detected: err = %v", err)
 	}
+	if !errors.Is(err, faults.ErrCorrupt) {
+		t.Fatalf("unrepairable corruption not typed faults.ErrCorrupt: %v", err)
+	}
+	if d.PageRepairs() != 0 {
+		t.Fatalf("page_repairs = %d with no repair source", d.PageRepairs())
+	}
+}
+
+func TestCorruptionRepairedFromReplica(t *testing.T) {
+	// With a backup replica per page, a bit flip on the primary scache
+	// copy heals transparently: the read verifies, pulls the replica's
+	// bytes, rewrites the primary, and returns the original data.
+	cfg := testConfig()
+	cfg.ChecksumPages = true
+	cfg.Replicas = 1
+	c := cluster.New(testSpec(2))
+	d := New(c, cfg)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "heal", Int64Codec{})
+		const n = 1024
+		v.Resize(n)
+		v.SeqTxBegin(0, n, WriteOnly)
+		for i := int64(0); i < n; i++ {
+			v.Set(i, i*13)
+		}
+		v.TxEnd()
+		v.Close() // nothing resident; reads below come from the scache
+
+		key := d.vecs["heal"].pageID(0)
+		pl, ok := d.h.PlacementOf(key)
+		if !ok {
+			t.Fatal("page 0 not in scache")
+		}
+		if !c.Nodes[pl.Node].Devices[pl.Tier].CorruptBit(key, 100, 3) {
+			t.Fatal("corruption injection failed")
+		}
+		v.SeqTxBegin(0, n, ReadOnly)
+		for i := int64(0); i < n; i++ {
+			if got := v.Get(i); got != i*13 {
+				t.Fatalf("after repair: v[%d] = %d, want %d", i, got, i*13)
+			}
+		}
+		v.TxEnd()
+		if d.PageRepairs() == 0 {
+			t.Fatal("corruption healed without counting a page repair")
+		}
+	})
+}
+
+func TestCorruptionRepairedFromBackend(t *testing.T) {
+	// No replicas, but the page was staged out to the PFS backend and is
+	// clean: the repair re-stages the good image instead of failing.
+	cfg := testConfig()
+	cfg.ChecksumPages = true
+	c := cluster.New(testSpec(1))
+	d := New(c, cfg)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		const url = "file:///data/heal.bin"
+		v, _ := Open[int64](cl, url, Int64Codec{})
+		const n = 1024
+		v.Resize(n)
+		v.SeqTxBegin(0, n, WriteOnly)
+		for i := int64(0); i < n; i++ {
+			v.Set(i, i^0x5a5a)
+		}
+		v.TxEnd()
+		v.Close()
+		// Wait for the background stager to persist every page: the repair
+		// only trusts the backend for clean (staged-out) pages.
+		for i := 0; len(d.vecs[url].dirty) > 0; i++ {
+			if i > 100 {
+				t.Fatal("stager did not drain dirty pages")
+			}
+			p.Sleep(5 * vtime.Millisecond)
+		}
+
+		key := d.vecs[url].pageID(0)
+		pl, ok := d.h.PlacementOf(key)
+		if !ok {
+			t.Fatal("page 0 not in scache")
+		}
+		if !c.Nodes[pl.Node].Devices[pl.Tier].CorruptBit(key, 200, 5) {
+			t.Fatal("corruption injection failed")
+		}
+		v.SeqTxBegin(0, n, ReadOnly)
+		for i := int64(0); i < n; i++ {
+			if got := v.Get(i); got != i^0x5a5a {
+				t.Fatalf("after re-stage repair: v[%d] = %d, want %d", i, got, i^0x5a5a)
+			}
+		}
+		v.TxEnd()
+		if d.PageRepairs() == 0 {
+			t.Fatal("corruption healed without counting a page repair")
+		}
+	})
+}
+
+func TestScrubberRepairsCorruptionAtRest(t *testing.T) {
+	// The background scrubber finds and heals a corrupted scache-resident
+	// page without any foreground access touching it.
+	cfg := testConfig()
+	cfg.ChecksumPages = true
+	cfg.Replicas = 1
+	cfg.ScrubPeriod = vtime.Millisecond
+	c := cluster.New(testSpec(2))
+	d := New(c, cfg)
+	runDSM(t, c, d, func(p *vtime.Proc) {
+		cl := d.NewClient(p, 0)
+		v, _ := Open[int64](cl, "atrest", Int64Codec{})
+		const n = 1024
+		v.Resize(n)
+		v.SeqTxBegin(0, n, WriteOnly)
+		for i := int64(0); i < n; i++ {
+			v.Set(i, i+7)
+		}
+		v.TxEnd()
+		v.Close()
+
+		key := d.vecs["atrest"].pageID(0)
+		pl, ok := d.h.PlacementOf(key)
+		if !ok {
+			t.Fatal("page 0 not in scache")
+		}
+		if !c.Nodes[pl.Node].Devices[pl.Tier].CorruptBit(key, 64, 1) {
+			t.Fatal("corruption injection failed")
+		}
+		p.Sleep(5 * vtime.Millisecond) // several scrub sweeps
+		if d.PageRepairs() == 0 {
+			t.Fatal("scrubber did not repair the at-rest corruption")
+		}
+		if err := d.ScrubError(); err != nil {
+			t.Fatalf("scrub surfaced an error despite a repair source: %v", err)
+		}
+		// The healed page reads back intact.
+		v.SeqTxBegin(0, n, ReadOnly)
+		for i := int64(0); i < n; i++ {
+			if got := v.Get(i); got != i+7 {
+				t.Fatalf("after scrub repair: v[%d] = %d, want %d", i, got, i+7)
+			}
+		}
+		v.TxEnd()
+	})
 }
 
 func TestChecksumCleanRoundTrip(t *testing.T) {

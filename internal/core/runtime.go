@@ -171,19 +171,32 @@ func (r *Runtime) exec(p *vtime.Proc, t *MemoryTask) {
 func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
 	m := t.vec
 	key := m.pageID(t.page)
+	// One pooled buffer serves the whole read: device bytes copy into it
+	// and it leaves as the page's data (dropPage returns it once the page
+	// drops clean). It arrives zeroed, so short blobs pad for free.
+	buf := r.d.getBuf(m.pageSize)
 	// Replicated phase: serve from (or install) a replica local to the
 	// requesting node.
 	if t.replicate {
 		rkey := m.replicaID(t.page, t.origin)
 		if nodes := m.replicas[t.page]; nodes != nil && nodes[t.origin] {
-			if data, ok, err := r.d.h.Get(p, t.origin, rkey); err == nil && ok {
-				r.d.replicaHits++
-				return data, nil
+			if data, ok, err := r.d.h.GetInto(p, t.origin, rkey, buf); err == nil && ok {
+				data = fullPage(data, buf, m.pageSize)
+				want, sok := m.sums[t.page]
+				if r.d.cfg.ChecksumPages && sok && crc32.ChecksumIEEE(data) != want {
+					// Corrupt local replica: drop it and fall through to
+					// the primary, whose verify-and-repair runs below.
+					r.d.h.Delete(p, t.origin, rkey)
+					delete(m.replicas[t.page], t.origin)
+				} else {
+					r.d.replicaHits++
+					return data, nil
+				}
 			}
 		}
 		r.d.replicaMisses++
 	}
-	data, ok, err := r.d.h.Get(p, r.node.ID, key)
+	data, ok, err := r.d.h.GetInto(p, r.node.ID, key, buf)
 	if err != nil && errors.Is(err, faults.ErrNodeDown) && !m.dirty[t.page] {
 		// The primary died with its node, but the page was not modified
 		// since its last stage-out, so the backend (or zero fill, for a
@@ -192,26 +205,31 @@ func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
 		ok, err = false, nil
 	}
 	if err != nil {
+		r.d.putBuf(buf)
 		return nil, err
 	}
 	if !ok {
-		data, err = r.stageIn(p, m, t.page)
+		data, err = r.stageIn(p, m, t.page, buf)
 		if err != nil {
+			r.d.putBuf(buf)
 			return nil, err
 		}
 		// Install near the origin so future faults stay local. A full
 		// scache falls back to serving straight from the backend.
 		_ = r.d.h.Put(p, r.node.ID, key, data, 0.5, t.origin)
-	} else if int64(len(data)) < m.pageSize {
-		// Volatile blobs are stored trimmed to their written extent;
-		// pad the image back to page size.
-		full := make([]byte, m.pageSize)
-		copy(full, data)
-		data = full
+	} else {
+		// Volatile blobs are stored trimmed to their written extent; pad
+		// the image back to page size.
+		data = fullPage(data, buf, m.pageSize)
 	}
 	if r.d.cfg.ChecksumPages {
 		if want, ok := m.sums[t.page]; ok && crc32.ChecksumIEEE(data) != want {
-			return nil, fmt.Errorf("core: checksum mismatch on %s page %d: silent corruption detected", m.name, t.page)
+			good, rerr := r.repairPage(p, m, t.page, want)
+			r.d.putBuf(buf) // the corrupt image; zeroed again on reuse
+			if rerr != nil {
+				return nil, rerr
+			}
+			data = good
 		}
 	}
 	if t.replicate {
@@ -234,25 +252,104 @@ func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
 	return data, nil
 }
 
+// repairPage restores a page whose image failed CRC verification: it
+// searches the backup replicas and — for clean, backed pages — the PFS
+// backend for bytes matching the recorded checksum, rewrites the primary
+// (refreshing its backups) with the good image, and counts the repair.
+// When no good copy survives, the corruption is unrepairable and the
+// fault surfaces faults.ErrCorrupt instead of silently returning zeros.
+func (r *Runtime) repairPage(p *vtime.Proc, m *vecMeta, page int64, want uint32) ([]byte, error) {
+	sp := r.d.trc.Begin(telemetry.OpRepair, r.node.ID, telemetry.SpanID(p.TraceSpan()), p.Now())
+	var prev uint32
+	if sp != 0 {
+		s := r.d.trc.At(sp)
+		s.Vec, s.Arg = m.id, page
+		prev = p.SetTraceSpan(uint32(sp))
+	}
+	good, err := r.repairSource(p, m, page, want)
+	if sp != 0 {
+		p.SetTraceSpan(prev)
+		if s := r.d.trc.At(sp); s != nil {
+			s.Bytes, s.Err = int64(len(good)), err != nil
+		}
+		r.d.trc.End(sp, p.Now())
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Rewriting through Put replaces the corrupt primary bytes and
+	// re-replicates the good image to the backup slots.
+	if perr := r.d.h.Put(p, r.node.ID, m.pageID(page), good, 0.6, r.node.ID); perr != nil {
+		return nil, perr
+	}
+	r.d.pageRepairs++
+	r.d.mRepairs[r.node.ID].Inc()
+	r.d.inj.Note("core.page_repair")
+	return good, nil
+}
+
+// repairSource finds a page image matching the recorded checksum: backup
+// replicas first (cheapest, scache-resident), then a backend re-stage for
+// pages whose last commit was staged out.
+func (r *Runtime) repairSource(p *vtime.Proc, m *vecMeta, page int64, want uint32) ([]byte, error) {
+	key := m.pageID(page)
+	for slot := 0; slot < r.d.cfg.Replicas; slot++ {
+		if data, ok := r.d.h.ReadBackup(p, r.node.ID, key, slot); ok && crc32.ChecksumIEEE(data) == want {
+			r.d.inj.Note("core.repair_replica")
+			return data, nil
+		}
+	}
+	if m.backend != nil && !m.dirty[page] {
+		if data, err := r.stageIn(p, m, page, nil); err == nil && crc32.ChecksumIEEE(data) == want {
+			r.d.inj.Note("core.repair_restage")
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("core: checksum mismatch on %s page %d: %w", m.name, page, faults.ErrCorrupt)
+}
+
+// fullPage pads a short (trimmed volatile) blob image back to page size.
+// data normally aliases buf — device reads copy into the caller's pooled
+// buffer, whose tail past the blob is still zeroed — so padding is a free
+// reslice; a non-aliasing image is copied and tail-cleared.
+func fullPage(data, buf []byte, size int64) []byte {
+	if int64(len(data)) >= size {
+		return data
+	}
+	full := buf[:size]
+	if len(data) > 0 && &full[0] != &data[0] {
+		n := copy(full, data)
+		clear(full[n:])
+	}
+	return full
+}
+
 // stageIn materializes a page image from the vector's backend (or zeros
-// for volatile/unwritten pages).
-func (r *Runtime) stageIn(p *vtime.Proc, m *vecMeta, page int64) ([]byte, error) {
+// for volatile/unwritten pages) into dst when it is large enough (nil or
+// undersized dst allocates a fresh image).
+func (r *Runtime) stageIn(p *vtime.Proc, m *vecMeta, page int64, dst []byte) ([]byte, error) {
 	sp := r.d.trc.Begin(telemetry.OpStageIn, r.node.ID, telemetry.SpanID(p.TraceSpan()), p.Now())
 	if sp == 0 {
-		return r.stageInData(p, m, page)
+		return r.stageInData(p, m, page, dst)
 	}
 	s := r.d.trc.At(sp)
 	s.Vec, s.Arg = m.id, page
 	prev := p.SetTraceSpan(uint32(sp))
-	data, err := r.stageInData(p, m, page)
+	data, err := r.stageInData(p, m, page, dst)
 	p.SetTraceSpan(prev)
 	s.Bytes, s.Err = int64(len(data)), err != nil
 	r.d.trc.End(sp, p.Now())
 	return data, err
 }
 
-func (r *Runtime) stageInData(p *vtime.Proc, m *vecMeta, page int64) ([]byte, error) {
-	data := make([]byte, m.pageSize)
+func (r *Runtime) stageInData(p *vtime.Proc, m *vecMeta, page int64, dst []byte) ([]byte, error) {
+	var data []byte
+	if int64(cap(dst)) >= m.pageSize {
+		data = dst[:m.pageSize]
+		clear(data) // dst may hold stale bytes (e.g. a discarded corrupt read)
+	} else {
+		data = make([]byte, m.pageSize)
+	}
 	if m.backend == nil {
 		return data, nil
 	}
@@ -314,7 +411,7 @@ func (r *Runtime) writePage(p *vtime.Proc, t *MemoryTask) error {
 		} else {
 			// Read-modify-write against the backend image (or zeros).
 			var err error
-			base, err = r.stageIn(p, m, t.page)
+			base, err = r.stageIn(p, m, t.page, nil)
 			if err != nil {
 				return err
 			}
@@ -355,7 +452,7 @@ func (r *Runtime) pageImage(p *vtime.Proc, m *vecMeta, page int64) ([]byte, erro
 	data, ok, err := r.d.h.Get(p, r.node.ID, m.pageID(page))
 	if err != nil {
 		if errors.Is(err, faults.ErrNodeDown) && !m.dirty[page] {
-			return r.stageIn(p, m, page) // clean page: the backend is truth
+			return r.stageIn(p, m, page, nil) // clean page: the backend is truth
 		}
 		return nil, err
 	}
@@ -367,7 +464,7 @@ func (r *Runtime) pageImage(p *vtime.Proc, m *vecMeta, page int64) ([]byte, erro
 		}
 		return data, nil
 	}
-	return r.stageIn(p, m, page)
+	return r.stageIn(p, m, page, nil)
 }
 
 // invalidateReplicas removes every replica of a page (write-after-read

@@ -537,7 +537,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 	partial := false
 	switch {
 	case writeAlloc:
-		data = make([]byte, m.pageSize)
+		data = v.c.d.getBuf(m.pageSize) // arrives zeroed: correct zero fill
 		partial = true
 	case v.fills[pg] != nil:
 		f := v.fills[pg]
@@ -558,14 +558,17 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 				panic(fmt.Errorf("core: page fault on %s page %d failed: %w", m.name, pg, err))
 			}
 			fresh := t.data
+			t.data = nil // claimed by the page; keep recycleTask from pooling it
 			v.c.d.recycleTask(t)
-			v.c.d.recycleTask(f.t)
+			v.c.d.recycleTask(f.t) // the stale image re-pools here
 			cp := v.pc.newPage(pg, fresh, 1, false)
 			v.pc.insert(cp)
 			return cp
 		}
 		// The fill already reserved space; hand its buffer over.
-		cp := v.pc.newPage(pg, f.t.data, 1, false)
+		filled := f.t.data
+		f.t.data = nil
+		cp := v.pc.newPage(pg, filled, 1, false)
 		v.c.d.recycleTask(f.t)
 		v.pc.insert(cp)
 		return cp
@@ -584,7 +587,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 				if err := lead.Wait(v.c.p); err != nil {
 					panic(fmt.Errorf("core: coalesced fault on %s page %d failed: %w", m.name, pg, err))
 				}
-				data = make([]byte, len(lead.data))
+				data = v.c.d.getBuf(int64(len(lead.data)))
 				copy(data, lead.data)
 				break
 			}
@@ -598,6 +601,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		}
 		data = t.data
 		if !collective {
+			t.data = nil // claimed by the page
 			v.c.d.recycleTask(t)
 		}
 	}
@@ -640,13 +644,20 @@ func (v *Vector[T]) evict(cp *cachedPage) {
 	v.dropPage(cp)
 }
 
-// dropPage releases a page's pcache residency and DRAM accounting.
+// dropPage releases a page's pcache residency and DRAM accounting. A
+// clean page still owns its buffer, which re-pools here; a dirty page's
+// buffer was handed to the eviction commit task (which pools it after the
+// device copies the payload).
 func (v *Vector[T]) dropPage(cp *cachedPage) {
 	v.pc.remove(cp.idx)
 	v.pc.used -= v.m.pageSize
 	v.c.node.Free(v.m.pageSize)
 	if v.last == cp {
 		v.last = nil
+	}
+	if !cp.isDirty() {
+		v.c.d.putBuf(cp.data)
+		cp.data = nil
 	}
 	v.pc.recycle(cp)
 }
@@ -718,7 +729,9 @@ func (v *Vector[T]) integrateFills() {
 		}
 		v.c.d.prefetches++
 		v.c.d.mPrefetch[v.c.node.ID].Inc()
-		v.pc.insert(v.pc.newPage(pg, f.t.data, 1, false))
+		filled := f.t.data
+		f.t.data = nil // claimed by the page
+		v.pc.insert(v.pc.newPage(pg, filled, 1, false))
 		v.c.d.recycleTask(f.t)
 	}
 }

@@ -349,6 +349,37 @@ func (d *Device) Read(p *vtime.Proc, key blob.ID) ([]byte, bool, error) {
 	return out, true, nil
 }
 
+// ReadInto is Read reusing dst's storage when it is large enough: the
+// blob is copied into dst[:len(blob)] and that slice returned, otherwise
+// a fresh buffer is allocated. The returned slice is owned by the caller
+// either way (it never aliases device storage); this is the
+// allocation-free leg of the page-fault path's buffer pool.
+func (d *Device) ReadInto(p *vtime.Proc, key blob.ID, dst []byte) ([]byte, bool, error) {
+	blob, ok := d.blobs[key]
+	if !ok {
+		return nil, false, nil
+	}
+	sp := d.beginSpan(p, telemetry.OpDeviceRead, key)
+	d.charge(p, int64(len(blob)), d.prof.ReadBW)
+	if d.inj != nil {
+		if err := d.inj.DeviceRead(d.fnode, d.ftier); err != nil {
+			d.endSpan(p, sp, int64(len(blob)), true)
+			return nil, true, err
+		}
+	}
+	var out []byte
+	if cap(dst) >= len(blob) {
+		out = dst[:len(blob)]
+	} else {
+		out = make([]byte, len(blob))
+	}
+	copy(out, blob)
+	d.readOps++
+	d.bytesRead += int64(len(blob))
+	d.endSpan(p, sp, int64(len(blob)), false)
+	return out, true, nil
+}
+
 // ReadAt reads length bytes of a blob starting at off and charges read
 // cost for the range. Reads past the end are truncated.
 func (d *Device) ReadAt(p *vtime.Proc, key blob.ID, off, length int64) ([]byte, bool, error) {
@@ -391,6 +422,15 @@ func (d *Device) Delete(p *vtime.Proc, key blob.ID) {
 	d.chans.Release(1)
 	d.used -= int64(len(blob))
 	delete(d.blobs, key)
+}
+
+// Purge drops every stored blob without charging virtual time. It models
+// a node restarting with cold storage: the cluster wipes a revived
+// node's devices before hermes rejoins it, so nothing stale survives the
+// crash.
+func (d *Device) Purge() {
+	d.used = 0
+	clear(d.blobs)
 }
 
 // CorruptBit flips one bit of a stored blob in place, without charging

@@ -23,6 +23,13 @@ import (
 // only failover to a replica or a backend re-stage can.
 var ErrNodeDown = errors.New("node down")
 
+// ErrCorrupt reports that a page failed its checksum and no good copy
+// exists anywhere — every replica also mismatched (or there are none)
+// and no clean staged copy is on the backend. It is permanent and must
+// surface to the application: serving the corrupt bytes, or zeros, would
+// be silent data loss.
+var ErrCorrupt = errors.New("unrepairable corruption")
+
 // DeviceError is an injected transient I/O failure on one device. A
 // retried operation may succeed.
 type DeviceError struct {

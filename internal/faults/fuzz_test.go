@@ -1,0 +1,107 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives the compact fault-plan DSL parser with arbitrary
+// input. The parser must never panic, and every plan it accepts must be
+// internally consistent: probabilities in [0, 1], non-negative times, and
+// stable under a reparse of the same spec (the DSL is the reproducibility
+// interface of the chaos suite, so accept-but-mangle bugs are as bad as
+// crashes).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=42",
+		"drop=0.02;dup=0.01",
+		"delay=200us@0.01",
+		"readerr=0.01;writeerr=0.005",
+		"slow=nvme:4@30ms",
+		"slow=2.5",
+		"crash=1@40ms",
+		"revive=1@80ms",
+		"seed=7;crash=1@40ms;revive=1@80ms;crash=1@120ms",
+		"part=0-1@10ms-12ms",
+		"attempts=5;backoff=50us;cap=2ms;jitter=0.2",
+		"seed=9;drop=0.05;crash=2@1ms;revive=2@2ms;readerr=0.1;attempts=3",
+		"crash=@",
+		"revive=x@1ms",
+		"delay=@@",
+		"slow=:@",
+		"part=0-1@10ms",
+		"jitter=2",
+		"drop=-1",
+		"crash=1@-5ms",
+		";;;",
+		"=",
+		"crash=1@1e300s",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseSpec(spec)
+		if err != nil {
+			if p != nil {
+				t.Fatalf("ParseSpec(%q) returned both a plan and error %v", spec, err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatalf("ParseSpec(%q) returned nil plan without error", spec)
+		}
+		checkProb := func(what string, v float64) {
+			if v < 0 || v > 1 {
+				t.Fatalf("ParseSpec(%q): %s probability %v outside [0,1]", spec, what, v)
+			}
+		}
+		for _, lf := range p.Links {
+			checkProb("drop", lf.Drop)
+			checkProb("dup", lf.Dup)
+			checkProb("delay", lf.DelayProb)
+			if lf.DelaySpike < 0 {
+				t.Fatalf("ParseSpec(%q): negative delay spike %v", spec, lf.DelaySpike)
+			}
+		}
+		for _, df := range p.Devices {
+			checkProb("readerr", df.ReadErr)
+			checkProb("writeerr", df.WriteErr)
+			if df.SlowFrom < 0 {
+				t.Fatalf("ParseSpec(%q): negative slow_from %v", spec, df.SlowFrom)
+			}
+		}
+		for _, cr := range p.Crashes {
+			if cr.At < 0 {
+				t.Fatalf("ParseSpec(%q): negative crash time %v", spec, cr.At)
+			}
+		}
+		for _, rv := range p.Revives {
+			if rv.At < 0 {
+				t.Fatalf("ParseSpec(%q): negative revive time %v", spec, rv.At)
+			}
+		}
+		for _, pt := range p.Partitions {
+			if pt.From < 0 || pt.To < 0 {
+				t.Fatalf("ParseSpec(%q): negative partition window [%v,%v)", spec, pt.From, pt.To)
+			}
+		}
+		checkProb("jitter", p.Retry.Jitter)
+		if p.Retry.Base < 0 || p.Retry.Cap < 0 {
+			t.Fatalf("ParseSpec(%q): negative retry policy %+v", spec, p.Retry)
+		}
+		// Reparse: the DSL has no ordering or hidden state, so the same
+		// spec must yield the same plan.
+		q, err2 := ParseSpec(spec)
+		if err2 != nil {
+			t.Fatalf("ParseSpec(%q) succeeded then failed on reparse: %v", spec, err2)
+		}
+		if len(q.Links) != len(p.Links) || len(q.Devices) != len(p.Devices) ||
+			len(q.Crashes) != len(p.Crashes) || len(q.Revives) != len(p.Revives) ||
+			len(q.Partitions) != len(p.Partitions) || q.Seed != p.Seed {
+			t.Fatalf("ParseSpec(%q) is not deterministic", spec)
+		}
+		_ = strings.TrimSpace(spec)
+	})
+}

@@ -34,6 +34,7 @@ type Injector struct {
 	now      func() vtime.Duration
 	crashed  map[int]bool
 	onCrash  []func(node int)
+	onRevive []func(node int)
 	counters map[string]int64
 	trc      *telemetry.Tracer // nil when no telemetry plane is installed
 }
@@ -126,6 +127,28 @@ func (in *Injector) CrashNode(node int) {
 	in.crashed[node] = true
 	in.count("crash")
 	for _, fn := range in.onCrash {
+		fn(node)
+	}
+}
+
+// OnRevive registers a callback fired when a crashed node restarts
+// (hermes uses this to bump the node's incarnation and rejoin it to the
+// placement ring; cluster wipes the node's devices first so the rejoin
+// is cold).
+func (in *Injector) OnRevive(fn func(node int)) {
+	in.onRevive = append(in.onRevive, fn)
+}
+
+// ReviveNode brings a crashed node's storage back online immediately and
+// fires the revive callbacks. Reviving a node that is not down is a
+// no-op, so a plan's stray revive entries are harmless.
+func (in *Injector) ReviveNode(node int) {
+	if !in.crashed[node] {
+		return
+	}
+	delete(in.crashed, node)
+	in.count("revive")
+	for _, fn := range in.onRevive {
 		fn(node)
 	}
 }

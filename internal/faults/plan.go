@@ -70,6 +70,15 @@ type Crash struct {
 	At   vtime.Duration
 }
 
+// Revive restarts a crashed node's storage at a virtual time. The node
+// comes back cold — its devices are wiped before it rejoins — so every
+// blob it held before the crash must be re-replicated onto it by the
+// anti-entropy repair plane before it carries data again.
+type Revive struct {
+	Node int
+	At   vtime.Duration
+}
+
 // Policy is the retry/backoff policy wrapped around fault-exposed
 // operations: up to Attempts tries, exponential backoff from Base capped
 // at Cap, with a Jitter fraction drawn from the plan's seeded PRNG.
@@ -111,6 +120,7 @@ type Plan struct {
 	Partitions []Partition
 	Devices    []DeviceFault
 	Crashes    []Crash
+	Revives    []Revive
 	Retry      Policy
 }
 
@@ -125,6 +135,7 @@ type Plan struct {
 //	writeerr=0.005       transient device write-error probability
 //	slow=nvme:4@30ms     nvme tier 4x slower from t=30ms ("@..." optional)
 //	crash=1@40ms         node 1's storage goes down at t=40ms
+//	revive=1@80ms        node 1 restarts (cold storage) at t=80ms
 //	part=0-1@10ms-12ms   partition nodes 0 and 1 during [10ms, 12ms)
 //	attempts=5 backoff=50us cap=2ms jitter=0.2   retry policy
 func ParseSpec(spec string) (*Plan, error) {
@@ -202,6 +213,20 @@ func ParseSpec(spec string) (*Plan, error) {
 				break
 			}
 			p.Crashes = append(p.Crashes, cr)
+		case "revive":
+			node, at, e := cutAt(v)
+			if e != nil {
+				err = e
+				break
+			}
+			rv := Revive{}
+			if rv.Node, err = strconv.Atoi(node); err != nil {
+				break
+			}
+			if rv.At, err = parseDur(at); err != nil {
+				break
+			}
+			p.Revives = append(p.Revives, rv)
 		case "part":
 			pair, window, e := cutAt(v)
 			if e != nil {
@@ -270,7 +295,9 @@ func parseProb(v string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if f < 0 || f > 1 {
+	// The negated comparison also rejects NaN, which would sail through
+	// `f < 0 || f > 1` and poison every seeded coin flip downstream.
+	if !(f >= 0 && f <= 1) {
 		return 0, fmt.Errorf("probability %v outside [0,1]", f)
 	}
 	return f, nil
@@ -295,8 +322,14 @@ func parseDur(v string) (vtime.Duration, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bad duration %q", v)
 	}
-	if f < 0 {
+	if !(f >= 0) { // rejects negatives and NaN
 		return 0, fmt.Errorf("negative duration %q", v)
 	}
-	return vtime.Duration(f * float64(mult)), nil
+	ns := f * float64(mult)
+	// Guard the int64 conversion: 1e300s would wrap negative and schedule
+	// the fault before the beginning of time.
+	if ns >= float64(1<<63) {
+		return 0, fmt.Errorf("duration %q overflows", v)
+	}
+	return vtime.Duration(ns), nil
 }

@@ -16,6 +16,7 @@
 package hermes
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"sort"
@@ -32,6 +33,11 @@ import (
 type Placement struct {
 	Node int    // node holding the bytes
 	Tier string // tier name on that node
+	// Inc is the incarnation of the holding node when the bytes were
+	// written. A revived node restarts cold under a higher incarnation,
+	// so placements from its previous life are unreachable even though
+	// the node itself is up again.
+	Inc  int
 	Size int64
 	// Score is the blob's current importance in [0,1]; the organizer
 	// promotes high scores into fast tiers. ScoreNode is the node that set
@@ -65,9 +71,24 @@ type Hermes struct {
 
 	// replicas is the number of backup copies kept on other nodes (the
 	// paper's §V node-failure extension); failed marks nodes whose data
-	// is unreachable, forcing reads to fail over to a backup.
+	// is unreachable, forcing reads to fail over to a backup. inc counts
+	// node incarnations for the rejoin protocol: it bumps when a crashed
+	// node revives, invalidating every placement stamped under the old
+	// life.
 	replicas int
 	failed   map[int]bool
+	inc      []int
+
+	// repairq is the anti-entropy queue: primary IDs of blobs that lost
+	// a copy (crash) or could not be fully replicated (degraded write),
+	// FIFO in deterministic enqueue order. queued dedups it. The window
+	// [degradeStart, lastDrain] brackets the most recent stretch of
+	// under-replication, which is what the MTTR experiment reports.
+	repairq      []blob.ID
+	queued       map[blob.ID]bool
+	degraded     bool
+	degradeStart vtime.Duration
+	lastDrain    vtime.Duration
 
 	// inj is the cluster's fault injector (nil when fault-free); device
 	// I/O under it is retried per the plan's backoff policy.
@@ -77,6 +98,8 @@ type Hermes struct {
 	trc        *telemetry.Tracer
 	mLookups   telemetry.Counter
 	mFailovers telemetry.Counter
+	mRepairs   telemetry.Counter
+	gUnderRep  telemetry.Gauge
 
 	// buckets indexes bucket membership: interned bucket name -> member
 	// blobs (vec + bare blob name), sorted by name. memberOf marks vecs
@@ -134,6 +157,8 @@ func New(c *cluster.Cluster, tiers []string) *Hermes {
 		byNode:   make([][]blob.ID, len(c.Nodes)),
 		replCnt:  make(map[blob.ID]int),
 		failed:   make(map[int]bool),
+		inc:      make([]int, len(c.Nodes)),
+		queued:   make(map[blob.ID]bool),
 		buckets:  make(map[uint32][]bucketMember),
 		memberOf: make(map[uint32]bool),
 	}
@@ -155,6 +180,8 @@ func (h *Hermes) SetTelemetry(tel *telemetry.Telemetry) {
 	reg := tel.Registry()
 	h.mLookups = reg.Counter(telemetry.Key{Name: "hermes.md_lookups", Node: -1, Subsystem: "hermes"})
 	h.mFailovers = reg.Counter(telemetry.Key{Name: "hermes.failovers", Node: -1, Subsystem: "hermes"})
+	h.mRepairs = reg.Counter(telemetry.Key{Name: "hermes.repairs", Node: -1, Subsystem: "hermes"})
+	h.gUnderRep = reg.Gauge(telemetry.Key{Name: "hermes.under_replicated", Node: -1, Subsystem: "hermes"})
 }
 
 // beginSpan opens a scache span parented on the caller's current span;
@@ -183,6 +210,7 @@ func (h *Hermes) SetFaults(inj *faults.Injector) {
 	h.inj = inj
 	if inj != nil {
 		inj.OnCrash(func(node int) { h.FailNode(node) })
+		inj.OnRevive(func(node int) { h.ReviveNode(node) })
 	}
 }
 
@@ -208,11 +236,56 @@ func (h *Hermes) SetReplicas(n int) {
 
 // FailNode marks a node's data unreachable: subsequent reads of blobs
 // placed there fail over to a backup copy (when replication is on) and
-// new placements avoid the node.
-func (h *Hermes) FailNode(id int) { h.failed[id] = true }
+// new placements avoid the node. Every blob that just lost a copy —
+// primaries placed on the node, and primaries whose backup lived there —
+// is enqueued for anti-entropy repair in deterministic (sorted) order.
+func (h *Hermes) FailNode(id int) {
+	if h.failed[id] {
+		return
+	}
+	h.failed[id] = true
+	if h.replicas == 0 {
+		return // nothing to restore: no redundancy was configured
+	}
+	// Primaries on the dead node: the sorted per-node index.
+	for _, pid := range h.byNode[id] {
+		h.enqueueRepair(pid)
+	}
+	// Backups on the dead node: one pass over the metadata, sorted for a
+	// deterministic queue order (crashes are rare; O(meta) is fine).
+	var lost []blob.ID
+	for bid, pl := range h.meta {
+		if bid.Kind == blob.KindBackup && pl.Node == id {
+			lost = append(lost, bid.Base())
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].Less(lost[j]) })
+	for _, pid := range lost {
+		h.enqueueRepair(pid)
+	}
+}
 
-// alive reports whether a node's data is reachable.
+// ReviveNode rejoins a node that restarted with cold storage: its
+// incarnation bumps (stale placements from the previous life stay
+// unreachable, so dirty pages lost with the crash keep surfacing
+// ErrNodeDown rather than silently re-staging), and the node becomes a
+// valid target for new placements and pending repairs.
+func (h *Hermes) ReviveNode(id int) {
+	if !h.failed[id] {
+		return
+	}
+	h.inc[id]++
+	delete(h.failed, id)
+}
+
+// alive reports whether a node accepts placements.
 func (h *Hermes) alive(node int) bool { return !h.failed[node] }
+
+// reachable reports whether a placement's bytes can be read: the node is
+// up and has not restarted since the bytes were written.
+func (h *Hermes) reachable(pl *Placement) bool {
+	return !h.failed[pl.Node] && pl.Inc == h.inc[pl.Node]
+}
 
 // hasReplicas reports whether any node-local read replica of the blob
 // exists.
@@ -227,11 +300,13 @@ func (h *Hermes) shardOwner(id blob.ID) int {
 }
 
 // metaPut installs (or replaces) a blob's placement, maintaining the
-// per-node primary index and the replica counter.
+// per-node primary index and the replica counter. The placement is
+// stamped with its node's current incarnation.
 func (h *Hermes) metaPut(id blob.ID, pl *Placement) {
 	if old, ok := h.meta[id]; ok {
 		h.metaDrop(id, old)
 	}
+	pl.Inc = h.inc[pl.Node]
 	h.meta[id] = pl
 	if id.IsPrimary() {
 		h.idxInsert(pl.Node, id)
@@ -390,7 +465,7 @@ func (h *Hermes) Put(p *vtime.Proc, fromNode int, id blob.ID, data []byte, score
 
 func (h *Hermes) put(p *vtime.Proc, fromNode int, id blob.ID, data []byte, score float64, prefNode int) error {
 	pl := h.lookup(p, fromNode, id)
-	if pl != nil && !h.alive(pl.Node) {
+	if pl != nil && !h.reachable(pl) {
 		// The old copy died with its node; Put replaces the whole blob, so
 		// drop the stale placement and store fresh on a live node.
 		h.metaDelete(id)
@@ -463,6 +538,242 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, id blob.ID, data []byte) 
 			placed++
 		}
 	}
+	if id.IsPrimary() && placed < h.replicas {
+		// Degraded write: fewer copies than configured exist right now.
+		// The anti-entropy queue restores the factor once capacity (or a
+		// revived node) allows.
+		h.enqueueRepair(id)
+	}
+}
+
+// ------------------------------------------------- anti-entropy repair --
+
+// enqueueRepair queues a primary blob for redundancy restoration.
+// Duplicate enqueues are absorbed; the first entry of a degradation
+// window stamps its start time.
+func (h *Hermes) enqueueRepair(id blob.ID) {
+	if h.queued[id] {
+		return
+	}
+	if !h.degraded {
+		h.degraded = true
+		h.degradeStart = h.c.Engine.Now()
+	}
+	h.queued[id] = true
+	h.repairq = append(h.repairq, id)
+	h.gUnderRep.Set(int64(len(h.repairq)))
+}
+
+func (h *Hermes) dequeueRepair() blob.ID {
+	id := h.repairq[0]
+	h.repairq = h.repairq[1:]
+	if len(h.repairq) == 0 {
+		h.repairq = nil
+	}
+	delete(h.queued, id)
+	h.gUnderRep.Set(int64(len(h.repairq)))
+	return id
+}
+
+// UnderReplicated returns the number of blobs awaiting anti-entropy
+// repair (the under-replicated gauge).
+func (h *Hermes) UnderReplicated() int { return len(h.repairq) }
+
+// RedundancyWindow returns the most recent under-replication window:
+// when redundancy was first lost and when the repair queue last drained.
+// ok is false while repair is still in progress or nothing was ever
+// degraded — the MTTR experiment reports restored-lost as its
+// time-to-full-redundancy.
+func (h *Hermes) RedundancyWindow() (lost, restored vtime.Duration, ok bool) {
+	return h.degradeStart, h.lastDrain, !h.degraded && h.lastDrain > 0
+}
+
+// RepairStep executes one anti-entropy repair: the oldest queued blob is
+// restored to full redundancy — primary recovered from a backup when
+// unreachable, missing backup slots refilled — charging device, fabric
+// and retry costs like any foreground access, so repair traffic contends
+// realistically with the workload. Deleted or already-healthy entries
+// drain for free; a blob that cannot be repaired yet (no capacity until
+// a node revives, transient device faults) is requeued for a later step.
+// It reports whether repairs remain queued.
+func (h *Hermes) RepairStep(p *vtime.Proc) bool {
+	for len(h.repairq) > 0 {
+		id := h.dequeueRepair()
+		var requeue, worked bool
+		if sp := h.beginSpan(p, telemetry.OpRepair, -1, id); sp == 0 {
+			requeue, worked = h.repairBlob(p, id)
+		} else {
+			prev := p.SetTraceSpan(uint32(sp))
+			requeue, worked = h.repairBlob(p, id)
+			p.SetTraceSpan(prev)
+			h.endSpan(p, sp, 0, requeue)
+		}
+		if requeue {
+			h.enqueueRepair(id)
+		}
+		if worked || requeue {
+			break
+		}
+	}
+	if len(h.repairq) == 0 && h.degraded {
+		h.degraded = false
+		h.lastDrain = p.Now()
+	}
+	return len(h.repairq) > 0
+}
+
+// repairBlob restores one blob to full redundancy. requeue asks the
+// caller to retry on a later step; worked reports whether charged I/O
+// happened (the step budget).
+func (h *Hermes) repairBlob(p *vtime.Proc, id blob.ID) (requeue, worked bool) {
+	pl := h.meta[id]
+	if pl == nil {
+		return false, false // deleted since enqueue
+	}
+	if !h.reachable(pl) {
+		npl, err := h.recoverPrimary(p, id)
+		if err != nil {
+			if faults.Transient(err) {
+				return true, true
+			}
+			var noCap *ErrNoCapacity
+			if errors.As(err, &noCap) {
+				return true, false // wait for a revival to free capacity
+			}
+			// No surviving copy anywhere: the blob is lost. The stale
+			// placement stays so reads keep surfacing ErrNodeDown instead
+			// of silently resurrecting old backend bytes.
+			h.inj.Note("repair.lost")
+			return false, false
+		}
+		pl = npl
+		h.inj.Note("repair.recover")
+		h.mRepairs.Inc()
+		worked = true
+	}
+	missing := 0
+	for i := 0; i < h.replicas; i++ {
+		// A backup on the primary's own node (a failover can promote the
+		// primary onto the backup holder) adds no redundancy: count it
+		// missing so the repair moves it to a distinct node.
+		if bp := h.meta[id.Backup(i)]; bp == nil || !h.reachable(bp) || bp.Node == pl.Node {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return false, worked
+	}
+	// Feasibility before the data read: refilling a slot needs a live
+	// target without a copy and with capacity. Checking first keeps a
+	// hopeless retry (every other node down) from charging reads each
+	// period.
+	if _, _, ok := h.placeBackup(pl.Size, pl.Node, id); !ok {
+		return true, worked
+	}
+	src := h.c.Nodes[pl.Node].Devices[pl.Tier]
+	data, ok, err := src.Read(p, id)
+	for attempt := 1; err != nil && faults.Transient(err) && h.inj.Allow(attempt); attempt++ {
+		h.inj.Backoff(p, "retry.repair_read", attempt)
+		data, ok, err = src.Read(p, id)
+	}
+	if err != nil || !ok {
+		return true, true
+	}
+	filled := h.repairReplicate(p, pl.Node, id, data)
+	for i := 0; i < filled; i++ {
+		h.inj.Note("repair.replicate")
+		h.mRepairs.Inc()
+	}
+	return filled < missing, true
+}
+
+// repairReplicate refills the missing backup slots of a blob from data,
+// leaving healthy slots untouched. It returns the number refilled.
+func (h *Hermes) repairReplicate(p *vtime.Proc, primary int, id blob.ID, data []byte) int {
+	filled := 0
+	for i := 0; i < h.replicas; i++ {
+		bk := id.Backup(i)
+		bp := h.meta[bk]
+		if bp != nil && h.reachable(bp) && bp.Node != primary {
+			continue // healthy and on a distinct node
+		}
+		node, tier, ok := h.placeBackup(int64(len(data)), primary, id)
+		if !ok {
+			break
+		}
+		h.c.Fabric.Transfer(p, primary, node, int64(len(data)))
+		if err := h.writeRetry(p, h.c.Nodes[node].Devices[tier], bk, data); err != nil {
+			break
+		}
+		if bp != nil && h.reachable(bp) {
+			// Co-located with the primary: free the old bytes now that a
+			// distinct copy exists. (Stale dead-incarnation records hold no
+			// live bytes; metaPut overwrites the record either way.)
+			h.c.Nodes[bp.Node].Devices[bp.Tier].Delete(p, bk)
+		}
+		h.metaPut(bk, &Placement{Node: node, Tier: tier, Size: int64(len(data)), Score: 0.05, ScoreNode: node})
+		filled++
+	}
+	return filled
+}
+
+// placeBackup picks a target for a backup copy: a live node other than
+// the primary that holds no reachable copy of the blob, fastest tier
+// with capacity. Walked in (primary+i)%nodes order like replicate, so
+// repair placement is deterministic.
+func (h *Hermes) placeBackup(size int64, primary int, id blob.ID) (int, string, bool) {
+	nodes := len(h.c.Nodes)
+	for i := 1; i < nodes; i++ {
+		node := (primary + i) % nodes
+		if !h.alive(node) || h.holdsCopy(node, id) {
+			continue
+		}
+		for _, t := range h.tiers {
+			if h.c.Nodes[node].Devices[t].Free() >= size {
+				return node, t, true
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// holdsCopy reports whether a reachable copy of the blob (primary or
+// backup) lives on node.
+func (h *Hermes) holdsCopy(node int, id blob.ID) bool {
+	if pl := h.meta[id]; pl != nil && h.reachable(pl) && pl.Node == node {
+		return true
+	}
+	for i := 0; i < h.replicas; i++ {
+		if bp := h.meta[id.Backup(i)]; bp != nil && h.reachable(bp) && bp.Node == node {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadBackup reads backup slot's bytes, charging device and fabric
+// costs. The corruption-repair path uses it to fetch replica bytes and
+// verify their checksum before rewriting a mismatched primary. ok is
+// false when the slot is missing, unreachable, or unreadable.
+func (h *Hermes) ReadBackup(p *vtime.Proc, fromNode int, id blob.ID, slot int) ([]byte, bool) {
+	bk := id.Backup(slot)
+	bp := h.meta[bk]
+	if bp == nil || !h.reachable(bp) {
+		return nil, false
+	}
+	dev := h.c.Nodes[bp.Node].Devices[bp.Tier]
+	data, ok, err := dev.Read(p, bk)
+	for attempt := 1; err != nil && faults.Transient(err) && h.inj.Allow(attempt); attempt++ {
+		h.inj.Backoff(p, "retry.scache_read", attempt)
+		data, ok, err = dev.Read(p, bk)
+	}
+	if err != nil || !ok {
+		return nil, false
+	}
+	if bp.Node != fromNode {
+		h.c.Fabric.Transfer(p, bp.Node, fromNode, int64(len(data)))
+	}
+	return data, true
 }
 
 // PutLocal stores a blob only if a tier on the given node has capacity;
@@ -570,7 +881,7 @@ func (h *Hermes) putAt(p *vtime.Proc, fromNode int, id blob.ID, off int64, data 
 	if pl == nil {
 		return fmt.Errorf("hermes: PutAt on missing blob %q", h.DisplayName(id))
 	}
-	if !h.alive(pl.Node) {
+	if !h.reachable(pl) {
 		var err error
 		if pl, err = h.recoverPrimary(p, id); err != nil {
 			return err
@@ -590,7 +901,7 @@ func (h *Hermes) putAt(p *vtime.Proc, fromNode int, id blob.ID, off int64, data 
 	for i := 0; i < h.replicas; i++ {
 		bk := id.Backup(i)
 		bp := h.meta[bk]
-		if bp == nil || !h.alive(bp.Node) {
+		if bp == nil || !h.reachable(bp) {
 			continue
 		}
 		if bp.Node != pl.Node {
@@ -611,39 +922,46 @@ func (h *Hermes) putAt(p *vtime.Proc, fromNode int, id blob.ID, off int64, data 
 // copy remains the error wraps faults.ErrNodeDown. Injected transient
 // device faults are retried under the backoff policy.
 func (h *Hermes) Get(p *vtime.Proc, fromNode int, id blob.ID) ([]byte, bool, error) {
+	return h.GetInto(p, fromNode, id, nil)
+}
+
+// GetInto is Get reusing dst's storage for the result when it is large
+// enough (see device.ReadInto). The returned slice never aliases device
+// storage; the caller owns it either way.
+func (h *Hermes) GetInto(p *vtime.Proc, fromNode int, id blob.ID, dst []byte) ([]byte, bool, error) {
 	sp := h.beginSpan(p, telemetry.OpScacheGet, fromNode, id)
 	if sp == 0 {
-		return h.get(p, fromNode, id)
+		return h.get(p, fromNode, id, dst)
 	}
 	prev := p.SetTraceSpan(uint32(sp))
-	data, ok, err := h.get(p, fromNode, id)
+	data, ok, err := h.get(p, fromNode, id, dst)
 	p.SetTraceSpan(prev)
 	h.endSpan(p, sp, int64(len(data)), err != nil)
 	return data, ok, err
 }
 
-func (h *Hermes) get(p *vtime.Proc, fromNode int, id blob.ID) ([]byte, bool, error) {
+func (h *Hermes) get(p *vtime.Proc, fromNode int, id blob.ID, dst []byte) ([]byte, bool, error) {
 	pl := h.lookup(p, fromNode, id)
 	if pl == nil {
 		return nil, false, nil
 	}
 	readID := id
-	if !h.alive(pl.Node) {
+	if !h.reachable(pl) {
 		pl, readID = h.failover(id)
 		if pl == nil {
 			return nil, false, h.nodeDownErr(id)
 		}
 	}
-	data, ok, err := h.c.Nodes[pl.Node].Devices[pl.Tier].Read(p, readID)
+	data, ok, err := h.c.Nodes[pl.Node].Devices[pl.Tier].ReadInto(p, readID, dst)
 	for attempt := 1; err != nil && faults.Transient(err) && h.inj.Allow(attempt); attempt++ {
 		h.inj.Backoff(p, "retry.scache_read", attempt)
-		if !h.alive(pl.Node) { // a crash can land during the backoff sleep
+		if !h.reachable(pl) { // a crash can land during the backoff sleep
 			pl, readID = h.failover(id)
 			if pl == nil {
 				return nil, false, h.nodeDownErr(id)
 			}
 		}
-		data, ok, err = h.c.Nodes[pl.Node].Devices[pl.Tier].Read(p, readID)
+		data, ok, err = h.c.Nodes[pl.Node].Devices[pl.Tier].ReadInto(p, readID, dst)
 	}
 	if err != nil {
 		return nil, ok, fmt.Errorf("hermes: reading blob %q: %w", h.DisplayName(id), err)
@@ -659,7 +977,7 @@ func (h *Hermes) get(p *vtime.Proc, fromNode int, id blob.ID) ([]byte, bool, err
 func (h *Hermes) failover(id blob.ID) (*Placement, blob.ID) {
 	for i := 0; i < h.replicas; i++ {
 		bk := id.Backup(i)
-		if bp := h.meta[bk]; bp != nil && h.alive(bp.Node) {
+		if bp := h.meta[bk]; bp != nil && h.reachable(bp) {
 			return bp, bk
 		}
 	}
@@ -687,7 +1005,7 @@ func (h *Hermes) getRange(p *vtime.Proc, fromNode int, id blob.ID, off, length i
 		return nil, false, nil
 	}
 	readID := id
-	if !h.alive(pl.Node) {
+	if !h.reachable(pl) {
 		pl, readID = h.failover(id)
 		if pl == nil {
 			return nil, false, h.nodeDownErr(id)
@@ -696,7 +1014,7 @@ func (h *Hermes) getRange(p *vtime.Proc, fromNode int, id blob.ID, off, length i
 	data, ok, err := h.c.Nodes[pl.Node].Devices[pl.Tier].ReadAt(p, readID, off, length)
 	for attempt := 1; err != nil && faults.Transient(err) && h.inj.Allow(attempt); attempt++ {
 		h.inj.Backoff(p, "retry.scache_read", attempt)
-		if !h.alive(pl.Node) {
+		if !h.reachable(pl) {
 			pl, readID = h.failover(id)
 			if pl == nil {
 				return nil, false, h.nodeDownErr(id)
@@ -724,17 +1042,15 @@ func (h *Hermes) Delete(p *vtime.Proc, fromNode int, id blob.ID) {
 	for i := 0; i < h.replicas; i++ {
 		bk := id.Backup(i)
 		if bp := h.meta[bk]; bp != nil {
-			if h.alive(bp.Node) {
-				h.deleteData(p, bp, bk)
-			}
+			h.deleteData(p, bp, bk)
 			h.metaDelete(bk)
 		}
 	}
 }
 
 func (h *Hermes) deleteData(p *vtime.Proc, pl *Placement, id blob.ID) {
-	if !h.alive(pl.Node) {
-		return // the data died with the node
+	if !h.reachable(pl) {
+		return // the data died with the node (or its previous incarnation)
 	}
 	h.c.Nodes[pl.Node].Devices[pl.Tier].Delete(p, id)
 }
@@ -891,7 +1207,7 @@ type Move struct {
 // (blob deleted or moved since planning).
 func (h *Hermes) ApplyMove(p *vtime.Proc, m Move) {
 	pl := h.meta[m.ID]
-	if pl == nil || (pl.Node == m.Node && pl.Tier == m.Tier) || !h.alive(pl.Node) || !h.alive(m.Node) {
+	if pl == nil || (pl.Node == m.Node && pl.Tier == m.Tier) || !h.reachable(pl) || !h.alive(m.Node) {
 		return
 	}
 	h.move(p, m.ID, pl, m.Node, m.Tier)

@@ -144,7 +144,11 @@ func (t *Telemetry) WriteChromeTrace(w io.Writer, vecName func(vec uint32) strin
 	trc.Each(func(id SpanID, s *Span) {
 		root := id
 		if s.Parent != 0 && s.Parent < id {
-			root = rootOf[s.Parent]
+			// A ring-evicted parent resolves to no root; orphaned spans
+			// become roots of their surviving subtree.
+			if r := rootOf[s.Parent]; r != 0 {
+				root = r
+			}
 		}
 		rootOf[id] = root
 		if s.End > treeEnd[root] {

@@ -42,6 +42,11 @@ const (
 	OpPFSWrite
 	// faults: one span per retry/backoff sleep; Arg is the attempt.
 	OpRetry
+	// recovery plane: anti-entropy re-replication of one under-replicated
+	// blob, and one background checksum sweep over a vector's resident
+	// pages.
+	OpRepair
+	OpScrub
 	opCount
 )
 
@@ -53,6 +58,7 @@ var opNames = [opCount]string{
 	"stage.in", "stage.out",
 	"pfs.read", "pfs.write",
 	"retry",
+	"repair", "scrub",
 }
 
 var opCats = [opCount]string{
@@ -63,6 +69,7 @@ var opCats = [opCount]string{
 	"stager", "stager",
 	"cluster", "cluster",
 	"faults",
+	"hermes", "core",
 }
 
 func (o Op) String() string {
@@ -108,25 +115,42 @@ const (
 // Begin/At/End are O(1); allocation amortizes to one slab per 4096 spans,
 // which keeps a traced fault path at the same allocs/op as an untraced
 // one. All methods are nil-safe.
+//
+// Two full-arena policies exist. Keep-prefix (the default): once max
+// spans are recorded further Begins are counted as dropped and return 0.
+// Ring (Options.SpanRing): the arena wraps and overwrites the oldest
+// span, so a long soak run keeps its newest max spans; evicted spans
+// count as dropped and their IDs resolve to nil.
 type Tracer struct {
 	chunks  [][]Span
 	n       int
 	max     int
+	ring    bool
 	dropped int64
 }
 
-func newTracer(max int) *Tracer { return &Tracer{max: max} }
+func newTracer(max int, ring bool) *Tracer { return &Tracer{max: max, ring: ring} }
 
 // Begin records a new span starting (and, until End, also ending) at time
-// at, and returns its ID. Once the arena cap is reached, Begin counts the
-// span as dropped and returns 0.
+// at, and returns its ID. At the arena cap, Begin either counts the span
+// as dropped and returns 0 (keep-prefix) or overwrites the oldest
+// recorded span (ring).
 func (t *Tracer) Begin(op Op, node int, parent SpanID, at vtime.Duration) SpanID {
 	if t == nil {
 		return 0
 	}
 	if t.n >= t.max {
-		t.dropped++
-		return 0
+		if !t.ring {
+			t.dropped++
+			return 0
+		}
+		slot := t.n % t.max
+		t.chunks[slot>>spanChunkBits][slot&(spanChunk-1)] = Span{
+			Op: op, Node: int32(node), Origin: int32(node), Parent: parent, Start: at, End: at,
+		}
+		t.n++
+		t.dropped++ // the evicted span
+		return SpanID(t.n)
 	}
 	ci := t.n >> spanChunkBits
 	if ci == len(t.chunks) {
@@ -139,13 +163,20 @@ func (t *Tracer) Begin(op Op, node int, parent SpanID, at vtime.Duration) SpanID
 	return SpanID(t.n)
 }
 
-// At returns the span record for id, or nil for id 0 (or a nil tracer).
-// The pointer stays valid for the tracer's lifetime.
+// At returns the span record for id, or nil for id 0, an id evicted by
+// the ring, or a nil tracer. The pointer stays valid until the ring laps
+// it (forever in keep-prefix mode).
 func (t *Tracer) At(id SpanID) *Span {
 	if t == nil || id == 0 {
 		return nil
 	}
 	i := int(id) - 1
+	if i < t.n-t.max { // lapped by the ring
+		return nil
+	}
+	if t.ring {
+		i %= t.max
+	}
 	return &t.chunks[i>>spanChunkBits][i&(spanChunk-1)]
 }
 
@@ -164,7 +195,8 @@ func (t *Tracer) Len() int {
 	return t.n
 }
 
-// Dropped returns how many spans were discarded at the arena cap.
+// Dropped returns how many spans were discarded at the arena cap
+// (keep-prefix) or evicted by the ring.
 func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
@@ -172,10 +204,17 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped
 }
 
-// Each calls fn for every span in recording order (which is causal order:
-// a parent is always recorded before its children).
+// Each calls fn for every live span in recording order (which is causal
+// order: a parent is always recorded before its children — though in
+// ring mode a live span's parent may already be evicted).
 func (t *Tracer) Each(fn func(id SpanID, s *Span)) {
 	if t == nil {
+		return
+	}
+	if t.ring && t.n > t.max {
+		for id := SpanID(t.n - t.max + 1); id <= SpanID(t.n); id++ {
+			fn(id, t.At(id))
+		}
 		return
 	}
 	id := SpanID(1)

@@ -23,6 +23,10 @@ type Options struct {
 	// MaxSpans caps the span arena; once reached further Begins are
 	// counted as dropped. Zero means DefaultMaxSpans.
 	MaxSpans int
+	// SpanRing makes the span arena a ring: at MaxSpans the tracer
+	// overwrites the oldest span instead of dropping the newest, so long
+	// soak/MTTR runs keep the tail of the trace rather than its head.
+	SpanRing bool
 	// SamplePeriod is the vtime tick of the resource sampler; zero
 	// disables sampling.
 	SamplePeriod vtime.Duration
@@ -55,7 +59,7 @@ func New(opts Options) *Telemetry {
 		t.reg = NewRegistry()
 	}
 	if opts.Spans {
-		t.trc = newTracer(opts.MaxSpans)
+		t.trc = newTracer(opts.MaxSpans, opts.SpanRing)
 	}
 	if opts.SamplePeriod > 0 {
 		t.smp = newSampler(opts.SamplePeriod)

@@ -118,7 +118,7 @@ func TestMetricHotPathDoesNotAllocate(t *testing.T) {
 }
 
 func TestTracerSpansAndChunkBoundary(t *testing.T) {
-	trc := newTracer(3 * spanChunk)
+	trc := newTracer(3*spanChunk, false)
 	// Fill past the first chunk boundary; every id must stay addressable
 	// and keep its fields.
 	n := spanChunk + 10
@@ -150,7 +150,7 @@ func TestTracerSpansAndChunkBoundary(t *testing.T) {
 }
 
 func TestTracerCapDropsAndCounts(t *testing.T) {
-	trc := newTracer(4)
+	trc := newTracer(4, false)
 	for i := 0; i < 10; i++ {
 		trc.Begin(OpRetry, -1, 0, 0)
 	}
@@ -166,7 +166,7 @@ func TestTracerCapDropsAndCounts(t *testing.T) {
 }
 
 func TestTracedBeginHoldsAllocBudget(t *testing.T) {
-	trc := newTracer(DefaultMaxSpans)
+	trc := newTracer(DefaultMaxSpans, false)
 	// One Begin+End pair amortizes to ~1/4096 allocations (the chunk
 	// slab); anything near 1 alloc/op means the arena is broken.
 	if n := testing.AllocsPerRun(10000, func() {

@@ -180,6 +180,13 @@ type Chan[T any] struct {
 	sendq    []*chanSender[T]
 	recvq    []*chanReceiver[T]
 	closed   bool
+	// Queues pop from a head index instead of re-slicing: a [1:] pop
+	// burns backing-array capacity, so the next append reallocates on
+	// every park/wake cycle — one hidden allocation per page fault for
+	// worker loops that live in Recv.
+	bufHead  int
+	sendHead int
+	recvHead int
 	// freeR recycles receiver wait records: a blocking Recv parks one per
 	// call, and worker loops live in Recv.
 	freeR []*chanReceiver[T]
@@ -207,7 +214,44 @@ func NewChan[T any](capacity int) *Chan[T] {
 }
 
 // Len returns the number of buffered values.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return len(c.buf) - c.bufHead }
+
+// popBuf removes and returns the oldest buffered value.
+func (c *Chan[T]) popBuf() T {
+	v := c.buf[c.bufHead]
+	var zero T
+	c.buf[c.bufHead] = zero
+	c.bufHead++
+	if c.bufHead == len(c.buf) {
+		c.buf = c.buf[:0]
+		c.bufHead = 0
+	}
+	return v
+}
+
+// popSend removes and returns the oldest blocked sender.
+func (c *Chan[T]) popSend() *chanSender[T] {
+	sw := c.sendq[c.sendHead]
+	c.sendq[c.sendHead] = nil
+	c.sendHead++
+	if c.sendHead == len(c.sendq) {
+		c.sendq = c.sendq[:0]
+		c.sendHead = 0
+	}
+	return sw
+}
+
+// popRecv removes and returns the oldest parked receiver.
+func (c *Chan[T]) popRecv() *chanReceiver[T] {
+	rw := c.recvq[c.recvHead]
+	c.recvq[c.recvHead] = nil
+	c.recvHead++
+	if c.recvHead == len(c.recvq) {
+		c.recvq = c.recvq[:0]
+		c.recvHead = 0
+	}
+	return rw
+}
 
 // Close closes the channel. Pending and future receives drain the buffer
 // and then return ok=false. Sending on a closed channel panics.
@@ -216,12 +260,12 @@ func (c *Chan[T]) Close() {
 		panic("vtime: close of closed channel")
 	}
 	c.closed = true
-	for _, rw := range c.recvq {
+	for _, rw := range c.recvq[c.recvHead:] {
 		rw.ready = true
 		rw.ok = false
 		rw.p.wake()
 	}
-	c.recvq = nil
+	c.recvq, c.recvHead = nil, 0
 }
 
 // Send delivers v, blocking p until a receiver or buffer space is
@@ -230,16 +274,15 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 	if c.closed {
 		panic("vtime: send on closed channel")
 	}
-	if len(c.recvq) > 0 {
-		rw := c.recvq[0]
-		c.recvq = c.recvq[1:]
+	if len(c.recvq) > c.recvHead {
+		rw := c.popRecv()
 		rw.v = v
 		rw.ok = true
 		rw.ready = true
 		rw.p.wake()
 		return
 	}
-	if len(c.buf) < c.capacity {
+	if c.Len() < c.capacity {
 		c.buf = append(c.buf, v)
 		return
 	}
@@ -256,16 +299,15 @@ func (c *Chan[T]) TrySend(v T) bool {
 	if c.closed {
 		panic("vtime: send on closed channel")
 	}
-	if len(c.recvq) > 0 {
-		rw := c.recvq[0]
-		c.recvq = c.recvq[1:]
+	if len(c.recvq) > c.recvHead {
+		rw := c.popRecv()
 		rw.v = v
 		rw.ok = true
 		rw.ready = true
 		rw.p.wake()
 		return true
 	}
-	if len(c.buf) < c.capacity {
+	if c.Len() < c.capacity {
 		c.buf = append(c.buf, v)
 		return true
 	}
@@ -275,15 +317,13 @@ func (c *Chan[T]) TrySend(v T) bool {
 // Recv blocks p until a value is available. ok is false if the channel is
 // closed and drained.
 func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
-	if len(c.buf) > 0 {
-		v = c.buf[0]
-		c.buf = c.buf[1:]
+	if c.Len() > 0 {
+		v = c.popBuf()
 		c.refill()
 		return v, true
 	}
-	if len(c.sendq) > 0 { // rendezvous (capacity 0)
-		sw := c.sendq[0]
-		c.sendq = c.sendq[1:]
+	if len(c.sendq) > c.sendHead { // rendezvous (capacity 0)
+		sw := c.popSend()
 		sw.done = true
 		sw.p.wake()
 		return sw.v, true
@@ -310,15 +350,13 @@ func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
 
 // TryRecv receives a value without blocking. ok is false if none is ready.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
-	if len(c.buf) > 0 {
-		v = c.buf[0]
-		c.buf = c.buf[1:]
+	if c.Len() > 0 {
+		v = c.popBuf()
 		c.refill()
 		return v, true
 	}
-	if len(c.sendq) > 0 {
-		sw := c.sendq[0]
-		c.sendq = c.sendq[1:]
+	if len(c.sendq) > c.sendHead {
+		sw := c.popSend()
 		sw.done = true
 		sw.p.wake()
 		return sw.v, true
@@ -328,9 +366,8 @@ func (c *Chan[T]) TryRecv() (v T, ok bool) {
 
 // refill moves a blocked sender's value into freed buffer space.
 func (c *Chan[T]) refill() {
-	for len(c.sendq) > 0 && len(c.buf) < c.capacity {
-		sw := c.sendq[0]
-		c.sendq = c.sendq[1:]
+	for len(c.sendq) > c.sendHead && c.Len() < c.capacity {
+		sw := c.popSend()
 		c.buf = append(c.buf, sw.v)
 		sw.done = true
 		sw.p.wake()

@@ -34,6 +34,7 @@ import (
 	"megammap/internal/config"
 	"megammap/internal/core"
 	"megammap/internal/device"
+	"megammap/internal/faults"
 	"megammap/internal/mpi"
 	"megammap/internal/simnet"
 	"megammap/internal/stager"
@@ -151,6 +152,30 @@ type (
 	Span = telemetry.Span
 	// TaskTrace is the task-level trace view (Config.TraceTasks).
 	TaskTrace = core.TaskTrace
+)
+
+// The fault plane: deterministic scripted failures (message loss, device
+// errors, node crashes and cold revivals) plus the self-healing layer's
+// typed errors. Install a plan with Cluster.InstallFaults before
+// constructing the DSM.
+type (
+	// FaultPlan scripts one deterministic fault schedule.
+	FaultPlan = faults.Plan
+	// Injector applies a FaultPlan (returned by Cluster.InstallFaults).
+	Injector = faults.Injector
+)
+
+// ParseFaultSpec parses the compact fault-plan DSL, e.g.
+// "seed=7;drop=0.02;crash=1@40ms;revive=1@80ms".
+func ParseFaultSpec(spec string) (*FaultPlan, error) { return faults.ParseSpec(spec) }
+
+// Typed fault errors (match with errors.Is).
+var (
+	// ErrNodeDown marks reads that lost their only copy to a node crash.
+	ErrNodeDown = faults.ErrNodeDown
+	// ErrCorrupt marks checksum mismatches no replica or backend copy
+	// could repair.
+	ErrCorrupt = faults.ErrCorrupt
 )
 
 // URL is a parsed dataset locator ("proto://path:param").
