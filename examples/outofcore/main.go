@@ -56,9 +56,10 @@ func main() {
 		fmt.Printf("  checksum   = %d\n", sum)
 		fmt.Printf("  peak DRAM  = %d KiB of %d KiB\n", c.Nodes[0].DRAMPeak()>>10, spec.DRAMPer>>10)
 		fmt.Printf("  faults     = %d, prefetches = %d, evictions = %d\n", faults, prefetches, evictions)
-		for tier, used := range d.Hermes().TierUsage() {
-			if used > 0 {
-				fmt.Printf("  tier %-4s  = %d KiB\n", tier, used>>10)
+		usage := d.Hermes().TierUsage()
+		for _, t := range spec.Tiers { // spec order: map iteration would shuffle lines
+			if used := usage[t.Name]; used > 0 {
+				fmt.Printf("  tier %-4s  = %d KiB\n", t.Name, used>>10)
 			}
 		}
 		fmt.Printf("  virtual t  = %v\n", p.Now())

@@ -63,6 +63,14 @@
 //	  max_spans: 1048576
 //	  span_ring: true
 //	  sample_period: 1ms
+//	control:
+//	  enabled: true
+//	  tick: 500us
+//	  target_util: 0.5
+//	  repair: true
+//	  scrub: true
+//	  prefetch: true
+//	  evict: true
 package config
 
 import (
@@ -71,6 +79,7 @@ import (
 	"strings"
 
 	"megammap/internal/cluster"
+	"megammap/internal/control"
 	"megammap/internal/core"
 	"megammap/internal/device"
 	"megammap/internal/faults"
@@ -121,6 +130,11 @@ func Load(doc string) (*Deployment, error) {
 			return nil, err
 		}
 	}
+	if cn, ok := root.child("control"); ok {
+		if err := d.loadControl(cn); err != nil {
+			return nil, err
+		}
+	}
 	if err := d.validate(); err != nil {
 		return nil, err
 	}
@@ -146,6 +160,12 @@ func (d *Deployment) validate() error {
 		if t.Profile.Capacity < 0 {
 			return fmt.Errorf("config: cluster.tiers[%d].capacity must be >= 0", i)
 		}
+	}
+	// Explicitly written control values validate as written — defaults
+	// are not applied first, so `tick: 0` or a NaN target is an error
+	// rather than silently replaced.
+	if err := d.Runtime.Control.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
 	}
 	return nil
 }
@@ -406,6 +426,46 @@ func (d *Deployment) loadTelemetry(n *node) error {
 	return nil
 }
 
+// loadControl parses the adaptive control-plane section. Its presence
+// enables the plane (set `enabled: false` to keep a section around but
+// off); unset knobs keep their Default() values.
+func (d *Deployment) loadControl(n *node) error {
+	cc := control.Default()
+	parseI64 := func(v string, dst *int64) error {
+		var x int
+		if err := parseInt(v, &x); err != nil {
+			return err
+		}
+		*dst = int64(x)
+		return nil
+	}
+	err := loadFields(n, map[string]func(string) error{
+		"enabled":         func(v string) error { return parseBool(v, &cc.Enabled) },
+		"tick":            func(v string) error { return parseDuration(v, &cc.Tick) },
+		"target_util":     func(v string) error { return parseFloat(v, &cc.TargetUtil) },
+		"repair":          func(v string) error { return parseBool(v, &cc.Repair) },
+		"scrub":           func(v string) error { return parseBool(v, &cc.Scrub) },
+		"prefetch":        func(v string) error { return parseBool(v, &cc.Prefetch) },
+		"evict":           func(v string) error { return parseBool(v, &cc.Evict) },
+		"repair_min":      func(v string) error { return parseDuration(v, &cc.RepairMin) },
+		"repair_max":      func(v string) error { return parseDuration(v, &cc.RepairMax) },
+		"repair_burst":    func(v string) error { return parseInt(v, &cc.RepairBurst) },
+		"scrub_min_pages": func(v string) error { return parseInt(v, &cc.ScrubMin) },
+		"scrub_max_pages": func(v string) error { return parseInt(v, &cc.ScrubMax) },
+		"prefetch_min":    func(v string) error { return parseI64(v, &cc.PrefetchMin) },
+		"prefetch_max":    func(v string) error { return parseI64(v, &cc.PrefetchMax) },
+		"evict_low":       func(v string) error { return parseFloat(v, &cc.EvictLow) },
+		"evict_high":      func(v string) error { return parseFloat(v, &cc.EvictHigh) },
+		"dirty_high":      func(v string) error { return parseFloat(v, &cc.DirtyHigh) },
+		"writeback_boost": func(v string) error { return parseFloat(v, &cc.WritebackBoost) },
+	})
+	if err != nil {
+		return fmt.Errorf("config: control: %w", err)
+	}
+	d.Runtime.Control = cc
+	return nil
+}
+
 // loadFields applies every present field of a sequence-item mapping,
 // rejecting keys the schema does not know (typos in fault plans must not
 // silently produce a fault-free run).
@@ -516,6 +576,9 @@ func parseDuration(v string, dst *vtime.Duration) error {
 	}
 	n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 	if err != nil {
+		return fmt.Errorf("bad duration %q", v)
+	}
+	if n != n { // NaN: the < 0 check below compares false
 		return fmt.Errorf("bad duration %q", v)
 	}
 	if n < 0 {

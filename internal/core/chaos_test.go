@@ -75,6 +75,11 @@ type chaosRun struct {
 	counters []faults.Counter
 	err      error
 	underRep int
+
+	// Control-plane observables (zero without governors): tick count and
+	// scrub coverage, part of the byte-identical replay contract.
+	ticks      int64
+	scrubStats [4]int64
 }
 
 // runChaosKMeans executes the kmeans workload on a fresh 2-node cluster,
@@ -82,6 +87,12 @@ type chaosRun struct {
 // (both runs share it deterministically); the plan is installed before
 // the DSM so the whole runtime sees the injector.
 func runChaosKMeans(t *testing.T, plan *faults.Plan, replicas int) chaosRun {
+	return runChaosKMeansCfg(t, plan, replicas, nil)
+}
+
+// runChaosKMeansCfg is runChaosKMeans with a config hook (the control
+// suite enables governors this way).
+func runChaosKMeansCfg(t *testing.T, plan *faults.Plan, replicas int, mod func(*core.Config)) chaosRun {
 	t.Helper()
 	c := cluster.New(chaosSpec(2))
 	const url = "pq:///data/points.parquet:pos"
@@ -103,7 +114,11 @@ func runChaosKMeans(t *testing.T, plan *faults.Plan, replicas int) chaosRun {
 	if plan != nil {
 		inj = c.InstallFaults(*plan)
 	}
-	d := core.New(c, chaosConfig(replicas))
+	cfg := chaosConfig(replicas)
+	if mod != nil {
+		mod(&cfg)
+	}
+	d := core.New(c, cfg)
 	w := mpi.NewWorld(c, 4)
 	var out chaosRun
 	out.err = w.Run(func(r *mpi.Rank) {
@@ -141,6 +156,8 @@ func runChaosKMeans(t *testing.T, plan *faults.Plan, replicas int) chaosRun {
 	out.end = c.Engine.Now()
 	out.counters = inj.Counters()
 	out.underRep = d.Hermes().UnderReplicated()
+	out.ticks = d.ControlTicks()
+	out.scrubStats[0], out.scrubStats[1], out.scrubStats[2], out.scrubStats[3] = d.ScrubStats()
 	return out
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"megammap/internal/control"
 	"megammap/internal/vtime"
 )
 
@@ -93,6 +94,15 @@ type Config struct {
 	// TraceTasks records every MemoryTask's lifecycle (submit, start,
 	// end, worker node) in DSM.Trace for diagnostics.
 	TraceTasks bool
+
+	// Control configures the adaptive control plane: closed-loop
+	// governors that sample utilization, backlog, and cache signals each
+	// tick and adjust repair pacing, scrub budgets, prefetch depth, and
+	// eviction/write-back watermarks. Disabled by default — the zero
+	// value leaves every knob fixed, byte-identical to older runs. With
+	// the repair governor active RepairPeriod is ignored, and with the
+	// scrub governor active sweeps become incremental under ScrubPeriod.
+	Control control.Config
 }
 
 // DefaultConfig returns the configuration used by the evaluation unless

@@ -6,6 +6,7 @@ import (
 
 	"megammap/internal/blob"
 	"megammap/internal/cluster"
+	"megammap/internal/control"
 	"megammap/internal/faults"
 	"megammap/internal/hermes"
 	"megammap/internal/stager"
@@ -72,6 +73,36 @@ type DSM struct {
 	pageRepairs int64
 	scrubErr    error
 
+	// Scrub-coverage accounting: sweeps run, pages read, the largest
+	// single sweep, and completed passes over the full target set (a
+	// "cycle" — the incremental scrubber's coverage unit).
+	scrubSweeps   int64
+	scrubPages    int64
+	scrubMaxSweep int64
+	scrubCycles   int64
+
+	// fillHits/fillWaste classify prefetch fills: consumed by the
+	// application vs discarded unused (stale, redundant, failed, or
+	// released at transaction end). Their per-tick deltas drive the
+	// prefetch-depth governor.
+	fillHits  int64
+	fillWaste int64
+
+	// repairAttempts counts repair wake-ups that found queued work; the
+	// governor's stall detector compares its per-tick delta against
+	// queue movement.
+	repairAttempts int64
+
+	// dirtyCount tracks modified-not-yet-staged pages across all vectors
+	// (kept exact by markDirtyPage/clearDirtyPage) — the write-back
+	// governor's pressure signal, exported as core.dirty_pages.
+	dirtyCount int64
+
+	// ctl is the adaptive control plane, nil unless Config.Control is
+	// enabled. Every actuation site checks for nil, so a disabled plane
+	// leaves the fixed-knob behaviour byte-identical.
+	ctl *controller
+
 	// ReplicaHits/Misses count replicated-phase reads served by (or
 	// missing) a node-local replica (diagnostics).
 	replicaHits, replicaMisses int64
@@ -89,6 +120,9 @@ type DSM struct {
 	mRepairs   []telemetry.Counter   // per-node checksum page repairs
 	hFault     []telemetry.Histogram // per-node fault latency, ns
 	hTask      []telemetry.Histogram // per-node task service time, ns
+
+	gDirtyPages telemetry.Gauge // modified-not-yet-staged pages, cluster-wide
+	gRepairQ    telemetry.Gauge // under-replicated blobs awaiting repair
 }
 
 // New deploys MegaMmap on the cluster: it validates the configured tiers,
@@ -132,13 +166,19 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 	for _, n := range c.Nodes {
 		d.runtimes = append(d.runtimes, newRuntime(d, n))
 	}
+	if cfg.Control.Enabled {
+		d.ctl = newController(d)
+		c.Engine.SpawnDaemon("mm-control", d.controlLoop)
+	}
 	if cfg.OrganizePeriod > 0 {
 		c.Engine.SpawnDaemon("mm-organizer", d.organizerLoop)
 	}
 	if cfg.StagePeriod > 0 {
 		c.Engine.SpawnDaemon("mm-stager", d.stagerLoop)
 	}
-	if cfg.Replicas > 0 && cfg.RepairPeriod > 0 {
+	// With the repair governor active the adaptive interval replaces
+	// RepairPeriod, which may then be 0 (unset).
+	if cfg.Replicas > 0 && (cfg.RepairPeriod > 0 || d.repairGoverned()) {
 		c.Engine.SpawnDaemon("mm-repair", d.repairLoop)
 	}
 	if cfg.ChecksumPages && cfg.ScrubPeriod > 0 {
@@ -162,6 +202,8 @@ func (d *DSM) registerMetrics() {
 	if reg == nil {
 		return
 	}
+	d.gDirtyPages = reg.Gauge(telemetry.Key{Name: "core.dirty_pages", Node: -1, Subsystem: "core"})
+	d.gRepairQ = reg.Gauge(telemetry.Key{Name: "core.repair_queue", Node: -1, Subsystem: "core"})
 	for i := 0; i < n; i++ {
 		d.mFaults[i] = reg.Counter(telemetry.Key{Name: "core.faults", Node: i, Subsystem: "core"})
 		d.mEvictions[i] = reg.Counter(telemetry.Key{Name: "core.evictions", Node: i, Subsystem: "core"})
@@ -222,10 +264,20 @@ func (d *DSM) organizerLoop(p *vtime.Proc) {
 
 // stagerLoop actively flushes modified pages of nonvolatile vectors to
 // their backends during computation (paper §III-B: persistence without
-// synchronous I/O phases).
+// synchronous I/O phases). Under dirty-ratio pressure the write-back
+// governor divides the period, flushing faster until the latch clears.
 func (d *DSM) stagerLoop(p *vtime.Proc) {
 	for !d.stop.Fired() {
-		p.Sleep(d.cfg.StagePeriod)
+		period := d.cfg.StagePeriod
+		if d.ctl != nil && d.ctl.cfg.Evict {
+			if boost := d.ctl.acts.WritebackBoost; boost > 1 {
+				period = vtime.Duration(float64(period) / boost)
+				if period < vtime.Microsecond {
+					period = vtime.Microsecond
+				}
+			}
+		}
+		p.Sleep(period)
 		if d.stop.Fired() {
 			return
 		}
@@ -248,30 +300,62 @@ func (d *DSM) stagerLoop(p *vtime.Proc) {
 	}
 }
 
-// repairLoop drives hermes anti-entropy: each period it executes one
-// repair step, re-replicating a blob that lost redundancy to a node
-// crash or a degraded write. Repair I/O charges devices and the fabric
-// like any foreground access, so redundancy restoration contends with
-// the workload instead of completing for free.
+// repairGoverned reports whether the AIMD governor owns repair pacing.
+func (d *DSM) repairGoverned() bool { return d.ctl != nil && d.ctl.cfg.Repair }
+
+// repairLoop drives hermes anti-entropy, re-replicating blobs that lost
+// redundancy to a node crash or a degraded write. Repair I/O charges
+// devices and the fabric like any foreground access, so redundancy
+// restoration contends with the workload instead of completing for
+// free. With a fixed RepairPeriod each wake-up runs one repair step;
+// under the AIMD governor the wake-up interval backs off while the
+// foreground is I/O-bound and tightens — with multi-step bursts — when
+// the cluster is idle and the queue is backlogged.
 func (d *DSM) repairLoop(p *vtime.Proc) {
 	for !d.stop.Fired() {
-		p.Sleep(d.cfg.RepairPeriod)
+		interval, burst := d.cfg.RepairPeriod, 1
+		if d.repairGoverned() {
+			interval, burst = d.ctl.acts.RepairInterval, d.ctl.acts.RepairBurst
+		}
+		p.Sleep(interval)
 		if d.stop.Fired() {
 			return
 		}
-		d.h.RepairStep(p)
+		found := d.h.UnderReplicated() > 0
+		d.h.RepairBurst(p, burst)
+		if found {
+			// Counted after the charged repair finishes, so a control tick
+			// never sees an attempt whose queue effect is still in flight
+			// (that would read as a stall).
+			d.repairAttempts++
+		}
+		d.gRepairQ.Set(int64(d.h.UnderReplicated()))
 	}
 }
 
-// scrubberLoop periodically re-reads every checksummed page resident in
-// the scache, in deterministic (vector name, page) order. The reads run
-// through the normal per-page chains and the fault path's verify, so a
-// corrupted page found at rest repairs — or surfaces faults.ErrCorrupt —
-// exactly like one found on access. One sweep completes before the next
-// begins, so sweeps never pile onto the chains.
+// scrubTarget is one resident checksummed page in a sweep's target set.
+type scrubTarget struct {
+	m  *vecMeta
+	pg int64
+}
+
+// scrubberLoop re-reads checksummed pages resident in the scache, in
+// deterministic (vector name, page) order. The reads run through the
+// normal per-page chains and the fault path's verify, so a corrupted
+// page found at rest repairs — or surfaces faults.ErrCorrupt — exactly
+// like one found on access. One sweep completes before the next begins,
+// so sweeps never pile onto the chains.
+//
+// With a fixed ScrubPeriod each sweep covers the full target set. Under
+// the scrub governor a rotating cursor covers a bounded per-sweep
+// window instead — the budget adapts to idle capacity — so a sweep
+// never floods the chains, while successive sweeps still reach every
+// page (a completed pass is one coverage cycle).
 func (d *DSM) scrubberLoop(p *vtime.Proc) {
 	var wg vtime.WaitGroup
 	var batch []*MemoryTask
+	var list []scrubTarget
+	cursor := 0
 	for !d.stop.Fired() {
 		p.Sleep(d.cfg.ScrubPeriod)
 		if d.stop.Fired() {
@@ -282,6 +366,9 @@ func (d *DSM) scrubberLoop(p *vtime.Proc) {
 		if sp != 0 {
 			prev = p.SetTraceSpan(uint32(sp))
 		}
+		// Rebuild the target set each sweep: residency changes between
+		// sweeps, and a stale cursor simply restarts at the front.
+		list = list[:0]
 		for _, name := range d.vecNames() {
 			m := d.vecs[name]
 			if m == nil || len(m.sums) == 0 {
@@ -291,15 +378,32 @@ func (d *DSM) scrubberLoop(p *vtime.Proc) {
 				if _, ok := d.h.PlacementOf(m.pageID(pg)); !ok {
 					continue // not scache-resident; nothing at rest to verify
 				}
-				t := d.newTask()
-				t.kind, t.vec, t.page, t.notify = taskRead, m, pg, &wg
-				wg.Add(1)
-				d.submit(p, t)
-				batch = append(batch, t)
+				list = append(list, scrubTarget{m, pg})
 			}
 		}
+		from, n, next := 0, len(list), 0
+		if d.ctl != nil && d.ctl.cfg.Scrub {
+			from, n, next = control.ScrubWindow(cursor, len(list), d.ctl.acts.ScrubBudget)
+		}
+		for i := 0; i < n; i++ {
+			tgt := list[(from+i)%len(list)]
+			t := d.newTask()
+			t.kind, t.vec, t.page, t.notify = taskRead, tgt.m, tgt.pg, &wg
+			wg.Add(1)
+			d.submit(p, t)
+			batch = append(batch, t)
+		}
+		cursor = next
 		wg.Wait(p)
 		pages := len(batch)
+		d.scrubSweeps++
+		d.scrubPages += int64(pages)
+		if int64(pages) > d.scrubMaxSweep {
+			d.scrubMaxSweep = int64(pages)
+		}
+		if n > 0 && from+n >= len(list) {
+			d.scrubCycles++ // the window touched the end of the set
+		}
 		for i, t := range batch {
 			if t.err != nil && d.scrubErr == nil {
 				d.scrubErr = fmt.Errorf("core: scrub: %w", t.err)
@@ -321,6 +425,42 @@ func (d *DSM) scrubberLoop(p *vtime.Proc) {
 // ScrubError returns the first unrepairable corruption a background
 // scrub sweep encountered, or nil.
 func (d *DSM) ScrubError() error { return d.scrubErr }
+
+// ScrubStats reports scrub coverage: sweeps run, pages read in total,
+// the largest single sweep (bounded by the governor's budget in
+// adaptive mode), and completed passes over the full target set.
+func (d *DSM) ScrubStats() (sweeps, pages, maxSweep, cycles int64) {
+	return d.scrubSweeps, d.scrubPages, d.scrubMaxSweep, d.scrubCycles
+}
+
+// PrefetchFillStats classifies prefetch fills: consumed by the
+// application vs discarded unused.
+func (d *DSM) PrefetchFillStats() (hits, waste int64) { return d.fillHits, d.fillWaste }
+
+// DirtyPages returns the modified-not-yet-staged page count across all
+// vectors.
+func (d *DSM) DirtyPages() int64 { return d.dirtyCount }
+
+// markDirtyPage records a page modification, keeping the cluster-wide
+// dirty count (and its gauge) exact: an already-dirty page recounts
+// nothing.
+func (d *DSM) markDirtyPage(m *vecMeta, pg int64) {
+	if !m.dirty[pg] {
+		m.dirty[pg] = true
+		d.dirtyCount++
+		d.gDirtyPages.Set(d.dirtyCount)
+	}
+}
+
+// clearDirtyPage removes a page's dirty mark after stage-out or
+// destruction, mirroring markDirtyPage's accounting.
+func (d *DSM) clearDirtyPage(m *vecMeta, pg int64) {
+	if m.dirty[pg] {
+		delete(m.dirty, pg)
+		d.dirtyCount--
+		d.gDirtyPages.Set(d.dirtyCount)
+	}
+}
 
 // PageRepairs returns how many checksum mismatches were healed from a
 // backup replica or the backend.
@@ -583,7 +723,7 @@ func (d *DSM) stageOutData(p *vtime.Proc, m *vecMeta, page int64, node int) erro
 	off := page * m.pageSize
 	total := m.sizeBytes()
 	if off >= total {
-		delete(m.dirty, page)
+		d.clearDirtyPage(m, page)
 		return nil
 	}
 	n := m.pageSize
@@ -593,7 +733,7 @@ func (d *DSM) stageOutData(p *vtime.Proc, m *vecMeta, page int64, node int) erro
 	if err := m.backend.WriteRange(p, node, off, data[:n]); err != nil {
 		return fmt.Errorf("core: staging out %s page %d: %w", m.name, page, err)
 	}
-	delete(m.dirty, page)
+	d.clearDirtyPage(m, page)
 	return nil
 }
 

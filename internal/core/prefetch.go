@@ -37,6 +37,12 @@ func (v *Vector[T]) runPrefetcher(current int64) {
 			maxPages = 1
 		}
 	}
+	// The depth governor narrows the window when fills go to waste and
+	// widens it back while they are consumed (Algorithm 1's window,
+	// closed-loop). PrefetchMin >= 1 keeps the window open.
+	if ctl := v.c.d.ctl; ctl != nil && ctl.cfg.Prefetch && ctl.acts.PrefetchDepth < maxPages {
+		maxPages = ctl.acts.PrefetchDepth
+	}
 
 	future := a.pagesIn(a.tail, a.tail+maxPages*epp, epp)
 	futureSet := make(map[int64]struct{}, len(future))

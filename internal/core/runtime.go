@@ -400,7 +400,7 @@ func (r *Runtime) writePage(p *vtime.Proc, t *MemoryTask) error {
 			return err
 		}
 		m.sums[t.page] = crc32.ChecksumIEEE(image)
-		m.dirty[t.page] = true
+		r.d.markDirtyPage(m, t.page)
 		r.invalidateReplicas(p, m, t.page)
 		return nil
 	}
@@ -441,7 +441,7 @@ func (r *Runtime) writePage(p *vtime.Proc, t *MemoryTask) error {
 			}
 		}
 	}
-	m.dirty[t.page] = true
+	r.d.markDirtyPage(m, t.page)
 	r.invalidateReplicas(p, m, t.page)
 	return nil
 }
@@ -485,5 +485,5 @@ func (r *Runtime) destroyPage(p *vtime.Proc, t *MemoryTask) {
 	m := t.vec
 	r.d.h.Delete(p, r.node.ID, m.pageID(t.page))
 	r.invalidateReplicas(p, m, t.page)
-	delete(m.dirty, t.page)
+	r.d.clearDirtyPage(m, t.page)
 }

@@ -266,6 +266,7 @@ func (v *Vector[T]) releaseFills() {
 		delete(v.fills, pg)
 		v.pc.used -= v.m.pageSize
 		v.c.node.Free(v.m.pageSize)
+		v.c.d.fillWaste++
 	}
 }
 
@@ -561,6 +562,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 			t.data = nil // claimed by the page; keep recycleTask from pooling it
 			v.c.d.recycleTask(t)
 			v.c.d.recycleTask(f.t) // the stale image re-pools here
+			v.c.d.fillWaste++
 			cp := v.pc.newPage(pg, fresh, 1, false)
 			v.pc.insert(cp)
 			return cp
@@ -568,6 +570,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		// The fill already reserved space; hand its buffer over.
 		filled := f.t.data
 		f.t.data = nil
+		v.c.d.fillHits++
 		cp := v.pc.newPage(pg, filled, 1, false)
 		v.c.d.recycleTask(f.t)
 		v.pc.insert(cp)
@@ -618,19 +621,42 @@ func (v *Vector[T]) replicable() bool {
 }
 
 // ensureSpace reserves one page of pcache space, evicting victims while
-// over the bound, and charges the node's DRAM.
+// over the bound, and charges the node's DRAM. With the eviction
+// governor active, crossing the high watermark evicts in one batch down
+// to the low watermark (structural hysteresis: faults then proceed
+// eviction-free until the high watermark is reached again, and under
+// dirty pressure the governor widens the band so each batch commits
+// more dirty regions).
 func (v *Vector[T]) ensureSpace(pinned int64) {
-	for v.pc.needsEviction(v.m.pageSize) {
-		victim := v.pc.victim(pinned)
-		if victim == nil {
-			break // everything else is pinned; soft bound overrun
+	ps := v.m.pageSize
+	if ctl := v.c.d.ctl; ctl != nil && ctl.cfg.Evict && v.pc.bound > 0 {
+		high := int64(ctl.acts.EvictHigh * float64(v.pc.bound))
+		if v.pc.used+ps > high {
+			low := int64(ctl.acts.EvictLow * float64(v.pc.bound))
+			if low > high-ps {
+				low = high - ps
+			}
+			for v.pc.used > low {
+				victim := v.pc.victim(pinned)
+				if victim == nil {
+					break // everything else is pinned; soft bound overrun
+				}
+				v.evict(victim)
+			}
 		}
-		v.evict(victim)
+	} else {
+		for v.pc.needsEviction(ps) {
+			victim := v.pc.victim(pinned)
+			if victim == nil {
+				break // everything else is pinned; soft bound overrun
+			}
+			v.evict(victim)
+		}
 	}
-	if err := v.c.node.Alloc(v.m.pageSize); err != nil {
+	if err := v.c.node.Alloc(ps); err != nil {
 		panic(fmt.Sprintf("core: pcache of %s overran physical DRAM: %v", v.m.name, err))
 	}
-	v.pc.used += v.m.pageSize
+	v.pc.used += ps
 }
 
 // evict removes a page, committing dirty regions asynchronously. The
@@ -725,10 +751,12 @@ func (v *Vector[T]) integrateFills() {
 			v.pc.used -= v.m.pageSize
 			v.c.node.Free(v.m.pageSize)
 			v.c.d.recycleTask(f.t)
+			v.c.d.fillWaste++
 			continue
 		}
 		v.c.d.prefetches++
 		v.c.d.mPrefetch[v.c.node.ID].Inc()
+		v.c.d.fillHits++
 		filled := f.t.data
 		f.t.data = nil // claimed by the page
 		v.pc.insert(v.pc.newPage(pg, filled, 1, false))

@@ -210,6 +210,23 @@ func (d *Device) note(delta int64) {
 // Busy returns the cumulative virtual time spent servicing requests.
 func (d *Device) Busy() vtime.Duration { return d.busy }
 
+// UtilSince converts a previously sampled Busy() value into average
+// utilization over the window since the sample, clamped to [0, 1]. The
+// control plane uses this as its foreground-I/O-pressure signal.
+func (d *Device) UtilSince(prevBusy, window vtime.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	u := float64(d.busy-prevBusy) / float64(window)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
 // Stats returns cumulative operation and byte counters.
 func (d *Device) Stats() (readOps, writeOps, bytesRead, bytesWritten int64) {
 	return d.readOps, d.writeOps, d.bytesRead, d.bytesWrite

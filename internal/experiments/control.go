@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"megammap/internal/apps/grayscott"
+	"megammap/internal/apps/kmeans"
+	"megammap/internal/control"
+	"megammap/internal/core"
+	"megammap/internal/faults"
+	"megammap/internal/mpi"
+	"megammap/internal/stats"
+	"megammap/internal/vtime"
+)
+
+// Control ablates the adaptive control plane against fixed-rate
+// maintenance, two governors at a time:
+//
+//   - repair: the MTTR crash/revive scenario (KMeans, one backup replica,
+//     node 1 down then cold-revived) run three ways — clean, fixed
+//     RepairPeriod pacing, and the AIMD governor owning the pace. The
+//     governor must match the fixed pacer's time-to-full-redundancy
+//     without paying more foreground slowdown (or vice versa).
+//   - scrub: the write-heavy Gray-Scott stencil with checksummed pages,
+//     run with scrubbing off (baseline), fixed full sweeps every
+//     ScrubPeriod, and the incremental cursor governor. The governor must
+//     still complete full coverage cycles while holding every sweep under
+//     its page budget.
+//
+// spec is the compact fault DSL accepted by faults.ParseSpec ("" picks
+// the MTTR default schedule derived from the clean run).
+func Control(prof Profile, spec string) (*stats.Table, error) {
+	t := stats.NewTable("control-ablation",
+		"part", "mode", "runtime_s", "slowdown", "mttr_s", "under_rep",
+		"page_repairs", "scrub_sweeps", "scrub_pages", "max_sweep", "cycles")
+
+	if err := controlRepairPart(prof, spec, t); err != nil {
+		return nil, err
+	}
+	if err := controlScrubPart(prof, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// adaptiveRepairConfig switches repair pacing from the fixed period to
+// the AIMD governor, with the other governors off so the ablation
+// isolates one control loop.
+func adaptiveRepairConfig(cfg *core.Config) {
+	cfg.RepairPeriod = 0
+	cc := control.Default()
+	cc.Scrub, cc.Prefetch, cc.Evict = false, false, false
+	cfg.Control = cc
+}
+
+func controlRepairPart(prof Profile, spec string, t *stats.Table) error {
+	cfg := kmeans.Config{
+		K: 8, MaxIter: 4,
+		CostPerDist: scaleCost(3 * vtime.Nanosecond),
+	}
+	const nodes = 2
+	ranks := nodes * prof.ProcsPerNode
+	total := prof.Fig5BytesPerNode * int64(nodes)
+	n := particlesFor(total)
+
+	clean, err := mttrRun(prof, cfg, nil, nodes, ranks, n, total, nil)
+	if err != nil {
+		return fmt.Errorf("control: clean run: %w", err)
+	}
+	var plan *faults.Plan
+	if spec != "" {
+		plan, err = faults.ParseSpec(spec)
+		if err != nil {
+			return err
+		}
+	} else {
+		plan = &faults.Plan{Seed: 42}
+	}
+	if len(plan.Crashes) == 0 {
+		plan.Crashes = []faults.Crash{{Node: 1, At: clean.genEnd + clean.m.Runtime/3}}
+		plan.Revives = []faults.Revive{{Node: 1, At: clean.genEnd + 2*clean.m.Runtime/3}}
+	}
+
+	t.Add("repair", "clean", clean.m.Runtime.Seconds(), 1.0, 0.0, 0, 0, 0, 0, 0, 0)
+	for _, mode := range []struct {
+		name string
+		mod  func(*core.Config)
+	}{
+		{"fixed", nil},
+		{"adaptive", adaptiveRepairConfig},
+	} {
+		out, err := mttrRun(prof, cfg, plan, nodes, ranks, n, total, mode.mod)
+		if err != nil {
+			return fmt.Errorf("control: repair/%s run: %w", mode.name, err)
+		}
+		mttr := 0.0
+		if out.redundancyOK {
+			mttr = out.mttr.Seconds()
+		}
+		t.Add("repair", mode.name, out.m.Runtime.Seconds(),
+			float64(out.m.Runtime)/float64(clean.m.Runtime),
+			mttr, out.underReplicated, out.pageRepairs, 0, 0, 0, 0)
+	}
+	return nil
+}
+
+// adaptiveScrubConfig replaces fixed full sweeps with the incremental
+// cursor governor (only the scrub loop enabled). The utilization target
+// sits below the stencil's own fabric load (~0.45 of aggregate NIC
+// capacity), so the governor must yield to the foreground and scrub in
+// small windows rather than matching the fixed mode's full sweeps.
+func adaptiveScrubConfig(cfg *core.Config) {
+	cc := control.Default()
+	cc.Repair, cc.Prefetch, cc.Evict = false, false, false
+	cc.TargetUtil = 0.3
+	cfg.Control = cc
+}
+
+func controlScrubPart(prof Profile, t *stats.Table) error {
+	const nodes = 2
+	ranks := nodes * prof.ProcsPerNode
+	total := prof.Fig8BytesPerNode * int64(nodes)
+	l := gsSideFor(total / 2)
+
+	var baseline vtime.Duration
+	for _, mode := range []struct {
+		name  string
+		sweep vtime.Duration
+		mod   func(*core.Config)
+	}{
+		{"baseline", 0, nil},
+		{"fixed", 10 * vtime.Millisecond, nil},
+		{"adaptive", 10 * vtime.Millisecond, adaptiveScrubConfig},
+	} {
+		c := newCluster(testbedSpec(nodes, prof.Fig8BytesPerNode))
+		ccfg := tieredConfig()
+		ccfg.ChecksumPages = true
+		ccfg.ScrubPeriod = mode.sweep
+		// Small pages push the checksummed page set past ScrubMax, so a
+		// fixed sweep visibly exceeds the budget the governor honours.
+		ccfg.DefaultPageSize = 12 << 10 // divisible by 16B cells
+		if mode.mod != nil {
+			mode.mod(&ccfg)
+		}
+		d := core.New(c, ccfg)
+		m, err := runWorld(c, d, ranks, func(r *mpi.Rank) error {
+			_, err := grayscott.Mega(r, d, grayscott.Config{
+				L: l, Steps: 3,
+				BoundBytes:  total / int64(ranks),
+				CostPerCell: scaleCost(36 * vtime.Nanosecond),
+			})
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("control: scrub/%s run: %w", mode.name, err)
+		}
+		if mode.name == "baseline" {
+			baseline = m.Runtime
+		}
+		sweeps, pages, maxSweep, cycles := d.ScrubStats()
+		t.Add("scrub", mode.name, m.Runtime.Seconds(),
+			float64(m.Runtime)/float64(baseline),
+			0.0, 0, 0, sweeps, pages, maxSweep, cycles)
+	}
+	return nil
+}

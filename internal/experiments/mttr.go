@@ -36,7 +36,7 @@ func MTTR(prof Profile, spec string) (*stats.Table, error) {
 	total := prof.Fig5BytesPerNode * int64(nodes)
 	n := particlesFor(total)
 
-	clean, err := mttrRun(prof, cfg, nil, nodes, ranks, n, total)
+	clean, err := mttrRun(prof, cfg, nil, nodes, ranks, n, total, nil)
 	if err != nil {
 		return nil, fmt.Errorf("mttr: clean run: %w", err)
 	}
@@ -59,7 +59,7 @@ func MTTR(prof Profile, spec string) (*stats.Table, error) {
 		plan.Revives = []faults.Revive{{Node: 1, At: clean.genEnd + 2*clean.m.Runtime/3}}
 	}
 
-	faulted, err := mttrRun(prof, cfg, plan, nodes, ranks, n, total)
+	faulted, err := mttrRun(prof, cfg, plan, nodes, ranks, n, total, nil)
 	if err != nil {
 		return nil, fmt.Errorf("mttr: faulted run: %w", err)
 	}
@@ -105,8 +105,10 @@ type mttrOut struct {
 
 // mttrRun executes one KMeans run on a fresh testbed, optionally under a
 // crash/revive plan, with one backup replica per scache page and the
-// anti-entropy repair daemon active.
-func mttrRun(prof Profile, cfg kmeans.Config, plan *faults.Plan, nodes, ranks, n int, total int64) (mttrOut, error) {
+// anti-entropy repair daemon active. mod, when non-nil, edits the DSM
+// config before construction (the control ablation swaps fixed repair
+// pacing for the AIMD governor this way).
+func mttrRun(prof Profile, cfg kmeans.Config, plan *faults.Plan, nodes, ranks, n int, total int64, mod func(*core.Config)) (mttrOut, error) {
 	c := newCluster(testbedSpec(nodes, fig5DRAMTier(total, nodes)))
 	ptsURL, _, err := genParticles(c, n, cfg.K, false)
 	if err != nil {
@@ -119,6 +121,9 @@ func mttrRun(prof Profile, cfg kmeans.Config, plan *faults.Plan, nodes, ranks, n
 	}
 	ccfg := inMemoryConfig()
 	ccfg.Replicas = 1
+	if mod != nil {
+		mod(&ccfg)
+	}
 	d := core.New(c, ccfg)
 	cfg.DatasetURL = ptsURL
 	cfg.InitSpan = total / datagen.ParticleSize / int64(ranks)

@@ -622,6 +622,18 @@ func (h *Hermes) RepairStep(p *vtime.Proc) bool {
 	return len(h.repairq) > 0
 }
 
+// RepairBurst runs up to n repair steps back to back — the control
+// plane's burst actuation when the cluster is idle and the repair queue
+// is backlogged. It stops early once the queue drains and reports
+// whether repairs remain queued.
+func (h *Hermes) RepairBurst(p *vtime.Proc, n int) bool {
+	more := len(h.repairq) > 0
+	for i := 0; i < n && more; i++ {
+		more = h.RepairStep(p)
+	}
+	return more
+}
+
 // repairBlob restores one blob to full redundancy. requeue asks the
 // caller to retry on a later step; worked reports whether charged I/O
 // happened (the step budget).

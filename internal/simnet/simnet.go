@@ -53,6 +53,7 @@ type Fabric struct {
 	nics  []*nic
 	sent  int64
 	bytes int64
+	busy  vtime.Duration   // cumulative NIC-direction occupancy
 	inj   *faults.Injector // nil when no fault plan is installed
 }
 
@@ -103,6 +104,13 @@ func (f *Fabric) Profile() LinkProfile { return f.prof }
 // Stats returns cumulative messages and bytes transferred.
 func (f *Fabric) Stats() (msgs, bytes int64) { return f.sent, f.bytes }
 
+// BusyTime returns the cumulative NIC-direction occupancy: every
+// transfer charges its egress wire time and its ingress wire time (plus
+// per-message overhead). Sampling the delta over a window and dividing
+// by window * 2 * Nodes() yields average fabric utilization — the
+// control plane's network-pressure signal.
+func (f *Fabric) BusyTime() vtime.Duration { return f.busy }
+
 // NICLoad sums the instantaneous NIC utilization across all nodes: inUse
 // counts directions (egress/ingress) currently occupied by a transfer,
 // queued counts transfers waiting behind them. The telemetry sampler turns
@@ -131,10 +139,12 @@ func (f *Fabric) Transfer(p *vtime.Proc, src, dst int, n int64) {
 	f.sent++
 	f.bytes += n
 	if src == dst {
+		f.busy += f.prof.PerMsg
 		p.Sleep(f.prof.PerMsg)
 		return
 	}
 	wire := vtime.BytesAt(n, f.prof.Bandwidth)
+	f.busy += f.prof.PerMsg + 2*wire
 	// Serialize on the sender's egress for the wire time, then charge
 	// propagation latency, then occupy the receiver's ingress. This is a
 	// store-and-forward approximation: concurrent senders to one receiver

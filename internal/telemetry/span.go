@@ -47,6 +47,9 @@ const (
 	// pages.
 	OpRepair
 	OpScrub
+	// control plane: one span per governor decision that moved a knob;
+	// Arg is a bitmask of the knobs that changed.
+	OpControl
 	opCount
 )
 
@@ -59,6 +62,7 @@ var opNames = [opCount]string{
 	"pfs.read", "pfs.write",
 	"retry",
 	"repair", "scrub",
+	"control",
 }
 
 var opCats = [opCount]string{
@@ -70,6 +74,7 @@ var opCats = [opCount]string{
 	"cluster", "cluster",
 	"faults",
 	"hermes", "core",
+	"control",
 }
 
 func (o Op) String() string {

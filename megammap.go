@@ -32,6 +32,7 @@ package megammap
 import (
 	"megammap/internal/cluster"
 	"megammap/internal/config"
+	"megammap/internal/control"
 	"megammap/internal/core"
 	"megammap/internal/device"
 	"megammap/internal/faults"
@@ -109,6 +110,16 @@ type (
 	MemoryTask = core.MemoryTask
 )
 
+// ControlConfig tunes the adaptive control plane (Config.Control): the
+// closed-loop governors that pace anti-entropy repair, incremental
+// scrubbing, prefetch depth, and eviction/write-back from utilization
+// signals sampled each control tick.
+type ControlConfig = control.Config
+
+// DefaultControlConfig returns the control plane enabled with the
+// standard governor tuning.
+func DefaultControlConfig() ControlConfig { return control.Default() }
+
 // Built-in codecs.
 type (
 	Float64Codec = core.Float64Codec
@@ -148,6 +159,9 @@ type (
 	Telemetry = telemetry.Telemetry
 	// TelemetryOptions selects which telemetry sub-planes to enable.
 	TelemetryOptions = telemetry.Options
+	// MetricKey addresses one series in the metrics registry
+	// (Telemetry.Registry().Value).
+	MetricKey = telemetry.Key
 	// Span is one traced operation of the fault path.
 	Span = telemetry.Span
 	// TaskTrace is the task-level trace view (Config.TraceTasks).
