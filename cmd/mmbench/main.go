@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|ablations|failover|mttr|control|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|ablations|failover|mttr|control|scale|all")
 	profName := flag.String("profile", "small", "size profile: small|full")
 	outDir := flag.String("o", "", "directory for CSV output (optional)")
 	faultSpec := flag.String("faults", "", "fault plan for -exp failover/mttr, e.g. \"seed=42;drop=0.02;crash=1@40ms;revive=1@80ms\" (empty = default plan)")
@@ -69,6 +69,9 @@ func main() {
 		{"failover", func() (*stats.Table, error) { return experiments.Failover(prof, *faultSpec) }},
 		{"mttr", func() (*stats.Table, error) { return experiments.MTTR(prof, *faultSpec) }},
 		{"control", func() (*stats.Table, error) { return experiments.Control(prof, *faultSpec) }},
+		// scale is opt-in too: it benchmarks the simulator itself (engine
+		// throughput and host RAM per node), not a paper figure.
+		{"scale", func() (*stats.Table, error) { return experiments.Scale(prof) }},
 	}
 
 	ablations := []driver{

@@ -68,6 +68,17 @@ func (e *ErrOOM) Error() string {
 	return fmt.Sprintf("cluster: node %d out of memory (need %d bytes, %d free): job killed", e.Node, e.Need, e.Free)
 }
 
+// aggregates holds cluster-wide totals maintained incrementally at every
+// allocation, free, and device write, so telemetry sampling and end-of-run
+// accounting are O(1) in the node count instead of per-node walks.
+type aggregates struct {
+	dramUsed    int64
+	dramPeakSum int64   // sum of per-node DRAM high-water marks
+	dramPeakMax int64   // largest per-node DRAM high-water mark
+	tierUsed    []int64 // per-tier stored bytes, indexed like Spec.Tiers
+	storageCost float64 // total tier capacity cost (static per spec)
+}
+
 // Node is one machine of the cluster.
 type Node struct {
 	ID      int
@@ -78,6 +89,7 @@ type Node struct {
 	dramUsed int64
 	dramPeak int64
 	oom      bool
+	agg      *aggregates // cluster totals, nil for a free-standing node
 }
 
 // DRAMCap returns the node's physical DRAM in bytes.
@@ -100,6 +112,15 @@ func (n *Node) Alloc(bytes int64) error {
 		return &ErrOOM{Node: n.ID, Need: bytes, Free: n.dramCap - n.dramUsed}
 	}
 	n.dramUsed += bytes
+	if a := n.agg; a != nil {
+		a.dramUsed += bytes
+		if n.dramUsed > n.dramPeak {
+			a.dramPeakSum += n.dramUsed - n.dramPeak
+			if n.dramUsed > a.dramPeakMax {
+				a.dramPeakMax = n.dramUsed
+			}
+		}
+	}
 	if n.dramUsed > n.dramPeak {
 		n.dramPeak = n.dramUsed
 	}
@@ -111,6 +132,9 @@ func (n *Node) Free(bytes int64) {
 	n.dramUsed -= bytes
 	if n.dramUsed < 0 {
 		panic("cluster: freed more DRAM than allocated")
+	}
+	if n.agg != nil {
+		n.agg.dramUsed -= bytes
 	}
 }
 
@@ -134,6 +158,7 @@ type Cluster struct {
 	pfsIDs *blob.Interner // PFS object names; devices store by blob.ID
 	inj    *faults.Injector
 	tel    *telemetry.Telemetry
+	agg    aggregates
 }
 
 // InstallFaults activates a fault plan: a seeded injector is wired into
@@ -261,19 +286,14 @@ func (c *Cluster) spawnSampler(smp *telemetry.Sampler) {
 	vals := make([]int64, len(cols))
 	c.Engine.SpawnDaemon("telemetry-sampler", func(p *vtime.Proc) {
 		for {
+			// Every cluster-wide figure here reads an incrementally
+			// maintained aggregate: the tick is O(columns), independent of
+			// the node count.
 			k := 0
-			var dram int64
-			for _, n := range c.Nodes {
-				dram += n.dramUsed
-			}
-			vals[k] = dram
+			vals[k] = c.agg.dramUsed
 			k++
-			for _, t := range tiers {
-				var used int64
-				for _, n := range c.Nodes {
-					used += n.Devices[t].Used()
-				}
-				vals[k] = used
+			for ti := range tiers {
+				vals[k] = c.agg.tierUsed[ti]
 				k++
 			}
 			vals[k] = c.PFS.Used()
@@ -319,15 +339,21 @@ func New(spec Spec) *Cluster {
 		pfsSrv: vtime.NewResource(spec.PFSFanout),
 		pfsIDs: blob.NewInterner(),
 	}
+	c.agg.tierUsed = make([]int64, len(spec.Tiers))
 	for i := 0; i < spec.Nodes; i++ {
 		n := &Node{
 			ID:      i,
 			Cores:   vtime.NewResource(spec.CoresPer),
 			Devices: make(map[string]*device.Device),
 			dramCap: spec.DRAMPer,
+			agg:     &c.agg,
 		}
-		for _, ts := range spec.Tiers {
-			n.Devices[ts.Name] = device.New(fmt.Sprintf("node%d/%s", i, ts.Name), ts.Profile)
+		for ti, ts := range spec.Tiers {
+			d := device.New(fmt.Sprintf("node%d/%s", i, ts.Name), ts.Profile)
+			used := &c.agg.tierUsed[ti]
+			d.OnUsedChange(func(delta int64) { *used += delta })
+			c.agg.storageCost += d.Cost()
+			n.Devices[ts.Name] = d
 		}
 		c.Nodes = append(c.Nodes, n)
 	}
@@ -456,37 +482,34 @@ func (c *Cluster) chargePFSNet(p *vtime.Proc, node int, bytes int64) {
 	p.Sleep(prof.Latency + prof.PerMsg + vtime.BytesAt(bytes, prof.Bandwidth))
 }
 
-// TotalDRAMPeak sums the per-node DRAM high-water marks.
-func (c *Cluster) TotalDRAMPeak() int64 {
-	var sum int64
-	for _, n := range c.Nodes {
-		sum += n.dramPeak
-	}
-	return sum
-}
+// TotalDRAMPeak sums the per-node DRAM high-water marks (maintained
+// incrementally; O(1)).
+func (c *Cluster) TotalDRAMPeak() int64 { return c.agg.dramPeakSum }
 
-// MaxDRAMPeak returns the largest per-node DRAM high-water mark.
-func (c *Cluster) MaxDRAMPeak() int64 {
-	var m int64
-	for _, n := range c.Nodes {
-		if n.dramPeak > m {
-			m = n.dramPeak
+// MaxDRAMPeak returns the largest per-node DRAM high-water mark
+// (maintained incrementally; O(1)).
+func (c *Cluster) MaxDRAMPeak() int64 { return c.agg.dramPeakMax }
+
+// DRAMUsed returns the bytes of DRAM currently allocated across all
+// nodes (maintained incrementally; O(1)).
+func (c *Cluster) DRAMUsed() int64 { return c.agg.dramUsed }
+
+// TierUsed returns the bytes currently stored on the named tier summed
+// across all nodes (maintained incrementally; O(1)). Unknown tiers
+// report 0.
+func (c *Cluster) TierUsed(tier string) int64 {
+	for ti, ts := range c.Spec.Tiers {
+		if ts.Name == tier {
+			return c.agg.tierUsed[ti]
 		}
 	}
-	return m
+	return 0
 }
 
 // StorageCost returns the total USD cost of all node-local tier capacity
-// in use by the spec (the Fig. 7 cost metric).
-func (c *Cluster) StorageCost() float64 {
-	var sum float64
-	for _, n := range c.Nodes {
-		for _, d := range n.Devices {
-			sum += d.Cost()
-		}
-	}
-	return sum
-}
+// in use by the spec (the Fig. 7 cost metric). Capacity is fixed at
+// construction, so the figure is computed once in New.
+func (c *Cluster) StorageCost() float64 { return c.agg.storageCost }
 
 // Monitor samples node resource usage over virtual time; it is the analog
 // of the paper's pymonitor tool.
@@ -563,13 +586,14 @@ func (m *Monitor) WriteCSV(w io.Writer) error {
 }
 
 func (m *Monitor) sample(at vtime.Duration) {
-	s := Sample{At: at, TierUsed: make(map[string]int64)}
-	for _, n := range m.c.Nodes {
-		s.DRAMUsed += n.dramUsed
-		s.DRAMPeak += n.dramPeak
-		for name, d := range n.Devices {
-			s.TierUsed[name] += d.Used()
-		}
+	s := Sample{
+		At:       at,
+		DRAMUsed: m.c.agg.dramUsed,
+		DRAMPeak: m.c.agg.dramPeakSum,
+		TierUsed: make(map[string]int64, len(m.c.Spec.Tiers)),
+	}
+	for ti, ts := range m.c.Spec.Tiers {
+		s.TierUsed[ts.Name] = m.c.agg.tierUsed[ti]
 	}
 	s.NetMsgs, s.NetBytes = m.c.Fabric.Stats()
 	s.PFSStored = m.c.PFS.Used()

@@ -93,8 +93,15 @@ func runChaosKMeans(t *testing.T, plan *faults.Plan, replicas int) chaosRun {
 // runChaosKMeansCfg is runChaosKMeans with a config hook (the control
 // suite enables governors this way).
 func runChaosKMeansCfg(t *testing.T, plan *faults.Plan, replicas int, mod func(*core.Config)) chaosRun {
+	return runChaosKMeansAt(t, plan, replicas, 2, 4, mod)
+}
+
+// runChaosKMeansAt is the node/rank-parametrized harness: the replay
+// contract must hold at any cluster size, so the scale suite reruns it
+// on hundreds of nodes.
+func runChaosKMeansAt(t *testing.T, plan *faults.Plan, replicas, nodes, ranks int, mod func(*core.Config)) chaosRun {
 	t.Helper()
-	c := cluster.New(chaosSpec(2))
+	c := cluster.New(chaosSpec(nodes))
 	const url = "pq:///data/points.parquet:pos"
 	g := datagen.New(datagen.DefaultSpec(4000, 4, 42))
 	c.Engine.Spawn("datagen", func(p *vtime.Proc) {
@@ -119,7 +126,7 @@ func runChaosKMeansCfg(t *testing.T, plan *faults.Plan, replicas int, mod func(*
 		mod(&cfg)
 	}
 	d := core.New(c, cfg)
-	w := mpi.NewWorld(c, 4)
+	w := mpi.NewWorld(c, ranks)
 	var out chaosRun
 	out.err = w.Run(func(r *mpi.Rank) {
 		res, err := kmeans.Mega(r, d, kmeans.Config{
@@ -217,6 +224,31 @@ func TestChaosSameSeedIsByteIdentical(t *testing.T) {
 	}
 	if reflect.DeepEqual(a.counters, c.counters) && a.end == c.end {
 		t.Error("different seeds produced identical runs; PRNG is not wired through")
+	}
+}
+
+// TestChaosSameSeedIsByteIdenticalAtScale reruns the replay contract on
+// a 256-node cluster: the incremental NIC-load counters, cluster
+// aggregates, and placement-index trees that replaced O(N) scans must
+// not perturb a single scheduling decision at scale.
+func TestChaosSameSeedIsByteIdenticalAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-node replay is covered by the CI scale-smoke step")
+	}
+	const nodes, ranks = 256, 32
+	a := runChaosKMeansAt(t, dropPlan(99), 0, nodes, ranks, nil)
+	b := runChaosKMeansAt(t, dropPlan(99), 0, nodes, ranks, nil)
+	if a.err != nil || b.err != nil {
+		t.Fatalf("errs: %v / %v", a.err, b.err)
+	}
+	if !reflect.DeepEqual(a.counters, b.counters) {
+		t.Errorf("same seed, different counters at %d nodes:\n%v\n%v", nodes, a.counters, b.counters)
+	}
+	if !reflect.DeepEqual(a.result, b.result) {
+		t.Errorf("same seed, different results at %d nodes:\n%+v\n%+v", nodes, a.result, b.result)
+	}
+	if a.end != b.end {
+		t.Errorf("same seed, different end times at %d nodes: %v vs %v", nodes, a.end, b.end)
 	}
 }
 

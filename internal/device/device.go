@@ -134,6 +134,11 @@ type Device struct {
 	readOps, writeOps     int64
 	bytesRead, bytesWrite int64
 	busy                  vtime.Duration
+
+	// onUsed observers fire on every change to the stored-byte count;
+	// cluster aggregates and the hermes placement index subscribe so
+	// capacity queries never walk devices.
+	onUsed []func(delta int64)
 }
 
 // New returns a device with the given name and profile.
@@ -200,10 +205,21 @@ func (d *Device) Free() int64 { return d.prof.Capacity - d.used }
 // Peak returns the high-water mark of stored bytes.
 func (d *Device) Peak() int64 { return d.peak }
 
+// OnUsedChange registers an observer of the device's stored-byte count:
+// fn fires with the signed delta on every write, grow, delete, and purge.
+// Observers must not perform device I/O.
+func (d *Device) OnUsedChange(fn func(delta int64)) { d.onUsed = append(d.onUsed, fn) }
+
 func (d *Device) note(delta int64) {
+	if delta == 0 {
+		return
+	}
 	d.used += delta
 	if d.used > d.peak {
 		d.peak = d.used
+	}
+	for _, fn := range d.onUsed {
+		fn(delta)
 	}
 }
 
@@ -437,7 +453,7 @@ func (d *Device) Delete(p *vtime.Proc, key blob.ID) {
 	d.chans.Acquire(p, 1)
 	p.Sleep(d.prof.Latency)
 	d.chans.Release(1)
-	d.used -= int64(len(blob))
+	d.note(-int64(len(blob)))
 	delete(d.blobs, key)
 }
 
@@ -446,7 +462,7 @@ func (d *Device) Delete(p *vtime.Proc, key blob.ID) {
 // node's devices before hermes rejoins it, so nothing stale survives the
 // crash.
 func (d *Device) Purge() {
-	d.used = 0
+	d.note(-d.used)
 	clear(d.blobs)
 }
 

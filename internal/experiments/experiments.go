@@ -74,6 +74,10 @@ type Profile struct {
 	Fig8Nodes        int
 	Fig8BytesPerNode int64
 	Fig8Fracs        []float64 // DRAM cap as fraction of per-node dataset
+
+	// Engine-scalability sweep (mmbench -exp scale).
+	ScaleNodes      []int // simulated node counts, weak scaling
+	ScaleOpsPerNode int   // put/get/delete rounds per node
 }
 
 // Small returns the test/bench profile: the same shapes at sizes that
@@ -95,6 +99,8 @@ func Small() Profile {
 		Fig8Nodes:        2,
 		Fig8BytesPerNode: 2 * device.MB,
 		Fig8Fracs:        []float64{1, 0.75, 0.5, 0.375, 0.25, 0.125},
+		ScaleNodes:       []int{64, 256},
+		ScaleOpsPerNode:  60,
 	}
 }
 
@@ -118,6 +124,8 @@ func Full() Profile {
 		Fig8Nodes:        4,
 		Fig8BytesPerNode: 8 * device.MB,
 		Fig8Fracs:        []float64{1, 0.75, 0.5, 0.375, 0.25, 0.125},
+		ScaleNodes:       []int{64, 128, 256, 512, 1024},
+		ScaleOpsPerNode:  200,
 	}
 }
 

@@ -108,6 +108,11 @@ type Hermes struct {
 	buckets  map[uint32][]bucketMember
 	memberOf map[uint32]bool
 
+	// pidx indexes per-node free space for the placement engine: first-fit
+	// queries run in O(log N) against device-hook-fed segment trees
+	// instead of scanning every node (see placeidx.go).
+	pidx placeIndex
+
 	// org is the organizer's per-pass scratch, reused across PlanOrganize
 	// passes so a steady-state pass allocates nothing.
 	org orgScratch
@@ -166,6 +171,7 @@ func New(c *cluster.Cluster, tiers []string) *Hermes {
 	for i, t := range tiers {
 		h.org.tierIdx[t] = i
 	}
+	h.idxInit()
 	h.SetFaults(c.Faults())
 	h.SetTelemetry(c.Telemetry())
 	return h
@@ -244,6 +250,7 @@ func (h *Hermes) FailNode(id int) {
 		return
 	}
 	h.failed[id] = true
+	h.idxRefreshNode(id)
 	if h.replicas == 0 {
 		return // nothing to restore: no redundancy was configured
 	}
@@ -276,6 +283,7 @@ func (h *Hermes) ReviveNode(id int) {
 	}
 	h.inc[id]++
 	delete(h.failed, id)
+	h.idxRefreshNode(id)
 }
 
 // alive reports whether a node accepts placements.
@@ -400,24 +408,25 @@ func (e *ErrNoCapacity) Error() string {
 }
 
 // place picks a target for size bytes: the preferred node's tiers fastest
-// first, then other nodes' tiers fastest first. Failed nodes are never
-// chosen. It returns node, tier and whether a target was found.
+// first, then other nodes' tiers fastest first (lowest node ID wins, the
+// order the old linear scan produced). Failed nodes are never chosen. It
+// returns node, tier and whether a target was found. Off the preferred
+// node, each tier is one O(log N) index query.
 func (h *Hermes) place(size int64, prefNode int) (int, string, bool) {
-	if n := h.c.Nodes[prefNode]; h.alive(prefNode) {
-		for _, t := range h.tiers {
-			if n.Devices[t].Free() >= size {
+	if h.alive(prefNode) {
+		for ti, t := range h.tiers {
+			if h.pidx.free[ti][prefNode] >= size {
 				return prefNode, t, true
 			}
 		}
 	}
-	for _, t := range h.tiers {
-		for _, n := range h.c.Nodes {
-			if n.ID == prefNode || !h.alive(n.ID) {
-				continue
-			}
-			if n.Devices[t].Free() >= size {
-				return n.ID, t, true
-			}
+	for ti, t := range h.tiers {
+		i := h.pidx.tiers[ti].firstAtLeast(0, size)
+		if i == prefNode {
+			i = h.pidx.tiers[ti].firstAtLeast(prefNode+1, size)
+		}
+		if i >= 0 {
+			return i, t, true
 		}
 	}
 	return 0, "", false
@@ -505,17 +514,23 @@ func (h *Hermes) put(p *vtime.Proc, fromNode int, id blob.ID, data []byte, score
 }
 
 // replicate writes the backup copies of a freshly (re)put blob to
-// distinct nodes other than the primary, best effort.
+// distinct nodes other than the primary, best effort. The rotation walks
+// nodes in (primary+i)%nodes order via the placement index, jumping
+// straight to the next node with capacity instead of probing every node.
+// As in the original scan, a slot's stale backup is cleaned up on
+// reaching the first alive candidate — before its capacity check, since
+// the cleanup itself can free the space the new copy lands in.
 func (h *Hermes) replicate(p *vtime.Proc, primary int, id blob.ID, data []byte) {
 	if h.replicas == 0 || id.Kind == blob.KindBackup {
 		return
 	}
-	nodes := len(h.c.Nodes)
+	size := int64(len(data))
 	placed := 0
-	for i := 1; i < nodes && placed < h.replicas; i++ {
-		node := (primary + i) % nodes
-		if !h.alive(node) {
-			continue
+	pos := 1 // rotation offset: the candidate walk never revisits a node
+	for placed < h.replicas {
+		alivePos := h.rotFirst(primary, pos, 0)
+		if alivePos < 0 {
+			break // no alive candidates remain in the rotation
 		}
 		bk := id.Backup(placed)
 		if old, ok := h.meta[bk]; ok {
@@ -523,19 +538,31 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, id blob.ID, data []byte) 
 			h.metaDelete(bk)
 		}
 		stored := false
-		for _, t := range h.tiers {
-			dev := h.c.Nodes[node].Devices[t]
-			if dev.Free() >= int64(len(data)) {
-				h.c.Fabric.Transfer(p, primary, node, int64(len(data)))
-				if err := h.writeRetry(p, dev, bk, data); err == nil {
-					h.metaPut(bk, &Placement{Node: node, Tier: t, Size: int64(len(data)), Score: 0.05, ScoreNode: node})
-					stored = true
-				}
+		for searchPos := alivePos; !stored; {
+			fitPos := h.rotFirst(primary, searchPos, size)
+			if fitPos < 0 {
 				break
 			}
+			node := (primary + fitPos) % len(h.c.Nodes)
+			for ti, t := range h.tiers {
+				dev := h.c.Nodes[node].Devices[t]
+				if h.pidx.free[ti][node] >= size {
+					h.c.Fabric.Transfer(p, primary, node, size)
+					if err := h.writeRetry(p, dev, bk, data); err == nil {
+						h.metaPut(bk, &Placement{Node: node, Tier: t, Size: size, Score: 0.05, ScoreNode: node})
+						stored = true
+					}
+					break
+				}
+			}
+			searchPos = fitPos + 1
+			if stored {
+				pos = fitPos + 1
+				placed++
+			}
 		}
-		if stored {
-			placed++
+		if !stored {
+			break // the current slot fits nowhere; later slots cannot either
 		}
 	}
 	if id.IsPrimary() && placed < h.replicas {
@@ -732,21 +759,27 @@ func (h *Hermes) repairReplicate(p *vtime.Proc, primary int, id blob.ID, data []
 // placeBackup picks a target for a backup copy: a live node other than
 // the primary that holds no reachable copy of the blob, fastest tier
 // with capacity. Walked in (primary+i)%nodes order like replicate, so
-// repair placement is deterministic.
+// repair placement is deterministic. The index query jumps straight to
+// candidates with capacity; at most replicas+1 nodes can hold a copy, so
+// the skip loop is bounded.
 func (h *Hermes) placeBackup(size int64, primary int, id blob.ID) (int, string, bool) {
-	nodes := len(h.c.Nodes)
-	for i := 1; i < nodes; i++ {
-		node := (primary + i) % nodes
-		if !h.alive(node) || h.holdsCopy(node, id) {
+	for pos := 1; ; {
+		fitPos := h.rotFirst(primary, pos, size)
+		if fitPos < 0 {
+			return 0, "", false
+		}
+		node := (primary + fitPos) % len(h.c.Nodes)
+		if h.holdsCopy(node, id) {
+			pos = fitPos + 1
 			continue
 		}
-		for _, t := range h.tiers {
-			if h.c.Nodes[node].Devices[t].Free() >= size {
+		for ti, t := range h.tiers {
+			if h.pidx.free[ti][node] >= size {
 				return node, t, true
 			}
 		}
+		pos = fitPos + 1 // unreachable: rotFirst guarantees a fitting tier
 	}
-	return 0, "", false
 }
 
 // holdsCopy reports whether a reachable copy of the blob (primary or
@@ -1261,13 +1294,12 @@ func (h *Hermes) move(p *vtime.Proc, id blob.ID, pl *Placement, node int, tier s
 	h.movedByte += int64(len(data))
 }
 
-// TierUsage sums used bytes per tier across nodes.
+// TierUsage sums used bytes per tier across nodes, reading the cluster's
+// incrementally maintained per-tier aggregates (O(tiers), not O(nodes)).
 func (h *Hermes) TierUsage() map[string]int64 {
 	out := make(map[string]int64, len(h.tiers))
 	for _, t := range h.tiers {
-		for _, n := range h.c.Nodes {
-			out[t] += n.Devices[t].Used()
-		}
+		out[t] = h.c.TierUsed(t)
 	}
 	return out
 }

@@ -1,0 +1,164 @@
+package hermes
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"megammap/internal/blob"
+	"megammap/internal/cluster"
+	"megammap/internal/device"
+	"megammap/internal/simnet"
+	"megammap/internal/vtime"
+)
+
+// TestTierTreeFirstAtLeast checks the segment tree's leftmost-at-least
+// query against a linear scan over randomized arrays and query points.
+func TestTierTreeFirstAtLeast(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 64, 100} {
+		tree := newTierTree(n)
+		vals := make([]int64, n)
+		for i := range vals { // fresh trees hold -1 everywhere
+			vals[i] = -1
+		}
+		for round := 0; round < 200; round++ {
+			i := rng.Intn(n)
+			v := int64(rng.Intn(100)) - 1 // includes the dead marker -1
+			vals[i] = v
+			tree.set(i, v)
+			from := rng.Intn(n + 2)
+			need := int64(rng.Intn(100))
+			want := -1
+			for j := from; j < n; j++ {
+				if vals[j] >= need {
+					want = j
+					break
+				}
+			}
+			if got := tree.firstAtLeast(from, need); got != want {
+				t.Fatalf("n=%d firstAtLeast(%d, %d) = %d, want %d (vals %v)",
+					n, from, need, got, want, vals)
+			}
+		}
+	}
+}
+
+// placeScan is the pre-index linear implementation of place, kept as the
+// regression oracle.
+func (h *Hermes) placeScan(size int64, prefNode int) (int, string, bool) {
+	if n := h.c.Nodes[prefNode]; h.alive(prefNode) {
+		for _, t := range h.tiers {
+			if n.Devices[t].Free() >= size {
+				return prefNode, t, true
+			}
+		}
+	}
+	for _, t := range h.tiers {
+		for _, n := range h.c.Nodes {
+			if n.ID == prefNode || !h.alive(n.ID) {
+				continue
+			}
+			if n.Devices[t].Free() >= size {
+				return n.ID, t, true
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// placeBackupScan is the pre-index linear implementation of placeBackup.
+func (h *Hermes) placeBackupScan(size int64, primary int, id blob.ID) (int, string, bool) {
+	nodes := len(h.c.Nodes)
+	for i := 1; i < nodes; i++ {
+		node := (primary + i) % nodes
+		if !h.alive(node) || h.holdsCopy(node, id) {
+			continue
+		}
+		for _, t := range h.tiers {
+			if h.c.Nodes[node].Devices[t].Free() >= size {
+				return node, t, true
+			}
+		}
+	}
+	return 0, "", false
+}
+
+// TestPlaceIndexMatchesScan drives a randomized fill/delete/crash/revive
+// schedule against a small-capacity cluster and asserts, at every step,
+// that the indexed place and placeBackup answers equal the linear-scan
+// oracle's — including when nodes fill up, die, purge cold, and rejoin.
+func TestPlaceIndexMatchesScan(t *testing.T) {
+	const nodes = 13
+	spec := cluster.Spec{
+		Nodes:    nodes,
+		CoresPer: 2,
+		DRAMPer:  device.MB,
+		Tiers: []cluster.TierSpec{
+			{Name: "nvme", Profile: device.NVMeProfile(96 * device.KB)},
+			{Name: "ssd", Profile: device.SSDProfile(192 * device.KB)},
+		},
+		Link: simnet.RoCE40(),
+		PFS:  device.PFSProfile(64 * device.MB),
+	}
+	c := cluster.New(spec)
+	h := New(c, []string{"nvme", "ssd"})
+	h.SetReplicas(1)
+	rng := rand.New(rand.NewSource(17))
+
+	var live []blob.ID
+	c.Engine.Spawn("churn", func(p *vtime.Proc) {
+		for op := 0; op < 1200; op++ {
+			size := int64(1+rng.Intn(48)) << 10
+			pref := rng.Intn(nodes)
+
+			gn, gt, gok := h.place(size, pref)
+			wn, wt, wok := h.placeScan(size, pref)
+			if gn != wn || gt != wt || gok != wok {
+				t.Fatalf("op %d: place(%d, %d) = (%d, %s, %v), scan = (%d, %s, %v)",
+					op, size, pref, gn, gt, gok, wn, wt, wok)
+			}
+			probe := h.Key(fmt.Sprintf("probe%d", rng.Intn(64)))
+			gn, gt, gok = h.placeBackup(size, pref, probe)
+			wn, wt, wok = h.placeBackupScan(size, pref, probe)
+			if gn != wn || gt != wt || gok != wok {
+				t.Fatalf("op %d: placeBackup(%d, %d) = (%d, %s, %v), scan = (%d, %s, %v)",
+					op, size, pref, gn, gt, gok, wn, wt, wok)
+			}
+
+			switch r := rng.Intn(10); {
+			case r < 5: // put (also exercises replicate's indexed rotation)
+				id := h.Key(fmt.Sprintf("blob%d", rng.Intn(96)))
+				if err := h.Put(p, pref, id, make([]byte, size), rng.Float64(), pref); err != nil {
+					// Capacity exhaustion is part of the schedule.
+					var noCap *ErrNoCapacity
+					if !errors.As(err, &noCap) {
+						t.Fatalf("op %d: put: %v", op, err)
+					}
+				} else {
+					live = append(live, id)
+				}
+			case r < 7: // delete
+				if len(live) > 0 {
+					i := rng.Intn(len(live))
+					h.Delete(p, rng.Intn(nodes), live[i])
+					live = append(live[:i], live[i+1:]...)
+				}
+			case r < 8: // crash a random live node
+				h.FailNode(rng.Intn(nodes))
+			default: // revive (cold: wipe devices first, as the cluster does)
+				id := rng.Intn(nodes)
+				if !h.alive(id) {
+					for _, ts := range spec.Tiers {
+						c.Nodes[id].Devices[ts.Name].Purge()
+					}
+					h.ReviveNode(id)
+				}
+			}
+		}
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"megammap/internal/vtime"
+)
+
+// TestNICLoadMatchesScan drives bursty cross-traffic over a fabric while
+// a high-frequency sampler asserts that the O(1) incremental NIC load
+// counters agree with a full per-NIC scan at every sample point — through
+// idle stretches, contention (many senders into one receiver), and drain.
+func TestNICLoadMatchesScan(t *testing.T) {
+	const nodes = 16
+	e := vtime.NewEngine()
+	f := New(nodes, RoCE40())
+	rng := rand.New(rand.NewSource(11))
+
+	var wg vtime.WaitGroup
+	for i := 0; i < 64; i++ {
+		src := rng.Intn(nodes)
+		// Half the flows pile onto node 0 to force ingress queueing.
+		dst := 0
+		if i%2 == 0 {
+			dst = rng.Intn(nodes)
+		}
+		size := int64(1+rng.Intn(64)) << 10
+		delay := vtime.Duration(rng.Intn(200)) * vtime.Microsecond
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("flow%d", i), func(p *vtime.Proc) {
+			p.Sleep(delay)
+			f.Transfer(p, src, dst, size)
+			wg.Done()
+		})
+	}
+	samples, queuedSeen := 0, false
+	e.SpawnDaemon("sampler", func(p *vtime.Proc) {
+		for {
+			gotU, gotQ := f.NICLoad()
+			wantU, wantQ := f.nicLoadScan()
+			if gotU != wantU || gotQ != wantQ {
+				t.Errorf("at %v: NICLoad = (%d, %d), scan = (%d, %d)",
+					p.Now(), gotU, gotQ, wantU, wantQ)
+			}
+			samples++
+			if gotQ > 0 {
+				queuedSeen = true
+			}
+			p.Sleep(5 * vtime.Microsecond)
+		}
+	})
+	e.Spawn("waiter", func(p *vtime.Proc) { wg.Wait(p) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if samples == 0 {
+		t.Fatal("sampler never ran")
+	}
+	if !queuedSeen {
+		t.Error("no sample observed a non-empty NIC queue; contention never happened")
+	}
+	if u, q := f.NICLoad(); u != 0 || q != 0 {
+		t.Errorf("counters did not return to zero after drain: (%d, %d)", u, q)
+	}
+}

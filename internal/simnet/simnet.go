@@ -51,6 +51,7 @@ func TCP10() LinkProfile {
 type Fabric struct {
 	prof  LinkProfile
 	nics  []*nic
+	load  vtime.LoadSum // incrementally maintained across all NIC directions
 	sent  int64
 	bytes int64
 	busy  vtime.Duration   // cumulative NIC-direction occupancy
@@ -91,6 +92,8 @@ func New(n int, prof LinkProfile) *Fabric {
 	f := &Fabric{prof: prof, nics: make([]*nic, n)}
 	for i := range f.nics {
 		f.nics[i] = &nic{egress: vtime.NewResource(1), ingress: vtime.NewResource(1)}
+		f.nics[i].egress.AttachLoad(&f.load)
+		f.nics[i].ingress.AttachLoad(&f.load)
 	}
 	return f
 }
@@ -114,8 +117,16 @@ func (f *Fabric) BusyTime() vtime.Duration { return f.busy }
 // NICLoad sums the instantaneous NIC utilization across all nodes: inUse
 // counts directions (egress/ingress) currently occupied by a transfer,
 // queued counts transfers waiting behind them. The telemetry sampler turns
-// these into queue-depth/utilization time series.
+// these into queue-depth/utilization time series. The totals are
+// maintained incrementally at transfer start/finish, so sampling is O(1)
+// in the node count rather than a fabric-wide scan per tick.
 func (f *Fabric) NICLoad() (inUse, queued int) {
+	return f.load.InUse, f.load.Waiting
+}
+
+// nicLoadScan recomputes NICLoad by walking every NIC — the reference
+// implementation the incremental counters are regression-tested against.
+func (f *Fabric) nicLoadScan() (inUse, queued int) {
 	for _, n := range f.nics {
 		inUse += n.egress.InUse() + n.ingress.InUse()
 		queued += n.egress.Waiting() + n.ingress.Waiting()

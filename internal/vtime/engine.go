@@ -3,19 +3,43 @@
 // A simulation consists of processes (Proc) that run as goroutines, but the
 // engine guarantees that at most one process executes at any instant: a
 // process runs until it blocks on a virtual-time primitive (Sleep, channel
-// operation, resource acquisition, ...), at which point control returns to
-// the engine, which advances the virtual clock to the next scheduled event
-// and resumes the corresponding process. Because execution is serialized,
-// simulation state shared between processes needs no locking, and runs are
-// fully deterministic: events at equal timestamps fire in FIFO order.
+// operation, resource acquisition, ...), at which point control passes to
+// the process owning the next scheduled event. Because execution is
+// serialized, simulation state shared between processes needs no locking,
+// and runs are fully deterministic: events at equal timestamps fire in
+// FIFO order.
 //
 // The engine is the substrate for every timed component in this repository:
 // storage devices, network fabrics, the MegaMmap runtime, and the baseline
-// systems all charge their costs to this clock.
+// systems all charge their costs to this clock. Its per-event cost is the
+// hardware ceiling of every experiment, so the scheduler is engineered for
+// throughput at four points (see DESIGN.md "Engine & cluster scalability"):
+//
+//   - direct handoff: a parking process resumes the next event's process
+//     itself — one goroutine switch per event instead of a bounce through
+//     a central scheduler goroutine (two switches);
+//   - a same-instant ready ring in front of the binary heap: wake-ups and
+//     yields at the current instant (the synchronization fast path — every
+//     resource grant, channel op and rendezvous) enqueue FIFO in O(1)
+//     instead of paying two O(log n) heap operations;
+//   - pooled processes: finished Procs park their goroutine and are reused
+//     by later Spawns, so short-lived worker processes cost no goroutine
+//     or channel allocation in steady state;
+//   - a timer wheel for near-future timers (the µs-scale device, NIC and
+//     runtime delays that dominate simulation activity): 256 slots of 64ns
+//     hold the next 16.4µs in insertion-sorted buckets with a bitmap
+//     occupancy scan, so the common Sleep never touches the heap;
+//   - a typed 4-ary min-heap for far-future timers, ordered by (at, seq),
+//     which migrate into the wheel exactly once as the clock approaches.
+//
+// Every structure dispatches in strict (at, seq) order, so the pop
+// sequence — and therefore every simulation result — is byte-identical to
+// a plain single-heap engine.
 package vtime
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -60,17 +84,34 @@ func BytesAt(n int64, bw float64) Duration {
 	return FromSeconds(float64(n) / bw)
 }
 
+// event is a pending wake-up in the ready ring or the timer wheel. It
+// carries no sequence number: both structures preserve arrival order
+// internally (FIFO ring; append-ordered buckets), and arrival order IS
+// seq order, so the field would be redundant — dropping it packs four
+// events per cache line.
 type event struct {
+	at Duration
+	p  *Proc
+}
+
+// heapEvent is a pending far-future wake-up. The heap is the one
+// structure that reorders freely, so equal-at ties need an explicit
+// arrival sequence to stay deterministic.
+type heapEvent struct {
 	at  Duration
 	seq uint64
 	p   *Proc
 }
 
-// eventHeap is a typed binary min-heap ordered by (at, seq). seq is
+// eventHeap is a typed 4-ary min-heap ordered by (at, seq). seq is
 // unique, so the order is strictly total and the pop sequence is fully
 // determined — the hand-rolled heap exists to avoid the interface boxing
-// container/heap costs on every scheduler operation.
-type eventHeap []event
+// container/heap costs on every scheduler operation. The 4-ary shape
+// halves the levels touched per pop versus a binary heap, and a node's
+// four children sit in adjacent memory, so at thousands of pending
+// timers (one per simulated node and then some) a pop walks half the
+// cache lines.
+type eventHeap []heapEvent
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
@@ -79,11 +120,11 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h *eventHeap) push(ev event) {
+func (h *eventHeap) push(ev heapEvent) {
 	*h = append(*h, ev)
 	s := *h
 	for i := len(s) - 1; i > 0; {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !s.less(i, parent) {
 			break
 		}
@@ -92,22 +133,28 @@ func (h *eventHeap) push(ev event) {
 	}
 }
 
-func (h *eventHeap) pop() event {
+func (h *eventHeap) pop() heapEvent {
 	s := *h
 	top := s[0]
 	n := len(s) - 1
 	s[0] = s[n]
-	s[n] = event{}
+	s[n] = heapEvent{}
 	s = s[:n]
 	*h = s
 	for i := 0; ; {
-		left := 2*i + 1
-		if left >= n {
+		first := 4*i + 1
+		if first >= n {
 			break
 		}
-		least := left
-		if right := left + 1; right < n && s.less(right, left) {
-			least = right
+		least := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(c, least) {
+				least = c
+			}
 		}
 		if !s.less(least, i) {
 			break
@@ -118,26 +165,171 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// Timer wheel geometry: wheelSlots buckets of 2^wheelShift nanoseconds,
+// covering the next wheelSpan of virtual time. 64ns × 256 slots spans
+// 16.4µs — wide enough that DRAM, NIC and page-transfer delays (the bulk
+// of all timers) stay inside the wheel, narrow enough that the slot
+// headers and occupancy bitmap stay cache-resident.
+const (
+	wheelShift = 6
+	wheelSlots = 256
+	wheelWords = wheelSlots / 64
+	wheelSpan  = Duration(wheelSlots << wheelShift)
+)
+
+// timerWheel holds timers due within wheelSpan of the current instant in
+// at-indexed buckets: slot i holds events with at>>wheelShift ≡ i
+// (mod wheelSlots). Every stored event's bucket lies within wheelSlots
+// buckets of now's (and at >= now), so the mapping is injective — no lap
+// ambiguity — and a circular bitmap scan from now's slot visits buckets
+// in time order. Each bucket keeps its events insertion-sorted by at,
+// stably — arrivals come in seq order (schedule's calls, then heap
+// migrations, are both monotonic per bucket), so equal-at events sit in
+// seq order without storing seq — and pop order across the wheel is the
+// same strict total order as the heap's. Insert, peek and pop are all
+// O(1) apart from the (few-element) bucket insertion sort; none of them
+// depend on the number of pending timers, which is what removes the
+// heap's O(log n) from the per-event path at thousands of simulated
+// nodes.
+type timerWheel struct {
+	n    int // total events stored
+	occ  [wheelWords]uint64
+	head [wheelSlots]int32 // first un-popped index per bucket
+	slot [wheelSlots][]event
+}
+
+// insert stores ev; ev.at must be after now and within wheelSlots
+// buckets of now's bucket.
+func (w *timerWheel) insert(ev event) {
+	idx := int(uint64(ev.at)>>wheelShift) & (wheelSlots - 1)
+	s := append(w.slot[idx], ev)
+	// Stable insertion sort from the tail: an equal-at event never
+	// shifts (FIFO preserves arrival = seq order), and later timestamps
+	// — the common case — cost zero compares beyond the first.
+	i := len(s) - 1
+	for h := int(w.head[idx]); i > h; i-- {
+		prev := s[i-1]
+		if prev.at <= ev.at {
+			break
+		}
+		s[i] = prev
+	}
+	s[i] = ev
+	w.slot[idx] = s
+	w.occ[idx>>6] |= 1 << uint(idx&63)
+	w.n++
+}
+
+// scan returns the first occupied bucket at or after cursor, circularly.
+// The wheel must be non-empty.
+func (w *timerWheel) scan(cursor int) int {
+	word := cursor >> 6
+	b := w.occ[word] & (^uint64(0) << uint(cursor&63))
+	for b == 0 {
+		word = (word + 1) & (wheelWords - 1)
+		b = w.occ[word]
+	}
+	return word<<6 | bits.TrailingZeros64(b)
+}
+
+// pop removes and returns the earliest event; cursor is the current
+// instant's bucket. The wheel must be non-empty.
+func (w *timerWheel) pop(cursor int) event {
+	return w.popSlot(w.scan(cursor))
+}
+
+// popSlot removes and returns the head event of bucket idx, which must
+// be the bucket scan would find.
+func (w *timerWheel) popSlot(idx int) event {
+	h := w.head[idx]
+	s := w.slot[idx]
+	ev := s[h]
+	s[h] = event{}
+	h++
+	if int(h) == len(s) {
+		w.slot[idx] = s[:0]
+		w.head[idx] = 0
+		w.occ[idx>>6] &^= 1 << uint(idx&63)
+	} else {
+		w.head[idx] = h
+	}
+	w.n--
+	return ev
+}
+
+// readyRing is a FIFO of events scheduled at the current instant. Pushes
+// arrive in seq order, and the ring is always drained before the clock
+// advances, so FIFO order here IS (at, seq) order — the ring is the O(1)
+// batch-dispatch lane in front of the timer wheel and heap.
+type readyRing struct {
+	buf  []event // power-of-two length
+	head int
+	n    int
+}
+
+func (r *readyRing) push(ev event) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = ev
+	r.n++
+}
+
+func (r *readyRing) pop() event {
+	ev := r.buf[r.head]
+	r.buf[r.head] = event{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return ev
+}
+
+func (r *readyRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 64
+	}
+	buf := make([]event, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// poolCap bounds the number of finished processes kept parked for reuse.
+// The pool absorbs any realistic churn concurrency; the cap only bounds
+// the goroutines a pathological fan-out would leave parked between runs.
+const poolCap = 1 << 14
+
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	now       Duration
-	seq       uint64
-	pq        eventHeap
-	yield     chan struct{}
-	live      int // spawned processes that have not finished
-	nonDaemon int // live processes that keep the simulation running
-	nextID    int
-	procs     map[int]*Proc // live processes, for deadlock reporting
-	failed    error
+	now   Duration
+	seq   uint64     // arrival counter for heap ties (equal-at far timers)
+	tw    timerWheel // timers within the wheel's bucket-aligned window
+	pq    eventHeap  // far-future timers (beyond the wheel window)
+	ready readyRing  // events at the current instant, FIFO
+
+	// ctl wakes Run's controller when dispatching stops (no events,
+	// every non-daemon finished, failure, starvation). Buffered so the
+	// stop signal never blocks the process reporting it.
+	ctl chan struct{}
+
+	live       int // spawned processes that have not finished
+	nonDaemon  int // live processes that keep the simulation running
+	nextID     int
+	liveHead   *Proc // intrusive list of live processes (deadlock reports)
+	failed     error
+	events     int64 // dispatched events (Events accessor)
+	daemonOnly int   // consecutive daemon dispatches (starvation guard)
+
+	free      *Proc // pooled finished processes, goroutine parked
+	freeCount int
 }
 
 // NewEngine returns an engine with the clock at zero and no processes.
 func NewEngine() *Engine {
-	return &Engine{
-		yield: make(chan struct{}),
-		procs: make(map[int]*Proc),
-	}
+	return &Engine{ctl: make(chan struct{}, 1)}
 }
 
 // Now returns the current virtual time.
@@ -145,6 +337,10 @@ func (e *Engine) Now() Duration { return e.now }
 
 // Live returns the number of spawned processes that have not yet finished.
 func (e *Engine) Live() int { return e.live }
+
+// Events returns the cumulative number of dispatched scheduler events —
+// the denominator of the engine's events/sec throughput metric.
+func (e *Engine) Events() int64 { return e.events }
 
 // Spawn creates a new process running fn and schedules it to start at the
 // current virtual time. It may be called before Run or from inside a
@@ -162,55 +358,162 @@ func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 }
 
 func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
-	p := &Proc{
-		e:      e,
-		name:   name,
-		id:     e.nextID,
-		daemon: daemon,
-		resume: make(chan struct{}),
+	var p *Proc
+	if e.free != nil {
+		p = e.free
+		e.free = p.poolNext
+		e.freeCount--
+		p.poolNext = nil
+		p.name = name
+		p.fn = fn
+		p.daemon = daemon
+		p.done = false
+		p.span = 0
+	} else {
+		p = &Proc{e: e, name: name, daemon: daemon, fn: fn, resume: make(chan struct{})}
+		go p.loop()
 	}
+	p.id = e.nextID
 	e.nextID++
 	e.live++
 	if !daemon {
 		e.nonDaemon++
 	}
-	e.procs[p.id] = p
-	go func() {
-		<-p.resume
-		defer func() {
-			if r := recover(); r != nil {
-				if e.failed == nil {
-					if err, ok := r.(error); ok {
-						// Preserve the error chain so callers can classify
-						// the failure with errors.Is/As on Run's result.
-						e.failed = fmt.Errorf("vtime: process %q panicked: %w", p.name, err)
-					} else {
-						e.failed = fmt.Errorf("vtime: process %q panicked: %v", p.name, r)
-					}
-				}
-			}
-			p.done = true
-			e.live--
-			if !p.daemon {
-				e.nonDaemon--
-			}
-			delete(e.procs, p.id)
-			e.yield <- struct{}{}
-		}()
-		fn(p)
-	}()
+	e.link(p)
 	e.schedule(p, e.now)
 	return p
 }
 
-// schedule enqueues a wake-up for p at time at.
-func (e *Engine) schedule(p *Proc, at Duration) {
-	if at < e.now {
-		at = e.now
+// link adds p to the live-process list.
+func (e *Engine) link(p *Proc) {
+	p.prevLive = nil
+	p.nextLive = e.liveHead
+	if e.liveHead != nil {
+		e.liveHead.prevLive = p
 	}
-	e.pq.push(event{at: at, seq: e.seq, p: p})
-	e.seq++
-	p.scheduled = true
+	e.liveHead = p
+}
+
+// unlink removes p from the live-process list.
+func (e *Engine) unlink(p *Proc) {
+	if p.prevLive != nil {
+		p.prevLive.nextLive = p.nextLive
+	} else {
+		e.liveHead = p.nextLive
+	}
+	if p.nextLive != nil {
+		p.nextLive.prevLive = p.prevLive
+	}
+	p.prevLive, p.nextLive = nil, nil
+}
+
+// schedule enqueues a wake-up for p at time at. Events at or before the
+// current instant take the O(1) ready ring; near timers take the wheel;
+// far timers overflow to the heap (and migrate into the wheel later).
+func (e *Engine) schedule(p *Proc, at Duration) {
+	if at <= e.now {
+		e.ready.push(event{at: e.now, p: p})
+	} else if uint64(at)>>wheelShift-uint64(e.now)>>wheelShift < wheelSlots {
+		// Bucket distance, not time distance: the wheel's window must be
+		// bucket-aligned, or a timer almost a full span ahead would lap
+		// into the current bucket and pop ahead of nearer timers.
+		e.tw.insert(event{at: at, p: p})
+	} else {
+		e.pq.push(heapEvent{at: at, seq: e.seq, p: p})
+		e.seq++
+	}
+	p.pending++
+}
+
+// pendingEvents reports whether any scheduler event is queued.
+func (e *Engine) pendingEvents() bool {
+	return e.ready.n > 0 || e.tw.n > 0 || len(e.pq) > 0
+}
+
+// migrate moves heap timers whose bucket has come within the wheel's
+// window of the (just advanced) clock into the wheel. Together with
+// schedule's split this maintains the invariant that every heap event's
+// bucket is at least wheelSlots past now's bucket — so the wheel's
+// maximum is always below the heap's minimum, and each timer passes
+// through the heap at most once.
+func (e *Engine) migrate() {
+	horizon := uint64(e.now) >> wheelShift
+	for len(e.pq) > 0 && uint64(e.pq[0].at)>>wheelShift-horizon < wheelSlots {
+		he := e.pq.pop()
+		// Heap pops come in (at, seq) order, so equal-at events reach
+		// their bucket in seq order, which buckets preserve.
+		e.tw.insert(event{at: he.at, p: he.p})
+	}
+}
+
+// transfer hands execution to the process owning the next event, in
+// strict (at, seq) order across the ready ring, the timer wheel and the
+// overflow heap. When
+// dispatching must stop — no events left, every non-daemon process
+// finished, a failure, or daemon starvation — it wakes Run's controller
+// instead. It is called by the goroutine currently holding execution
+// (a parking or finishing process, or Run itself) with that process as
+// self (nil for Run and finished processes); the caller blocks (or
+// returns to Run) immediately after, so at most one process ever runs.
+//
+// When the next event belongs to self — a Sleep whose wake-up is the
+// earliest pending event, the single-process fast path — transfer
+// returns true and the caller simply keeps running: no channel
+// operation, no goroutine switch.
+func (e *Engine) transfer(self *Proc) bool {
+	if e.failed == nil && e.nonDaemon > 0 && e.daemonOnly <= starvationLimit {
+		for {
+			var ev event
+			cursor := int(uint64(e.now)>>wheelShift) & (wheelSlots - 1)
+			if e.ready.n > 0 {
+				// A wheel timer that has reached the current instant was
+				// scheduled while this instant was still the future —
+				// before every ready entry, which are pushed only at the
+				// instant itself — so it always precedes the ring in
+				// arrival (seq) order. Heap timers sit beyond the wheel
+				// window and never compete with the ring at all.
+				if e.tw.n > 0 {
+					idx := e.tw.scan(cursor)
+					if e.tw.slot[idx][e.tw.head[idx]].at <= e.now {
+						ev = e.tw.popSlot(idx)
+					} else {
+						ev = e.ready.pop()
+					}
+				} else {
+					ev = e.ready.pop()
+				}
+			} else if e.tw.n > 0 {
+				ev = e.tw.pop(cursor)
+			} else if len(e.pq) > 0 {
+				he := e.pq.pop()
+				ev = event{at: he.at, p: he.p}
+			} else {
+				break
+			}
+			p := ev.p
+			p.pending--
+			if p.done {
+				continue
+			}
+			e.now = ev.at
+			if len(e.pq) > 0 {
+				e.migrate()
+			}
+			e.events++
+			if p.daemon {
+				e.daemonOnly++
+			} else {
+				e.daemonOnly = 0
+			}
+			if p == self {
+				return true
+			}
+			p.resume <- struct{}{}
+			return false
+		}
+	}
+	e.ctl <- struct{}{}
+	return false
 }
 
 // DeadlockError reports that processes remained blocked with no pending
@@ -238,31 +541,25 @@ const starvationLimit = 4 << 20
 // deadlock) — including the masked form where periodic daemons keep the
 // event queue alive while every application process is stuck.
 func (e *Engine) Run() error {
-	daemonOnly := 0
-	for len(e.pq) > 0 && e.nonDaemon > 0 {
-		ev := e.pq.pop()
-		if ev.p.done {
-			continue
-		}
-		e.now = ev.at
-		ev.p.scheduled = false
-		ev.p.resume <- struct{}{}
-		<-e.yield
+	if e.failed != nil {
+		return e.failed
+	}
+	e.daemonOnly = 0
+	for e.nonDaemon > 0 && e.pendingEvents() {
+		e.transfer(nil)
+		<-e.ctl
 		if e.failed != nil {
+			e.drainPool()
 			return e.failed
 		}
-		if ev.p.daemon {
-			daemonOnly++
-			if daemonOnly > starvationLimit {
-				break
-			}
-		} else {
-			daemonOnly = 0
+		if e.daemonOnly > starvationLimit {
+			break
 		}
 	}
+	e.drainPool()
 	if e.nonDaemon > 0 {
 		var names []string
-		for _, p := range e.procs {
+		for p := e.liveHead; p != nil; p = p.nextLive {
 			if !p.daemon {
 				names = append(names, p.name)
 			}
@@ -273,17 +570,99 @@ func (e *Engine) Run() error {
 	return nil
 }
 
+// drainPool releases the goroutines of pooled finished processes. Run
+// calls it before returning so back-to-back simulations (and sweeps over
+// many engines) do not accumulate parked goroutines.
+func (e *Engine) drainPool() {
+	for p := e.free; p != nil; {
+		next := p.poolNext
+		p.poolNext = nil
+		p.fn = nil
+		p.resume <- struct{}{} // loop() sees fn == nil and exits
+		p = next
+	}
+	e.free = nil
+	e.freeCount = 0
+}
+
 // Proc is a simulation process. All its methods must be called only from
 // the goroutine running the process body.
+//
+// Field order is deliberate: dispatch (Engine.transfer) touches pending,
+// done, daemon and resume for a process that has been cold since its last
+// event, so those live together at the head of the struct — one cache
+// line per dispatched process instead of several.
 type Proc struct {
-	e         *Engine
-	name      string
-	id        int
-	daemon    bool
-	resume    chan struct{}
-	done      bool
-	scheduled bool
-	span      uint32
+	// pending counts this process's queued scheduler events. It is 0 or 1
+	// in steady state (a process is parked on at most one wake-up); a
+	// finished process is recycled only at pending == 0, so a stale queued
+	// event can never resume a later process reusing the slot.
+	pending int32
+	done    bool
+	daemon  bool
+	span    uint32
+	resume  chan struct{}
+
+	e    *Engine
+	fn   func(*Proc)
+	name string
+	id   int
+
+	prevLive, nextLive *Proc // engine's live list (deadlock reporting)
+	poolNext           *Proc // engine's free list (goroutine reuse)
+}
+
+// loop is the body of a process goroutine: run the spawned function,
+// retire the process, hand execution to the next event, then park for
+// reuse by a later Spawn. A nil fn on wake-up is the engine draining the
+// pool — the goroutine exits.
+func (p *Proc) loop() {
+	e := p.e
+	for {
+		<-p.resume
+		if p.fn == nil {
+			return
+		}
+		p.body()
+		p.done = true
+		p.fn = nil
+		e.live--
+		if !p.daemon {
+			e.nonDaemon--
+		}
+		e.unlink(p)
+		pooled := p.pending == 0 && e.freeCount < poolCap
+		if pooled {
+			p.poolNext = e.free
+			e.free = p
+			e.freeCount++
+		}
+		// After this transfer another process may already be running —
+		// and may even have re-Spawned this slot — so touch nothing but
+		// the resume channel (or the goroutine's own exit) beyond it.
+		e.transfer(nil)
+		if !pooled {
+			return
+		}
+	}
+}
+
+// body runs the process function, converting a panic into an engine
+// failure so Run can surface it (preserving the error chain for
+// errors.Is/As classification).
+func (p *Proc) body() {
+	defer func() {
+		if r := recover(); r != nil {
+			if p.e.failed == nil {
+				if err, ok := r.(error); ok {
+					p.e.failed = fmt.Errorf("vtime: process %q panicked: %w", p.name, err)
+				} else {
+					p.e.failed = fmt.Errorf("vtime: process %q panicked: %v", p.name, r)
+				}
+			}
+		}
+	}()
+	p.fn(p)
 }
 
 // Name returns the process name given at Spawn.
@@ -324,11 +703,15 @@ func (p *Proc) Sleep(d Duration) {
 // current instant.
 func (p *Proc) Yield() { p.Sleep(0) }
 
-// park returns control to the engine and blocks until the process is next
-// resumed. The caller must have arranged a wake-up (a scheduled event or a
-// registration with a primitive that will call wake).
+// park hands execution to the next event's process and blocks until this
+// process is next resumed. The caller must have arranged a wake-up (a
+// scheduled event or a registration with a primitive that will call
+// wake). If the next event is the caller's own wake-up, park returns
+// immediately without blocking.
 func (p *Proc) park() {
-	p.e.yield <- struct{}{}
+	if p.e.transfer(p) {
+		return
+	}
 	<-p.resume
 }
 
@@ -336,7 +719,7 @@ func (p *Proc) park() {
 // synchronization primitives when the condition a process waits on becomes
 // true. Waking an already-scheduled or finished process is a no-op.
 func (p *Proc) wake() {
-	if p.done || p.scheduled {
+	if p.done || p.pending > 0 {
 		return
 	}
 	p.e.schedule(p, p.e.now)

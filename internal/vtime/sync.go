@@ -77,6 +77,16 @@ func (wg *WaitGroup) Wait(p *Proc) {
 	}
 }
 
+// LoadSum accumulates in-use units and queued acquisitions across a group
+// of resources. Attach one to every member of a facility group (e.g. all
+// NIC directions of a fabric) and group-wide load is read in O(1) instead
+// of walking every member — the telemetry sampler and control governors
+// poll these totals every tick.
+type LoadSum struct {
+	InUse   int
+	Waiting int
+}
+
 // Resource models a capacity-limited facility (device channels, NIC links,
 // CPU cores). Acquire blocks until the requested units are available; units
 // are granted to waiters in FIFO order, so a large request cannot be
@@ -85,6 +95,7 @@ type Resource struct {
 	capacity int
 	inUse    int
 	waiters  []*resWaiter
+	load     *LoadSum // optional group accumulator, nil when detached
 }
 
 type resWaiter struct {
@@ -99,6 +110,16 @@ func NewResource(capacity int) *Resource {
 		panic("vtime: resource capacity must be positive")
 	}
 	return &Resource{capacity: capacity}
+}
+
+// AttachLoad registers a shared accumulator that mirrors this resource's
+// in-use units and queue depth from now on. The resource must be idle
+// (nothing held, nothing queued) when attached; attach at construction.
+func (r *Resource) AttachLoad(sum *LoadSum) {
+	if r.inUse != 0 || len(r.waiters) != 0 {
+		panic("vtime: AttachLoad on a busy resource")
+	}
+	r.load = sum
 }
 
 // Capacity returns the total units of the resource.
@@ -122,10 +143,16 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	}
 	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
 		r.inUse += n
+		if r.load != nil {
+			r.load.InUse += n
+		}
 		return
 	}
 	w := &resWaiter{p: p, n: n}
 	r.waiters = append(r.waiters, w)
+	if r.load != nil {
+		r.load.Waiting++
+	}
 	for !w.granted {
 		p.park()
 	}
@@ -140,6 +167,9 @@ func (r *Resource) Release(n int) {
 	if r.inUse < 0 {
 		panic("vtime: resource released more than acquired")
 	}
+	if r.load != nil {
+		r.load.InUse -= n
+	}
 	for len(r.waiters) > 0 {
 		w := r.waiters[0]
 		if r.inUse+w.n > r.capacity {
@@ -148,6 +178,10 @@ func (r *Resource) Release(n int) {
 		r.inUse += w.n
 		w.granted = true
 		r.waiters = r.waiters[1:]
+		if r.load != nil {
+			r.load.InUse += w.n
+			r.load.Waiting--
+		}
 		w.p.wake()
 	}
 }

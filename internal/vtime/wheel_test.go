@@ -1,0 +1,107 @@
+package vtime
+
+// Tests for the timer wheel + overflow heap split. The engine's contract
+// is strict (at, seq) dispatch order no matter which structure a timer
+// lands in, so these tests deliberately straddle the wheelSpan boundary
+// and the bucket granularity.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestTimerOrderAcrossWheelBoundary schedules one sleep per process at
+// t=0 with durations covering bucket edges, the wheel/heap boundary and
+// duplicates, and asserts wake order equals the (duration, spawn order)
+// sort — the order a single plain heap would produce.
+func TestTimerOrderAcrossWheelBoundary(t *testing.T) {
+	durations := []Duration{
+		0, 1, 2, 63, 64, 65, 127, 128, 1000, 1000, 4096,
+		wheelSpan - 1, wheelSpan, wheelSpan + 1, wheelSpan * 3,
+		2 * wheelSpan, wheelSpan - 1, 65, Millisecond, Second,
+	}
+	e := NewEngine()
+	var got []int
+	for i, d := range durations {
+		i, d := i, d
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(d)
+			got = append(got, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, len(durations))
+	for i := range want {
+		want[i] = i
+	}
+	sort.SliceStable(want, func(a, b int) bool {
+		return durations[want[a]] < durations[want[b]]
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wake order %v, want %v (diverges at %d)", got, want, i)
+		}
+	}
+}
+
+// TestTimerOrderRandomized stress-tests the wheel/heap interplay over
+// many rounds: processes repeatedly sleep random durations biased around
+// the wheel span so timers constantly migrate heap→wheel, and two runs
+// must produce identical traces with a monotonic clock and FIFO ties.
+func TestTimerOrderRandomized(t *testing.T) {
+	run := func(seed int64) []string {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		var trace []string
+		for i := 0; i < 64; i++ {
+			i := i
+			// Pre-draw the sleep schedule so both runs see identical durations.
+			durs := make([]Duration, 40)
+			for j := range durs {
+				switch rng.Intn(4) {
+				case 0:
+					durs[j] = Duration(rng.Intn(128)) // sub-bucket
+				case 1:
+					durs[j] = Duration(rng.Intn(int(wheelSpan))) // in-wheel
+				case 2:
+					durs[j] = wheelSpan + Duration(rng.Intn(int(wheelSpan))) // just past
+				default:
+					durs[j] = Duration(rng.Intn(int(Millisecond))) // far heap
+				}
+			}
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for _, d := range durs {
+					p.Sleep(d)
+					trace = append(trace, fmt.Sprintf("%d@%d", i, p.Now()))
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	var last Duration
+	for i, s := range a {
+		var id int
+		var at int64
+		fmt.Sscanf(s, "%d@%d", &id, &at)
+		if Duration(at) < last {
+			t.Fatalf("clock went backwards at trace[%d]=%s (prev %d)", i, s, last)
+		}
+		last = Duration(at)
+	}
+}
