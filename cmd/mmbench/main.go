@@ -18,16 +18,18 @@ import (
 	"time"
 
 	"megammap/internal/experiments"
+	"megammap/internal/plan"
 	"megammap/internal/stats"
 	"megammap/internal/telemetry"
 	"megammap/internal/vtime"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|ablations|failover|mttr|control|scale|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|ablations|failover|mttr|control|scale|plan|all")
 	profName := flag.String("profile", "small", "size profile: small|full")
 	outDir := flag.String("o", "", "directory for CSV output (optional)")
 	faultSpec := flag.String("faults", "", "fault plan for -exp failover/mttr, e.g. \"seed=42;drop=0.02;crash=1@40ms;revive=1@80ms\" (empty = default plan)")
+	planPath := flag.String("plan", "", "scenario-plan file for -exp plan (gated against the plan's baseline when one is configured)")
 	telem := flag.Bool("telemetry", false, "install the telemetry plane on every experiment cluster and write per-run metric/sample tables under <o>/telemetry/ (requires -o)")
 	flag.Parse()
 
@@ -72,6 +74,9 @@ func main() {
 		// scale is opt-in too: it benchmarks the simulator itself (engine
 		// throughput and host RAM per node), not a paper figure.
 		{"scale", func() (*stats.Table, error) { return experiments.Scale(prof) }},
+		// plan runs a declarative scenario plan (-plan file) and gates it
+		// against the golden baseline the plan names.
+		{"plan", func() (*stats.Table, error) { return runPlan(*planPath) }},
 	}
 
 	ablations := []driver{
@@ -130,6 +135,35 @@ func main() {
 			}
 		}
 	}
+}
+
+// runPlan loads, runs, and baseline-gates one scenario plan.
+func runPlan(path string) (*stats.Table, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-exp plan requires -plan <file>")
+	}
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Load(string(doc))
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Run()
+	if err != nil {
+		return nil, err
+	}
+	if p.Baseline != "" {
+		b, err := plan.LoadBaseline(p.Baseline)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w (generate with mmplan -write-baseline)", err)
+		}
+		if err := b.Gate(res); err != nil {
+			return nil, err
+		}
+	}
+	return res.Table(), nil
 }
 
 // writeTelemetry drains the telemetry planes of the driver's runs and

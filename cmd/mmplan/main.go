@@ -1,0 +1,95 @@
+// Command mmplan runs declarative scenario plans and gates their
+// results against golden baselines.
+//
+// Usage:
+//
+//	mmplan configs/plan-bfs-hints.yaml            run + gate against the
+//	                                              plan's baseline file
+//	mmplan -write-baseline configs/plan-*.yaml    (re)freeze baselines
+//	mmplan -baseline results/plans/x.json p.yaml  gate against an explicit
+//	                                              baseline path
+//
+// Exit status: 0 on pass, 1 on baseline drift or failed assertions,
+// 2 on usage/load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"megammap/internal/plan"
+)
+
+func main() {
+	write := flag.Bool("write-baseline", false, "write/overwrite each plan's baseline file instead of gating")
+	basePath := flag.String("baseline", "", "explicit baseline path (single plan only; overrides the plan's own)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mmplan [-write-baseline] [-baseline path] plan.yaml...")
+		os.Exit(2)
+	}
+	if *basePath != "" && flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "mmplan: -baseline applies to a single plan file")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmplan: %v\n", err)
+			os.Exit(2)
+		}
+		p, err := plan.Load(string(doc))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmplan: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+
+		res, err := p.Run()
+		if res != nil {
+			fmt.Println(res.Table().String())
+		}
+		if err != nil {
+			// Assertion failures still print the table above; anything
+			// else (a cell crashing) is fatal for this plan.
+			fmt.Fprintf(os.Stderr, "mmplan: %s: %v\n", path, err)
+			failed = true
+			if res == nil {
+				continue
+			}
+		}
+
+		target := p.Baseline
+		if *basePath != "" {
+			target = *basePath
+		}
+		switch {
+		case target == "":
+			fmt.Fprintf(os.Stderr, "mmplan: %s: no baseline configured; not gating\n", path)
+		case *write:
+			if err := plan.WriteBaseline(target, p.NewBaseline(res)); err != nil {
+				fmt.Fprintf(os.Stderr, "mmplan: %s: %v\n", path, err)
+				os.Exit(2)
+			}
+			fmt.Printf("wrote baseline %s (%d cells)\n", target, len(res.Cells))
+		default:
+			b, err := plan.LoadBaseline(target)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mmplan: %s: %v (run with -write-baseline to create)\n", path, err)
+				failed = true
+				continue
+			}
+			if err := b.Gate(res); err != nil {
+				fmt.Fprintf(os.Stderr, "mmplan: %s: %v\n", path, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("%s: %d cells within baseline %s\n", p.Name, len(res.Cells), target)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,176 @@
+package bfs
+
+import (
+	"testing"
+
+	"megammap/internal/cluster"
+	"megammap/internal/core"
+	"megammap/internal/datagen"
+	"megammap/internal/device"
+	"megammap/internal/mpi"
+	"megammap/internal/simnet"
+	"megammap/internal/stager"
+	"megammap/internal/vtime"
+)
+
+const (
+	offsURL  = "file:///data/graph.offsets"
+	edgesURL = "file:///data/graph.edges"
+)
+
+func testCluster(nodes int) *cluster.Cluster {
+	return cluster.New(cluster.Spec{
+		Nodes:    nodes,
+		CoresPer: 8,
+		DRAMPer:  64 * device.MB,
+		Tiers: []cluster.TierSpec{
+			{Name: "dram", Profile: device.DRAMProfile(4 * device.MB)},
+			{Name: "nvme", Profile: device.NVMeProfile(32 * device.MB)},
+		},
+		Link: simnet.RoCE40(),
+		PFS:  device.PFSProfile(4 * device.GB),
+	})
+}
+
+func coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Tiers = []string{"dram", "nvme"}
+	cfg.DefaultPageSize = 4 << 10
+	return cfg
+}
+
+// genGraph writes a CSR graph to the simulated PFS and returns it.
+func genGraph(t *testing.T, c *cluster.Cluster, v int64) *datagen.Graph {
+	t.Helper()
+	g := datagen.NewGraph(datagen.DefaultGraphSpec(v, 42))
+	c.Engine.Spawn("graphgen", func(p *vtime.Proc) {
+		st := stager.New(c)
+		ob, err := st.Open(offsURL)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		eb, err := st.Open(edgesURL)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := g.WriteTo(p, ob, eb, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Engine.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runBFS executes one full BFS world and reports the result plus paging
+// statistics and the finishing vtime.
+func runBFS(t *testing.T, hints []core.VectorHint, bound int64, v int64) (Result, *core.DSM, vtime.Duration) {
+	t.Helper()
+	c := testCluster(2)
+	genGraph(t, c, v)
+	cc := coreConfig()
+	cc.Hints = hints
+	d := core.New(c, cc)
+	w := mpi.NewWorld(c, 4)
+	var res Result
+	var end vtime.Duration
+	err := w.Run(func(r *mpi.Rank) {
+		out, err := Mega(r, d, Config{OffsetsURL: offsURL, EdgesURL: edgesURL, BoundBytes: bound})
+		if err != nil {
+			r.Fail(err)
+			return
+		}
+		if r.Rank() == 0 {
+			res = out
+			end = r.Proc().Now()
+			if err := d.Shutdown(r.Proc()); err != nil {
+				r.Fail(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, d, end
+}
+
+func TestMegaMatchesHostBFS(t *testing.T) {
+	const v = 4096
+	res, _, _ := runBFS(t, nil, 0, v)
+	want := Stats(datagen.NewGraph(datagen.DefaultGraphSpec(v, 42)).BFSFrom(0))
+	if res != want {
+		t.Fatalf("mega result %+v differs from host BFS %+v", res, want)
+	}
+	if res.Visited != v {
+		t.Fatalf("visited %d of %d", res.Visited, v)
+	}
+}
+
+func TestMegaBoundedMatchesUnbounded(t *testing.T) {
+	const v = 4096
+	free, _, _ := runBFS(t, nil, 0, v)
+	bound, d, _ := runBFS(t, nil, 16<<10, v)
+	if free != bound {
+		t.Fatalf("bounded run %+v differs from unbounded %+v", bound, free)
+	}
+	if f, _, _ := d.Stats(); f == 0 {
+		t.Error("expected faults under a 4-page edge bound")
+	}
+}
+
+// TestIrregularHintReducesWaste is the workload-level case for policy
+// hints: the discovery-order frontier makes the sequential declaration
+// over the edge vector mispredict nearly every access, so the default
+// policy issues prefetch fills the level never consumes (wasted
+// bandwidth) while real faults contend with them. Declaring the vector
+// irregular must cut wasted fills, not increase faults, and lower the
+// runtime — without changing the answer.
+func TestIrregularHintReducesWaste(t *testing.T) {
+	const v = 16384
+	const bound = 128 << 10
+	hint := []core.VectorHint{{Vector: edgesURL, Pattern: core.PatternIrregular}}
+
+	off, dOff, tOff := runBFS(t, nil, bound, v)
+	on, dOn, tOn := runBFS(t, hint, bound, v)
+
+	if off != on {
+		t.Fatalf("hint changed the answer: off %+v on %+v", off, on)
+	}
+	want := Stats(datagen.NewGraph(datagen.DefaultGraphSpec(v, 42)).BFSFrom(0))
+	if on != want {
+		t.Fatalf("result %+v differs from host BFS %+v", on, want)
+	}
+
+	_, wasteOff := dOff.PrefetchFillStats()
+	_, wasteOn := dOn.PrefetchFillStats()
+	fOff, _, _ := dOff.Stats()
+	fOn, _, _ := dOn.Stats()
+	if wasteOn >= wasteOff {
+		t.Errorf("wasted fills: hint-on %d, hint-off %d (want a reduction)", wasteOn, wasteOff)
+	}
+	if fOn > fOff {
+		t.Errorf("faults: hint-on %d, hint-off %d (want no increase)", fOn, fOff)
+	}
+	if tOn >= tOff {
+		t.Errorf("runtime: hint-on %v, hint-off %v (want a speedup)", tOn, tOff)
+	}
+}
+
+func TestMegaRejectsBadSource(t *testing.T) {
+	c := testCluster(1)
+	genGraph(t, c, 64)
+	d := core.New(c, coreConfig())
+	w := mpi.NewWorld(c, 1)
+	var got error
+	if err := w.Run(func(r *mpi.Rank) {
+		_, got = Mega(r, d, Config{OffsetsURL: offsURL, EdgesURL: edgesURL, Source: 64})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("expected an out-of-range source error")
+	}
+}

@@ -135,6 +135,11 @@ func Load(doc string) (*Deployment, error) {
 			return nil, err
 		}
 	}
+	if hn, ok := root.child("hints"); ok {
+		if err := d.loadHints(hn); err != nil {
+			return nil, err
+		}
+	}
 	if err := d.validate(); err != nil {
 		return nil, err
 	}
@@ -464,6 +469,104 @@ func (d *Deployment) loadControl(n *node) error {
 	}
 	d.Runtime.Control = cc
 	return nil
+}
+
+// loadHints parses the UMap-style paging-policy section into
+// core.VectorHint entries. The flat schema keeps the restricted YAML
+// subset happy: a list item with a `region:` field is a region override
+// of the nearest preceding vector-level entry for the same vector name
+// (entries apply in declaration order).
+//
+//	hints:
+//	  - vector: pq:///graph.csr:edges
+//	    pattern: irregular
+//	    evict: stream
+//	  - vector: pq:///graph.csr:edges
+//	    region: 0..8192
+//	    pattern: sequential
+//	    prefetch_depth: 8
+//	    evict: pin
+func (d *Deployment) loadHints(n *node) error {
+	for i, item := range n.items {
+		h := core.VectorHint{PrefetchDepth: -1}
+		r := core.RegionHint{PrefetchDepth: -1}
+		hasRegion := false
+		e := loadFields(item, map[string]func(string) error{
+			"vector": func(v string) error { h.Vector = v; return nil },
+			"region": func(v string) error {
+				hasRegion = true
+				return parseElemRange(v, &r.Off, &r.N)
+			},
+			"pattern": func(v string) error {
+				p, err := core.ParsePatternClass(v)
+				h.Pattern, r.Pattern = p, p
+				return err
+			},
+			"prefetch_depth": func(v string) error {
+				var depth int64
+				if err := parseSize(v, &depth); err != nil {
+					return err
+				}
+				if depth < 0 {
+					return fmt.Errorf("negative prefetch depth %d", depth)
+				}
+				h.PrefetchDepth, r.PrefetchDepth = depth, depth
+				return nil
+			},
+			"evict": func(v string) error {
+				ec, err := core.ParseEvictClass(v)
+				h.Evict, r.Evict = ec, ec
+				return err
+			},
+		})
+		if e != nil {
+			return fmt.Errorf("config: hints[%d]: %w", i, e)
+		}
+		if hasRegion {
+			h.PrefetchDepth = -1
+			h.Pattern, h.Evict = core.PatternDefault, core.EvictDefault
+			h.Regions = []core.RegionHint{r}
+		}
+		if e := h.Validate(); e != nil {
+			return fmt.Errorf("config: hints[%d]: %w", i, e)
+		}
+		d.Runtime.Hints = append(d.Runtime.Hints, h)
+	}
+	return nil
+}
+
+// parseElemRange parses an element range "off..end" (end exclusive) or
+// "off+n".
+func parseElemRange(v string, off, n *int64) error {
+	if lo, hi, ok := strings.Cut(v, ".."); ok {
+		var a, b int64
+		if err := parseSize(lo, &a); err != nil {
+			return fmt.Errorf("bad range %q", v)
+		}
+		if err := parseSize(hi, &b); err != nil {
+			return fmt.Errorf("bad range %q", v)
+		}
+		if b <= a || a < 0 {
+			return fmt.Errorf("empty range %q", v)
+		}
+		*off, *n = a, b-a
+		return nil
+	}
+	if lo, ln, ok := strings.Cut(v, "+"); ok {
+		var a, b int64
+		if err := parseSize(lo, &a); err != nil {
+			return fmt.Errorf("bad range %q", v)
+		}
+		if err := parseSize(ln, &b); err != nil {
+			return fmt.Errorf("bad range %q", v)
+		}
+		if b <= 0 || a < 0 {
+			return fmt.Errorf("empty range %q", v)
+		}
+		*off, *n = a, b
+		return nil
+	}
+	return fmt.Errorf("bad range %q (want off..end or off+n)", v)
 }
 
 // loadFields applies every present field of a sequence-item mapping,

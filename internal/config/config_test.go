@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"megammap/internal/core"
 	"megammap/internal/faults"
 	"megammap/internal/vtime"
 )
@@ -297,5 +298,62 @@ func TestBuildInstallsFaults(t *testing.T) {
 	}
 	if c.Faults().Count("crash") != 1 {
 		t.Errorf("crash counter = %d, want 1", c.Faults().Count("crash"))
+	}
+}
+
+func TestLoadHints(t *testing.T) {
+	d, err := Load(`cluster:
+  nodes: 2
+hints:
+  - vector: pq:///graph.csr:edges
+    pattern: irregular
+    evict: stream
+  - vector: pq:///graph.csr:edges
+    region: 0..8192
+    pattern: sequential
+    prefetch_depth: 8
+    evict: pin
+  - vector: pq://*
+    prefetch_depth: 4KB
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := d.Runtime.Hints
+	if len(hs) != 3 {
+		t.Fatalf("hints = %+v", hs)
+	}
+	if hs[0].Vector != "pq:///graph.csr:edges" || hs[0].Pattern != core.PatternIrregular ||
+		hs[0].Evict != core.EvictStream || hs[0].PrefetchDepth != -1 || hs[0].Regions != nil {
+		t.Errorf("vector hint = %+v", hs[0])
+	}
+	// A list item with region: is a region override; the vector-level
+	// fields of that item must stay unset.
+	if hs[1].Pattern != core.PatternDefault || hs[1].PrefetchDepth != -1 || len(hs[1].Regions) != 1 {
+		t.Fatalf("region item = %+v", hs[1])
+	}
+	r := hs[1].Regions[0]
+	if r.Off != 0 || r.N != 8192 || r.Pattern != core.PatternSequential ||
+		r.PrefetchDepth != 8 || r.Evict != core.EvictPin {
+		t.Errorf("region = %+v", r)
+	}
+	if hs[2].Vector != "pq://*" || hs[2].PrefetchDepth != 4<<10 {
+		t.Errorf("wildcard hint = %+v", hs[2])
+	}
+}
+
+func TestLoadHintsErrors(t *testing.T) {
+	cases := []string{
+		"hints:\n  - vector: v\n    pattern: psychic\n",
+		"hints:\n  - vector: v\n    evict: never\n",
+		"hints:\n  - vector: v\n    prefetch_depth: -4\n",
+		"hints:\n  - vector: v\n    region: 8..4\n",
+		"hints:\n  - pattern: random\n",               // no vector name
+		"hints:\n  - vector: v\n    patern: random\n", // typo'd key must not silently no-op
+	}
+	for _, doc := range cases {
+		if _, err := Load("cluster:\n  nodes: 2\n" + doc); err == nil {
+			t.Errorf("Load(%q) accepted invalid hints", doc)
+		}
 	}
 }

@@ -1,0 +1,88 @@
+// Exported views over the restricted-YAML parser, so higher-level
+// harnesses (the scenario-plan runner) can parse their own sections of a
+// document with the same subset, instead of growing a second parser. The
+// views are read-only; config.Load remains the only constructor of
+// Deployments.
+package config
+
+import "megammap/internal/vtime"
+
+// Doc is a parsed restricted-YAML document.
+type Doc struct{ root *node }
+
+// Parse parses a document into a navigable Doc. It accepts exactly the
+// subset Load accepts: two-space indentation, `key: value` mappings,
+// `- item` sequences, scalars, and comments.
+func Parse(doc string) (*Doc, error) {
+	root, err := parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	return &Doc{root: root}, nil
+}
+
+// Section returns a top-level section by key.
+func (d *Doc) Section(key string) (*Sec, bool) {
+	n, ok := d.root.child(key)
+	if !ok {
+		return nil, false
+	}
+	return &Sec{n: n}, true
+}
+
+// Sections returns the top-level section keys in document order.
+func (d *Doc) Sections() []string { return append([]string(nil), d.root.order...) }
+
+// Sec is one node of a parsed document: a mapping, sequence, or scalar.
+type Sec struct{ n *node }
+
+// Scalar returns the named child's scalar value.
+func (s *Sec) Scalar(key string) (string, bool) { return s.n.scalar(key) }
+
+// Child returns the named child node.
+func (s *Sec) Child(key string) (*Sec, bool) {
+	n, ok := s.n.child(key)
+	if !ok {
+		return nil, false
+	}
+	return &Sec{n: n}, true
+}
+
+// Keys returns the mapping's keys in document order.
+func (s *Sec) Keys() []string { return append([]string(nil), s.n.order...) }
+
+// Items returns the sequence items (nil for non-sequences).
+func (s *Sec) Items() []*Sec {
+	out := make([]*Sec, 0, len(s.n.items))
+	for _, it := range s.n.items {
+		out = append(out, &Sec{n: it})
+	}
+	return out
+}
+
+// Value returns the node's own scalar value ("" for mappings/sequences).
+func (s *Sec) Value() string { return s.n.value }
+
+// FlowList splits "[a, b, c]" or "a, b, c" into items.
+func FlowList(v string) []string { return splitFlowList(v) }
+
+// ParseSizeValue parses "4096", "48KB", "128MB", "1GB", "2TB".
+func ParseSizeValue(v string) (int64, error) {
+	var n int64
+	err := parseSize(v, &n)
+	return n, err
+}
+
+// ParseElemRange parses an element range "off..end" (end exclusive) or
+// "off+n".
+func ParseElemRange(v string) (off, n int64, err error) {
+	err = parseElemRange(v, &off, &n)
+	return off, n, err
+}
+
+// ParseDurationValue parses "500ns", "20us", "20ms", "1.5s".
+func ParseDurationValue(v string) (vtime.Duration, error) {
+	var d vtime.Duration
+	err := parseDuration(v, &d)
+	return d, err
+}

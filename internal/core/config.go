@@ -95,6 +95,13 @@ type Config struct {
 	// end, worker node) in DSM.Trace for diagnostics.
 	TraceTasks bool
 
+	// Hints attaches UMap-style paging policies to vectors by name:
+	// access-pattern class, fill-window depth, eviction class, and
+	// per-region overrides (see VectorHint). Vectors without a matching
+	// hint behave exactly as before — an empty list is byte-identical to
+	// older runs.
+	Hints []VectorHint
+
 	// Control configures the adaptive control plane: closed-loop
 	// governors that sample utilization, backlog, and cache signals each
 	// tick and adjust repair pacing, scrub budgets, prefetch depth, and

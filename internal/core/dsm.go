@@ -755,6 +755,7 @@ type vecMeta struct {
 	replicas map[int64]map[int]bool // page -> nodes holding replicas
 	sums     map[int64]uint32       // page CRC-32s (ChecksumPages mode)
 	flags    AccessFlags            // current phase intent (last TxBegin)
+	hints    *resolvedHints         // paging policy (nil = default behaviour)
 
 	appendsSinceRT int64 // appends since the last length-reservation round-trip
 

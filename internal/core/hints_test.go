@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseHintClasses(t *testing.T) {
+	for in, want := range map[string]PatternClass{
+		"": PatternDefault, "default": PatternDefault,
+		"sequential": PatternSequential, "seq": PatternSequential,
+		"random": PatternRandom, " Rand ": PatternRandom,
+		"irregular": PatternIrregular, "graph": PatternIrregular,
+	} {
+		got, err := ParsePatternClass(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePatternClass(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePatternClass("psychic"); !errors.Is(err, ErrUnknownPattern) {
+		t.Errorf("got %v, want ErrUnknownPattern", err)
+	}
+	for in, want := range map[string]EvictClass{
+		"": EvictDefault, "score": EvictDefault, "stream": EvictStream, "pin": EvictPin,
+	} {
+		got, err := ParseEvictClass(in)
+		if err != nil || got != want {
+			t.Errorf("ParseEvictClass(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseEvictClass("never"); !errors.Is(err, ErrUnknownEvict) {
+		t.Errorf("got %v, want ErrUnknownEvict", err)
+	}
+}
+
+func TestVectorHintValidate(t *testing.T) {
+	if err := (VectorHint{}).Validate(); err == nil {
+		t.Error("empty vector name accepted")
+	}
+	h := VectorHint{Vector: "x", Regions: []RegionHint{{Off: -1, N: 4}}}
+	if err := h.Validate(); !errors.Is(err, ErrBadRegion) {
+		t.Errorf("negative offset: got %v, want ErrBadRegion", err)
+	}
+	h.Regions = []RegionHint{{Off: 0, N: 0}}
+	if err := h.Validate(); !errors.Is(err, ErrBadRegion) {
+		t.Errorf("zero length: got %v, want ErrBadRegion", err)
+	}
+	h.Regions = []RegionHint{{Off: 0, N: 8, PrefetchDepth: -1}}
+	if err := h.Validate(); err != nil {
+		t.Errorf("valid region rejected: %v", err)
+	}
+}
+
+func TestHintMatching(t *testing.T) {
+	hints := []VectorHint{
+		{Vector: "pq://*", Pattern: PatternRandom, PrefetchDepth: -1},
+		{Vector: "file:///data/edges", Pattern: PatternIrregular, PrefetchDepth: -1},
+	}
+	if rh := resolveHints(hints, "file:///data/offsets", 1024); rh != nil {
+		t.Errorf("unmatched vector resolved hints: %+v", rh)
+	}
+	rh := resolveHints(hints, "pq:///warehouse/pts:pos", 1024)
+	if rh == nil || rh.def.pattern != PatternRandom {
+		t.Fatalf("wildcard match failed: %+v", rh)
+	}
+	rh = resolveHints(hints, "file:///data/edges", 1024)
+	if rh == nil || rh.def.pattern != PatternIrregular || !rh.distrustsPrediction() {
+		t.Fatalf("exact match failed: %+v", rh)
+	}
+}
+
+// TestHintLaterOverridesEarlier: later matching hints override earlier
+// ones at the vector level, field by field (unset fields inherit).
+func TestHintLaterOverridesEarlier(t *testing.T) {
+	hints := []VectorHint{
+		{Vector: "v", Pattern: PatternRandom, PrefetchDepth: 4, Evict: EvictStream},
+		{Vector: "v", Pattern: PatternIrregular, PrefetchDepth: -1}, // pattern only
+	}
+	rh := resolveHints(hints, "v", 1024)
+	p := rh.policyFor(0)
+	if p.pattern != PatternIrregular {
+		t.Errorf("pattern = %v, want irregular (later hint wins)", p.pattern)
+	}
+	if p.depth != 4 || p.evict != EvictStream {
+		t.Errorf("unset fields must inherit: %+v", p)
+	}
+}
+
+// TestRegionOverridePrecedence: the first covering region's explicit
+// fields win over the vector default; pages outside every region keep
+// the default; region bounds resolve at page granularity.
+func TestRegionOverridePrecedence(t *testing.T) {
+	const epp = 1024 // elements per page
+	hints := []VectorHint{{
+		Vector: "v", Pattern: PatternIrregular, PrefetchDepth: -1,
+		Regions: []RegionHint{
+			// Hot hub prefix: pinned, explicit depth. Covers pages 0-1
+			// (element 1500 rounds up to the end of page 1).
+			{Off: 0, N: 1500, PrefetchDepth: 2, Evict: EvictPin},
+			// Overlapping second region must NOT win on page 1.
+			{Off: 1024, N: 2048, PrefetchDepth: 9, Evict: EvictStream},
+		},
+	}}
+	rh := resolveHints(hints, "v", epp)
+
+	p := rh.policyFor(0)
+	if p.evict != EvictPin || p.depth != 2 {
+		t.Errorf("page 0: %+v, want pin/depth 2", p)
+	}
+	if p.pattern != PatternIrregular {
+		t.Errorf("page 0: region with default pattern must inherit the vector's: %+v", p)
+	}
+	if got := rh.policyFor(1); got.evict != EvictPin {
+		t.Errorf("page 1: first covering region must win: %+v", got)
+	}
+	if got := rh.policyFor(2); got.evict != EvictStream || got.depth != 9 {
+		t.Errorf("page 2: second region: %+v", got)
+	}
+	if got := rh.policyFor(3); got != rh.def {
+		t.Errorf("page 3: outside all regions, want vector default: %+v", got)
+	}
+
+	if s := rh.insertScore(0); s != 2 {
+		t.Errorf("pinned page insert score = %v, want 2", s)
+	}
+	if s := rh.insertScore(3); s != 1 {
+		t.Errorf("default page insert score = %v, want 1", s)
+	}
+}
+
+func TestEffectiveDepth(t *testing.T) {
+	cases := []struct {
+		pattern PatternClass
+		depth   int64
+		want    int64
+	}{
+		{PatternDefault, -1, -1},    // unhinted: unlimited window
+		{PatternSequential, -1, -1}, // explicit sequential = default
+		{PatternRandom, -1, 8},      // class default narrows the window
+		{PatternIrregular, -1, 0},   // no fills at all
+		{PatternIrregular, 3, 3},    // explicit depth beats the class
+		{PatternRandom, 0, 0},       // 0 is a real value, not unset
+		{PatternDefault, 16, 16},
+	}
+	for _, tc := range cases {
+		if got := effectiveDepth(tc.pattern, tc.depth); got != tc.want {
+			t.Errorf("effectiveDepth(%v, %d) = %d, want %d", tc.pattern, tc.depth, got, tc.want)
+		}
+	}
+}

@@ -30,6 +30,11 @@ func (v *Vector[T]) runPrefetcher(current int64) {
 	a := v.tx
 	m := v.m
 	ps, epp := m.pageSize, m.epp
+	// An irregular-pattern hint (UMap's access-pattern class) says the
+	// declared sequence does not predict the real access order: skip
+	// predictive eviction and organizer scoring entirely, and issue fills
+	// only where a region override re-enables them.
+	distrust := m.hints.distrustsPrediction()
 	maxPages := int64(prefetchHorizonPages)
 	if v.pc.bound > 0 {
 		maxPages = v.pc.bound / ps
@@ -45,25 +50,27 @@ func (v *Vector[T]) runPrefetcher(current int64) {
 	}
 
 	future := a.pagesIn(a.tail, a.tail+maxPages*epp, epp)
-	futureSet := make(map[int64]struct{}, len(future))
-	for _, pg := range future {
-		futureSet[pg] = struct{}{}
-	}
 
 	// Evict phase.
-	touched := a.pagesIn(a.head, a.tail, epp)
-	for _, pg := range touched {
-		if pg == current {
-			continue
+	if !distrust {
+		futureSet := make(map[int64]struct{}, len(future))
+		for _, pg := range future {
+			futureSet[pg] = struct{}{}
 		}
-		if _, soon := futureSet[pg]; soon {
-			continue // will be re-touched; keep it hot
-		}
-		v.scoreAsync(pg, 0)
-		if cp := v.pc.pages[pg]; cp != nil {
-			cp.score = 0
-			v.pc.fix(cp)
-			v.evict(cp)
+		touched := a.pagesIn(a.head, a.tail, epp)
+		for _, pg := range touched {
+			if pg == current {
+				continue
+			}
+			if _, soon := futureSet[pg]; soon {
+				continue // will be re-touched; keep it hot
+			}
+			v.scoreAsync(pg, 0)
+			if cp := v.pc.pages[pg]; cp != nil {
+				cp.score = 0
+				v.pc.fix(cp)
+				v.evict(cp)
+			}
 		}
 	}
 
@@ -81,7 +88,13 @@ func (v *Vector[T]) runPrefetcher(current int64) {
 	for ; i < len(future) && filled < freePages; i++ {
 		pg := future[i]
 		base += float64(ps) / v.tierReadBW(pg)
-		v.scoreAsync(pg, 1)
+		if !distrust {
+			v.scoreAsync(pg, 1)
+		}
+		pol := m.hints.policyFor(pg)
+		if depth := effectiveDepth(pol.pattern, pol.depth); depth >= 0 && int64(i) >= depth {
+			continue // the page's hint caps the fill window before here
+		}
 		if !fillable || pg >= m.pageCount() || v.pc.get(pg) != nil || v.fills[pg] != nil {
 			continue
 		}
@@ -93,20 +106,22 @@ func (v *Vector[T]) runPrefetcher(current int64) {
 	}
 
 	// Distant pages: decaying score until MinScore.
-	est := base
-	scored := 0
-	horizon := a.tail + maxPages*epp
-	distant := append(future[i:], a.pagesIn(horizon, horizon+maxPages*epp, epp)...)
-	for _, pg := range distant {
-		est += float64(ps) / v.tierReadBW(pg)
-		score := base / est
-		if score <= v.c.d.cfg.MinScore {
-			break
-		}
-		v.scoreAsync(pg, score)
-		scored++
-		if scored >= prefetchHorizonPages {
-			break
+	if !distrust {
+		est := base
+		scored := 0
+		horizon := a.tail + maxPages*epp
+		distant := append(future[i:], a.pagesIn(horizon, horizon+maxPages*epp, epp)...)
+		for _, pg := range distant {
+			est += float64(ps) / v.tierReadBW(pg)
+			score := base / est
+			if score <= v.c.d.cfg.MinScore {
+				break
+			}
+			v.scoreAsync(pg, score)
+			scored++
+			if scored >= prefetchHorizonPages {
+				break
+			}
 		}
 	}
 

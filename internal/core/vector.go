@@ -48,6 +48,7 @@ type VectorOpt func(*vectorOpts)
 type vectorOpts struct {
 	pageSize  int64
 	accessKey string
+	hint      *VectorHint
 }
 
 // WithPageSize selects the vector's page size in bytes. Page sizes are
@@ -61,6 +62,14 @@ func WithPageSize(n int64) VectorOpt {
 // buffered data keeps the access level of the original content).
 func WithAccessKey(key string) VectorOpt {
 	return func(o *vectorOpts) { o.accessKey = key }
+}
+
+// WithHint attaches a paging-policy hint to the vector at creation,
+// overriding any matching Config.Hints entry (the hint's Vector field is
+// ignored; it always applies). Hints are shared vector state: the
+// creating Open resolves them, later opens inherit.
+func WithHint(h VectorHint) VectorOpt {
+	return func(o *vectorOpts) { o.hint = &h }
 }
 
 // Open connects to (or creates) the shared vector identified by name. A
@@ -95,6 +104,12 @@ func Open[T any](c *Client, name string, codec Codec[T], opts ...VectorOpt) (*Ve
 		}
 		m.id = c.d.h.Intern(name)
 		m.home = int(blob.Raw(m.id).Hash() % uint32(len(c.d.c.Nodes)))
+		m.hints = resolveHints(c.d.cfg.Hints, name, m.epp)
+		if o.hint != nil {
+			h := *o.hint
+			h.Vector = name
+			m.hints = resolveHints(append(append([]VectorHint(nil), c.d.cfg.Hints...), h), name, m.epp)
+		}
 		if strings.Contains(name, "://") {
 			b, err := c.d.st.Open(name)
 			if err != nil {
@@ -471,6 +486,9 @@ func (v *Vector[T]) step() {
 // prefetcher on page transitions.
 func (v *Vector[T]) page(pg int64, forWrite bool) *cachedPage {
 	if v.last != nil && v.last.idx == pg {
+		if !forWrite && v.last.partial && v.pageWrites[pg] > 0 {
+			v.healPartial(v.last)
+		}
 		return v.last
 	}
 	cp := v.pc.get(pg)
@@ -481,6 +499,9 @@ func (v *Vector[T]) page(pg int64, forWrite bool) *cachedPage {
 	if cp == nil {
 		cp = v.faultTraced(pg, forWrite)
 	}
+	if !forWrite && cp.partial && v.pageWrites[pg] > 0 {
+		v.healPartial(cp)
+	}
 	v.last = cp
 	// Run the prefetcher on page transitions, rate-limited to once per
 	// page worth of accesses so random patterns (which change pages on
@@ -490,6 +511,35 @@ func (v *Vector[T]) page(pg int64, forWrite bool) *cachedPage {
 		v.runPrefetcher(pg)
 	}
 	return cp
+}
+
+// healPartial replaces a write-allocated page's zero fill with the
+// committed page image before a local read. A page this handle committed
+// before (pageWrites > 0) and then re-allocated for writing holds zeros
+// where the scache holds the handle's own earlier data; reading the
+// resident copy would mask it. The fetch counts as a fault (it is one),
+// and uncommitted local modifications overlay the fetched image.
+func (v *Vector[T]) healPartial(cp *cachedPage) {
+	m := v.m
+	v.c.d.faults++
+	m.faults++
+	v.c.d.mFaults[v.c.node.ID].Inc()
+	t := v.c.d.newTask()
+	t.kind, t.vec, t.page = taskRead, m, cp.idx
+	t.origin, t.replicate = v.c.node.ID, v.replicable()
+	if err := v.c.submitSync(t); err != nil {
+		panic(fmt.Errorf("core: heal of %s page %d failed: %w", m.name, cp.idx, err))
+	}
+	data := t.data
+	t.data = nil
+	v.c.d.recycleTask(t)
+	cp.dirty = mergeRanges(cp.dirty)
+	for _, r := range cp.dirty {
+		copy(data[r.off:r.end], cp.data[r.off:r.end])
+	}
+	v.c.d.putBuf(cp.data)
+	cp.data = data
+	cp.partial = false
 }
 
 // parentSpan returns the causal parent for spans opened by this handle:
@@ -563,7 +613,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 			v.c.d.recycleTask(t)
 			v.c.d.recycleTask(f.t) // the stale image re-pools here
 			v.c.d.fillWaste++
-			cp := v.pc.newPage(pg, fresh, 1, false)
+			cp := v.pc.newPage(pg, fresh, m.hints.insertScore(pg), false)
 			v.pc.insert(cp)
 			return cp
 		}
@@ -571,7 +621,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		filled := f.t.data
 		f.t.data = nil
 		v.c.d.fillHits++
-		cp := v.pc.newPage(pg, filled, 1, false)
+		cp := v.pc.newPage(pg, filled, m.hints.insertScore(pg), false)
 		v.c.d.recycleTask(f.t)
 		v.pc.insert(cp)
 		return cp
@@ -609,7 +659,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		}
 	}
 	v.ensureSpace(pg)
-	cp := v.pc.newPage(pg, data, 1, partial)
+	cp := v.pc.newPage(pg, data, m.hints.insertScore(pg), partial)
 	v.pc.insert(cp)
 	return cp
 }
@@ -759,7 +809,7 @@ func (v *Vector[T]) integrateFills() {
 		v.c.d.fillHits++
 		filled := f.t.data
 		f.t.data = nil // claimed by the page
-		v.pc.insert(v.pc.newPage(pg, filled, 1, false))
+		v.pc.insert(v.pc.newPage(pg, filled, v.m.hints.insertScore(pg), false))
 		v.c.d.recycleTask(f.t)
 	}
 }

@@ -132,35 +132,53 @@ func controlScrubPart(prof Profile, t *stats.Table) error {
 		{"fixed", 10 * vtime.Millisecond, nil},
 		{"adaptive", 10 * vtime.Millisecond, adaptiveScrubConfig},
 	} {
-		c := newCluster(testbedSpec(nodes, prof.Fig8BytesPerNode))
-		ccfg := tieredConfig()
-		ccfg.ChecksumPages = true
-		ccfg.ScrubPeriod = mode.sweep
-		// Small pages push the checksummed page set past ScrubMax, so a
-		// fixed sweep visibly exceeds the budget the governor honours.
-		ccfg.DefaultPageSize = 12 << 10 // divisible by 16B cells
-		if mode.mod != nil {
-			mode.mod(&ccfg)
-		}
-		d := core.New(c, ccfg)
-		m, err := runWorld(c, d, ranks, func(r *mpi.Rank) error {
-			_, err := grayscott.Mega(r, d, grayscott.Config{
-				L: l, Steps: 3,
-				BoundBytes:  total / int64(ranks),
-				CostPerCell: scaleCost(36 * vtime.Nanosecond),
-			})
-			return err
-		})
+		out, err := scrubRun(nodes, ranks, prof.Fig8BytesPerNode, total, l, 3, mode.sweep, mode.mod)
 		if err != nil {
 			return fmt.Errorf("control: scrub/%s run: %w", mode.name, err)
 		}
 		if mode.name == "baseline" {
-			baseline = m.Runtime
+			baseline = out.Runtime
 		}
-		sweeps, pages, maxSweep, cycles := d.ScrubStats()
-		t.Add("scrub", mode.name, m.Runtime.Seconds(),
-			float64(m.Runtime)/float64(baseline),
-			0.0, 0, 0, sweeps, pages, maxSweep, cycles)
+		t.Add("scrub", mode.name, out.Runtime.Seconds(),
+			float64(out.Runtime)/float64(baseline),
+			0.0, 0, 0, out.ScrubSweeps, out.ScrubPages, out.MaxSweep, out.Cycles)
 	}
 	return nil
+}
+
+// scrubRun executes one Gray-Scott run with checksummed pages on a
+// fresh testbed, with the given fixed scrub period (0 = off) and an
+// optional config editor (the adaptive mode installs the cursor
+// governor this way).
+func scrubRun(nodes, ranks int, bytesPerNode, total int64, l, steps int, sweep vtime.Duration, mod func(*core.Config)) (ScrubCellOut, error) {
+	c := newCluster(testbedSpec(nodes, bytesPerNode))
+	ccfg := tieredConfig()
+	ccfg.ChecksumPages = true
+	ccfg.ScrubPeriod = sweep
+	// Small pages push the checksummed page set past ScrubMax, so a
+	// fixed sweep visibly exceeds the budget the governor honours.
+	ccfg.DefaultPageSize = 12 << 10 // divisible by 16B cells
+	if mod != nil {
+		mod(&ccfg)
+	}
+	d := core.New(c, ccfg)
+	m, err := runWorld(c, d, ranks, func(r *mpi.Rank) error {
+		_, err := grayscott.Mega(r, d, grayscott.Config{
+			L: l, Steps: steps,
+			BoundBytes:  total / int64(ranks),
+			CostPerCell: scaleCost(36 * vtime.Nanosecond),
+		})
+		return err
+	})
+	if err != nil {
+		return ScrubCellOut{}, err
+	}
+	sweeps, pages, maxSweep, cycles := d.ScrubStats()
+	return ScrubCellOut{
+		Runtime:     m.Runtime,
+		ScrubSweeps: sweeps,
+		ScrubPages:  pages,
+		MaxSweep:    maxSweep,
+		Cycles:      cycles,
+	}, nil
 }

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"megammap/internal/apps/kmeans"
+	"megammap/internal/cluster"
+	"megammap/internal/core"
+	"megammap/internal/faults"
+	"megammap/internal/vtime"
+)
+
+// Exported views over the driver helpers, so the scenario-plan runner
+// (internal/plan) executes its cells through the exact code paths the
+// ad-hoc drivers use. Equivalence between a plan cell and a driver run
+// is then structural: both call the same cluster constructor, data
+// generator, DSM configuration, and world harness in the same order, so
+// the deterministic simulation produces bit-identical numbers.
+
+// ScaleCost converts a real per-element compute cost to repo scale.
+func ScaleCost(d vtime.Duration) vtime.Duration { return scaleCost(d) }
+
+// TestbedSpec builds the standard scaled testbed.
+func TestbedSpec(nodes int, dramTier int64) cluster.Spec { return testbedSpec(nodes, dramTier) }
+
+// Fig5DRAMTier sizes the scache DRAM tier for the in-memory regime.
+func Fig5DRAMTier(totalBytes int64, nodes int) int64 { return fig5DRAMTier(totalBytes, nodes) }
+
+// ParticlesFor converts dataset bytes to a particle count.
+func ParticlesFor(bytes int64) int { return particlesFor(bytes) }
+
+// GSSideFor returns the Gray-Scott grid side occupying about totalBytes.
+func GSSideFor(totalBytes int64) int { return gsSideFor(totalBytes) }
+
+// InMemoryConfig is the Fig. 5 DSM configuration (memory only, no
+// optimizations).
+func InMemoryConfig() core.Config { return inMemoryConfig() }
+
+// TieredConfig is the standard tiered DSM configuration.
+func TieredConfig() core.Config { return tieredConfig() }
+
+// AdaptiveRepairConfig switches repair pacing from the fixed period to
+// the AIMD governor (other governors off).
+func AdaptiveRepairConfig(cfg *core.Config) { adaptiveRepairConfig(cfg) }
+
+// AdaptiveScrubConfig replaces fixed full scrub sweeps with the
+// incremental cursor governor (other governors off).
+func AdaptiveScrubConfig(cfg *core.Config) { adaptiveScrubConfig(cfg) }
+
+// KMeansCellOut reports one KMeans fault-plane run: the measured
+// runtime, the virtual time at which dataset generation finished (fault
+// schedules are derived relative to it), the workload result, and the
+// repair-plane and injector counters.
+type KMeansCellOut struct {
+	Runtime         vtime.Duration
+	GenEnd          vtime.Duration
+	Result          kmeans.Result
+	Counters        []faults.Counter
+	MTTR            vtime.Duration
+	RedundancyOK    bool
+	UnderReplicated int
+	PageRepairs     int64
+}
+
+// RunKMeansFaultCell executes one KMeans run on a fresh testbed exactly
+// as the failover/mttr/control drivers do: one backup replica per
+// scache page, optionally under a fault plan, with mod (when non-nil)
+// editing the DSM config before construction.
+func RunKMeansFaultCell(cfg kmeans.Config, plan *faults.Plan, nodes, ranks, n int, total int64, mod func(*core.Config)) (KMeansCellOut, error) {
+	out, err := mttrRun(Profile{}, cfg, plan, nodes, ranks, n, total, mod)
+	if err != nil {
+		return KMeansCellOut{}, err
+	}
+	return KMeansCellOut{
+		Runtime:         out.m.Runtime,
+		GenEnd:          out.genEnd,
+		Result:          out.result,
+		Counters:        out.counters,
+		MTTR:            out.mttr,
+		RedundancyOK:    out.redundancyOK,
+		UnderReplicated: out.underReplicated,
+		PageRepairs:     out.pageRepairs,
+	}, nil
+}
+
+// ScrubCellOut reports one Gray-Scott scrub run.
+type ScrubCellOut struct {
+	Runtime     vtime.Duration
+	ScrubSweeps int64
+	ScrubPages  int64
+	MaxSweep    int64
+	Cycles      int64
+}
+
+// RunScrubCell executes one Gray-Scott run with checksummed pages
+// exactly as the control driver's scrub part does: sweep is the fixed
+// ScrubPeriod (0 = scrubbing off) and mod edits the DSM config (the
+// adaptive mode installs the cursor governor this way).
+func RunScrubCell(nodes, ranks int, bytesPerNode int64, steps int, sweep vtime.Duration, mod func(*core.Config)) (ScrubCellOut, error) {
+	total := bytesPerNode * int64(nodes)
+	out, err := scrubRun(nodes, ranks, bytesPerNode, total, gsSideFor(total/2), steps, sweep, mod)
+	if err != nil {
+		return ScrubCellOut{}, err
+	}
+	return out, nil
+}

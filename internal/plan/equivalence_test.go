@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"megammap/internal/experiments"
+	"megammap/internal/stats"
+)
+
+// The porting-equivalence tests: each configs/plan-*.yaml that mirrors
+// an ad-hoc experiment driver must reproduce the driver's numbers bit
+// for bit. Both sides run the same deterministic simulation through the
+// same helpers, so the comparison is at full table precision — floats
+// at the %.4g the stats tables print, everything else exact.
+
+// loadConfigPlan loads a checked-in plan document from configs/.
+func loadConfigPlan(t *testing.T, name string) *Plan {
+	t.Helper()
+	doc, err := os.ReadFile(filepath.Join("..", "..", "configs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(string(doc))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return p
+}
+
+// cellValue formats a plan cell's metric exactly as the driver tables
+// print theirs (%.4g for floats, %v for integers).
+func cellValue(t *testing.T, r *Result, cell, metric string) string {
+	t.Helper()
+	c, ok := r.Cell(cell)
+	if !ok {
+		t.Fatalf("plan run has no cell %q", cell)
+	}
+	if v, ok := c.Metrics[metric]; ok {
+		return fmt.Sprintf("%.4g", v)
+	}
+	if v, ok := c.Digests[metric]; ok {
+		return fmt.Sprintf("%v", v)
+	}
+	t.Fatalf("cell %q reports no metric %q", cell, metric)
+	return ""
+}
+
+// metricRows collapses a two-column (metric, value) driver table.
+func metricRows(tb *stats.Table) map[string]string {
+	out := map[string]string{}
+	for i := 0; i < tb.Len(); i++ {
+		out[tb.Cell(i, "metric")] = tb.Cell(i, "value")
+	}
+	return out
+}
+
+// equate asserts plan cell metrics equal driver values, pair by pair:
+// driver-metric, plan-cell, plan-metric triples.
+func equate(t *testing.T, r *Result, driver map[string]string, triples [][3]string) {
+	t.Helper()
+	for _, tr := range triples {
+		want, ok := driver[tr[0]]
+		if !ok {
+			t.Errorf("driver table has no row %q", tr[0])
+			continue
+		}
+		if got := cellValue(t, r, tr[1], tr[2]); got != want {
+			t.Errorf("%s: driver %s = %s, plan %s/%s = %s", tr[0], tr[0], want, tr[1], tr[2], got)
+		}
+	}
+}
+
+func TestFailoverPlanMatchesDriver(t *testing.T) {
+	tb, err := experiments.Failover(experiments.Small(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := metricRows(tb)
+
+	p := loadConfigPlan(t, "plan-failover.yaml")
+	r, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	equate(t, r, driver, [][3]string{
+		{"clean_runtime_s", "fault=none", "runtime_s"},
+		{"faulted_runtime_s", "fault=faulted", "runtime_s"},
+		{"slowdown", "fault=faulted", "slowdown"},
+		{"checksum_match", "fault=faulted", "checksum_match"},
+	})
+	// Every fault counter the driver reports must match, and the plan
+	// must not report counters the driver did not see.
+	faulted, _ := r.Cell("fault=faulted")
+	for name, want := range driver {
+		if !strings.HasPrefix(name, "fault.") {
+			continue
+		}
+		if got := fmt.Sprintf("%v", faulted.Digests[name]); got != want {
+			t.Errorf("%s: driver %s, plan %s", name, want, got)
+		}
+	}
+	for name := range faulted.Digests {
+		if strings.HasPrefix(name, "fault.") {
+			if _, ok := driver[name]; !ok {
+				t.Errorf("plan reports counter %s the driver does not", name)
+			}
+		}
+	}
+}
+
+func TestMTTRPlanMatchesDriver(t *testing.T) {
+	tb, err := experiments.MTTR(experiments.Small(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := metricRows(tb)
+
+	p := loadConfigPlan(t, "plan-mttr.yaml")
+	r, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	equate(t, r, driver, [][3]string{
+		{"clean_runtime_s", "fault=none", "runtime_s"},
+		{"faulted_runtime_s", "fault=crashrevive", "runtime_s"},
+		{"slowdown", "fault=crashrevive", "slowdown"},
+		{"checksum_match", "fault=crashrevive", "checksum_match"},
+		{"redundancy_restored", "fault=crashrevive", "redundancy_restored"},
+		{"time_to_full_redundancy_s", "fault=crashrevive", "mttr_s"},
+		{"under_replicated_end", "fault=crashrevive", "under_replicated"},
+		{"page_repairs", "fault=crashrevive", "page_repairs"},
+		{"fault.crash", "fault=crashrevive", "fault.crash"},
+		{"fault.revive", "fault=crashrevive", "fault.revive"},
+	})
+}
+
+// TestControlPlansMatchDriver compares one Control driver run against
+// both ported plans: the repair part against plan-control.yaml and the
+// scrub part against plan-scrub.yaml.
+func TestControlPlansMatchDriver(t *testing.T) {
+	tb, err := experiments.Control(experiments.Small(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index the (part, mode) rows.
+	type rowKey struct{ part, mode string }
+	rows := map[rowKey]int{}
+	for i := 0; i < tb.Len(); i++ {
+		rows[rowKey{tb.Cell(i, "part"), tb.Cell(i, "mode")}] = i
+	}
+	row := func(part, mode, col string) string {
+		i, ok := rows[rowKey{part, mode}]
+		if !ok {
+			t.Fatalf("driver table has no (%s, %s) row", part, mode)
+		}
+		return tb.Cell(i, col)
+	}
+
+	rp := loadConfigPlan(t, "plan-control.yaml")
+	rr, err := rp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmp := range []struct {
+		mode, cell string
+	}{
+		{"clean", "fault=none,governor=fixed"},
+		{"fixed", "fault=crashrevive,governor=fixed"},
+		{"adaptive", "fault=crashrevive,governor=adaptive"},
+	} {
+		for drvCol, metric := range map[string]string{
+			"runtime_s":    "runtime_s",
+			"slowdown":     "slowdown",
+			"mttr_s":       "mttr_s",
+			"under_rep":    "under_replicated",
+			"page_repairs": "page_repairs",
+		} {
+			want := row("repair", cmp.mode, drvCol)
+			if got := cellValue(t, rr, cmp.cell, metric); got != want {
+				t.Errorf("repair/%s %s: driver %s, plan %s/%s = %s",
+					cmp.mode, drvCol, want, cmp.cell, metric, got)
+			}
+		}
+	}
+
+	sp := loadConfigPlan(t, "plan-scrub.yaml")
+	sr, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmp := range []struct {
+		mode, cell string
+	}{
+		{"baseline", "scrub=off"},
+		{"fixed", "scrub=fixed"},
+		{"adaptive", "scrub=adaptive"},
+	} {
+		for _, col := range []string{"runtime_s", "slowdown", "scrub_sweeps", "scrub_pages", "max_sweep", "cycles"} {
+			want := row("scrub", cmp.mode, col)
+			if got := cellValue(t, sr, cmp.cell, col); got != want {
+				t.Errorf("scrub/%s %s: driver %s, plan %s = %s", cmp.mode, col, want, cmp.cell, got)
+			}
+		}
+	}
+}

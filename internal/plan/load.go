@@ -1,0 +1,287 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"megammap/internal/config"
+	"megammap/internal/core"
+	"megammap/internal/faults"
+)
+
+// Load parses a plan document (the restricted YAML subset the config
+// package accepts) and validates it. A plan file carries these
+// top-level sections:
+//
+//	plan:      name, app, nodes, procs_per_node, bytes_per_node,
+//	           vertices, tolerance, baseline
+//	workload:  k, max_iter, cost_per_dist, steps, seed, source
+//	matrix:    axis: [value, value, ...]   (one key per axis, in order)
+//	faults:    named specs (spec DSL + derived crash/revive points)
+//	hints:     per-vector paging-policy hints (same schema as the
+//	           deployment config's hints section)
+//	assert:    telemetry assertions over the finished cells
+func Load(doc string) (*Plan, error) {
+	d, err := config.Parse(doc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPlan, err)
+	}
+	p := &Plan{Workload: defaultWorkload(), Tolerance: 0.01, Faults: map[string]*FaultSpec{}}
+
+	ps, ok := d.Section("plan")
+	if !ok {
+		return nil, fmt.Errorf("%w: missing plan section", ErrBadPlan)
+	}
+	if err := fields(ps, map[string]func(string) error{
+		"name":           func(v string) error { p.Name = v; return nil },
+		"app":            func(v string) error { p.App = v; return nil },
+		"nodes":          func(v string) error { return parseIntInto(v, &p.Nodes) },
+		"procs_per_node": func(v string) error { return parseIntInto(v, &p.Procs) },
+		"bytes_per_node": func(v string) error { return sizeInto(v, &p.BytesPerNode) },
+		"vertices":       func(v string) error { return parseI64Into(v, &p.Vertices) },
+		"tolerance":      func(v string) error { return parseFloatInto(v, &p.Tolerance) },
+		"baseline":       func(v string) error { p.Baseline = v; return nil },
+	}); err != nil {
+		return nil, fmt.Errorf("%w: plan: %v", ErrBadPlan, err)
+	}
+
+	if ws, ok := d.Section("workload"); ok {
+		w := &p.Workload
+		if err := fields(ws, map[string]func(string) error{
+			"k":        func(v string) error { return parseIntInto(v, &w.K) },
+			"max_iter": func(v string) error { return parseIntInto(v, &w.MaxIter) },
+			"cost_per_dist": func(v string) error {
+				d, err := config.ParseDurationValue(v)
+				w.CostPerDist = d
+				return err
+			},
+			"steps":  func(v string) error { return parseIntInto(v, &w.Steps) },
+			"seed":   func(v string) error { return parseI64Into(v, &w.Seed) },
+			"source": func(v string) error { return parseI64Into(v, &w.Source) },
+		}); err != nil {
+			return nil, fmt.Errorf("%w: workload: %v", ErrBadPlan, err)
+		}
+	}
+
+	if ms, ok := d.Section("matrix"); ok {
+		for _, axis := range ms.Keys() {
+			v, _ := ms.Scalar(axis)
+			vals := config.FlowList(v)
+			if axis == "bound" {
+				for _, bv := range vals {
+					if _, err := config.ParseSizeValue(bv); err != nil {
+						return nil, fmt.Errorf("%w: matrix: bound value %q", ErrBadPlan, bv)
+					}
+				}
+			}
+			p.Axes = append(p.Axes, Axis{Name: axis, Values: vals})
+		}
+	}
+
+	if fsec, ok := d.Section("faults"); ok {
+		for _, name := range fsec.Keys() {
+			spec, ok := fsec.Child(name)
+			if !ok {
+				return nil, fmt.Errorf("%w: faults: %s is not a mapping", ErrBadPlan, name)
+			}
+			fs := &FaultSpec{}
+			if err := fields(spec, map[string]func(string) error{
+				"spec":   func(v string) error { fs.Spec = v; return nil },
+				"crash":  func(v string) error { return parsePoint(v, &fs.CrashNode, &fs.CrashFrac) },
+				"revive": func(v string) error { return parsePoint(v, &fs.ReviveNode, &fs.ReviveFrac) },
+			}); err != nil {
+				return nil, fmt.Errorf("%w: faults: %s: %v", ErrBadPlan, name, err)
+			}
+			if fs.parsed, err = faults.ParseSpec(fs.Spec); err != nil {
+				return nil, fmt.Errorf("%w: faults: %s: %v", ErrBadPlan, name, err)
+			}
+			p.Faults[name] = fs
+		}
+	}
+
+	if hs, ok := d.Section("hints"); ok {
+		if err := loadHints(hs, p); err != nil {
+			return nil, err
+		}
+	}
+
+	if as, ok := d.Section("assert"); ok {
+		if err := loadAsserts(as, p); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// loadHints parses the hints section with the same flat schema the
+// deployment config uses: a list item with a region field is a region
+// override of the named vector.
+func loadHints(hs *config.Sec, p *Plan) error {
+	for i, item := range hs.Items() {
+		h := core.VectorHint{PrefetchDepth: -1}
+		r := core.RegionHint{PrefetchDepth: -1}
+		hasRegion := false
+		err := fields(item, map[string]func(string) error{
+			"vector": func(v string) error { h.Vector = v; return nil },
+			"region": func(v string) error {
+				off, n, err := config.ParseElemRange(v)
+				r.Off, r.N = off, n
+				hasRegion = true
+				return err
+			},
+			"pattern": func(v string) error {
+				pc, err := core.ParsePatternClass(v)
+				h.Pattern, r.Pattern = pc, pc
+				return err
+			},
+			"prefetch_depth": func(v string) error {
+				d, err := config.ParseSizeValue(v)
+				if err != nil {
+					return err
+				}
+				if d < 0 {
+					return fmt.Errorf("negative prefetch depth %d", d)
+				}
+				h.PrefetchDepth, r.PrefetchDepth = d, d
+				return nil
+			},
+			"evict": func(v string) error {
+				ec, err := core.ParseEvictClass(v)
+				h.Evict, r.Evict = ec, ec
+				return err
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("%w: hints[%d]: %w", ErrBadPlan, i, err)
+		}
+		if hasRegion {
+			h.PrefetchDepth = -1
+			h.Pattern, h.Evict = core.PatternDefault, core.EvictDefault
+			h.Regions = []core.RegionHint{r}
+		}
+		p.Hints = append(p.Hints, h)
+	}
+	return nil
+}
+
+// loadAsserts parses the assertion list; each item sets exactly one op
+// key (eq/min/max take a number, lt_cell/le_cell/eq_cell a cell ID).
+func loadAsserts(as *config.Sec, p *Plan) error {
+	for i, item := range as.Items() {
+		a := Assert{}
+		setOp := func(op string) func(string) error {
+			return func(v string) error {
+				if a.Op != "" {
+					return fmt.Errorf("both %s and %s set", a.Op, op)
+				}
+				a.Op = op
+				if op == "eq" || op == "min" || op == "max" {
+					return parseFloatInto(v, &a.Value)
+				}
+				a.Other = v
+				return nil
+			}
+		}
+		err := fields(item, map[string]func(string) error{
+			"metric":  func(v string) error { a.Metric = v; return nil },
+			"cell":    func(v string) error { a.Cell = v; return nil },
+			"eq":      setOp("eq"),
+			"min":     setOp("min"),
+			"max":     setOp("max"),
+			"lt_cell": setOp("lt_cell"),
+			"le_cell": setOp("le_cell"),
+			"eq_cell": setOp("eq_cell"),
+		})
+		if err != nil {
+			return fmt.Errorf("%w: assert[%d]: %w", ErrBadAssert, i, err)
+		}
+		if a.Op == "" {
+			return fmt.Errorf("%w: assert[%d] sets no op", ErrBadAssert, i)
+		}
+		p.Asserts = append(p.Asserts, a)
+	}
+	return nil
+}
+
+// parsePoint parses a derived fault point "node@num/den".
+func parsePoint(v string, node *int, f *Frac) error {
+	nstr, frac, ok := strings.Cut(v, "@")
+	if !ok {
+		return fmt.Errorf("bad point %q (want node@num/den)", v)
+	}
+	n, err := strconv.Atoi(nstr)
+	if err != nil {
+		return fmt.Errorf("bad node in %q", v)
+	}
+	num, den, ok := strings.Cut(frac, "/")
+	if !ok {
+		return fmt.Errorf("bad fraction in %q (want num/den)", v)
+	}
+	a, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad fraction in %q", v)
+	}
+	b, err := strconv.ParseInt(den, 10, 64)
+	if err != nil || b <= 0 {
+		return fmt.Errorf("bad fraction in %q", v)
+	}
+	*node, *f = n, Frac{Num: a, Den: b}
+	return nil
+}
+
+// fields applies every present key of a mapping, rejecting keys the
+// schema does not know.
+func fields(s *config.Sec, schema map[string]func(string) error) error {
+	for _, key := range s.Keys() {
+		f, ok := schema[key]
+		if !ok {
+			return fmt.Errorf("unknown key %q", key)
+		}
+		v, _ := s.Scalar(key)
+		if err := f(v); err != nil {
+			return fmt.Errorf("%s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+func parseIntInto(v string, dst *int) error {
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil {
+		return err
+	}
+	*dst = n
+	return nil
+}
+
+func parseI64Into(v string, dst *int64) error {
+	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return err
+	}
+	*dst = n
+	return nil
+}
+
+func parseFloatInto(v string, dst *float64) error {
+	f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	if err != nil {
+		return err
+	}
+	*dst = f
+	return nil
+}
+
+func sizeInto(v string, dst *int64) error {
+	n, err := config.ParseSizeValue(v)
+	if err != nil {
+		return err
+	}
+	*dst = n
+	return nil
+}

@@ -1,0 +1,181 @@
+package plan
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"megammap/internal/stats"
+	"megammap/internal/vtime"
+)
+
+// CellResult is one cell's outcome. Metrics are time-derived values
+// compared against baselines within a tolerance band; Digests are
+// byte-exact values (checksums, fault/paging counters, telemetry
+// digests) that must reproduce exactly.
+type CellResult struct {
+	Cell    string             `json:"cell"`
+	Metrics map[string]float64 `json:"metrics"`
+	Digests map[string]int64   `json:"digests"`
+}
+
+// Result is one plan run: the cells in matrix order.
+type Result struct {
+	Plan  string       `json:"plan"`
+	Cells []CellResult `json:"cells"`
+}
+
+// Cell returns a cell result by ID.
+func (r *Result) Cell(id string) (CellResult, bool) {
+	for _, c := range r.Cells {
+		if c.Cell == id {
+			return c, true
+		}
+	}
+	return CellResult{}, false
+}
+
+// refRun carries the first reference cell's measurements: the clean
+// (fault=none) cell for kmeans plans, the scrub=off cell for grayscott
+// plans. Derived fault schedules and slowdown metrics are computed
+// against it, exactly as the ad-hoc drivers derive them from their
+// clean runs.
+type refRun struct {
+	genEnd  vtime.Duration
+	runtime vtime.Duration
+	digest  int64 // result digest, for checksum_match
+}
+
+// Run expands the matrix and executes every cell in order, then checks
+// the plan's assertions. Cells run on fresh clusters under virtual
+// time, so a re-run of the same plan is byte-identical.
+func (p *Plan) Run() (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: p.Name}
+	var ref *refRun
+	for _, cell := range p.Cells() {
+		var cr CellResult
+		var err error
+		switch p.App {
+		case "kmeans":
+			cr, err = p.runKMeansCell(cell, &ref)
+		case "grayscott":
+			cr, err = p.runScrubCell(cell, &ref)
+		case "bfs":
+			cr, err = p.runBFSCell(cell, &ref)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("plan %s: cell %s: %w", p.Name, cell.ID(), err)
+		}
+		res.Cells = append(res.Cells, cr)
+	}
+	if err := p.CheckAsserts(res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// AssertError reports every failed assertion of a run.
+type AssertError struct {
+	Plan     string
+	Failures []string
+}
+
+func (e *AssertError) Error() string {
+	return fmt.Sprintf("plan %s: %d assertion(s) failed:\n  %s",
+		e.Plan, len(e.Failures), strings.Join(e.Failures, "\n  "))
+}
+
+// CheckAsserts evaluates the plan's assertions over a finished run.
+func (p *Plan) CheckAsserts(r *Result) error {
+	var fails []string
+	for _, a := range p.Asserts {
+		got, ok := metricValue(r, a.Cell, a.Metric)
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s @ %s: metric not reported", a.Metric, a.Cell))
+			continue
+		}
+		switch a.Op {
+		case "eq":
+			if got != a.Value {
+				fails = append(fails, fmt.Sprintf("%s @ %s: got %v, want exactly %v", a.Metric, a.Cell, got, a.Value))
+			}
+		case "min":
+			if got < a.Value {
+				fails = append(fails, fmt.Sprintf("%s @ %s: got %v, want >= %v", a.Metric, a.Cell, got, a.Value))
+			}
+		case "max":
+			if got > a.Value {
+				fails = append(fails, fmt.Sprintf("%s @ %s: got %v, want <= %v", a.Metric, a.Cell, got, a.Value))
+			}
+		case "lt_cell", "le_cell", "eq_cell":
+			other, ok := metricValue(r, a.Other, a.Metric)
+			if !ok {
+				fails = append(fails, fmt.Sprintf("%s @ %s: comparison cell reports no such metric", a.Metric, a.Other))
+				continue
+			}
+			bad := (a.Op == "lt_cell" && !(got < other)) ||
+				(a.Op == "le_cell" && !(got <= other)) ||
+				(a.Op == "eq_cell" && got != other)
+			if bad {
+				fails = append(fails, fmt.Sprintf("%s: %s (%v) %s %s (%v) does not hold",
+					a.Metric, a.Cell, got, strings.TrimSuffix(a.Op, "_cell"), a.Other, other))
+			}
+		}
+	}
+	if fails != nil {
+		return &AssertError{Plan: p.Name, Failures: fails}
+	}
+	return nil
+}
+
+// metricValue resolves a metric name in a cell, searching the banded
+// metrics first and the exact digests second.
+func metricValue(r *Result, cell, metric string) (float64, bool) {
+	c, ok := r.Cell(cell)
+	if !ok {
+		return 0, false
+	}
+	if v, ok := c.Metrics[metric]; ok {
+		return v, true
+	}
+	if v, ok := c.Digests[metric]; ok {
+		return float64(v), true
+	}
+	return 0, false
+}
+
+// Table renders the run as a stats table (one row per cell metric,
+// metrics before digests, each sorted by name).
+func (r *Result) Table() *stats.Table {
+	t := stats.NewTable("plan-"+r.Plan, "cell", "metric", "value")
+	for _, c := range r.Cells {
+		for _, k := range sortedKeys(c.Metrics) {
+			t.Add(c.Cell, k, c.Metrics[k])
+		}
+		for _, k := range sortedKeys(c.Digests) {
+			t.Add(c.Cell, k, c.Digests[k])
+		}
+	}
+	return t
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// digestOf folds any value's canonical formatting into an int64 — the
+// byte-exact checksum stored in baselines for structured results.
+func digestOf(v any) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v", v)
+	return int64(h.Sum64())
+}
