@@ -71,6 +71,18 @@
 //	  scrub: true
 //	  prefetch: true
 //	  evict: true
+//	tenants:
+//	  isolation: true
+//	  list:
+//	    - name: search
+//	      class: latency
+//	      rate: 6000
+//	      poisson: true
+//	      zipf_s: 1.2
+//	      keys: 2048
+//	      write_frac: 0.05
+//	      max_in_flight: 4
+//	      queue_depth: 64
 package config
 
 import (
@@ -85,6 +97,7 @@ import (
 	"megammap/internal/faults"
 	"megammap/internal/simnet"
 	"megammap/internal/telemetry"
+	"megammap/internal/tenant"
 	"megammap/internal/vtime"
 )
 
@@ -98,6 +111,9 @@ type Deployment struct {
 	// Telemetry selects the observability plane, nil when the document
 	// has no telemetry section (plane not installed).
 	Telemetry *telemetry.Options
+	// Tenants is the multi-tenant serving plane declaration, nil when
+	// the document has no tenants section (single-tenant run).
+	Tenants *tenant.Config
 }
 
 // Load parses a configuration document and builds the deployment specs.
@@ -137,6 +153,11 @@ func Load(doc string) (*Deployment, error) {
 	}
 	if hn, ok := root.child("hints"); ok {
 		if err := d.loadHints(hn); err != nil {
+			return nil, err
+		}
+	}
+	if tn, ok := root.child("tenants"); ok {
+		if err := d.loadTenants(tn); err != nil {
 			return nil, err
 		}
 	}
@@ -532,6 +553,52 @@ func (d *Deployment) loadHints(n *node) error {
 		}
 		d.Runtime.Hints = append(d.Runtime.Hints, h)
 	}
+	return nil
+}
+
+// loadTenants parses the multi-tenant serving-plane section: an
+// `isolation` switch plus a `list` of tenant declarations. Unset
+// numeric knobs take tenant.Config defaults before validation, so a
+// minimal entry only needs a name and a class.
+func (d *Deployment) loadTenants(n *node) error {
+	tc := tenant.Config{Isolation: true}
+	if v, ok := n.scalar("isolation"); ok {
+		if err := parseBool(v, &tc.Isolation); err != nil {
+			return fmt.Errorf("config: tenants.isolation: %w", err)
+		}
+	}
+	if seq, ok := n.child("list"); ok {
+		for i, item := range seq.items {
+			var ts tenant.Spec
+			e := loadFields(item, map[string]func(string) error{
+				"name": func(v string) error { ts.Name = v; return nil },
+				"class": func(v string) error {
+					cls, err := tenant.ParseClass(v)
+					ts.Class = cls
+					return err
+				},
+				"fast_quota": func(v string) error { return parseSize(v, &ts.FastQuota) },
+				"rate":       func(v string) error { return parseFloat(v, &ts.Rate) },
+				"poisson":    func(v string) error { return parseBool(v, &ts.Poisson) },
+				"zipf_s":     func(v string) error { return parseFloat(v, &ts.ZipfS) },
+				"keys":       func(v string) error { return parseSize(v, &ts.Keys) },
+				"write_frac": func(v string) error { return parseProb(v, &ts.WriteFrac) },
+				"max_in_flight": func(v string) error {
+					return parseInt(v, &ts.MaxInFlight)
+				},
+				"queue_depth": func(v string) error { return parseInt(v, &ts.QueueDepth) },
+			})
+			if e != nil {
+				return fmt.Errorf("config: tenants.list[%d]: %w", i, e)
+			}
+			tc.Tenants = append(tc.Tenants, ts)
+		}
+	}
+	tc = tc.WithDefaults()
+	if err := tc.Validate(); err != nil {
+		return fmt.Errorf("config: tenants: %w", err)
+	}
+	d.Tenants = &tc
 	return nil
 }
 

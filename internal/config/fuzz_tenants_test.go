@@ -1,0 +1,55 @@
+package config
+
+import (
+	"testing"
+)
+
+// FuzzLoadTenants targets the tenants: section loader and validator.
+// The contract: Load never panics; any accepted document yields a
+// tenant config that Validate accepts — so the serving plane can build
+// admission controllers and traffic generators from it without its own
+// guards. NaN rates, flat Zipf exponents, negative quotas, and
+// out-of-range write fractions must all be rejected at load time.
+func FuzzLoadTenants(f *testing.F) {
+	f.Add(tenantsSample)
+	f.Add("tenants:\n  list:\n    - name: t0\n      class: batch\n")
+	f.Add("tenants:\n  isolation: false\n  list:\n    - name: t0\n")
+	f.Add("tenants:\n  isolation: true\n")
+	f.Add("tenants:\n  list:\n    - name: a\n    - name: a\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      class: gold\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      rate: nan\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      rate: -5\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      zipf_s: 1.0\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      zipf_s: 1e309\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      keys: -4\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      write_frac: 1.5\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      fast_quota: -1KB\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      max_in_flight: 0\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      queue_depth: -1\n")
+	f.Add("tenants:\n  list:\n    - name: a\n      priority: 3\n")
+	f.Add("tenants:\n  isolation: maybe\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		d, err := Load(doc)
+		if err != nil {
+			if d != nil {
+				t.Errorf("Load returned both a deployment and error %v", err)
+			}
+			return
+		}
+		if d == nil {
+			t.Fatal("Load returned nil, nil")
+		}
+		if d.Tenants == nil {
+			return
+		}
+		if err := d.Tenants.Validate(); err != nil {
+			t.Errorf("accepted document carries an invalid tenant config: %v", err)
+		}
+		for _, ts := range d.Tenants.Tenants {
+			if ts.Rate <= 0 || ts.ZipfS <= 1 || ts.Keys <= 0 ||
+				ts.MaxInFlight <= 0 || ts.QueueDepth <= 0 {
+				t.Errorf("accepted tenant has degenerate knobs: %+v", ts)
+			}
+		}
+	})
+}

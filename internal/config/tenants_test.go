@@ -1,0 +1,118 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"megammap/internal/tenant"
+)
+
+const tenantsSample = `
+tenants:
+  isolation: true
+  list:
+    - name: search
+      class: latency
+      rate: 6000
+      poisson: true
+      zipf_s: 1.2
+      keys: 2048
+      write_frac: 0.05
+      max_in_flight: 4
+      queue_depth: 64
+    - name: etl
+      class: batch
+      fast_quota: 32KB
+      rate: 3000
+      zipf_s: 1.05
+      keys: 8192
+      write_frac: 0.5
+`
+
+func TestLoadTenantsSection(t *testing.T) {
+	d, err := Load(tenantsSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tenants == nil {
+		t.Fatal("tenants section did not populate Deployment.Tenants")
+	}
+	tc := *d.Tenants
+	if !tc.Isolation {
+		t.Error("isolation: true lost")
+	}
+	if len(tc.Tenants) != 2 {
+		t.Fatalf("got %d tenants, want 2", len(tc.Tenants))
+	}
+	s := tc.Tenants[0]
+	if s.Name != "search" || s.Class != tenant.Latency || s.Rate != 6000 ||
+		!s.Poisson || s.ZipfS != 1.2 || s.Keys != 2048 || s.WriteFrac != 0.05 ||
+		s.MaxInFlight != 4 || s.QueueDepth != 64 {
+		t.Errorf("search spec wrong: %+v", s)
+	}
+	b := tc.Tenants[1]
+	if b.Name != "etl" || b.Class != tenant.Batch || b.FastQuota != 32<<10 || b.Poisson {
+		t.Errorf("etl spec wrong: %+v", b)
+	}
+	// Unset admission knobs take package defaults.
+	if b.MaxInFlight != 8 || b.QueueDepth != 64 {
+		t.Errorf("etl defaults wrong: %+v", b)
+	}
+}
+
+func TestLoadTenantsDefaultsAndAbsence(t *testing.T) {
+	d, err := Load("runtime:\n  replicas: 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tenants != nil {
+		t.Fatal("tenants populated without a tenants section")
+	}
+	// A minimal entry only needs a name; isolation defaults on, numerics
+	// take tenant.Config defaults and must validate.
+	d, err = Load("tenants:\n  list:\n    - name: t0\n      class: batch\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tenants == nil || !d.Tenants.Isolation {
+		t.Fatalf("minimal tenants section wrong: %+v", d.Tenants)
+	}
+	s := d.Tenants.Tenants[0]
+	if s.Rate != 1000 || s.ZipfS != 1.2 || s.Keys != 4096 || s.MaxInFlight != 8 || s.QueueDepth != 64 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	if err := d.Tenants.Validate(); err != nil {
+		t.Errorf("defaulted tenants config invalid: %v", err)
+	}
+}
+
+func TestLoadTenantsRejectsDegenerate(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"empty-section", "tenants:\n  isolation: true\n", "no tenants"},
+		{"empty-name", "tenants:\n  list:\n    - class: batch\n", "empty tenant name"},
+		{"dup-name", "tenants:\n  list:\n    - name: a\n    - name: a\n", "duplicate name"},
+		{"bad-class", "tenants:\n  list:\n    - name: a\n      class: gold\n", "unknown class"},
+		{"neg-rate", "tenants:\n  list:\n    - name: a\n      rate: -5\n", "rate"},
+		{"nan-rate", "tenants:\n  list:\n    - name: a\n      rate: nan\n", "rate"},
+		{"flat-zipf", "tenants:\n  list:\n    - name: a\n      zipf_s: 1.0\n", "zipf"},
+		{"neg-keys", "tenants:\n  list:\n    - name: a\n      keys: -4\n", "keys"},
+		{"bad-frac", "tenants:\n  list:\n    - name: a\n      write_frac: 1.5\n", "write_frac"},
+		{"neg-inflight", "tenants:\n  list:\n    - name: a\n      max_in_flight: -1\n", "in-flight"},
+		{"neg-queue", "tenants:\n  list:\n    - name: a\n      queue_depth: -1\n", "queue depth"},
+		{"bad-isolation", "tenants:\n  isolation: maybe\n", "isolation"},
+		{"unknown-key", "tenants:\n  list:\n    - name: a\n      priority: 3\n", "unknown key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(tc.doc)
+			if err == nil {
+				t.Fatalf("accepted %q", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -227,6 +227,18 @@ func (d *DSM) Stats() (faults, prefetches, evictions int64) {
 	return d.faults, d.prefetches, d.evictions
 }
 
+// TenantStats sums the per-tenant accounting counters over the tenant's
+// vectors (WithTenant attribution).
+func (d *DSM) TenantStats(tenant string) (faults, evictions int64) {
+	for _, m := range d.vecs {
+		if m.tenant == tenant {
+			faults += m.faults
+			evictions += m.evictions
+		}
+	}
+	return faults, evictions
+}
+
 // ReplicaStats returns replicated-phase reads served locally vs not.
 func (d *DSM) ReplicaStats() (hits, misses int64) { return d.replicaHits, d.replicaMisses }
 
@@ -760,6 +772,37 @@ type vecMeta struct {
 	appendsSinceRT int64 // appends since the last length-reservation round-trip
 
 	access string // access key required to open ("" = open to all)
+
+	// Tenant attribution (WithTenant): the owning tenant's name, its QoS
+	// placement bias, per-tenant accounting, and the telemetry handles
+	// (zero-value no-ops without a plane).
+	tenant     string
+	tenantBias float64
+	evictions  int64
+	tFaults    telemetry.Counter
+	tEvictions telemetry.Counter
+}
+
+// insertScore is the pcache score a page of this vector is born with:
+// the hint-class score shifted by the tenant bias, so latency tenants'
+// pages outrank batch tenants' in the eviction heap.
+func (m *vecMeta) insertScore(pg int64) float64 {
+	return m.hints.insertScore(pg) + m.tenantBias
+}
+
+// placeScore shifts a scache placement score by the tenant bias, clamped
+// to [0, 1]: the organizer re-ranks blobs by score and packs fastest
+// tiers first (hot-migration threshold 0.5), so latency tenants' pages
+// claim the fast tiers and batch tenants' demote first.
+func (m *vecMeta) placeScore(base float64) float64 {
+	s := base + 0.2*m.tenantBias
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
 }
 
 func (m *vecMeta) pageID(idx int64) blob.ID {

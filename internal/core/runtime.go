@@ -216,7 +216,7 @@ func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
 		}
 		// Install near the origin so future faults stay local. A full
 		// scache falls back to serving straight from the backend.
-		_ = r.d.h.Put(p, r.node.ID, key, data, 0.5, t.origin)
+		_ = r.d.h.Put(p, r.node.ID, key, data, m.placeScore(0.5), t.origin)
 	} else {
 		// Volatile blobs are stored trimmed to their written extent; pad
 		// the image back to page size.
@@ -279,7 +279,7 @@ func (r *Runtime) repairPage(p *vtime.Proc, m *vecMeta, page int64, want uint32)
 	}
 	// Rewriting through Put replaces the corrupt primary bytes and
 	// re-replicates the good image to the backup slots.
-	if perr := r.d.h.Put(p, r.node.ID, m.pageID(page), good, 0.6, r.node.ID); perr != nil {
+	if perr := r.d.h.Put(p, r.node.ID, m.pageID(page), good, m.placeScore(0.6), r.node.ID); perr != nil {
 		return nil, perr
 	}
 	r.d.pageRepairs++
@@ -396,7 +396,7 @@ func (r *Runtime) writePage(p *vtime.Proc, t *MemoryTask) error {
 			}
 			image = base
 		}
-		if err := r.d.h.Put(p, r.node.ID, key, image, 0.6, t.origin); err != nil {
+		if err := r.d.h.Put(p, r.node.ID, key, image, m.placeScore(0.6), t.origin); err != nil {
 			return err
 		}
 		m.sums[t.page] = crc32.ChecksumIEEE(image)
@@ -425,12 +425,12 @@ func (r *Runtime) writePage(p *vtime.Proc, t *MemoryTask) error {
 				base = base[:regions[len(regions)-1].end]
 			}
 		}
-		if err := r.d.h.Put(p, r.node.ID, key, base, 0.6, t.origin); err != nil {
+		if err := r.d.h.Put(p, r.node.ID, key, base, m.placeScore(0.6), t.origin); err != nil {
 			return err
 		}
 	} else {
 		if whole {
-			if err := r.d.h.Put(p, r.node.ID, key, t.data, 0.6, t.origin); err != nil {
+			if err := r.d.h.Put(p, r.node.ID, key, t.data, m.placeScore(0.6), t.origin); err != nil {
 				return err
 			}
 		} else {

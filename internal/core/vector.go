@@ -46,9 +46,11 @@ type fillReq struct {
 type VectorOpt func(*vectorOpts)
 
 type vectorOpts struct {
-	pageSize  int64
-	accessKey string
-	hint      *VectorHint
+	pageSize   int64
+	accessKey  string
+	hint       *VectorHint
+	tenantName string
+	tenantBias float64
 }
 
 // WithPageSize selects the vector's page size in bytes. Page sizes are
@@ -70,6 +72,26 @@ func WithAccessKey(key string) VectorOpt {
 // creating Open resolves them, later opens inherit.
 func WithHint(h VectorHint) VectorOpt {
 	return func(o *vectorOpts) { o.hint = &h }
+}
+
+// WithTenant attributes the vector to a serving tenant at creation and
+// sets its QoS bias in [-1, 1]: positive bias (latency tenants) raises
+// pcache insert scores and scache placement scores so the tenant's pages
+// survive eviction longer and pack into fast tiers; negative bias (batch
+// tenants) makes its pages evict and demote first. Bias 0 with an empty
+// name is exactly the untenanted behaviour. Tenant identity is shared
+// vector state: the creating Open sets it, later opens inherit.
+func WithTenant(name string, bias float64) VectorOpt {
+	return func(o *vectorOpts) {
+		o.tenantName = name
+		if bias < -1 {
+			bias = -1
+		}
+		if bias > 1 {
+			bias = 1
+		}
+		o.tenantBias = bias
+	}
 }
 
 // Open connects to (or creates) the shared vector identified by name. A
@@ -109,6 +131,14 @@ func Open[T any](c *Client, name string, codec Codec[T], opts ...VectorOpt) (*Ve
 			h := *o.hint
 			h.Vector = name
 			m.hints = resolveHints(append(append([]VectorHint(nil), c.d.cfg.Hints...), h), name, m.epp)
+		}
+		if o.tenantName != "" {
+			m.tenant = o.tenantName
+			m.tenantBias = o.tenantBias
+			if reg := c.d.tel.Registry(); reg != nil {
+				m.tFaults = reg.Counter(telemetry.Key{Name: "tenant.faults", Node: -1, Subsystem: "tenant", Tier: o.tenantName})
+				m.tEvictions = reg.Counter(telemetry.Key{Name: "tenant.evictions", Node: -1, Subsystem: "tenant", Tier: o.tenantName})
+			}
 		}
 		if strings.Contains(name, "://") {
 			b, err := c.d.st.Open(name)
@@ -523,6 +553,7 @@ func (v *Vector[T]) healPartial(cp *cachedPage) {
 	m := v.m
 	v.c.d.faults++
 	m.faults++
+	m.tFaults.Inc()
 	v.c.d.mFaults[v.c.node.ID].Inc()
 	t := v.c.d.newTask()
 	t.kind, t.vec, t.page = taskRead, m, cp.idx
@@ -601,6 +632,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 			// is stale. Keep the reservation and fault fresh data.
 			v.c.d.faults++
 			m.faults++
+			m.tFaults.Inc()
 			v.c.d.mFaults[v.c.node.ID].Inc()
 			t := v.c.d.newTask()
 			t.kind, t.vec, t.page = taskRead, m, pg
@@ -613,7 +645,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 			v.c.d.recycleTask(t)
 			v.c.d.recycleTask(f.t) // the stale image re-pools here
 			v.c.d.fillWaste++
-			cp := v.pc.newPage(pg, fresh, m.hints.insertScore(pg), false)
+			cp := v.pc.newPage(pg, fresh, m.insertScore(pg), false)
 			v.pc.insert(cp)
 			return cp
 		}
@@ -621,7 +653,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		filled := f.t.data
 		f.t.data = nil
 		v.c.d.fillHits++
-		cp := v.pc.newPage(pg, filled, m.hints.insertScore(pg), false)
+		cp := v.pc.newPage(pg, filled, m.insertScore(pg), false)
 		v.c.d.recycleTask(f.t)
 		v.pc.insert(cp)
 		return cp
@@ -648,6 +680,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		}
 		v.c.d.faults++
 		m.faults++
+		m.tFaults.Inc()
 		v.c.d.mFaults[v.c.node.ID].Inc()
 		if err := v.c.submitSync(t); err != nil {
 			panic(fmt.Errorf("core: page fault on %s page %d failed: %w", m.name, pg, err))
@@ -659,7 +692,7 @@ func (v *Vector[T]) fault(pg int64, forWrite bool) *cachedPage {
 		}
 	}
 	v.ensureSpace(pg)
-	cp := v.pc.newPage(pg, data, m.hints.insertScore(pg), partial)
+	cp := v.pc.newPage(pg, data, m.insertScore(pg), partial)
 	v.pc.insert(cp)
 	return cp
 }
@@ -713,6 +746,8 @@ func (v *Vector[T]) ensureSpace(pinned int64) {
 // application pays only the cost of handing the buffer to the runtime.
 func (v *Vector[T]) evict(cp *cachedPage) {
 	v.c.d.evictions++
+	v.m.evictions++
+	v.m.tEvictions.Inc()
 	v.c.d.mEvictions[v.c.node.ID].Inc()
 	if cp.isDirty() {
 		v.commitPage(cp, false)
@@ -809,7 +844,7 @@ func (v *Vector[T]) integrateFills() {
 		v.c.d.fillHits++
 		filled := f.t.data
 		f.t.data = nil // claimed by the page
-		v.pc.insert(v.pc.newPage(pg, filled, v.m.hints.insertScore(pg), false))
+		v.pc.insert(v.pc.newPage(pg, filled, v.m.insertScore(pg), false))
 		v.c.d.recycleTask(f.t)
 	}
 }

@@ -1,0 +1,91 @@
+// Open-loop traffic synthesis for the multi-tenant serving plane: a
+// seeded Zipf key sampler (skewed popularity, the "millions of users"
+// access pattern) and a deterministic arrival schedule on virtual time
+// (fixed-rate or Poisson). Both are pure functions of their seed, so
+// same-seed runs replay byte-identically.
+package datagen
+
+import (
+	"math/rand"
+
+	"megammap/internal/vtime"
+)
+
+// ZipfSpec configures a skewed key sampler over [0, Keys).
+type ZipfSpec struct {
+	Keys int64   // keyspace size (> 0)
+	S    float64 // skew exponent (> 1; larger = more skewed)
+	Seed int64
+}
+
+// Zipf draws keys with Zipf-distributed popularity: key 0 is the hottest,
+// and popularity falls off as rank^-S.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a seeded Zipf sampler. S values at or below 1 clamp to
+// a mild 1.01 skew (rand.Zipf requires s > 1).
+func NewZipf(spec ZipfSpec) *Zipf {
+	if spec.Keys <= 0 {
+		spec.Keys = 1
+	}
+	s := spec.S
+	if s <= 1 {
+		s = 1.01
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(spec.Keys-1))}
+}
+
+// Next returns the next sampled key in [0, Keys).
+func (z *Zipf) Next() int64 { return int64(z.z.Uint64()) }
+
+// ArrivalSpec configures an open-loop arrival schedule: requests arrive
+// at Rate per second regardless of how fast the system drains them.
+type ArrivalSpec struct {
+	Rate    float64 // mean arrivals per (virtual) second (> 0)
+	Poisson bool    // exponential gaps when true, fixed gaps when false
+	Seed    int64
+}
+
+// Arrivals produces deterministic request arrival times on virtual time.
+type Arrivals struct {
+	spec ArrivalSpec
+	rng  *rand.Rand
+	next vtime.Duration
+}
+
+// NewArrivals returns a schedule whose first arrival is one gap after
+// virtual time zero.
+func NewArrivals(spec ArrivalSpec) *Arrivals {
+	if spec.Rate <= 0 {
+		spec.Rate = 1
+	}
+	a := &Arrivals{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+	a.next = a.gap()
+	return a
+}
+
+// gap draws one inter-arrival gap (at least 1ns so time always advances).
+func (a *Arrivals) gap() vtime.Duration {
+	sec := 1 / a.spec.Rate
+	if a.spec.Poisson {
+		sec = a.rng.ExpFloat64() / a.spec.Rate
+	}
+	d := vtime.Duration(sec * float64(vtime.Second))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Next returns the next arrival time and advances the schedule.
+func (a *Arrivals) Next() vtime.Duration {
+	t := a.next
+	a.next += a.gap()
+	return t
+}
+
+// Peek returns the next arrival time without consuming it.
+func (a *Arrivals) Peek() vtime.Duration { return a.next }

@@ -1,0 +1,76 @@
+package datagen
+
+import (
+	"testing"
+
+	"megammap/internal/vtime"
+)
+
+// TestZipfDeterministicAndSkewed: same seed replays the same key stream,
+// and the hottest key dominates a skewed draw.
+func TestZipfDeterministicAndSkewed(t *testing.T) {
+	spec := ZipfSpec{Keys: 1024, S: 1.2, Seed: 42}
+	a, b := NewZipf(spec), NewZipf(spec)
+	counts := map[int64]int{}
+	for i := 0; i < 10000; i++ {
+		ka, kb := a.Next(), b.Next()
+		if ka != kb {
+			t.Fatalf("draw %d: same-seed samplers diverged (%d vs %d)", i, ka, kb)
+		}
+		if ka < 0 || ka >= spec.Keys {
+			t.Fatalf("key %d out of [0, %d)", ka, spec.Keys)
+		}
+		counts[ka]++
+	}
+	if counts[0] < counts[spec.Keys-1]*2 {
+		t.Fatalf("not skewed: key 0 drawn %d times, key %d drawn %d", counts[0], spec.Keys-1, counts[spec.Keys-1])
+	}
+	// A different seed diverges.
+	c := NewZipf(ZipfSpec{Keys: 1024, S: 1.2, Seed: 43})
+	same := true
+	a2 := NewZipf(spec)
+	for i := 0; i < 100; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the same first 100 keys")
+	}
+}
+
+// TestArrivalsFixedRate: fixed-gap arrivals land exactly 1/rate apart.
+func TestArrivalsFixedRate(t *testing.T) {
+	a := NewArrivals(ArrivalSpec{Rate: 1000, Seed: 1}) // 1k/s = 1ms gaps
+	want := vtime.Millisecond
+	for i := 1; i <= 5; i++ {
+		if got := a.Next(); got != vtime.Duration(i)*want {
+			t.Fatalf("arrival %d at %v, want %v", i, got, vtime.Duration(i)*want)
+		}
+	}
+}
+
+// TestArrivalsPoisson: Poisson arrivals are strictly increasing,
+// replayable per seed, and average near 1/rate.
+func TestArrivalsPoisson(t *testing.T) {
+	spec := ArrivalSpec{Rate: 10000, Poisson: true, Seed: 7}
+	a, b := NewArrivals(spec), NewArrivals(spec)
+	var prev, last vtime.Duration
+	const n = 10000
+	for i := 0; i < n; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta != tb {
+			t.Fatalf("arrival %d: same-seed schedules diverged (%v vs %v)", i, ta, tb)
+		}
+		if ta <= prev {
+			t.Fatalf("arrival %d at %v not after previous %v", i, ta, prev)
+		}
+		prev, last = ta, ta
+	}
+	mean := float64(last) / n
+	wantMean := float64(vtime.Second) / spec.Rate
+	if mean < wantMean*0.9 || mean > wantMean*1.1 {
+		t.Fatalf("mean gap %v ns, want within 10%% of %v ns", mean, wantMean)
+	}
+}

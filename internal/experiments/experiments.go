@@ -78,6 +78,11 @@ type Profile struct {
 	// Engine-scalability sweep (mmbench -exp scale).
 	ScaleNodes      []int // simulated node counts, weak scaling
 	ScaleOpsPerNode int   // put/get/delete rounds per node
+
+	// Multi-tenant serving ablation (mmbench -exp tenants).
+	TenantNodes     int
+	TenantPoolBytes int64 // pooled pcache budget shared by all tenants
+	TenantMillis    int   // serving-phase horizon, virtual ms
 }
 
 // Small returns the test/bench profile: the same shapes at sizes that
@@ -101,6 +106,9 @@ func Small() Profile {
 		Fig8Fracs:        []float64{1, 0.75, 0.5, 0.375, 0.25, 0.125},
 		ScaleNodes:       []int{64, 256},
 		ScaleOpsPerNode:  60,
+		TenantNodes:      2,
+		TenantPoolBytes:  192 * device.KB,
+		TenantMillis:     150,
 	}
 }
 
@@ -126,6 +134,9 @@ func Full() Profile {
 		Fig8Fracs:        []float64{1, 0.75, 0.5, 0.375, 0.25, 0.125},
 		ScaleNodes:       []int{64, 128, 256, 512, 1024},
 		ScaleOpsPerNode:  200,
+		TenantNodes:      4,
+		TenantPoolBytes:  384 * device.KB,
+		TenantMillis:     500,
 	}
 }
 

@@ -230,6 +230,37 @@ func (p *Plan) runBFSCell(cell Cell, ref **refRun) (CellResult, error) {
 	return cr, nil
 }
 
+// runTenantsCell executes one multi-tenant serving cell through the
+// same helper the tenants driver uses. The isolation axis toggles the
+// QoS machinery (quotas, placement bias, fairness governor); plan
+// fields map onto the cell shape — bytes_per_node is the pooled pcache
+// budget, workload.steps the serving horizon in virtual milliseconds,
+// workload.seed the traffic seed. Latency percentiles are exact
+// (digests): the whole serving phase is deterministic.
+func (p *Plan) runTenantsCell(cell Cell) (CellResult, error) {
+	iso, _ := cell.Get("isolation")
+	horizon := vtime.Duration(p.Workload.Steps) * vtime.Millisecond
+	out, err := experiments.RunTenantsCell(p.Nodes, p.BytesPerNode, horizon, p.Workload.Seed, iso == "on", nil)
+	if err != nil {
+		return CellResult{}, err
+	}
+	cr := newCellResult(cell)
+	cr.Metrics["runtime_s"] = out.Runtime.Seconds()
+	cr.Metrics["agg_tput_ops_s"] = float64(out.AggOps) / out.Runtime.Seconds()
+	cr.Digests["agg_ops"] = out.AggOps
+	for _, to := range out.PerTenant {
+		cr.Digests[to.Name+".p50_ns"] = to.P50
+		cr.Digests[to.Name+".p99_ns"] = to.P99
+		cr.Digests[to.Name+".p999_ns"] = to.P999
+		cr.Digests[to.Name+".ops"] = to.Ops
+		cr.Digests[to.Name+".shed"] = to.Shed
+		cr.Digests[to.Name+".errs"] = to.Errs
+		cr.Digests[to.Name+".faults"] = to.Faults
+		cr.Digests[to.Name+".evictions"] = to.Evictions
+	}
+	return cr, nil
+}
+
 func newCellResult(cell Cell) CellResult {
 	return CellResult{Cell: cell.ID(), Metrics: map[string]float64{}, Digests: map[string]int64{}}
 }

@@ -38,7 +38,7 @@ var (
 // the fault specs, policy hints, and assertions its cells reference.
 type Plan struct {
 	Name string
-	App  string // kmeans | grayscott | bfs
+	App  string // kmeans | grayscott | bfs | tenants
 
 	Nodes        int
 	Procs        int   // ranks per node
@@ -198,14 +198,16 @@ var axesFor = map[string][]string{
 	"kmeans":    {"fault", "governor"},
 	"grayscott": {"scrub"},
 	"bfs":       {"hints", "bound"},
+	"tenants":   {"isolation"},
 }
 
 // axisValues constrains the enumerated axes ("" = free-form, validated
 // by the executor).
 var axisValues = map[string][]string{
-	"governor": {"fixed", "adaptive"},
-	"scrub":    {"off", "fixed", "adaptive"},
-	"hints":    {"off", "on"},
+	"governor":  {"fixed", "adaptive"},
+	"scrub":     {"off", "fixed", "adaptive"},
+	"hints":     {"off", "on"},
+	"isolation": {"off", "on"},
 }
 
 // Validate rejects plans that would run a degenerate or ambiguous
@@ -216,7 +218,7 @@ func (p *Plan) Validate() error {
 	}
 	known, ok := axesFor[p.App]
 	if !ok {
-		return fmt.Errorf("%w %q (want kmeans, grayscott, or bfs)", ErrUnknownApp, p.App)
+		return fmt.Errorf("%w %q (want kmeans, grayscott, bfs, or tenants)", ErrUnknownApp, p.App)
 	}
 	if p.Nodes < 1 || p.Procs < 1 {
 		return fmt.Errorf("%w: nodes and procs_per_node must be >= 1 (got %d, %d)", ErrBadPlan, p.Nodes, p.Procs)

@@ -66,6 +66,8 @@ func (p *Plan) Run() (*Result, error) {
 			cr, err = p.runScrubCell(cell, &ref)
 		case "bfs":
 			cr, err = p.runBFSCell(cell, &ref)
+		case "tenants":
+			cr, err = p.runTenantsCell(cell)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("plan %s: cell %s: %w", p.Name, cell.ID(), err)

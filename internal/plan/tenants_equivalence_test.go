@@ -1,0 +1,56 @@
+package plan
+
+import (
+	"testing"
+
+	"megammap/internal/experiments"
+)
+
+// TestTenantsPlanMatchesDriver: the ported plan-tenants.yaml must
+// reproduce the `mmbench -exp tenants -profile small` table bit for
+// bit — both sides run the same RunTenantsCell helper with the same
+// shape and seed, so every per-tenant column matches at full table
+// precision and the latency percentiles match exactly.
+func TestTenantsPlanMatchesDriver(t *testing.T) {
+	tb, err := experiments.Tenants(experiments.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rowKey struct{ mode, tenant string }
+	rows := map[rowKey]int{}
+	for i := 0; i < tb.Len(); i++ {
+		rows[rowKey{tb.Cell(i, "mode"), tb.Cell(i, "tenant")}] = i
+	}
+	row := func(mode, tenant, col string) string {
+		i, ok := rows[rowKey{mode, tenant}]
+		if !ok {
+			t.Fatalf("driver table has no (%s, %s) row", mode, tenant)
+		}
+		return tb.Cell(i, col)
+	}
+
+	p := loadConfigPlan(t, "plan-tenants.yaml")
+	r, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cols := []string{"p50_ns", "p99_ns", "p999_ns", "ops", "shed", "errs", "faults", "evictions"}
+	for _, mode := range []string{"off", "on"} {
+		cell := "isolation=" + mode
+		for _, tenant := range []string{"search", "etl-a", "etl-b"} {
+			for _, col := range cols {
+				want := row(mode, tenant, col)
+				if got := cellValue(t, r, cell, tenant+"."+col); got != want {
+					t.Errorf("%s/%s %s: driver %s, plan %s", mode, tenant, col, want, got)
+				}
+			}
+		}
+		if want := row(mode, "all", "ops"); want != cellValue(t, r, cell, "agg_ops") {
+			t.Errorf("%s agg ops: driver %s, plan %s", mode, want, cellValue(t, r, cell, "agg_ops"))
+		}
+		if want := row(mode, "all", "tput_ops_s"); want != cellValue(t, r, cell, "agg_tput_ops_s") {
+			t.Errorf("%s agg tput: driver %s, plan %s", mode, want, cellValue(t, r, cell, "agg_tput_ops_s"))
+		}
+	}
+}

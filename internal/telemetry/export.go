@@ -31,10 +31,11 @@ func (t *Telemetry) MetricsTable() *stats.Table {
 }
 
 // HistogramsTable renders every histogram as one summary row, sorted by
-// key. Quantiles are bucket upper bounds; times are in nanoseconds.
+// key. Quantiles interpolate within power-of-two buckets (see
+// Histogram.Quantile); times are in nanoseconds.
 func (t *Telemetry) HistogramsTable() *stats.Table {
 	tb := stats.NewTable("telemetry_hist",
-		"metric", "node", "subsystem", "tier", "count", "mean_ns", "p50_ns", "p99_ns", "min_ns", "max_ns")
+		"metric", "node", "subsystem", "tier", "count", "mean_ns", "p50_ns", "p99_ns", "p999_ns", "min_ns", "max_ns")
 	t.Registry().each(func(s *series) {
 		if s.kind != kindHistogram {
 			return
@@ -46,7 +47,7 @@ func (t *Telemetry) HistogramsTable() *stats.Table {
 			mn, mx = s.min, s.max
 		}
 		tb.Add(s.key.Name, s.key.Node, s.key.Subsystem, s.key.Tier,
-			s.count, mean, s.quantile(0.50), s.quantile(0.99), mn, mx)
+			s.count, mean, s.quantile(0.50), s.quantile(0.99), s.quantile(0.999), mn, mx)
 	})
 	return tb
 }
@@ -79,6 +80,7 @@ type jsonMetric struct {
 	MeanNs    float64 `json:"mean_ns,omitempty"`
 	P50Ns     int64   `json:"p50_ns,omitempty"`
 	P99Ns     int64   `json:"p99_ns,omitempty"`
+	P999Ns    int64   `json:"p999_ns,omitempty"`
 }
 
 // WriteJSON emits a machine-readable summary of the whole plane: metric
@@ -102,7 +104,7 @@ func (t *Telemetry) WriteJSON(w io.Writer) error {
 			if s.count > 0 {
 				m.MeanNs = float64(s.sum) / float64(s.count)
 			}
-			m.P50Ns, m.P99Ns = s.quantile(0.50), s.quantile(0.99)
+			m.P50Ns, m.P99Ns, m.P999Ns = s.quantile(0.50), s.quantile(0.99), s.quantile(0.999)
 		}
 		doc.Metrics = append(doc.Metrics, m)
 	})

@@ -206,10 +206,28 @@ func (h Histogram) Count() int64 {
 	return h.s.count
 }
 
-// quantile returns the upper bound of the bucket holding the q-quantile.
+// Quantile returns the q-quantile (q in [0, 1]) of the observed samples:
+// the rank's power-of-two bucket, linearly interpolated by the rank's
+// position inside it and clamped to the observed [min, max]. The result
+// is deterministic — fixed buckets, fixed arithmetic — so same-seed runs
+// report identical percentiles. An empty or zero-value histogram is 0.
+func (h Histogram) Quantile(q float64) int64 {
+	if h.s == nil {
+		return 0
+	}
+	return h.s.quantile(q)
+}
+
+// quantile implements Histogram.Quantile on the raw series.
 func (s *series) quantile(q float64) int64 {
 	if s.count == 0 {
 		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	rank := int64(q*float64(s.count) + 0.5)
 	if rank < 1 {
@@ -217,13 +235,31 @@ func (s *series) quantile(q float64) int64 {
 	}
 	var cum int64
 	for i, n := range s.buckets {
-		cum += n
-		if cum >= rank {
-			if i == 0 {
-				return 0
-			}
-			return int64(1)<<uint(i) - 1
+		if n == 0 {
+			continue
 		}
+		cum += n
+		if cum < rank {
+			continue
+		}
+		if i == 0 {
+			return 0 // bucket 0 holds only the value 0
+		}
+		lo := int64(1) << uint(i-1)
+		hi := int64(math.MaxInt64)
+		if i < 63 {
+			hi = int64(1)<<uint(i) - 1
+		}
+		// Interpolate by the rank's position among this bucket's samples.
+		frac := float64(rank-(cum-n)) / float64(n)
+		v := lo + int64(frac*float64(hi-lo)+0.5)
+		if v < s.min {
+			v = s.min
+		}
+		if v > s.max {
+			v = s.max
+		}
+		return v
 	}
 	return s.max
 }

@@ -1,0 +1,113 @@
+package telemetry
+
+import "testing"
+
+// TestQuantileEmpty: an unobserved histogram (and the zero-value handle)
+// reports 0 for every quantile.
+func TestQuantileEmpty(t *testing.T) {
+	var zero Histogram
+	if got := zero.Quantile(0.5); got != 0 {
+		t.Fatalf("zero handle Quantile(0.5) = %d, want 0", got)
+	}
+	r := NewRegistry()
+	h := r.Histogram(Key{Name: "lat"})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile(0.99) = %d, want 0", got)
+	}
+}
+
+// TestQuantilePointMass: every quantile of a single repeated value is
+// that value exactly — min/max clamping pins the interpolation.
+func TestQuantilePointMass(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Key{Name: "lat"})
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Fatalf("Quantile(%v) = %d, want 1000", q, got)
+		}
+	}
+}
+
+// TestQuantileZeroes: observations of zero land in bucket 0 and report 0.
+func TestQuantileZeroes(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Key{Name: "lat"})
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile(0.5) = %d, want 0", got)
+	}
+}
+
+// TestQuantileUniform: a uniform 1..1000 distribution should report a
+// median near 500 — within-bucket interpolation, not the 511 bucket
+// upper bound — and extremes clamped to the observed min/max.
+func TestQuantileUniform(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Key{Name: "lat"})
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 450 || p50 > 550 {
+		t.Fatalf("uniform median = %d, want within [450, 550]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900 || p99 > 1000 {
+		t.Fatalf("uniform p99 = %d, want within [900, 1000]", p99)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("Quantile(1) = %d, want max 1000", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %d, want min 1", got)
+	}
+	// Out-of-range q clamps rather than panicking or extrapolating.
+	if got := h.Quantile(-1); got != 1 {
+		t.Fatalf("Quantile(-1) = %d, want 1", got)
+	}
+	if got := h.Quantile(2); got != 1000 {
+		t.Fatalf("Quantile(2) = %d, want 1000", got)
+	}
+}
+
+// TestQuantileMonotonic: quantiles never decrease as q grows.
+func TestQuantileMonotonic(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Key{Name: "lat"})
+	for v := int64(1); v <= 5000; v += 7 {
+		h.Observe(v * v % 4096)
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestQuantileBimodal: with 90% of mass at a low value and 10% at a high
+// one, p50 sits on the low mode and p99 on the high mode.
+func TestQuantileBimodal(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(Key{Name: "lat"})
+	for i := 0; i < 900; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(100000)
+	}
+	if got := h.Quantile(0.5); got != 100 {
+		t.Fatalf("bimodal p50 = %d, want 100", got)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 65536 || p99 > 100000 {
+		t.Fatalf("bimodal p99 = %d, want in the high mode's bucket [65536, 100000]", p99)
+	}
+}
