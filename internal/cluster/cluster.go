@@ -161,22 +161,19 @@ type Cluster struct {
 	agg    aggregates
 }
 
-// InstallFaults activates a fault plan: a seeded injector is wired into
-// the fabric, every node device, and the PFS, and a chaos daemon is
-// spawned to execute the plan's node crashes and revivals at their
-// virtual times. Call it after New and before building higher layers
-// (hermes, core), which capture the injector at construction.
+// InstallFaults activates a fault plan: the cluster's stable injector
+// (created at New, already wired into the fabric, every node device, and
+// the PFS) is reconfigured with the plan, and a chaos daemon is spawned
+// to execute the plan's node crashes and revivals at their virtual
+// times. Because the injector handle never changes, InstallFaults may be
+// called before or after higher layers (hermes, core) are built — they
+// capture the same injector either way. Installing mid-run is supported:
+// plans whose fault times postdate the call behave as authored.
 func (c *Cluster) InstallFaults(plan faults.Plan) *faults.Injector {
-	inj := faults.NewInjector(plan, c.Engine.Now)
-	c.inj = inj
-	c.Fabric.SetFaults(inj)
-	for _, n := range c.Nodes {
-		for tier, d := range n.Devices {
-			d.SetFaults(inj, n.ID, tier)
-		}
-	}
-	c.PFS.SetFaults(inj, faults.PFSNode, "pfs")
-	inj.SetTelemetry(c.tel.Tracer()) // no-op unless telemetry came first
+	inj := c.inj
+	inj.Reconfigure(plan)
+	inj.SetTelemetry(c.tel.Tracer())  // no-op unless telemetry came first
+	inj.SetRegistry(c.tel.Registry()) // mirror retry.* into the metrics export
 	if events := c.chaosTimeline(plan); len(events) > 0 {
 		c.Engine.SpawnDaemon("chaos", func(p *vtime.Proc) {
 			for _, ev := range events {
@@ -235,8 +232,9 @@ func (c *Cluster) purgeNode(node int) {
 	}
 }
 
-// Faults returns the installed fault injector, or nil when running
-// fault-free.
+// Faults returns the cluster's fault injector. It is never nil: a
+// fault-free cluster carries an injector with an empty plan, which
+// injects nothing but still serves retry policy and counters.
 func (c *Cluster) Faults() *faults.Injector { return c.inj }
 
 // InstallTelemetry activates a telemetry plane: the span tracer is wired
@@ -255,7 +253,8 @@ func (c *Cluster) InstallTelemetry(opts telemetry.Options) *telemetry.Telemetry 
 		}
 	}
 	c.PFS.SetTelemetry(trc, -1)
-	c.inj.SetTelemetry(trc) // no-op unless faults came first
+	c.inj.SetTelemetry(trc)           // no-op unless faults came first
+	c.inj.SetRegistry(tel.Registry()) // mirror retry.* into the metrics export
 	if smp := tel.Sampler(); smp.Period() > 0 {
 		c.spawnSampler(smp)
 	}
@@ -339,6 +338,13 @@ func New(spec Spec) *Cluster {
 		pfsSrv: vtime.NewResource(spec.PFSFanout),
 		pfsIDs: blob.NewInterner(),
 	}
+	// One stable injector for the cluster's lifetime: it starts with an
+	// empty plan (no faults) and InstallFaults reconfigures it in place.
+	// Handing it out here means every layer — fabric, devices, PFS, and
+	// higher planes built later — captures the same handle, so fault
+	// plans can be armed at any point, including after construction.
+	c.inj = faults.NewInjector(faults.Plan{}, c.Engine.Now)
+	c.Fabric.SetFaults(c.inj)
 	c.agg.tierUsed = make([]int64, len(spec.Tiers))
 	for i := 0; i < spec.Nodes; i++ {
 		n := &Node{
@@ -353,10 +359,12 @@ func New(spec Spec) *Cluster {
 			used := &c.agg.tierUsed[ti]
 			d.OnUsedChange(func(delta int64) { *used += delta })
 			c.agg.storageCost += d.Cost()
+			d.SetFaults(c.inj, i, ts.Name)
 			n.Devices[ts.Name] = d
 		}
 		c.Nodes = append(c.Nodes, n)
 	}
+	c.PFS.SetFaults(c.inj, faults.PFSNode, "pfs")
 	return c
 }
 

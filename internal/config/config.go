@@ -51,6 +51,18 @@
 //	      write_error: 0.005
 //	      slow_factor: 4
 //	      slow_from: 30ms
+//	      ramp_for: 10ms
+//	  jitters:
+//	    - node: 2
+//	      amp: 300us
+//	      prob: 0.5
+//	      from: 5ms
+//	  flaps:
+//	    - node: 2
+//	      up: 800us
+//	      period: 1ms
+//	      from: 10ms
+//	      to: 30ms
 //	  crashes:
 //	    - node: 1
 //	      at: 40ms
@@ -71,6 +83,12 @@
 //	  scrub: true
 //	  prefetch: true
 //	  evict: true
+//	health:
+//	  enabled: true
+//	  tick: 5ms
+//	  slow_factor: 1.5
+//	  hedge_delay: 500us
+//	  quarantine_bias: 1
 //	tenants:
 //	  isolation: true
 //	  list:
@@ -151,6 +169,11 @@ func Load(doc string) (*Deployment, error) {
 			return nil, err
 		}
 	}
+	if hn, ok := root.child("health"); ok {
+		if err := d.loadHealth(hn); err != nil {
+			return nil, err
+		}
+	}
 	if hn, ok := root.child("hints"); ok {
 		if err := d.loadHints(hn); err != nil {
 			return nil, err
@@ -191,6 +214,9 @@ func (d *Deployment) validate() error {
 	// are not applied first, so `tick: 0` or a NaN target is an error
 	// rather than silently replaced.
 	if err := d.Runtime.Control.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if err := d.Runtime.Health.Validate(); err != nil {
 		return fmt.Errorf("config: %w", err)
 	}
 	return nil
@@ -399,11 +425,52 @@ func (d *Deployment) loadFaults(n *node) error {
 				"write_error": func(v string) error { return parseProb(v, &df.WriteErr) },
 				"slow_factor": func(v string) error { return parseFloat(v, &df.SlowFactor) },
 				"slow_from":   func(v string) error { return parseDuration(v, &df.SlowFrom) },
+				"ramp_for":    func(v string) error { return parseDuration(v, &df.RampFor) },
 			})
 			if e != nil {
 				return fmt.Errorf("config: faults.devices[%d]: %w", i, e)
 			}
 			p.Devices = append(p.Devices, df)
+		}
+	}
+	if seq, ok := n.child("jitters"); ok {
+		for i, item := range seq.items {
+			j := faults.Jitter{Node: faults.AnyNode, Prob: 1}
+			e := loadFields(item, map[string]func(string) error{
+				"node": func(v string) error { return parseNodeRef(v, &j.Node) },
+				"amp":  func(v string) error { return parseDuration(v, &j.Amp) },
+				"prob": func(v string) error { return parseProb(v, &j.Prob) },
+				"from": func(v string) error { return parseDuration(v, &j.From) },
+			})
+			if e != nil {
+				return fmt.Errorf("config: faults.jitters[%d]: %w", i, e)
+			}
+			if j.Amp <= 0 {
+				return fmt.Errorf("config: faults.jitters[%d]: need amp > 0", i)
+			}
+			p.Jitters = append(p.Jitters, j)
+		}
+	}
+	if seq, ok := n.child("flaps"); ok {
+		for i, item := range seq.items {
+			fl := faults.Flap{Node: faults.AnyNode}
+			e := loadFields(item, map[string]func(string) error{
+				"node":   func(v string) error { return parseNodeRef(v, &fl.Node) },
+				"up":     func(v string) error { return parseDuration(v, &fl.Up) },
+				"period": func(v string) error { return parseDuration(v, &fl.Period) },
+				"from":   func(v string) error { return parseDuration(v, &fl.From) },
+				"to":     func(v string) error { return parseDuration(v, &fl.To) },
+			})
+			if e != nil {
+				return fmt.Errorf("config: faults.flaps[%d]: %w", i, e)
+			}
+			if fl.Period <= 0 {
+				return fmt.Errorf("config: faults.flaps[%d]: need period > 0", i)
+			}
+			if fl.To <= fl.From {
+				return fmt.Errorf("config: faults.flaps[%d]: window [%v, %v) is empty", i, fl.From, fl.To)
+			}
+			p.Flaps = append(p.Flaps, fl)
 		}
 	}
 	if seq, ok := n.child("crashes"); ok {
@@ -489,6 +556,39 @@ func (d *Deployment) loadControl(n *node) error {
 		return fmt.Errorf("config: control: %w", err)
 	}
 	d.Runtime.Control = cc
+	return nil
+}
+
+// loadHealth parses the gray-failure health-plane section. Its presence
+// enables the plane (set `enabled: false` to keep a section around but
+// off); unset knobs keep their DefaultHealth() values, so `hedge_delay:
+// 0` and `quarantine_bias: 0` are the explicit off switches for hedging
+// and placement bias.
+func (d *Deployment) loadHealth(n *node) error {
+	hc := control.DefaultHealth()
+	err := loadFields(n, map[string]func(string) error{
+		"enabled":          func(v string) error { return parseBool(v, &hc.Enabled) },
+		"tick":             func(v string) error { return parseDuration(v, &hc.Tick) },
+		"slow_factor":      func(v string) error { return parseFloat(v, &hc.SlowFactor) },
+		"suspect_score":    func(v string) error { return parseFloat(v, &hc.SuspectScore) },
+		"quarantine_score": func(v string) error { return parseFloat(v, &hc.QuarantineScore) },
+		"min_ops": func(v string) error {
+			var x int
+			if err := parseInt(v, &x); err != nil {
+				return err
+			}
+			hc.MinOps = int64(x)
+			return nil
+		},
+		"probe_after":     func(v string) error { return parseDuration(v, &hc.ProbeAfter) },
+		"probe_ok":        func(v string) error { return parseInt(v, &hc.ProbeOK) },
+		"hedge_delay":     func(v string) error { return parseDuration(v, &hc.HedgeDelay) },
+		"quarantine_bias": func(v string) error { return parseFloat(v, &hc.QuarantineBias) },
+	})
+	if err != nil {
+		return fmt.Errorf("config: health: %w", err)
+	}
+	d.Runtime.Health = hc
 	return nil
 }
 

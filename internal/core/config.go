@@ -110,6 +110,14 @@ type Config struct {
 	// the repair governor active RepairPeriod is ignored, and with the
 	// scrub governor active sweeps become incremental under ScrubPeriod.
 	Control control.Config
+
+	// Health configures the gray-failure resilience plane: a
+	// deterministic accrual health scorer that watches per-node device
+	// service-time degradation, hedges reads against suspected-slow
+	// primaries, and quarantines degraded nodes out of placement with
+	// probe-based reintegration. Disabled by default — the zero value
+	// leaves the read and placement paths byte-identical to older runs.
+	Health control.HealthConfig
 }
 
 // DefaultConfig returns the configuration used by the evaluation unless

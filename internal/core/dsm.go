@@ -25,7 +25,8 @@ type DSM struct {
 
 	runtimes []*Runtime
 	vecs     map[string]*vecMeta
-	handles  []vectorHandle // every open Vector, for invariant audits
+	vecByID  map[uint32]*vecMeta // interned vec -> meta (hedge CRC verify)
+	handles  []vectorHandle      // every open Vector, for invariant audits
 	barriers map[string]*barrierState
 	locks    map[string]*dsmLock
 	// chains serialize data-bearing tasks per page in submission order:
@@ -103,6 +104,11 @@ type DSM struct {
 	// leaves the fixed-knob behaviour byte-identical.
 	ctl *controller
 
+	// hc is the gray-failure health plane, nil unless Config.Health is
+	// enabled. Disabled, hermes keeps hedge delay 0 and quarantine bias
+	// 0, leaving the read and placement paths byte-identical.
+	hc *healthCtl
+
 	// ReplicaHits/Misses count replicated-phase reads served by (or
 	// missing) a node-local replica (diagnostics).
 	replicaHits, replicaMisses int64
@@ -151,6 +157,7 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 		h:            hermes.New(c, tiers),
 		st:           stager.New(c),
 		vecs:         make(map[string]*vecMeta),
+		vecByID:      make(map[uint32]*vecMeta),
 		barriers:     make(map[string]*barrierState),
 		locks:        make(map[string]*dsmLock),
 		chains:       make(map[blob.ID]*pageChain),
@@ -169,6 +176,10 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 	if cfg.Control.Enabled {
 		d.ctl = newController(d)
 		c.Engine.SpawnDaemon("mm-control", d.controlLoop)
+	}
+	if cfg.Health.Enabled {
+		d.hc = newHealthCtl(d)
+		c.Engine.SpawnDaemon("mm-health", d.healthLoop)
 	}
 	if cfg.OrganizePeriod > 0 {
 		c.Engine.SpawnDaemon("mm-organizer", d.organizerLoop)

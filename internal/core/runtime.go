@@ -208,15 +208,14 @@ func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
 		r.d.putBuf(buf)
 		return nil, err
 	}
+	staged := false
 	if !ok {
 		data, err = r.stageIn(p, m, t.page, buf)
 		if err != nil {
 			r.d.putBuf(buf)
 			return nil, err
 		}
-		// Install near the origin so future faults stay local. A full
-		// scache falls back to serving straight from the backend.
-		_ = r.d.h.Put(p, r.node.ID, key, data, m.placeScore(0.5), t.origin)
+		staged = true
 	} else {
 		// Volatile blobs are stored trimmed to their written extent; pad
 		// the image back to page size.
@@ -224,13 +223,24 @@ func (r *Runtime) readPage(p *vtime.Proc, t *MemoryTask) ([]byte, error) {
 	}
 	if r.d.cfg.ChecksumPages {
 		if want, ok := m.sums[t.page]; ok && crc32.ChecksumIEEE(data) != want {
+			// Verify BEFORE any reinstall: if the scache lost the primary
+			// (e.g. a node restarted between commits) the staged image is
+			// stale or zero fill, and re-Putting it would propagate the
+			// bad bytes over the surviving backup replicas. Repair from a
+			// good copy instead; repairPage reinstalls the primary itself.
 			good, rerr := r.repairPage(p, m, t.page, want)
 			r.d.putBuf(buf) // the corrupt image; zeroed again on reuse
 			if rerr != nil {
 				return nil, rerr
 			}
 			data = good
+			staged = false
 		}
+	}
+	if staged {
+		// Install near the origin so future faults stay local. A full
+		// scache falls back to serving straight from the backend.
+		_ = r.d.h.Put(p, r.node.ID, key, data, m.placeScore(0.5), t.origin)
 	}
 	if t.replicate {
 		pl, havePl := r.d.h.PlacementOf(key)
@@ -294,9 +304,19 @@ func (r *Runtime) repairPage(p *vtime.Proc, m *vecMeta, page int64, want uint32)
 func (r *Runtime) repairSource(p *vtime.Proc, m *vecMeta, page int64, want uint32) ([]byte, error) {
 	key := m.pageID(page)
 	for slot := 0; slot < r.d.cfg.Replicas; slot++ {
-		if data, ok := r.d.h.ReadBackup(p, r.node.ID, key, slot); ok && crc32.ChecksumIEEE(data) == want {
-			r.d.inj.Note("core.repair_replica")
-			return data, nil
+		if data, ok := r.d.h.ReadBackup(p, r.node.ID, key, slot); ok {
+			// Backups of volatile pages are stored trimmed like their
+			// primaries; pad before checksumming or a good short copy
+			// would never match the full-page CRC.
+			if int64(len(data)) < m.pageSize {
+				img := make([]byte, m.pageSize)
+				copy(img, data)
+				data = img
+			}
+			if crc32.ChecksumIEEE(data) == want {
+				r.d.inj.Note("core.repair_replica")
+				return data, nil
+			}
 		}
 	}
 	if m.backend != nil && !m.dirty[page] {

@@ -149,6 +149,7 @@ func Open[T any](c *Client, name string, codec Codec[T], opts ...VectorOpt) (*Ve
 			m.length = b.Size() / es
 		}
 		c.d.vecs[name] = m
+		c.d.vecByID[m.id] = m
 	} else {
 		if m.access != o.accessKey {
 			return nil, fmt.Errorf("core: access denied to vector %q: wrong access key", name)
@@ -495,6 +496,7 @@ func (v *Vector[T]) Destroy() {
 	}
 	v.c.Drain()
 	delete(v.c.d.vecs, v.m.name)
+	delete(v.c.d.vecByID, v.m.id)
 }
 
 // checkBounds panics on out-of-range access (a programming error in the

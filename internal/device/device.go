@@ -130,10 +130,13 @@ type Device struct {
 	trc   *telemetry.Tracer
 	tnode int
 
-	// Counters for the resource monitor.
+	// Counters for the resource monitor. nomBusy accumulates what busy
+	// would have been without injected slowdowns; busy/nomBusy is the
+	// experienced degradation ratio the health scorer feeds on.
 	readOps, writeOps     int64
 	bytesRead, bytesWrite int64
 	busy                  vtime.Duration
+	nomBusy               vtime.Duration
 
 	// onUsed observers fire on every change to the stored-byte count;
 	// cluster aggregates and the hermes placement index subscribe so
@@ -226,6 +229,12 @@ func (d *Device) note(delta int64) {
 // Busy returns the cumulative virtual time spent servicing requests.
 func (d *Device) Busy() vtime.Duration { return d.busy }
 
+// NominalBusy returns the service time the same requests would have cost
+// on a healthy device (no injected slowdown). Busy()/NominalBusy() over a
+// sampling window is the degradation ratio the health scorer watches: 1
+// when healthy, approaching the injected slow factor as a device grays.
+func (d *Device) NominalBusy() vtime.Duration { return d.nomBusy }
+
 // UtilSince converts a previously sampled Busy() value into average
 // utilization over the window since the sample, clamped to [0, 1]. The
 // control plane uses this as its foreground-I/O-pressure signal.
@@ -284,6 +293,7 @@ func (d *Device) Keys() int { return len(d.blobs) }
 // multiplies latency and divides bandwidth.
 func (d *Device) charge(p *vtime.Proc, n int64, bw float64) {
 	lat := d.prof.Latency
+	d.nomBusy += lat + vtime.BytesAt(n, bw)
 	if d.inj != nil {
 		if s := d.inj.DeviceSlowdown(d.fnode, d.ftier); s > 1 {
 			lat = vtime.Duration(float64(lat) * s)

@@ -83,6 +83,11 @@ type Profile struct {
 	TenantNodes     int
 	TenantPoolBytes int64 // pooled pcache budget shared by all tenants
 	TenantMillis    int   // serving-phase horizon, virtual ms
+
+	// Gray-failure resilience ablation (mmbench -exp gray).
+	GrayNodes     int
+	GrayPoolBytes int64 // DRAM scache tier per node
+	GrayMillis    int   // serving-phase horizon, virtual ms
 }
 
 // Small returns the test/bench profile: the same shapes at sizes that
@@ -109,6 +114,9 @@ func Small() Profile {
 		TenantNodes:      2,
 		TenantPoolBytes:  192 * device.KB,
 		TenantMillis:     150,
+		GrayNodes:        3,
+		GrayPoolBytes:    192 * device.KB,
+		GrayMillis:       500,
 	}
 }
 
@@ -137,6 +145,9 @@ func Full() Profile {
 		TenantNodes:      4,
 		TenantPoolBytes:  384 * device.KB,
 		TenantMillis:     500,
+		GrayNodes:        4,
+		GrayPoolBytes:    256 * device.KB,
+		GrayMillis:       500,
 	}
 }
 

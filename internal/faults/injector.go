@@ -37,27 +37,91 @@ type Injector struct {
 	onRevive []func(node int)
 	counters map[string]int64
 	trc      *telemetry.Tracer // nil when no telemetry plane is installed
+
+	// slowClearedAt records the revive time per node: sticky DeviceFault
+	// slowdowns whose SlowFrom predates the revive are forgotten, because
+	// a cold-restarted node gets fresh hardware, not its pre-crash wear.
+	slowClearedAt map[int]vtime.Duration
+
+	// reg mirrors fault/retry counters into a telemetry registry so the
+	// CSV/JSON export carries retry.* alongside the subsystem metrics.
+	reg     *telemetry.Registry
+	regCtrs map[string]telemetry.Counter
 }
 
 // NewInjector builds an injector for plan. now reports the current
 // virtual time (typically Engine.Now); retry-policy defaults are filled
-// in here.
+// in here, and jitter rules with an unset probability default to 1.
 func NewInjector(plan Plan, now func() vtime.Duration) *Injector {
-	plan.Retry = plan.Retry.withDefaults()
-	return &Injector{
-		plan:     plan,
-		rng:      NewRand(plan.Seed),
-		now:      now,
-		crashed:  make(map[int]bool),
-		counters: make(map[string]int64),
+	in := &Injector{
+		now:           now,
+		crashed:       make(map[int]bool),
+		counters:      make(map[string]int64),
+		slowClearedAt: make(map[int]vtime.Duration),
 	}
+	in.Reconfigure(plan)
+	return in
+}
+
+// Reconfigure swaps the injector's plan in place, reseeding its PRNG
+// from the new plan's seed. Registered crash/revive callbacks, counters,
+// and telemetry wiring all survive, so layers that captured the injector
+// at construction keep working — this is what lets a cluster hand out
+// one stable injector at New time and arm the real fault plan later
+// (e.g. after a prefill phase fixes the serving-start epoch).
+func (in *Injector) Reconfigure(plan Plan) {
+	plan.Retry = plan.Retry.withDefaults()
+	if len(plan.Jitters) > 0 {
+		plan.Jitters = append([]Jitter(nil), plan.Jitters...)
+		for i := range plan.Jitters {
+			if !(plan.Jitters[i].Prob > 0) {
+				plan.Jitters[i].Prob = 1
+			}
+		}
+	}
+	in.plan = plan
+	in.rng = NewRand(plan.Seed)
 }
 
 // Plan returns the plan the injector executes.
 func (in *Injector) Plan() Plan { return in.plan }
 
-// count bumps a named fault/retry counter.
-func (in *Injector) count(name string) { in.counters[name]++ }
+// count bumps a named fault/retry counter, mirroring it into the
+// attached telemetry registry when one is installed.
+func (in *Injector) count(name string) {
+	in.counters[name]++
+	if in.reg != nil {
+		c, ok := in.regCtrs[name]
+		if !ok {
+			c = in.reg.Counter(telemetry.Key{Name: name, Node: -1, Subsystem: "faults"})
+			in.regCtrs[name] = c
+		}
+		c.Add(1)
+	}
+}
+
+// SetRegistry mirrors every fault/retry counter into reg under
+// Subsystem "faults" (so retry.* backoff counts appear in the metrics
+// export). No-op on a nil injector or registry.
+func (in *Injector) SetRegistry(reg *telemetry.Registry) {
+	if in == nil || reg == nil || in.reg == reg {
+		return
+	}
+	in.reg = reg
+	in.regCtrs = make(map[string]telemetry.Counter)
+	// Catch up counts accumulated before the registry was attached, so
+	// install order (faults vs telemetry) doesn't change the export.
+	for name, v := range in.counters {
+		c, ok := in.regCtrs[name]
+		if !ok {
+			c = reg.Counter(telemetry.Key{Name: name, Node: -1, Subsystem: "faults"})
+			in.regCtrs[name] = c
+		}
+		if v > 0 {
+			c.Add(v)
+		}
+	}
+}
 
 // Note bumps a named counter from a fault-aware subsystem (e.g. a
 // hermes failover recovery). No-op on a nil injector.
@@ -147,6 +211,9 @@ func (in *Injector) ReviveNode(node int) {
 		return
 	}
 	delete(in.crashed, node)
+	// A revived node comes back cold on fresh hardware: sticky device
+	// slowdowns that began before this instant no longer apply to it.
+	in.slowClearedAt[node] = in.now()
 	in.count("revive")
 	for _, fn := range in.onRevive {
 		fn(node)
@@ -170,6 +237,27 @@ func (in *Injector) NetMessage(src, dst int) NetEffect {
 			in.count("net.partition")
 		}
 	}
+	// Flapping links hold down-phase messages until the next up-phase.
+	// Pure vtime arithmetic (no PRNG draw), so adding flap rules never
+	// perturbs the draw order of the randomized faults below.
+	for i := range in.plan.Flaps {
+		fl := &in.plan.Flaps[i]
+		if !fl.matches(src, dst) || now < fl.From || now >= fl.To || fl.Period <= 0 {
+			continue
+		}
+		phase := (now - fl.From) % fl.Period
+		if phase < fl.Up {
+			continue
+		}
+		release := now - phase + fl.Period // start of the next up-phase
+		if release > fl.To {
+			release = fl.To
+		}
+		if release > eff.HoldUntil {
+			eff.HoldUntil = release
+		}
+		in.count("net.flap")
+	}
 	for i := range in.plan.Links {
 		lf := &in.plan.Links[i]
 		if !lf.matches(src, dst) {
@@ -188,6 +276,19 @@ func (in *Injector) NetMessage(src, dst int) NetEffect {
 		if lf.DelayProb > 0 && in.rng.Float64() < lf.DelayProb {
 			eff.Delay += lf.DelaySpike
 			in.count("net.delay")
+		}
+	}
+	// Sticky endpoint jitter draws come last so plans without jitter
+	// rules consume exactly the draw sequence they did before gray
+	// faults existed — byte-identical replay of old plans is preserved.
+	for i := range in.plan.Jitters {
+		j := &in.plan.Jitters[i]
+		if !j.matches(src, dst) || now < j.From || j.Amp <= 0 {
+			continue
+		}
+		if in.rng.Float64() < j.Prob {
+			eff.Delay += vtime.Duration(in.rng.Float64() * float64(j.Amp))
+			in.count("net.jitter")
 		}
 	}
 	return eff
@@ -234,16 +335,32 @@ func (in *Injector) deviceErr(node int, tier, op string) error {
 
 // DeviceSlowdown returns the sticky latency multiplier currently in
 // effect for a device (1 when healthy). Deterministic — no PRNG draw.
+// A rule with RampFor > 0 interpolates linearly from 1 at SlowFrom to
+// SlowFactor at SlowFrom+RampFor (the gray-failure wear curve). Rules
+// that began before the node's last revive are skipped: a cold restart
+// replaces the degraded hardware.
 func (in *Injector) DeviceSlowdown(node int, tier string) float64 {
 	if in == nil {
 		return 1
 	}
 	s := 1.0
 	now := in.now()
+	cleared, hasCleared := in.slowClearedAt[node]
 	for i := range in.plan.Devices {
 		df := &in.plan.Devices[i]
-		if df.SlowFactor > 1 && df.matches(node, tier) && now >= df.SlowFrom {
-			s *= df.SlowFactor
+		if df.SlowFactor <= 1 || !df.matches(node, tier) || now < df.SlowFrom {
+			continue
+		}
+		if hasCleared && df.SlowFrom <= cleared {
+			continue
+		}
+		f := df.SlowFactor
+		if df.RampFor > 0 && now < df.SlowFrom+df.RampFor {
+			frac := float64(now-df.SlowFrom) / float64(df.RampFor)
+			f = 1 + (df.SlowFactor-1)*frac
+		}
+		if f > 1 {
+			s *= f
 		}
 	}
 	return s

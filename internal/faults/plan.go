@@ -45,10 +45,48 @@ func (pt *Partition) matches(src, dst int) bool {
 	return lf.matches(src, dst)
 }
 
+// Jitter is a sticky gray-failure primitive: from From onward, every
+// message touching Node (AnyNode = all traffic) picks up an extra delay
+// uniform in [0, Amp) with probability Prob. Unlike a LinkFault delay
+// spike it models a persistently noisy endpoint — the NIC with a flaky
+// SerDes lane — rather than a lossy link.
+type Jitter struct {
+	Node int            // AnyNode matches every endpoint
+	Amp  vtime.Duration // maximum extra per-message delay
+	Prob float64        // P(jitter applied); 0 is normalized to 1
+	From vtime.Duration // when the jitter becomes sticky (0 = from start)
+}
+
+func (j *Jitter) matches(src, dst int) bool {
+	return j.Node == AnyNode || j.Node == src || j.Node == dst
+}
+
+// Flap is a deterministically flapping link: during [From, To) the
+// node's links cycle with period Period, up for the first Up of each
+// period and down for the rest. Down-phase messages are held until the
+// next up-phase (the reliable transport's view of a bouncing port).
+// Pure vtime arithmetic — no PRNG draw — so it replays byte-identically
+// regardless of surrounding randomized faults.
+type Flap struct {
+	Node     int // AnyNode matches every endpoint
+	Up       vtime.Duration
+	Period   vtime.Duration
+	From, To vtime.Duration
+}
+
+func (fl *Flap) matches(src, dst int) bool {
+	return fl.Node == AnyNode || fl.Node == src || fl.Node == dst
+}
+
 // DeviceFault injects transient I/O errors and sticky latency
 // degradation on matching devices. Node AnyNode matches all nodes,
 // PFSNode matches the shared filesystem; an empty Tier matches every
 // tier.
+//
+// A non-zero RampFor turns the sticky slowdown into a gray-failure
+// ramp: the factor interpolates linearly from 1 at SlowFrom up to
+// SlowFactor at SlowFrom+RampFor and stays there — the wearing-out
+// device the health scorer must catch before it reaches full severity.
 type DeviceFault struct {
 	Node       int
 	Tier       string
@@ -56,6 +94,7 @@ type DeviceFault struct {
 	WriteErr   float64        // P(transient write error per access)
 	SlowFactor float64        // latency multiplier / bandwidth divisor (>1 = degraded)
 	SlowFrom   vtime.Duration // when the degradation becomes sticky (0 = from start)
+	RampFor    vtime.Duration // linear ramp-up window after SlowFrom (0 = step)
 }
 
 func (df *DeviceFault) matches(node int, tier string) bool {
@@ -118,6 +157,8 @@ type Plan struct {
 	Seed       uint64
 	Links      []LinkFault
 	Partitions []Partition
+	Jitters    []Jitter
+	Flaps      []Flap
 	Devices    []DeviceFault
 	Crashes    []Crash
 	Revives    []Revive
@@ -134,6 +175,11 @@ type Plan struct {
 //	readerr=0.01         transient device read-error probability
 //	writeerr=0.005       transient device write-error probability
 //	slow=nvme:4@30ms     nvme tier 4x slower from t=30ms ("@..." optional)
+//	jitter=1:300us@20ms  node 1 adds uniform [0,300us) delay per message from t=20ms
+//	jitter=*:100us       all traffic jitters up to 100us from the start
+//	flap=2:1ms/4ms@10ms-50ms  node 2's links up 1ms of every 4ms during [10ms,50ms)
+//	ramp=1/nvme:6@30ms+20ms   node 1 nvme ramps 1x->6x over [30ms,50ms), then sticky
+//	ramp=ssd:3@10ms+5ms       tier-wide ramp ("node/" optional)
 //	crash=1@40ms         node 1's storage goes down at t=40ms
 //	revive=1@80ms        node 1 restarts (cold storage) at t=80ms
 //	part=0-1@10ms-12ms   partition nodes 0 and 1 during [10ms, 12ms)
@@ -196,6 +242,118 @@ func ParseSpec(spec string) (*Plan, error) {
 			}
 			df.Tier = tier
 			if df.SlowFactor, err = strconv.ParseFloat(factor, 64); err != nil {
+				break
+			}
+			p.Devices = append(p.Devices, df)
+		case "jitter":
+			// Two meanings share the key: "jitter=0.2" sets the retry-policy
+			// jitter fraction (pre-existing form), while "jitter=<node>:<amp>"
+			// declares a sticky link-jitter rule. The colon disambiguates.
+			if !strings.Contains(v, ":") {
+				p.Retry.Jitter, err = parseProb(v)
+				break
+			}
+			body, from, e := cutAt(v)
+			if e != nil {
+				err = e
+				break
+			}
+			node, amp, _ := strings.Cut(body, ":")
+			j := Jitter{Prob: 1}
+			if j.Node, err = parseNode(node); err != nil {
+				break
+			}
+			if j.Amp, err = parseDur(amp); err != nil {
+				break
+			}
+			if j.Amp <= 0 {
+				err = fmt.Errorf("jitter amplitude must be positive")
+				break
+			}
+			if from != "" {
+				if j.From, err = parseDur(from); err != nil {
+					break
+				}
+			}
+			p.Jitters = append(p.Jitters, j)
+		case "flap":
+			body, window, e := cutAt(v)
+			if e != nil {
+				err = e
+				break
+			}
+			node, cyc, ok := strings.Cut(body, ":")
+			if !ok {
+				err = fmt.Errorf("want node:up/period")
+				break
+			}
+			up, period, ok := strings.Cut(cyc, "/")
+			if !ok {
+				err = fmt.Errorf("want up/period cycle")
+				break
+			}
+			from, to, ok := strings.Cut(window, "-")
+			if !ok {
+				err = fmt.Errorf("want from-to window")
+				break
+			}
+			fl := Flap{}
+			if fl.Node, err = parseNode(node); err != nil {
+				break
+			}
+			if fl.Up, err = parseDur(up); err != nil {
+				break
+			}
+			if fl.Period, err = parseDur(period); err != nil {
+				break
+			}
+			if fl.Period <= 0 {
+				err = fmt.Errorf("flap period must be positive")
+				break
+			}
+			if fl.From, err = parseDur(from); err != nil {
+				break
+			}
+			if fl.To, err = parseDur(to); err != nil {
+				break
+			}
+			p.Flaps = append(p.Flaps, fl)
+		case "ramp":
+			body, win, e := cutAt(v)
+			if e != nil {
+				err = e
+				break
+			}
+			if win == "" {
+				err = fmt.Errorf("want @from+rampdur")
+				break
+			}
+			target, factor, ok := strings.Cut(body, ":")
+			if !ok {
+				err = fmt.Errorf("want [node/]tier:factor")
+				break
+			}
+			df := DeviceFault{Node: AnyNode}
+			if nodeS, tier, cut := strings.Cut(target, "/"); cut {
+				if df.Node, err = parseNode(nodeS); err != nil {
+					break
+				}
+				df.Tier = tier
+			} else {
+				df.Tier = target
+			}
+			if df.SlowFactor, err = strconv.ParseFloat(factor, 64); err != nil {
+				break
+			}
+			from, rampdur, ok := strings.Cut(win, "+")
+			if !ok {
+				err = fmt.Errorf("want from+rampdur")
+				break
+			}
+			if df.SlowFrom, err = parseDur(from); err != nil {
+				break
+			}
+			if df.RampFor, err = parseDur(rampdur); err != nil {
 				break
 			}
 			p.Devices = append(p.Devices, df)
@@ -263,8 +421,6 @@ func ParseSpec(spec string) (*Plan, error) {
 			p.Retry.Base, err = parseDur(v)
 		case "cap":
 			p.Retry.Cap, err = parseDur(v)
-		case "jitter":
-			p.Retry.Jitter, err = parseProb(v)
 		default:
 			err = fmt.Errorf("unknown key")
 		}
@@ -279,6 +435,18 @@ func ParseSpec(spec string) (*Plan, error) {
 		p.Devices = append(p.Devices, dev)
 	}
 	return p, nil
+}
+
+// parseNode parses a node reference: "*" or "any" matches every node,
+// "pfs" the shared filesystem pseudo-node, else a literal node index.
+func parseNode(s string) (int, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "*", "any":
+		return AnyNode, nil
+	case "pfs":
+		return PFSNode, nil
+	}
+	return strconv.Atoi(s)
 }
 
 // cutAt splits "body@suffix"; the suffix is optional.

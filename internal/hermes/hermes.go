@@ -101,6 +101,24 @@ type Hermes struct {
 	mRepairs   telemetry.Counter
 	gUnderRep  telemetry.Gauge
 
+	// Gray-failure resilience (see hedge.go). suspect nodes get hedged
+	// reads after hedgeDelay; quar nodes are avoided by placement while
+	// quarBias > 0. hedgeVerify lets the owner (core, when page checksums
+	// are on) reject a speculative backup result whose bytes fail CRC.
+	suspect     []bool
+	quar        []bool
+	quarCount   int
+	quarBias    float64
+	hedgeDelay  vtime.Duration
+	hedgeVerify func(id blob.ID, data []byte) bool
+
+	mHedgeLaunch telemetry.Counter
+	mHedgeWon    telemetry.Counter
+	mHedgeWasted telemetry.Counter
+	mQuarEnter   telemetry.Counter
+	mQuarExit    telemetry.Counter
+	hHedgeWait   telemetry.Histogram
+
 	// buckets indexes bucket membership: interned bucket name -> member
 	// blobs (vec + bare blob name), sorted by name. memberOf marks vecs
 	// already registered, so re-interning a member is O(1). Blobs/Size/
@@ -166,6 +184,8 @@ func New(c *cluster.Cluster, tiers []string) *Hermes {
 		queued:   make(map[blob.ID]bool),
 		buckets:  make(map[uint32][]bucketMember),
 		memberOf: make(map[uint32]bool),
+		suspect:  make([]bool, len(c.Nodes)),
+		quar:     make([]bool, len(c.Nodes)),
 	}
 	h.org.tierIdx = make(map[string]int, len(tiers))
 	for i, t := range tiers {
@@ -188,6 +208,12 @@ func (h *Hermes) SetTelemetry(tel *telemetry.Telemetry) {
 	h.mFailovers = reg.Counter(telemetry.Key{Name: "hermes.failovers", Node: -1, Subsystem: "hermes"})
 	h.mRepairs = reg.Counter(telemetry.Key{Name: "hermes.repairs", Node: -1, Subsystem: "hermes"})
 	h.gUnderRep = reg.Gauge(telemetry.Key{Name: "hermes.under_replicated", Node: -1, Subsystem: "hermes"})
+	h.mHedgeLaunch = reg.Counter(telemetry.Key{Name: "hedge.launched", Node: -1, Subsystem: "hermes"})
+	h.mHedgeWon = reg.Counter(telemetry.Key{Name: "hedge.won", Node: -1, Subsystem: "hermes"})
+	h.mHedgeWasted = reg.Counter(telemetry.Key{Name: "hedge.wasted", Node: -1, Subsystem: "hermes"})
+	h.mQuarEnter = reg.Counter(telemetry.Key{Name: "quarantine.entered", Node: -1, Subsystem: "hermes"})
+	h.mQuarExit = reg.Counter(telemetry.Key{Name: "quarantine.exited", Node: -1, Subsystem: "hermes"})
+	h.hHedgeWait = reg.Histogram(telemetry.Key{Name: "hermes.hedge_wait_ns", Node: -1, Subsystem: "hermes"})
 }
 
 // beginSpan opens a scache span parented on the caller's current span;
@@ -413,6 +439,16 @@ func (e *ErrNoCapacity) Error() string {
 // returns node, tier and whether a target was found. Off the preferred
 // node, each tier is one O(log N) index query.
 func (h *Hermes) place(size int64, prefNode int) (int, string, bool) {
+	// Quarantine-aware pass: while any node is quarantined (and the bias
+	// is on), try to place on non-quarantined nodes only, falling back to
+	// the unbiased path below when nothing else fits. With bias 0 or no
+	// quarantined nodes this branch is never taken, so placement is
+	// byte-for-byte today's.
+	if h.quarBias > 0 && h.quarCount > 0 {
+		if n, t, ok := h.placeAvoiding(size, prefNode); ok {
+			return n, t, ok
+		}
+	}
 	if h.alive(prefNode) {
 		for ti, t := range h.tiers {
 			if h.pidx.free[ti][prefNode] >= size {
@@ -426,6 +462,34 @@ func (h *Hermes) place(size int64, prefNode int) (int, string, bool) {
 			i = h.pidx.tiers[ti].firstAtLeast(prefNode+1, size)
 		}
 		if i >= 0 {
+			return i, t, true
+		}
+	}
+	return 0, "", false
+}
+
+// placeAvoiding is place restricted to non-quarantined nodes: the same
+// preferred-node-then-first-fit walk, skipping quarantined candidates.
+// The skip loop advances the index query past each rejected node; at
+// most quarCount extra queries per tier.
+func (h *Hermes) placeAvoiding(size int64, prefNode int) (int, string, bool) {
+	if h.alive(prefNode) && !h.quar[prefNode] {
+		for ti, t := range h.tiers {
+			if h.pidx.free[ti][prefNode] >= size {
+				return prefNode, t, true
+			}
+		}
+	}
+	for ti, t := range h.tiers {
+		for from := 0; ; {
+			i := h.pidx.tiers[ti].firstAtLeast(from, size)
+			if i < 0 {
+				break
+			}
+			if i == prefNode || h.quar[i] {
+				from = i + 1
+				continue
+			}
 			return i, t, true
 		}
 	}
@@ -524,12 +588,10 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, id blob.ID, data []byte) 
 	if h.replicas == 0 || id.Kind == blob.KindBackup {
 		return
 	}
-	size := int64(len(data))
 	placed := 0
 	pos := 1 // rotation offset: the candidate walk never revisits a node
 	for placed < h.replicas {
-		alivePos := h.rotFirst(primary, pos, 0)
-		if alivePos < 0 {
+		if h.rotFirst(primary, pos, 0) < 0 {
 			break // no alive candidates remain in the rotation
 		}
 		bk := id.Backup(placed)
@@ -537,39 +599,57 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, id blob.ID, data []byte) 
 			h.deleteData(p, old, bk)
 			h.metaDelete(bk)
 		}
-		stored := false
-		for searchPos := alivePos; !stored; {
-			fitPos := h.rotFirst(primary, searchPos, size)
-			if fitPos < 0 {
-				break
-			}
-			node := (primary + fitPos) % len(h.c.Nodes)
-			for ti, t := range h.tiers {
-				dev := h.c.Nodes[node].Devices[t]
-				if h.pidx.free[ti][node] >= size {
-					h.c.Fabric.Transfer(p, primary, node, size)
-					if err := h.writeRetry(p, dev, bk, data); err == nil {
-						h.metaPut(bk, &Placement{Node: node, Tier: t, Size: size, Score: 0.05, ScoreNode: node})
-						stored = true
-					}
-					break
-				}
-			}
-			searchPos = fitPos + 1
-			if stored {
-				pos = fitPos + 1
-				placed++
-			}
+		// Same two-pass quarantine gating as placeBackup: prefer
+		// non-quarantined targets, fall back to any target so redundancy
+		// beats avoidance. With bias 0 or nothing quarantined the avoid
+		// pass IS the plain walk, byte for byte.
+		avoid := h.quarBias > 0 && h.quarCount > 0
+		next, stored := h.replicateSlot(p, primary, bk, data, pos, avoid)
+		if !stored && avoid {
+			next, stored = h.replicateSlot(p, primary, bk, data, pos, false)
 		}
 		if !stored {
 			break // the current slot fits nowhere; later slots cannot either
 		}
+		pos = next
+		placed++
 	}
 	if id.IsPrimary() && placed < h.replicas {
 		// Degraded write: fewer copies than configured exist right now.
 		// The anti-entropy queue restores the factor once capacity (or a
 		// revived node) allows.
 		h.enqueueRepair(id)
+	}
+}
+
+// replicateSlot walks the rotation from searchPos looking for a node to
+// hold one backup slot, optionally skipping quarantined nodes. Returns
+// the rotation offset the next slot should start from and whether the
+// copy was stored.
+func (h *Hermes) replicateSlot(p *vtime.Proc, primary int, bk blob.ID, data []byte, searchPos int, avoidQuar bool) (int, bool) {
+	size := int64(len(data))
+	for {
+		fitPos := h.rotFirst(primary, searchPos, size)
+		if fitPos < 0 {
+			return searchPos, false
+		}
+		node := (primary + fitPos) % len(h.c.Nodes)
+		if avoidQuar && h.quar[node] {
+			searchPos = fitPos + 1
+			continue
+		}
+		for ti, t := range h.tiers {
+			dev := h.c.Nodes[node].Devices[t]
+			if h.pidx.free[ti][node] >= size {
+				h.c.Fabric.Transfer(p, primary, node, size)
+				if err := h.writeRetry(p, dev, bk, data); err == nil {
+					h.metaPut(bk, &Placement{Node: node, Tier: t, Size: size, Score: 0.05, ScoreNode: node})
+					return fitPos + 1, true
+				}
+				break
+			}
+		}
+		searchPos = fitPos + 1
 	}
 }
 
@@ -763,13 +843,24 @@ func (h *Hermes) repairReplicate(p *vtime.Proc, primary int, id blob.ID, data []
 // candidates with capacity; at most replicas+1 nodes can hold a copy, so
 // the skip loop is bounded.
 func (h *Hermes) placeBackup(size int64, primary int, id blob.ID) (int, string, bool) {
+	// Same two-pass quarantine gating as place: prefer non-quarantined
+	// targets, fall back to any target so redundancy beats avoidance.
+	if h.quarBias > 0 && h.quarCount > 0 {
+		if n, t, ok := h.placeBackupPass(size, primary, id, true); ok {
+			return n, t, ok
+		}
+	}
+	return h.placeBackupPass(size, primary, id, false)
+}
+
+func (h *Hermes) placeBackupPass(size int64, primary int, id blob.ID, avoidQuar bool) (int, string, bool) {
 	for pos := 1; ; {
 		fitPos := h.rotFirst(primary, pos, size)
 		if fitPos < 0 {
 			return 0, "", false
 		}
 		node := (primary + fitPos) % len(h.c.Nodes)
-		if h.holdsCopy(node, id) {
+		if h.holdsCopy(node, id) || (avoidQuar && h.quar[node]) {
 			pos = fitPos + 1
 			continue
 		}
@@ -995,6 +1086,15 @@ func (h *Hermes) get(p *vtime.Proc, fromNode int, id blob.ID, dst []byte) ([]byt
 		pl, readID = h.failover(id)
 		if pl == nil {
 			return nil, false, h.nodeDownErr(id)
+		}
+	}
+	// A primary read against a suspected-slow node races a speculative
+	// backup read after the hedge delay (see hedge.go). hedgeDelay == 0
+	// (health plane off) skips this branch entirely, so the default read
+	// path is byte-for-byte unchanged.
+	if h.hedgeDelay > 0 && readID == id && h.suspect[pl.Node] {
+		if data, ok, err, hedged := h.getHedged(p, fromNode, id, pl); hedged {
+			return data, ok, err
 		}
 	}
 	data, ok, err := h.c.Nodes[pl.Node].Devices[pl.Tier].ReadInto(p, readID, dst)

@@ -261,6 +261,41 @@ func (p *Plan) runTenantsCell(cell Cell) (CellResult, error) {
 	return cr, nil
 }
 
+// runGrayCell executes one gray-failure resilience cell through the
+// same helper the gray driver uses. The resilience axis toggles the
+// health plane (hedged reads, quarantine-aware placement); plan fields
+// map onto the cell shape — bytes_per_node is the DRAM scache tier,
+// workload.steps the serving horizon in virtual milliseconds,
+// workload.seed the traffic seed. The scripted straggler schedule is
+// the shared experiments.GrayFaultPlan. Latency percentiles and all
+// hedge/quarantine counters are exact (digests): the whole serving
+// phase, including the mid-run crash and revive, is deterministic.
+func (p *Plan) runGrayCell(cell Cell) (CellResult, error) {
+	res, _ := cell.Get("resilience")
+	horizon := vtime.Duration(p.Workload.Steps) * vtime.Millisecond
+	out, err := experiments.RunGrayCell(p.Nodes, p.BytesPerNode, horizon, p.Workload.Seed, res == "on", experiments.GrayFaultPlan())
+	if err != nil {
+		return CellResult{}, err
+	}
+	cr := newCellResult(cell)
+	cr.Metrics["runtime_s"] = out.Runtime.Seconds()
+	cr.Metrics["tput_ops_s"] = float64(out.Ops) / out.Runtime.Seconds()
+	cr.Digests["p50_ns"] = out.P50
+	cr.Digests["p99_ns"] = out.P99
+	cr.Digests["p999_ns"] = out.P999
+	cr.Digests["ops"] = out.Ops
+	cr.Digests["errs"] = out.Errs
+	cr.Digests["hedge_launched"] = out.HedgeLaunched
+	cr.Digests["hedge_won"] = out.HedgeWon
+	cr.Digests["hedge_wasted"] = out.HedgeWasted
+	cr.Digests["quar_entered"] = out.QuarEntered
+	cr.Digests["quar_exited"] = out.QuarExited
+	cr.Digests["probes"] = out.Probes
+	cr.Digests["retries"] = out.Retries
+	cr.Digests["read_bytes"] = out.BytesRead
+	return cr, nil
+}
+
 func newCellResult(cell Cell) CellResult {
 	return CellResult{Cell: cell.ID(), Metrics: map[string]float64{}, Digests: map[string]int64{}}
 }

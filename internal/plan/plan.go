@@ -38,7 +38,7 @@ var (
 // the fault specs, policy hints, and assertions its cells reference.
 type Plan struct {
 	Name string
-	App  string // kmeans | grayscott | bfs | tenants
+	App  string // kmeans | grayscott | bfs | tenants | gray
 
 	Nodes        int
 	Procs        int   // ranks per node
@@ -199,15 +199,17 @@ var axesFor = map[string][]string{
 	"grayscott": {"scrub"},
 	"bfs":       {"hints", "bound"},
 	"tenants":   {"isolation"},
+	"gray":      {"resilience"},
 }
 
 // axisValues constrains the enumerated axes ("" = free-form, validated
 // by the executor).
 var axisValues = map[string][]string{
-	"governor":  {"fixed", "adaptive"},
-	"scrub":     {"off", "fixed", "adaptive"},
-	"hints":     {"off", "on"},
-	"isolation": {"off", "on"},
+	"governor":   {"fixed", "adaptive"},
+	"scrub":      {"off", "fixed", "adaptive"},
+	"hints":      {"off", "on"},
+	"isolation":  {"off", "on"},
+	"resilience": {"off", "on"},
 }
 
 // Validate rejects plans that would run a degenerate or ambiguous
@@ -218,7 +220,7 @@ func (p *Plan) Validate() error {
 	}
 	known, ok := axesFor[p.App]
 	if !ok {
-		return fmt.Errorf("%w %q (want kmeans, grayscott, bfs, or tenants)", ErrUnknownApp, p.App)
+		return fmt.Errorf("%w %q (want kmeans, grayscott, bfs, tenants, or gray)", ErrUnknownApp, p.App)
 	}
 	if p.Nodes < 1 || p.Procs < 1 {
 		return fmt.Errorf("%w: nodes and procs_per_node must be >= 1 (got %d, %d)", ErrBadPlan, p.Nodes, p.Procs)

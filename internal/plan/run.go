@@ -68,6 +68,8 @@ func (p *Plan) Run() (*Result, error) {
 			cr, err = p.runBFSCell(cell, &ref)
 		case "tenants":
 			cr, err = p.runTenantsCell(cell)
+		case "gray":
+			cr, err = p.runGrayCell(cell)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("plan %s: cell %s: %w", p.Name, cell.ID(), err)
