@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|ablations|failover|mttr|control|scale|tenants|gray|plan|all")
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|ablations|failover|mttr|control|scale|tenants|gray|disagg|plan|all")
 	profName := flag.String("profile", "small", "size profile: small|full")
 	outDir := flag.String("o", "", "directory for CSV output (optional)")
 	faultSpec := flag.String("faults", "", "fault plan for -exp failover/mttr, e.g. \"seed=42;drop=0.02;crash=1@40ms;revive=1@80ms\" (empty = default plan)")
@@ -81,6 +81,10 @@ func main() {
 		// quarantine-aware placement, off vs on under a scripted
 		// straggler); opt-in for the same reason.
 		{"gray", func() (*stats.Table, error) { return experiments.Gray(prof) }},
+		// disagg is the disaggregated-memory ablation (local-tiered vs
+		// compute + fabric-attached memory pools, incl. a mid-run pool
+		// node crash); opt-in because the paper's testbed is uniform.
+		{"disagg", func() (*stats.Table, error) { return experiments.Disagg(prof) }},
 		// plan runs a declarative scenario plan (-plan file) and gates it
 		// against the golden baseline the plan names.
 		{"plan", func() (*stats.Table, error) { return runPlan(*planPath) }},

@@ -17,6 +17,7 @@ import (
 	"megammap/internal/faults"
 	"megammap/internal/simnet"
 	"megammap/internal/telemetry"
+	"megammap/internal/topology"
 	"megammap/internal/vtime"
 )
 
@@ -26,7 +27,9 @@ type TierSpec struct {
 	Profile device.Profile
 }
 
-// Spec describes a homogeneous cluster.
+// Spec describes a homogeneous cluster of compute nodes, optionally
+// extended by fabric-attached memory-pool nodes (Topology). Nodes counts
+// the compute side only; pool nodes are appended after them.
 type Spec struct {
 	Nodes     int
 	CoresPer  int   // CPU cores (hardware threads) per node
@@ -35,6 +38,11 @@ type Spec struct {
 	Link      simnet.LinkProfile
 	PFS       device.Profile // shared parallel filesystem backend
 	PFSFanout int            // concurrent PFS servers (default 4)
+
+	// Topology describes the disaggregated-memory side. The zero value
+	// is a uniform compute-only cluster, byte-identical to a Spec built
+	// before the field existed.
+	Topology topology.Spec
 }
 
 // DefaultTestbed mirrors the paper's per-node hardware scaled by
@@ -76,12 +84,15 @@ type aggregates struct {
 	dramPeakSum int64   // sum of per-node DRAM high-water marks
 	dramPeakMax int64   // largest per-node DRAM high-water mark
 	tierUsed    []int64 // per-tier stored bytes, indexed like Spec.Tiers
+	poolUsed    int64   // bytes stored across all memory-pool arenas
+	poolPeak    int64   // high-water mark of poolUsed
 	storageCost float64 // total tier capacity cost (static per spec)
 }
 
 // Node is one machine of the cluster.
 type Node struct {
 	ID      int
+	Role    topology.Role
 	Cores   *vtime.Resource
 	Devices map[string]*device.Device // tier name -> device
 
@@ -147,18 +158,21 @@ func (n *Node) Compute(p *vtime.Proc, d vtime.Duration) {
 	n.Cores.Use(p, 1, d)
 }
 
-// Cluster is the full simulated testbed.
+// Cluster is the full simulated testbed. Nodes holds the compute nodes
+// first and any memory-pool nodes after them; Computes() is the split
+// point.
 type Cluster struct {
-	Spec   Spec
-	Engine *vtime.Engine
-	Nodes  []*Node
-	Fabric *simnet.Fabric
-	PFS    *device.Device
-	pfsSrv *vtime.Resource
-	pfsIDs *blob.Interner // PFS object names; devices store by blob.ID
-	inj    *faults.Injector
-	tel    *telemetry.Telemetry
-	agg    aggregates
+	Spec     Spec
+	Engine   *vtime.Engine
+	Nodes    []*Node
+	Fabric   *simnet.Fabric
+	PFS      *device.Device
+	pfsSrv   *vtime.Resource
+	pfsIDs   *blob.Interner // PFS object names; devices store by blob.ID
+	inj      *faults.Injector
+	tel      *telemetry.Telemetry
+	agg      aggregates
+	computes int
 }
 
 // InstallFaults activates a fault plan: the cluster's stable injector
@@ -222,13 +236,16 @@ func (c *Cluster) chaosTimeline(plan faults.Plan) []chaosEvent {
 }
 
 // purgeNode wipes every storage tier of a node (uncharged): crashed
-// hardware comes back empty.
+// hardware comes back empty. Pool nodes lose their arena the same way.
 func (c *Cluster) purgeNode(node int) {
 	n := c.Nodes[node]
 	for _, ts := range c.Spec.Tiers {
 		if d := n.Devices[ts.Name]; d != nil {
 			d.Purge()
 		}
+	}
+	if d := n.Devices[topology.PoolTier]; d != nil {
+		d.Purge()
 	}
 }
 
@@ -255,6 +272,22 @@ func (c *Cluster) InstallTelemetry(opts telemetry.Options) *telemetry.Telemetry 
 	c.PFS.SetTelemetry(trc, -1)
 	c.inj.SetTelemetry(trc)           // no-op unless faults came first
 	c.inj.SetRegistry(tel.Registry()) // mirror retry.* into the metrics export
+	if reg := tel.Registry(); reg != nil && c.Pools() > 0 {
+		// Disaggregated-memory gauges: arena occupancy from the
+		// incrementally maintained aggregates, and the fabric's
+		// pool-transfer queueing delay as a histogram (p50/p99 in the
+		// standard export).
+		used := reg.Gauge(telemetry.Key{Name: "pool.used", Node: -1, Subsystem: "cluster", Tier: topology.PoolTier})
+		peak := reg.Gauge(telemetry.Key{Name: "pool.peak", Node: -1, Subsystem: "cluster", Tier: topology.PoolTier})
+		for _, n := range c.Nodes[c.computes:] {
+			n.Devices[topology.PoolTier].OnUsedChange(func(delta int64) {
+				used.Set(c.agg.poolUsed)
+				peak.Set(c.agg.poolPeak)
+			})
+		}
+		wait := reg.Histogram(telemetry.Key{Name: "pool.queue_wait_ns", Node: -1, Subsystem: "simnet", Tier: topology.PoolTier})
+		c.Fabric.SetPoolWaitObserver(func(w vtime.Duration) { wait.Observe(int64(w)) })
+	}
 	if smp := tel.Sampler(); smp.Period() > 0 {
 		c.spawnSampler(smp)
 	}
@@ -278,6 +311,12 @@ func (c *Cluster) spawnSampler(smp *telemetry.Sampler) {
 	for _, t := range tiers {
 		cols = append(cols, "used."+t)
 	}
+	pools := c.Pools() > 0
+	if pools {
+		// Pool columns exist only on disaggregated clusters, so uniform
+		// clusters keep their exact pre-topology sampler output.
+		cols = append(cols, "pool_used", "pool_queued")
+	}
 	cols = append(cols, "pfs_used", "nic_inuse", "nic_queued",
 		"net_msgs", "net_bytes", "retries", "failovers", "crashes",
 		"revives", "repairs")
@@ -293,6 +332,12 @@ func (c *Cluster) spawnSampler(smp *telemetry.Sampler) {
 			k++
 			for ti := range tiers {
 				vals[k] = c.agg.tierUsed[ti]
+				k++
+			}
+			if pools {
+				vals[k] = c.agg.poolUsed
+				k++
+				vals[k] = int64(c.Fabric.PoolQueued())
 				k++
 			}
 			vals[k] = c.PFS.Used()
@@ -322,7 +367,10 @@ func (c *Cluster) spawnSampler(smp *telemetry.Sampler) {
 	})
 }
 
-// New builds a cluster on a fresh engine.
+// New builds a cluster on a fresh engine. A spec with an enabled
+// Topology appends its memory-pool nodes after the compute nodes: full
+// fabric endpoints (NIC contention, chaos, crash/revive all apply)
+// whose only storage is the remote_pool arena.
 func New(spec Spec) *Cluster {
 	if spec.Nodes <= 0 {
 		panic("cluster: need at least one node")
@@ -330,13 +378,19 @@ func New(spec Spec) *Cluster {
 	if spec.PFSFanout <= 0 {
 		spec.PFSFanout = 4
 	}
+	spec.Topology = spec.Topology.WithDefaults()
+	if err := spec.Topology.Validate(); err != nil {
+		panic("cluster: " + err.Error())
+	}
+	topo := spec.Topology
 	c := &Cluster{
-		Spec:   spec,
-		Engine: vtime.NewEngine(),
-		Fabric: simnet.New(spec.Nodes, spec.Link),
-		PFS:    device.New("pfs", spec.PFS),
-		pfsSrv: vtime.NewResource(spec.PFSFanout),
-		pfsIDs: blob.NewInterner(),
+		Spec:     spec,
+		Engine:   vtime.NewEngine(),
+		Fabric:   simnet.New(spec.Nodes+topo.Pools, spec.Link),
+		PFS:      device.New("pfs", spec.PFS),
+		pfsSrv:   vtime.NewResource(spec.PFSFanout),
+		pfsIDs:   blob.NewInterner(),
+		computes: spec.Nodes,
 	}
 	// One stable injector for the cluster's lifetime: it starts with an
 	// empty plan (no faults) and InstallFaults reconfigures it in place.
@@ -364,8 +418,45 @@ func New(spec Spec) *Cluster {
 		}
 		c.Nodes = append(c.Nodes, n)
 	}
+	for i := spec.Nodes; i < spec.Nodes+topo.Pools; i++ {
+		n := &Node{
+			ID:      i,
+			Role:    topology.RoleMemoryPool,
+			Cores:   vtime.NewResource(spec.CoresPer),
+			Devices: make(map[string]*device.Device),
+			agg:     &c.agg,
+		}
+		d := device.New(fmt.Sprintf("node%d/%s", i, topology.PoolTier), device.RemotePoolProfile(topo.PoolBytes))
+		d.OnUsedChange(func(delta int64) {
+			c.agg.poolUsed += delta
+			if c.agg.poolUsed > c.agg.poolPeak {
+				c.agg.poolPeak = c.agg.poolUsed
+			}
+		})
+		c.agg.storageCost += d.Cost()
+		d.SetFaults(c.inj, i, topology.PoolTier)
+		n.Devices[topology.PoolTier] = d
+		c.Nodes = append(c.Nodes, n)
+	}
+	if topo.Enabled() {
+		c.Fabric.SetPoolLink(spec.Nodes, poolLink(spec.Link, topo))
+	}
 	c.PFS.SetFaults(c.inj, faults.PFSNode, "pfs")
 	return c
+}
+
+// poolLink derives the effective pool-link profile: the fabric profile
+// with the topology's latency/bandwidth overrides applied.
+func poolLink(base simnet.LinkProfile, topo topology.Spec) simnet.LinkProfile {
+	prof := base
+	prof.Name = base.Name + "+pool"
+	if topo.PoolLatency > 0 {
+		prof.Latency = topo.PoolLatency
+	}
+	if topo.PoolBandwidth > 0 {
+		prof.Bandwidth = topo.PoolBandwidth
+	}
+	return prof
 }
 
 // pfsID interns a PFS object name, assigning an ID on first use.
@@ -511,8 +602,25 @@ func (c *Cluster) TierUsed(tier string) int64 {
 			return c.agg.tierUsed[ti]
 		}
 	}
+	if tier == topology.PoolTier {
+		return c.agg.poolUsed
+	}
 	return 0
 }
+
+// Computes returns the number of compute nodes: Nodes[:Computes()] run
+// application procs, Nodes[Computes():] are memory-pool nodes.
+func (c *Cluster) Computes() int { return c.computes }
+
+// Pools returns the number of memory-pool nodes.
+func (c *Cluster) Pools() int { return len(c.Nodes) - c.computes }
+
+// PoolUsed returns the bytes currently stored across all memory-pool
+// arenas (maintained incrementally; O(1)).
+func (c *Cluster) PoolUsed() int64 { return c.agg.poolUsed }
+
+// PoolPeak returns the high-water mark of PoolUsed.
+func (c *Cluster) PoolPeak() int64 { return c.agg.poolPeak }
 
 // StorageCost returns the total USD cost of all node-local tier capacity
 // in use by the spec (the Fig. 7 cost metric). Capacity is fixed at

@@ -18,6 +18,11 @@
 //	      capacity: 128MB
 //	    - name: ssd
 //	      capacity: 256MB
+//	topology:
+//	  pools: 2
+//	  pool_bytes: 128MB
+//	  pool_link_latency: 2us
+//	  pool_link_bandwidth: 4GB
 //	runtime:
 //	  tiers: [nvme, ssd]
 //	  page_size: 48KB
@@ -89,6 +94,11 @@
 //	  slow_factor: 1.5
 //	  hedge_delay: 500us
 //	  quarantine_bias: 1
+//	pool:
+//	  enabled: true
+//	  tick: 2ms
+//	  spill_high: 0.6
+//	  spill_low: 0.2
 //	tenants:
 //	  isolation: true
 //	  list:
@@ -149,6 +159,11 @@ func Load(doc string) (*Deployment, error) {
 			return nil, err
 		}
 	}
+	if tn, ok := root.child("topology"); ok {
+		if err := d.loadTopology(tn); err != nil {
+			return nil, err
+		}
+	}
 	if rn, ok := root.child("runtime"); ok {
 		if err := d.loadRuntime(rn); err != nil {
 			return nil, err
@@ -171,6 +186,11 @@ func Load(doc string) (*Deployment, error) {
 	}
 	if hn, ok := root.child("health"); ok {
 		if err := d.loadHealth(hn); err != nil {
+			return nil, err
+		}
+	}
+	if pn, ok := root.child("pool"); ok {
+		if err := d.loadPool(pn); err != nil {
 			return nil, err
 		}
 	}
@@ -217,6 +237,9 @@ func (d *Deployment) validate() error {
 		return fmt.Errorf("config: %w", err)
 	}
 	if err := d.Runtime.Health.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if err := d.Runtime.Pool.Validate(); err != nil {
 		return fmt.Errorf("config: %w", err)
 	}
 	return nil
@@ -294,6 +317,40 @@ func (d *Deployment) loadCluster(n *node) error {
 			d.Cluster.Tiers = append(d.Cluster.Tiers, cluster.TierSpec{Name: name, Profile: prof})
 		}
 	}
+	return nil
+}
+
+// loadTopology parses the disaggregated-memory section: how many
+// fabric-attached memory-pool nodes to append after the compute nodes,
+// their arena size, and the pool-link characteristics. A missing
+// section (or `pools: 0`) keeps the uniform compute-only cluster
+// byte-identical to older runs. Unset knobs take topology defaults
+// before validation, so `pools: 2` alone is a complete section.
+func (d *Deployment) loadTopology(n *node) error {
+	ts := d.Cluster.Topology
+	err := loadFields(n, map[string]func(string) error{
+		"pools":      func(v string) error { return parseInt(v, &ts.Pools) },
+		"pool_bytes": func(v string) error { return parseSize(v, &ts.PoolBytes) },
+		"pool_link_latency": func(v string) error {
+			return parseDuration(v, &ts.PoolLatency)
+		},
+		"pool_link_bandwidth": func(v string) error {
+			var b int64
+			if e := parseSize(v, &b); e != nil {
+				return e
+			}
+			ts.PoolBandwidth = float64(b)
+			return nil
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("config: topology: %w", err)
+	}
+	ts = ts.WithDefaults()
+	if err := ts.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	d.Cluster.Topology = ts
 	return nil
 }
 
@@ -589,6 +646,29 @@ func (d *Deployment) loadHealth(n *node) error {
 		return fmt.Errorf("config: health: %w", err)
 	}
 	d.Runtime.Health = hc
+	return nil
+}
+
+// loadPool parses the spill-vs-pool governor section. Its presence
+// enables the governor (set `enabled: false` to keep a section around
+// but off); unset knobs keep their DefaultPool() values. The governor
+// only runs on a disaggregated cluster — with `topology.pools: 0` the
+// section is loaded, validated, and then ignored by the runtime.
+func (d *Deployment) loadPool(n *node) error {
+	pc := control.DefaultPool()
+	err := loadFields(n, map[string]func(string) error{
+		"enabled":        func(v string) error { return parseBool(v, &pc.Enabled) },
+		"tick":           func(v string) error { return parseDuration(v, &pc.Tick) },
+		"spill_high":     func(v string) error { return parseFloat(v, &pc.SpillHigh) },
+		"spill_low":      func(v string) error { return parseFloat(v, &pc.SpillLow) },
+		"queue_high":     func(v string) error { return parseInt(v, &pc.QueueHigh) },
+		"pool_full_frac": func(v string) error { return parseFloat(v, &pc.PoolFullFrac) },
+		"hold_ticks":     func(v string) error { return parseInt(v, &pc.HoldTicks) },
+	})
+	if err != nil {
+		return fmt.Errorf("config: pool: %w", err)
+	}
+	d.Runtime.Pool = pc
 	return nil
 }
 

@@ -100,8 +100,18 @@ func runChaosKMeansCfg(t *testing.T, plan *faults.Plan, replicas int, mod func(*
 // contract must hold at any cluster size, so the scale suite reruns it
 // on hundreds of nodes.
 func runChaosKMeansAt(t *testing.T, plan *faults.Plan, replicas, nodes, ranks int, mod func(*core.Config)) chaosRun {
+	return runChaosKMeansSpec(t, plan, replicas, nodes, ranks, nil, mod)
+}
+
+// runChaosKMeansSpec is runChaosKMeansAt with a cluster-spec hook (the
+// disaggregation suite compares explicit-zero-topology specs this way).
+func runChaosKMeansSpec(t *testing.T, plan *faults.Plan, replicas, nodes, ranks int, specMod func(*cluster.Spec), mod func(*core.Config)) chaosRun {
 	t.Helper()
-	c := cluster.New(chaosSpec(nodes))
+	spec := chaosSpec(nodes)
+	if specMod != nil {
+		specMod(&spec)
+	}
+	c := cluster.New(spec)
 	const url = "pq:///data/points.parquet:pos"
 	g := datagen.New(datagen.DefaultSpec(4000, 4, 42))
 	c.Engine.Spawn("datagen", func(p *vtime.Proc) {

@@ -109,6 +109,11 @@ type DSM struct {
 	// 0, leaving the read and placement paths byte-identical.
 	hc *healthCtl
 
+	// pc is the spill-vs-pool governor, nil unless Config.Pool is enabled
+	// on a disaggregated cluster. Disabled (or uniform), hermes keeps the
+	// pool bias off and placement is byte-identical.
+	pc *poolCtl
+
 	// ReplicaHits/Misses count replicated-phase reads served by (or
 	// missing) a node-local replica (diagnostics).
 	replicaHits, replicaMisses int64
@@ -170,7 +175,10 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 	if cfg.Replicas > 0 {
 		d.h.SetReplicas(cfg.Replicas)
 	}
-	for _, n := range c.Nodes {
+	// Memory-pool nodes run no application procs: runtimes exist on
+	// compute nodes only (pool nodes are always appended after them, so
+	// runtime indices still equal node IDs).
+	for _, n := range c.Nodes[:c.Computes()] {
 		d.runtimes = append(d.runtimes, newRuntime(d, n))
 	}
 	if cfg.Control.Enabled {
@@ -180,6 +188,10 @@ func New(c *cluster.Cluster, cfg Config) *DSM {
 	if cfg.Health.Enabled {
 		d.hc = newHealthCtl(d)
 		c.Engine.SpawnDaemon("mm-health", d.healthLoop)
+	}
+	if cfg.Pool.Enabled && c.Pools() > 0 {
+		d.pc = newPoolCtl(d)
+		c.Engine.SpawnDaemon("mm-pool", d.poolLoop)
 	}
 	if cfg.OrganizePeriod > 0 {
 		c.Engine.SpawnDaemon("mm-organizer", d.organizerLoop)
@@ -215,7 +227,9 @@ func (d *DSM) registerMetrics() {
 	}
 	d.gDirtyPages = reg.Gauge(telemetry.Key{Name: "core.dirty_pages", Node: -1, Subsystem: "core"})
 	d.gRepairQ = reg.Gauge(telemetry.Key{Name: "core.repair_queue", Node: -1, Subsystem: "core"})
-	for i := 0; i < n; i++ {
+	// Per-node handles exist for compute nodes only: memory pools run no
+	// clients or workers, so their rows would stay zero forever.
+	for i := 0; i < d.c.Computes(); i++ {
 		d.mFaults[i] = reg.Counter(telemetry.Key{Name: "core.faults", Node: i, Subsystem: "core"})
 		d.mEvictions[i] = reg.Counter(telemetry.Key{Name: "core.evictions", Node: i, Subsystem: "core"})
 		d.mPrefetch[i] = reg.Counter(telemetry.Key{Name: "core.prefetches", Node: i, Subsystem: "core"})
@@ -556,7 +570,9 @@ func (d *DSM) submit(p *vtime.Proc, t *MemoryTask) {
 	}
 	id := t.blobID()
 	owner := t.origin
-	if pl, ok := d.h.PlacementOf(id); ok {
+	// Pool-resident pages execute at the client: pool nodes run no
+	// workers, and hermes charges the pool-link transfer either way.
+	if pl, ok := d.h.PlacementOf(id); ok && pl.Node < len(d.runtimes) {
 		owner = pl.Node
 	}
 	if owner != t.origin {
@@ -667,7 +683,7 @@ func (d *DSM) pageDone(t *MemoryTask) {
 	next := ch.pending[0]
 	ch.pending = ch.pending[1:]
 	owner := next.origin
-	if pl, ok := d.h.PlacementOf(id); ok {
+	if pl, ok := d.h.PlacementOf(id); ok && pl.Node < len(d.runtimes) {
 		owner = pl.Node
 	}
 	d.runtimes[owner].submit(next)
@@ -864,7 +880,7 @@ type barrierState struct {
 // barrier served by the runtime on the key's hash-owner node; each entry
 // charges one control round-trip). fromNode is the caller's node.
 func (d *DSM) Barrier(p *vtime.Proc, key string, n int, fromNode int) {
-	owner := int(hashString(key) % uint32(len(d.c.Nodes)))
+	owner := int(hashString(key) % uint32(d.c.Computes()))
 	d.c.Fabric.RoundTrip(p, fromNode, owner)
 	b := d.barriers[key]
 	if b == nil {
@@ -885,7 +901,7 @@ type dsmLock struct{ mu *vtime.Mutex }
 // Lock acquires the named distributed lock (one control round-trip to the
 // lock's owner node per acquire).
 func (d *DSM) Lock(p *vtime.Proc, key string, fromNode int) {
-	owner := int(hashString(key) % uint32(len(d.c.Nodes)))
+	owner := int(hashString(key) % uint32(d.c.Computes()))
 	d.c.Fabric.RoundTrip(p, fromNode, owner)
 	l := d.locks[key]
 	if l == nil {

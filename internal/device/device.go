@@ -29,16 +29,19 @@ const (
 // Class identifies the hardware kind of a device.
 type Class int
 
-// Device classes, fastest first.
+// Device classes, fastest first. ClassRemotePool sorts after the local
+// media: its DRAM arena is fast, but every access also crosses the
+// fabric, which is charged by the caller rather than the device.
 const (
 	ClassDRAM Class = iota
 	ClassNVMe
 	ClassSSD
 	ClassHDD
 	ClassPFS
+	ClassRemotePool
 )
 
-var classNames = [...]string{"dram", "nvme", "ssd", "hdd", "pfs"}
+var classNames = [...]string{"dram", "nvme", "ssd", "hdd", "pfs", "remote_pool"}
 
 func (c Class) String() string {
 	if int(c) < len(classNames) {
@@ -95,6 +98,21 @@ var (
 			Class: ClassHDD, Latency: 5 * vtime.Millisecond,
 			ReadBW: 150e6, WriteBW: 120e6, Capacity: capacity,
 			Channels: 1, Score: 0.3, CostPerGB: 0.02,
+		}
+	}
+	// RemotePoolProfile returns the DRAM arena of a fabric-attached
+	// memory-pool node. The profile prices only the media side — DRAM
+	// speeds with a little controller overhead and wide channels for an
+	// arena shared by many clients; the latency-poor part of pool access
+	// is the fabric transfer hermes charges on top of it. The score
+	// ranks the tier between local NVMe and the cold media (media is
+	// fast, but reaching it is not), and pooled DRAM is priced below
+	// locally socketed DRAM.
+	RemotePoolProfile = func(capacity int64) Profile {
+		return Profile{
+			Class: ClassRemotePool, Latency: 250 * vtime.Nanosecond,
+			ReadBW: 16e9, WriteBW: 16e9, Capacity: capacity,
+			Channels: 8, Score: 0.8, CostPerGB: 2.0,
 		}
 	}
 	// PFSProfile returns a parallel-filesystem backend of the given

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"megammap/internal/device"
+	"megammap/internal/stats"
+	"megammap/internal/telemetry"
+)
+
+// TestDisaggCellReplayIsByteIdentical: one disaggregated cell — with
+// the scripted mid-run pool-node crash and cold revive — replayed with
+// the same seed must reproduce every counter, percentile, and the
+// result digest exactly, for both workloads.
+func TestDisaggCellReplayIsByteIdentical(t *testing.T) {
+	for _, w := range []string{"kmeans", "bfs"} {
+		a, err := RunDisaggCell(w, 2, 2, 768*device.KB, 4096, 42, true, DisaggFaultPlan(2))
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		b, err := RunDisaggCell(w, 2, 2, 768*device.KB, 4096, 42, true, DisaggFaultPlan(2))
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed, different cells:\n%+v\n%+v", w, a, b)
+		}
+		if a.PoolPlaced == 0 || a.PoolUsedPeak == 0 {
+			t.Errorf("%s: disaggregated cell never used a pool: %+v", w, a)
+		}
+	}
+}
+
+// TestDisaggLocalCellHasNoPoolActivity: the local-tiered mode must
+// never touch pool machinery, and disaggregation must not change the
+// workload answer.
+func TestDisaggLocalCellHasNoPoolActivity(t *testing.T) {
+	for _, w := range []string{"kmeans", "bfs"} {
+		local, err := RunDisaggCell(w, 2, 2, 768*device.KB, 4096, 42, false, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if local.PoolReads != 0 || local.PoolPlaced != 0 || local.PoolUsedPeak != 0 || local.BiasFlips != 0 {
+			t.Errorf("%s: local cell reports pool activity: %+v", w, local)
+		}
+		dis, err := RunDisaggCell(w, 2, 2, 768*device.KB, 4096, 42, true, DisaggFaultPlan(2))
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if local.Digest != dis.Digest {
+			t.Errorf("%s: disaggregation changed the answer: local %d, disagg %d", w, local.Digest, dis.Digest)
+		}
+	}
+}
+
+// metricRow finds the first table row whose metric column matches.
+func metricRow(tb *stats.Table, name string) (int, bool) {
+	for i := 0; i < tb.Len(); i++ {
+		if tb.Cell(i, "metric") == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// TestDisaggTelemetryExport: a disaggregated run under the telemetry
+// plane must export the remote_pool observables — arena used/peak
+// gauges, the hermes placement counter and hit-ratio gauge, and the
+// fabric's pool-queue wait histogram (p50/p99) — in the standard
+// metrics and histogram tables.
+func TestDisaggTelemetryExport(t *testing.T) {
+	EnableTelemetry(telemetry.Options{Metrics: true})
+	defer func() { telemetryOpts = nil; telemetryRuns = nil }()
+	if _, err := RunDisaggCell("kmeans", 2, 2, 768*device.KB, 4096, 42, true, DisaggFaultPlan(2)); err != nil {
+		t.Fatal(err)
+	}
+	runs := DrainTelemetry()
+	if len(runs) != 1 {
+		t.Fatalf("want 1 telemetry plane, got %d", len(runs))
+	}
+	tel := runs[0]
+
+	mt := tel.MetricsTable()
+	for _, m := range []string{"pool.used", "pool.peak", "pool.placements", "pool.hit_ratio_pm"} {
+		i, ok := metricRow(mt, m)
+		if !ok {
+			t.Errorf("metrics table has no %s row", m)
+			continue
+		}
+		if tier := mt.Cell(i, "tier"); tier != "remote_pool" {
+			t.Errorf("%s tier = %q, want remote_pool", m, tier)
+		}
+		if m == "pool.peak" || m == "pool.placements" {
+			if v := mt.Cell(i, "value"); v == "0" {
+				t.Errorf("%s = 0; the disaggregated run never exercised the pool", m)
+			}
+		}
+	}
+
+	ht := tel.HistogramsTable()
+	i, ok := metricRow(ht, "pool.queue_wait_ns")
+	if !ok {
+		t.Fatal("histograms table has no pool.queue_wait_ns row")
+	}
+	if c := ht.Cell(i, "count"); c == "0" {
+		t.Error("pool.queue_wait_ns recorded no pool transfers")
+	}
+	if ht.Cell(i, "tier") != "remote_pool" {
+		t.Errorf("pool.queue_wait_ns tier = %q, want remote_pool", ht.Cell(i, "tier"))
+	}
+
+	var js strings.Builder
+	if err := tel.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"pool.used", "pool.queue_wait_ns", "pool.hit_ratio_pm"} {
+		if !strings.Contains(js.String(), m) {
+			t.Errorf("JSON export lacks %s", m)
+		}
+	}
+}

@@ -88,6 +88,12 @@ type Profile struct {
 	GrayNodes     int
 	GrayPoolBytes int64 // DRAM scache tier per node
 	GrayMillis    int   // serving-phase horizon, virtual ms
+
+	// Disaggregated-memory ablation (mmbench -exp disagg).
+	DisaggNodes    int
+	DisaggProcs    int   // app procs per compute node
+	DisaggBytes    int64 // KMeans dataset per node; also sizes the tiers
+	DisaggVertices int64 // BFS graph size
 }
 
 // Small returns the test/bench profile: the same shapes at sizes that
@@ -117,6 +123,10 @@ func Small() Profile {
 		GrayNodes:        3,
 		GrayPoolBytes:    192 * device.KB,
 		GrayMillis:       500,
+		DisaggNodes:      2,
+		DisaggProcs:      2,
+		DisaggBytes:      768 * device.KB,
+		DisaggVertices:   4096,
 	}
 }
 
@@ -148,6 +158,10 @@ func Full() Profile {
 		GrayNodes:        4,
 		GrayPoolBytes:    256 * device.KB,
 		GrayMillis:       500,
+		DisaggNodes:      4,
+		DisaggProcs:      4,
+		DisaggBytes:      2 * device.MB,
+		DisaggVertices:   16384,
 	}
 }
 

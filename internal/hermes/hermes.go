@@ -26,6 +26,7 @@ import (
 	"megammap/internal/device"
 	"megammap/internal/faults"
 	"megammap/internal/telemetry"
+	"megammap/internal/topology"
 	"megammap/internal/vtime"
 )
 
@@ -135,6 +136,24 @@ type Hermes struct {
 	// passes so a steady-state pass allocates nothing.
 	org orgScratch
 
+	// Disaggregated topology (pools == 0 on a uniform cluster): nodes
+	// [computes, computes+pools) are fabric-attached memory pools exposing
+	// a single remote_pool tier. Placement prefers local tiers and falls
+	// back to the pools on overflow; poolBias is the spill-vs-pool
+	// governor's actuation, moving the pool pass ahead of cross-node
+	// spill so overflow rides the fabric instead of remote NVMe.
+	computes int
+	pools    int
+	poolBias bool
+
+	poolReads  int64 // gets served from the remote_pool tier
+	readsTotal int64 // all gets observed while pools exist
+	poolPlaced int64 // primary placements that landed on a pool
+
+	mPoolReads telemetry.Counter
+	mPoolPlace telemetry.Counter
+	gPoolHit   telemetry.Gauge // pool hit ratio in per-mille
+
 	mdLookups int64
 	moved     int64
 	movedByte int64
@@ -163,9 +182,11 @@ type orgEntry struct {
 }
 
 // New creates a Hermes instance managing the named tiers (ordered fastest
-// to slowest) on every node of the cluster.
+// to slowest) on every compute node of the cluster. Memory-pool nodes
+// carry only the remote_pool tier, which placement treats as the
+// overflow target below every local tier.
 func New(c *cluster.Cluster, tiers []string) *Hermes {
-	for _, n := range c.Nodes {
+	for _, n := range c.Nodes[:c.Computes()] {
 		for _, t := range tiers {
 			if n.Devices[t] == nil {
 				panic(fmt.Sprintf("hermes: node %d has no tier %q", n.ID, t))
@@ -186,10 +207,15 @@ func New(c *cluster.Cluster, tiers []string) *Hermes {
 		memberOf: make(map[uint32]bool),
 		suspect:  make([]bool, len(c.Nodes)),
 		quar:     make([]bool, len(c.Nodes)),
+		computes: c.Computes(),
+		pools:    c.Pools(),
 	}
-	h.org.tierIdx = make(map[string]int, len(tiers))
+	h.org.tierIdx = make(map[string]int, len(tiers)+1)
 	for i, t := range tiers {
 		h.org.tierIdx[t] = i
+	}
+	if _, ok := h.org.tierIdx[topology.PoolTier]; !ok {
+		h.org.tierIdx[topology.PoolTier] = len(tiers) // pool ranks below every local tier
 	}
 	h.idxInit()
 	h.SetFaults(c.Faults())
@@ -214,6 +240,13 @@ func (h *Hermes) SetTelemetry(tel *telemetry.Telemetry) {
 	h.mQuarEnter = reg.Counter(telemetry.Key{Name: "quarantine.entered", Node: -1, Subsystem: "hermes"})
 	h.mQuarExit = reg.Counter(telemetry.Key{Name: "quarantine.exited", Node: -1, Subsystem: "hermes"})
 	h.hHedgeWait = reg.Histogram(telemetry.Key{Name: "hermes.hedge_wait_ns", Node: -1, Subsystem: "hermes"})
+	if h.pools > 0 {
+		// Registered only on disaggregated clusters so uniform runs export
+		// exactly the tables they always did.
+		h.mPoolReads = reg.Counter(telemetry.Key{Name: "pool.reads", Node: -1, Subsystem: "hermes", Tier: topology.PoolTier})
+		h.mPoolPlace = reg.Counter(telemetry.Key{Name: "pool.placements", Node: -1, Subsystem: "hermes", Tier: topology.PoolTier})
+		h.gPoolHit = reg.Gauge(telemetry.Key{Name: "pool.hit_ratio_pm", Node: -1, Subsystem: "hermes", Tier: topology.PoolTier})
+	}
 }
 
 // beginSpan opens a scache span parented on the caller's current span;
@@ -328,9 +361,11 @@ func (h *Hermes) hasReplicas(id blob.ID) bool { return h.replCnt[id.Base()] > 0 
 // Tiers returns the managed tier names, fastest first.
 func (h *Hermes) Tiers() []string { return h.tiers }
 
-// shardOwner returns the node owning an ID's metadata shard.
+// shardOwner returns the node owning an ID's metadata shard. Shards live
+// on compute nodes only — memory pools store bytes, not metadata — which
+// on a uniform cluster is every node, exactly as before.
 func (h *Hermes) shardOwner(id blob.ID) int {
-	return int(id.Hash() % uint32(len(h.c.Nodes)))
+	return int(id.Hash() % uint32(h.computes))
 }
 
 // metaPut installs (or replaces) a blob's placement, maintaining the
@@ -449,11 +484,22 @@ func (h *Hermes) place(size int64, prefNode int) (int, string, bool) {
 			return n, t, ok
 		}
 	}
-	if h.alive(prefNode) {
+	if prefNode < h.computes && h.alive(prefNode) {
 		for ti, t := range h.tiers {
+			if h.poolBias && ti == len(h.tiers)-1 {
+				break // bias on: the pool stands in for the spill tier
+			}
 			if h.pidx.free[ti][prefNode] >= size {
 				return prefNode, t, true
 			}
+		}
+	}
+	// Governor actuation: with the pool bias on, overflow off the
+	// preferred node's fast tiers rides the fabric to a memory pool
+	// before touching the local spill tier or other compute nodes.
+	if h.poolBias {
+		if n, ok := h.placePool(size); ok {
+			return n, topology.PoolTier, true
 		}
 	}
 	for ti, t := range h.tiers {
@@ -465,7 +511,45 @@ func (h *Hermes) place(size int64, prefNode int) (int, string, bool) {
 			return i, t, true
 		}
 	}
+	// Every local tier is full: fall back to the memory pools. A uniform
+	// cluster has none, so this returns not-found exactly as before.
+	if n, ok := h.placePool(size); ok {
+		return n, topology.PoolTier, true
+	}
 	return 0, "", false
+}
+
+// placePool picks the first memory pool (lowest node id) with capacity,
+// or ok=false when the cluster has no pools or none fits. Dead pools sit
+// at -1 in the pool tree and are never chosen.
+func (h *Hermes) placePool(size int64) (int, bool) {
+	if h.pools == 0 {
+		return 0, false
+	}
+	if i := h.pidx.pool.firstAtLeast(h.computes, size); i >= 0 {
+		return i, true
+	}
+	return 0, false
+}
+
+// SetPoolBias steers placement overflow toward the memory pools (true)
+// or back to cross-node local-tier spill (false) — the spill-vs-pool
+// governor's actuation. A uniform cluster ignores it.
+func (h *Hermes) SetPoolBias(prefer bool) {
+	if h.pools == 0 {
+		return
+	}
+	h.poolBias = prefer
+}
+
+// PoolBias reports the current spill-vs-pool actuation.
+func (h *Hermes) PoolBias() bool { return h.poolBias }
+
+// PoolStats returns the disaggregation counters: gets served from the
+// remote_pool tier, total gets observed, and primary placements that
+// landed on a pool. All zero on a uniform cluster.
+func (h *Hermes) PoolStats() (poolReads, reads, poolPlaced int64) {
+	return h.poolReads, h.readsTotal, h.poolPlaced
 }
 
 // placeAvoiding is place restricted to non-quarantined nodes: the same
@@ -473,7 +557,7 @@ func (h *Hermes) place(size int64, prefNode int) (int, string, bool) {
 // The skip loop advances the index query past each rejected node; at
 // most quarCount extra queries per tier.
 func (h *Hermes) placeAvoiding(size int64, prefNode int) (int, string, bool) {
-	if h.alive(prefNode) && !h.quar[prefNode] {
+	if prefNode < h.computes && h.alive(prefNode) && !h.quar[prefNode] {
 		for ti, t := range h.tiers {
 			if h.pidx.free[ti][prefNode] >= size {
 				return prefNode, t, true
@@ -566,6 +650,10 @@ func (h *Hermes) put(p *vtime.Proc, fromNode int, id blob.ID, data []byte, score
 	if !ok {
 		return &ErrNoCapacity{Key: h.DisplayName(id), Size: int64(len(data))}
 	}
+	if tier == topology.PoolTier {
+		h.poolPlaced++
+		h.mPoolPlace.Inc()
+	}
 	if node != fromNode {
 		h.c.Fabric.Transfer(p, fromNode, node, int64(len(data)))
 	}
@@ -591,7 +679,8 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, id blob.ID, data []byte) 
 	placed := 0
 	pos := 1 // rotation offset: the candidate walk never revisits a node
 	for placed < h.replicas {
-		if h.rotFirst(primary, pos, 0) < 0 {
+		candidates := h.rotFirst(primary, pos, 0) >= 0
+		if !candidates && h.pools == 0 {
 			break // no alive candidates remain in the rotation
 		}
 		bk := id.Backup(placed)
@@ -603,10 +692,20 @@ func (h *Hermes) replicate(p *vtime.Proc, primary int, id blob.ID, data []byte) 
 		// non-quarantined targets, fall back to any target so redundancy
 		// beats avoidance. With bias 0 or nothing quarantined the avoid
 		// pass IS the plain walk, byte for byte.
-		avoid := h.quarBias > 0 && h.quarCount > 0
-		next, stored := h.replicateSlot(p, primary, bk, data, pos, avoid)
-		if !stored && avoid {
-			next, stored = h.replicateSlot(p, primary, bk, data, pos, false)
+		var next int
+		var stored bool
+		if candidates {
+			avoid := h.quarBias > 0 && h.quarCount > 0
+			next, stored = h.replicateSlot(p, primary, bk, data, pos, avoid)
+			if !stored && avoid {
+				next, stored = h.replicateSlot(p, primary, bk, data, pos, false)
+			}
+		}
+		// Local tiers exhausted: redundancy beats locality, so the copy
+		// falls back to a memory pool (never reached on a uniform cluster).
+		if !stored && h.pools > 0 {
+			stored = h.replicatePool(p, primary, bk, data)
+			next = pos
 		}
 		if !stored {
 			break // the current slot fits nowhere; later slots cannot either
@@ -650,6 +749,29 @@ func (h *Hermes) replicateSlot(p *vtime.Proc, primary int, bk blob.ID, data []by
 			}
 		}
 		searchPos = fitPos + 1
+	}
+}
+
+// replicatePool stores one backup slot on a memory pool that holds no
+// copy of the blob yet, walking pools in node order. It reports whether
+// the copy was stored.
+func (h *Hermes) replicatePool(p *vtime.Proc, primary int, bk blob.ID, data []byte) bool {
+	size := int64(len(data))
+	for from := h.computes; ; {
+		node := h.pidx.pool.firstAtLeast(from, size)
+		if node < 0 {
+			return false
+		}
+		if node == primary || h.holdsCopy(node, bk.Base()) {
+			from = node + 1
+			continue
+		}
+		h.c.Fabric.Transfer(p, primary, node, size)
+		if err := h.writeRetry(p, h.c.Nodes[node].Devices[topology.PoolTier], bk, data); err != nil {
+			return false
+		}
+		h.metaPut(bk, &Placement{Node: node, Tier: topology.PoolTier, Size: size, Score: 0.05, ScoreNode: node})
+		return true
 	}
 }
 
@@ -850,7 +972,33 @@ func (h *Hermes) placeBackup(size int64, primary int, id blob.ID) (int, string, 
 			return n, t, ok
 		}
 	}
-	return h.placeBackupPass(size, primary, id, false)
+	if n, t, ok := h.placeBackupPass(size, primary, id, false); ok {
+		return n, t, ok
+	}
+	// Local tiers exhausted: repair copies fall back to the memory pools.
+	if n, ok := h.placeBackupPool(size, primary, id); ok {
+		return n, topology.PoolTier, true
+	}
+	return 0, "", false
+}
+
+// placeBackupPool picks a memory pool for a backup copy: capacity for
+// size, distinct from the primary, holding no reachable copy already.
+func (h *Hermes) placeBackupPool(size int64, primary int, id blob.ID) (int, bool) {
+	if h.pools == 0 {
+		return 0, false
+	}
+	for from := h.computes; ; {
+		node := h.pidx.pool.firstAtLeast(from, size)
+		if node < 0 {
+			return 0, false
+		}
+		if node == primary || h.holdsCopy(node, id) {
+			from = node + 1
+			continue
+		}
+		return node, true
+	}
 }
 
 func (h *Hermes) placeBackupPass(size int64, primary int, id blob.ID, avoidQuar bool) (int, string, bool) {
@@ -1111,10 +1259,24 @@ func (h *Hermes) get(p *vtime.Proc, fromNode int, id blob.ID, dst []byte) ([]byt
 	if err != nil {
 		return nil, ok, fmt.Errorf("hermes: reading blob %q: %w", h.DisplayName(id), err)
 	}
+	if ok && h.pools > 0 {
+		h.notePoolRead(pl.Tier)
+	}
 	if ok && pl.Node != fromNode {
 		h.c.Fabric.Transfer(p, pl.Node, fromNode, int64(len(data)))
 	}
 	return data, ok, nil
+}
+
+// notePoolRead maintains the pool hit-ratio counters (disaggregated
+// clusters only; the uniform read path never calls it).
+func (h *Hermes) notePoolRead(tier string) {
+	h.readsTotal++
+	if tier == topology.PoolTier {
+		h.poolReads++
+		h.mPoolReads.Inc()
+	}
+	h.gPoolHit.Set(h.poolReads * 1000 / h.readsTotal)
 }
 
 // failover locates a live backup replica of a blob whose primary node
@@ -1169,6 +1331,9 @@ func (h *Hermes) getRange(p *vtime.Proc, fromNode int, id blob.ID, off, length i
 	}
 	if err != nil {
 		return nil, ok, fmt.Errorf("hermes: reading blob %q: %w", h.DisplayName(id), err)
+	}
+	if ok && h.pools > 0 {
+		h.notePoolRead(pl.Tier)
 	}
 	if ok && pl.Node != fromNode {
 		h.c.Fabric.Transfer(p, pl.Node, fromNode, int64(len(data)))
@@ -1282,6 +1447,12 @@ func (h *Hermes) PlanOrganize(budget int64) []Move {
 	}
 	o.budgets = o.budgets[:len(h.tiers)]
 	for nodeID, entries := range o.byWant {
+		if nodeID >= h.computes {
+			// Memory pools have no tier hierarchy to pack: pool-resident
+			// blobs stay put until the hot-migration rule above pulls them
+			// home to a compute node's tiers.
+			continue
+		}
 		// Hot blobs first; ties broken by ID for determinism.
 		slices.SortStableFunc(entries, func(a, b orgEntry) int {
 			if a.pl.Score != b.pl.Score {

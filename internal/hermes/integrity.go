@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"megammap/internal/blob"
+	"megammap/internal/topology"
 )
 
 // CheckIntegrity audits the store's metadata against the devices and
@@ -29,9 +30,12 @@ func (h *Hermes) CheckIntegrity() []string {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 
-	managed := make(map[string]bool, len(h.tiers))
+	managed := make(map[string]bool, len(h.tiers)+1)
 	for _, t := range h.tiers {
 		managed[t] = true
+	}
+	if h.pools > 0 {
+		managed[topology.PoolTier] = true
 	}
 
 	replCnt := make(map[blob.ID]int)

@@ -1,5 +1,7 @@
 package hermes
 
+import "megammap/internal/topology"
+
 // Placement index: per-tier max segment trees over node free space,
 // answering the placement engine's first-fit queries in O(log N) instead
 // of walking every node. The trees are fed by device used-byte hooks, so
@@ -83,10 +85,18 @@ type placeIndex struct {
 	tiers []*tierTree // per tier rank: alive nodes' free bytes on that tier
 	any   *tierTree   // per node: max free across tiers (alive nodes only)
 	free  [][]int64   // [tier][node] free bytes, mirrored from device hooks
+
+	// Disaggregated topology: memory-pool nodes never enter the local-tier
+	// trees (they stay parked at -1, so rotations and first-fit walks skip
+	// them); their remote_pool free space lives in a dedicated tree. Both
+	// are nil on a uniform cluster.
+	pool     *tierTree
+	poolFree []int64 // [node] pool free bytes (compute entries unused)
 }
 
 // idxInit builds the index from current device state and subscribes to
-// every managed device's used-byte changes.
+// every managed device's used-byte changes. Compute nodes feed the
+// local-tier trees; memory-pool nodes feed only the pool tree.
 func (h *Hermes) idxInit() {
 	n := len(h.c.Nodes)
 	h.pidx.tiers = make([]*tierTree, len(h.tiers))
@@ -94,15 +104,15 @@ func (h *Hermes) idxInit() {
 	for ti, t := range h.tiers {
 		h.pidx.tiers[ti] = newTierTree(n)
 		h.pidx.free[ti] = make([]int64, n)
-		for _, node := range h.c.Nodes {
+		for _, node := range h.c.Nodes[:h.computes] {
 			h.pidx.free[ti][node.ID] = node.Devices[t].Free()
 		}
 	}
 	h.pidx.any = newTierTree(n)
-	for i := 0; i < n; i++ {
+	for i := 0; i < h.computes; i++ {
 		h.idxRefreshNode(i)
 	}
-	for _, node := range h.c.Nodes {
+	for _, node := range h.c.Nodes[:h.computes] {
 		for ti, t := range h.tiers {
 			nodeID, ti := node.ID, ti
 			node.Devices[t].OnUsedChange(func(delta int64) {
@@ -112,6 +122,23 @@ func (h *Hermes) idxInit() {
 				}
 			})
 		}
+	}
+	if h.pools == 0 {
+		return
+	}
+	h.pidx.pool = newTierTree(n)
+	h.pidx.poolFree = make([]int64, n)
+	for _, node := range h.c.Nodes[h.computes:] {
+		nodeID := node.ID
+		d := node.Devices[topology.PoolTier]
+		h.pidx.poolFree[nodeID] = d.Free()
+		h.pidx.pool.set(nodeID, d.Free())
+		d.OnUsedChange(func(delta int64) {
+			h.pidx.poolFree[nodeID] -= delta
+			if h.alive(nodeID) {
+				h.pidx.pool.set(nodeID, h.pidx.poolFree[nodeID])
+			}
+		})
 	}
 }
 
@@ -130,8 +157,20 @@ func (h *Hermes) idxRefreshTier(node, ti int) {
 
 // idxRefreshNode re-publishes a node after a liveness change: a dead
 // node parks at -1 (matched by no query), a live one restores its
-// mirrored free values.
+// mirrored free values. Memory-pool nodes publish only to the pool tree
+// (their local-tier leaves stay parked forever).
 func (h *Hermes) idxRefreshNode(node int) {
+	if node >= h.computes {
+		if h.pidx.pool == nil {
+			return
+		}
+		if !h.alive(node) {
+			h.pidx.pool.set(node, -1)
+		} else {
+			h.pidx.pool.set(node, h.pidx.poolFree[node])
+		}
+		return
+	}
 	if !h.alive(node) {
 		for ti := range h.tiers {
 			h.pidx.tiers[ti].set(node, -1)

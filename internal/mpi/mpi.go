@@ -41,13 +41,14 @@ type recvWaiter struct {
 	msg *message
 }
 
-// NewWorld creates a world of nprocs ranks distributed block-wise over the
-// cluster's nodes (rank r lives on node r/perNode).
+// NewWorld creates a world of nprocs ranks distributed block-wise over
+// the cluster's compute nodes (rank r lives on node r/perNode).
+// Memory-pool nodes run no application procs.
 func NewWorld(c *cluster.Cluster, nprocs int) *World {
 	if nprocs <= 0 {
 		panic("mpi: nprocs must be positive")
 	}
-	perNode := (nprocs + len(c.Nodes) - 1) / len(c.Nodes)
+	perNode := (nprocs + c.Computes() - 1) / c.Computes()
 	w := &World{
 		c:       c,
 		nprocs:  nprocs,

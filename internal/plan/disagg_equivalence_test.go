@@ -1,0 +1,80 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+
+	"megammap/internal/device"
+	"megammap/internal/experiments"
+)
+
+// TestDisaggPlanMatchesDriver: the ported plan-disagg.yaml must
+// reproduce the `mmbench -exp disagg -profile small` table bit for
+// bit — both sides run the same RunDisaggCell helper with the same
+// shape and seed (including the shared scripted pool-node crash), so
+// every column matches at full table precision: the raw counters
+// directly, and the driver's derived columns (pool hit per-mille, pool
+// peak in KB, spill in MB) recomputed from the plan's exact digests.
+func TestDisaggPlanMatchesDriver(t *testing.T) {
+	tb, err := experiments.Disagg(experiments.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rowKey struct{ workload, topo string }
+	rows := map[rowKey]int{}
+	for i := 0; i < tb.Len(); i++ {
+		rows[rowKey{tb.Cell(i, "workload"), tb.Cell(i, "topology")}] = i
+	}
+	row := func(w, topo, col string) string {
+		i, ok := rows[rowKey{w, topo}]
+		if !ok {
+			t.Fatalf("driver table has no (%s, %s) row", w, topo)
+		}
+		return tb.Cell(i, col)
+	}
+
+	p := loadConfigPlan(t, "plan-disagg.yaml")
+	r, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	digest := func(cell, name string) int64 {
+		c, ok := r.Cell(cell)
+		if !ok {
+			t.Fatalf("plan run has no cell %q", cell)
+		}
+		v, ok := c.Digests[name]
+		if !ok {
+			t.Fatalf("cell %q reports no digest %q", cell, name)
+		}
+		return v
+	}
+	for _, w := range []string{"kmeans", "bfs"} {
+		for _, topo := range []string{"local", "disagg"} {
+			cell := fmt.Sprintf("workload=%s,topology=%s", w, topo)
+			for _, col := range []string{"ops", "p50_ns", "p99_ns", "pool_placed", "bias_flips", "digest"} {
+				if want, got := row(w, topo, col), cellValue(t, r, cell, col); got != want {
+					t.Errorf("%s/%s %s: driver %s, plan %s", w, topo, col, want, got)
+				}
+			}
+			if want, got := row(w, topo, "runtime_s"), cellValue(t, r, cell, "runtime_s"); got != want {
+				t.Errorf("%s/%s runtime_s: driver %s, plan %s", w, topo, want, got)
+			}
+			var hit int64
+			if reads := digest(cell, "reads"); reads > 0 {
+				hit = digest(cell, "pool_reads") * 1000 / reads
+			}
+			if want, got := row(w, topo, "pool_hit_pm"), fmt.Sprintf("%v", hit); got != want {
+				t.Errorf("%s/%s pool_hit_pm: driver %s, plan %s", w, topo, want, got)
+			}
+			if want, got := row(w, topo, "pool_peak_kb"), fmt.Sprintf("%v", digest(cell, "pool_peak")/1024); got != want {
+				t.Errorf("%s/%s pool_peak_kb: driver %s, plan %s", w, topo, want, got)
+			}
+			spill := fmt.Sprintf("%.4g", float64(digest(cell, "spill_bytes"))/float64(device.MB))
+			if want := row(w, topo, "spill_mb"); spill != want {
+				t.Errorf("%s/%s spill_mb: driver %s, plan %s", w, topo, want, spill)
+			}
+		}
+	}
+}

@@ -296,6 +296,43 @@ func (p *Plan) runGrayCell(cell Cell) (CellResult, error) {
 	return cr, nil
 }
 
+// runDisaggCell executes one disaggregated-memory ablation cell through
+// the same helper the disagg driver uses. The workload axis picks the
+// app (kmeans or bfs), the topology axis the cluster shape (local =
+// uniform tiered nodes, disagg = compute nodes plus fabric-attached
+// memory pools under the spill-vs-pool governor). Disaggregated cells
+// run the shared scripted pool-node crash+revive; plan fields map onto
+// the cell shape — bytes_per_node sizes the kmeans dataset, vertices
+// the bfs graph, workload.seed the graph seed. Everything but the
+// runtime is exact (digests): the whole run, including the pool crash
+// and the governor's bias flips, is deterministic.
+func (p *Plan) runDisaggCell(cell Cell) (CellResult, error) {
+	w, _ := cell.Get("workload")
+	topo, _ := cell.Get("topology")
+	dis := topo == "disagg"
+	var fp *faults.Plan
+	if dis {
+		fp = experiments.DisaggFaultPlan(p.Nodes)
+	}
+	out, err := experiments.RunDisaggCell(w, p.Nodes, p.Procs, p.BytesPerNode, p.Vertices, p.Workload.Seed, dis, fp)
+	if err != nil {
+		return CellResult{}, err
+	}
+	cr := newCellResult(cell)
+	cr.Metrics["runtime_s"] = out.Runtime.Seconds()
+	cr.Digests["ops"] = out.Ops
+	cr.Digests["p50_ns"] = out.P50
+	cr.Digests["p99_ns"] = out.P99
+	cr.Digests["pool_reads"] = out.PoolReads
+	cr.Digests["reads"] = out.Reads
+	cr.Digests["pool_placed"] = out.PoolPlaced
+	cr.Digests["pool_peak"] = out.PoolUsedPeak
+	cr.Digests["spill_bytes"] = out.SpillBytes
+	cr.Digests["bias_flips"] = out.BiasFlips
+	cr.Digests["digest"] = out.Digest
+	return cr, nil
+}
+
 func newCellResult(cell Cell) CellResult {
 	return CellResult{Cell: cell.ID(), Metrics: map[string]float64{}, Digests: map[string]int64{}}
 }

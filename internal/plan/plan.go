@@ -200,6 +200,7 @@ var axesFor = map[string][]string{
 	"bfs":       {"hints", "bound"},
 	"tenants":   {"isolation"},
 	"gray":      {"resilience"},
+	"disagg":    {"workload", "topology"},
 }
 
 // axisValues constrains the enumerated axes ("" = free-form, validated
@@ -210,6 +211,8 @@ var axisValues = map[string][]string{
 	"hints":      {"off", "on"},
 	"isolation":  {"off", "on"},
 	"resilience": {"off", "on"},
+	"workload":   {"kmeans", "bfs"},
+	"topology":   {"local", "disagg"},
 }
 
 // Validate rejects plans that would run a degenerate or ambiguous
@@ -220,16 +223,25 @@ func (p *Plan) Validate() error {
 	}
 	known, ok := axesFor[p.App]
 	if !ok {
-		return fmt.Errorf("%w %q (want kmeans, grayscott, bfs, tenants, or gray)", ErrUnknownApp, p.App)
+		return fmt.Errorf("%w %q (want kmeans, grayscott, bfs, tenants, gray, or disagg)", ErrUnknownApp, p.App)
 	}
 	if p.Nodes < 1 || p.Procs < 1 {
 		return fmt.Errorf("%w: nodes and procs_per_node must be >= 1 (got %d, %d)", ErrBadPlan, p.Nodes, p.Procs)
 	}
-	if p.App == "bfs" {
+	switch {
+	case p.App == "bfs":
 		if p.Vertices < 1 {
 			return fmt.Errorf("%w: bfs needs vertices >= 1", ErrBadPlan)
 		}
-	} else if p.BytesPerNode < 1 {
+	case p.App == "disagg":
+		// disagg runs both workloads, so it needs both shape parameters.
+		if p.Vertices < 1 {
+			return fmt.Errorf("%w: disagg needs vertices >= 1", ErrBadPlan)
+		}
+		if p.BytesPerNode < 1 {
+			return fmt.Errorf("%w: disagg needs bytes_per_node >= 1", ErrBadPlan)
+		}
+	case p.BytesPerNode < 1:
 		return fmt.Errorf("%w: %s needs bytes_per_node >= 1", ErrBadPlan, p.App)
 	}
 	if p.Tolerance < 0 {

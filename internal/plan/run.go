@@ -70,6 +70,8 @@ func (p *Plan) Run() (*Result, error) {
 			cr, err = p.runTenantsCell(cell)
 		case "gray":
 			cr, err = p.runGrayCell(cell)
+		case "disagg":
+			cr, err = p.runDisaggCell(cell)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("plan %s: cell %s: %w", p.Name, cell.ID(), err)

@@ -47,7 +47,12 @@ func TCP10() LinkProfile {
 	}
 }
 
-// Fabric is a set of node NICs sharing a link profile.
+// Fabric is a set of node NICs sharing a link profile. A disaggregated
+// cluster additionally marks a tail range of nodes as memory-pool
+// endpoints (SetPoolLink): transfers touching them ride a dedicated
+// pool-link profile and report their NIC queueing delay, while
+// everything else — contention, chaos, counters — stays the shared
+// machinery.
 type Fabric struct {
 	prof  LinkProfile
 	nics  []*nic
@@ -56,6 +61,16 @@ type Fabric struct {
 	bytes int64
 	busy  vtime.Duration   // cumulative NIC-direction occupancy
 	inj   *faults.Injector // nil when no fault plan is installed
+
+	// Memory-pool endpoints (disaggregated topology). poolFirst is the
+	// first pool node id, 0 when the fabric is uniform: pool nodes are
+	// appended after at least one compute node, so 0 is never a valid
+	// pool start and the zero value disables every pool branch.
+	poolFirst int
+	poolProf  LinkProfile
+	poolMsgs  int64
+	poolBytes int64
+	poolWait  func(wait vtime.Duration) // observes pool transfers' NIC queueing
 }
 
 // SetFaults attaches a fault injector; its link rules apply to every
@@ -107,6 +122,46 @@ func (f *Fabric) Profile() LinkProfile { return f.prof }
 // Stats returns cumulative messages and bytes transferred.
 func (f *Fabric) Stats() (msgs, bytes int64) { return f.sent, f.bytes }
 
+// SetPoolLink marks nodes first.. as memory-pool endpoints riding prof.
+// Callers pass the effective pool profile (base link with any topology
+// overrides applied), so the fabric never guesses at inheritance.
+func (f *Fabric) SetPoolLink(first int, prof LinkProfile) {
+	f.poolFirst = first
+	f.poolProf = prof
+}
+
+// SetPoolWaitObserver registers fn to observe each pool transfer's NIC
+// queueing delay (time spent waiting for the egress and ingress
+// resources, excluding wire and propagation time) — the fabric-side
+// signal behind the pool-queue wait telemetry and the spill-vs-pool
+// governor.
+func (f *Fabric) SetPoolWaitObserver(fn func(wait vtime.Duration)) { f.poolWait = fn }
+
+// PoolStats returns cumulative messages and bytes with a pool endpoint.
+func (f *Fabric) PoolStats() (msgs, bytes int64) { return f.poolMsgs, f.poolBytes }
+
+// PoolQueued counts transfers currently queued behind the pool nodes'
+// NICs — the governor's fabric-congestion signal. O(pools).
+func (f *Fabric) PoolQueued() int {
+	if f.poolFirst <= 0 {
+		return 0
+	}
+	q := 0
+	for i := f.poolFirst; i < len(f.nics); i++ {
+		q += f.nics[i].egress.Waiting() + f.nics[i].ingress.Waiting()
+	}
+	return q
+}
+
+// linkFor selects the profile of one transfer: the pool link when either
+// endpoint is a memory-pool node, the shared profile otherwise.
+func (f *Fabric) linkFor(src, dst int) (LinkProfile, bool) {
+	if f.poolFirst > 0 && (src >= f.poolFirst || dst >= f.poolFirst) {
+		return f.poolProf, true
+	}
+	return f.prof, false
+}
+
 // BusyTime returns the cumulative NIC-direction occupancy: every
 // transfer charges its egress wire time and its ingress wire time (plus
 // per-message overhead). Sampling the delta over a window and dividing
@@ -147,44 +202,70 @@ func (f *Fabric) Transfer(p *vtime.Proc, src, dst int, n int64) {
 	if src < 0 || src >= len(f.nics) || dst < 0 || dst >= len(f.nics) {
 		panic(fmt.Sprintf("simnet: transfer %d->%d outside fabric of %d nodes", src, dst, len(f.nics)))
 	}
+	prof, pooled := f.linkFor(src, dst)
 	f.sent++
 	f.bytes += n
+	if pooled {
+		f.poolMsgs++
+		f.poolBytes += n
+	}
 	if src == dst {
-		f.busy += f.prof.PerMsg
-		p.Sleep(f.prof.PerMsg)
+		f.busy += prof.PerMsg
+		p.Sleep(prof.PerMsg)
 		return
 	}
-	wire := vtime.BytesAt(n, f.prof.Bandwidth)
-	f.busy += f.prof.PerMsg + 2*wire
+	wire := vtime.BytesAt(n, prof.Bandwidth)
+	f.busy += prof.PerMsg + 2*wire
 	// Serialize on the sender's egress for the wire time, then charge
 	// propagation latency, then occupy the receiver's ingress. This is a
 	// store-and-forward approximation: concurrent senders to one receiver
 	// contend at the ingress resource.
 	tx := f.nics[src]
 	rx := f.nics[dst]
+	measure := pooled && f.poolWait != nil
+	var wait, t0 vtime.Duration
+	if measure {
+		t0 = p.Now()
+	}
 	tx.egress.Acquire(p, 1)
-	p.Sleep(f.prof.PerMsg + wire)
+	if measure {
+		wait = p.Now() - t0
+	}
+	p.Sleep(prof.PerMsg + wire)
 	if f.inj != nil {
-		f.chaos(p, src, dst, f.prof.PerMsg+wire+f.prof.Latency)
+		f.chaos(p, src, dst, prof.PerMsg+wire+prof.Latency)
 	}
 	tx.egress.Release(1)
-	p.Sleep(f.prof.Latency)
+	p.Sleep(prof.Latency)
+	if measure {
+		t0 = p.Now()
+	}
 	rx.ingress.Acquire(p, 1)
+	if measure {
+		wait += p.Now() - t0
+	}
 	p.Sleep(wire)
 	rx.ingress.Release(1)
+	if measure {
+		f.poolWait(wait)
+	}
 }
 
 // RoundTrip models a small control-plane request/response between nodes
 // (metadata lookups): two latency hops plus per-message costs, no
 // bandwidth occupation.
 func (f *Fabric) RoundTrip(p *vtime.Proc, src, dst int) {
+	prof, pooled := f.linkFor(src, dst)
 	if src == dst {
-		p.Sleep(f.prof.PerMsg)
+		p.Sleep(prof.PerMsg)
 		return
 	}
-	p.Sleep(2 * (f.prof.Latency + f.prof.PerMsg))
+	p.Sleep(2 * (prof.Latency + prof.PerMsg))
 	f.sent += 2
+	if pooled {
+		f.poolMsgs += 2
+	}
 	if f.inj != nil {
-		f.chaos(p, src, dst, f.prof.Latency+f.prof.PerMsg)
+		f.chaos(p, src, dst, prof.Latency+prof.PerMsg)
 	}
 }

@@ -218,6 +218,35 @@ func (h Histogram) Quantile(q float64) int64 {
 	return h.s.quantile(q)
 }
 
+// QuantileAcross merges every histogram series with the given name —
+// regardless of node, subsystem, or tier coordinates — and returns the
+// q-quantile of the union. Bucket sums are order-independent, so the
+// result is deterministic. Returns 0 when no samples match.
+func (r *Registry) QuantileAcross(name string, q float64) int64 {
+	if r == nil {
+		return 0
+	}
+	m := series{kind: kindHistogram, min: math.MaxInt64, max: math.MinInt64,
+		buckets: new([histBuckets]int64)}
+	for _, s := range r.all {
+		if s.kind != kindHistogram || s.key.Name != name || s.count == 0 {
+			continue
+		}
+		m.count += s.count
+		m.sum += s.sum
+		if s.min < m.min {
+			m.min = s.min
+		}
+		if s.max > m.max {
+			m.max = s.max
+		}
+		for i, n := range s.buckets {
+			m.buckets[i] += n
+		}
+	}
+	return m.quantile(q)
+}
+
 // quantile implements Histogram.Quantile on the raw series.
 func (s *series) quantile(q float64) int64 {
 	if s.count == 0 {

@@ -280,3 +280,34 @@ func TestMetricsTables(t *testing.T) {
 		t.Errorf("metric rows not in sorted key order:\n%s", out)
 	}
 }
+
+// TestQuantileAcross: merging same-name histogram series across nodes
+// must equal one histogram fed every sample, regardless of how the
+// observations were split — bucket sums are order-independent.
+func TestQuantileAcross(t *testing.T) {
+	split, merged := NewRegistry(), NewRegistry()
+	one := merged.Histogram(Key{Name: "lat", Node: -1})
+	for node := 0; node < 4; node++ {
+		h := split.Histogram(Key{Name: "lat", Node: node})
+		for i := 0; i < 50; i++ {
+			v := int64((node*50 + i) * 1000)
+			h.Observe(v)
+			one.Observe(v)
+		}
+	}
+	// A different metric and a non-histogram must not leak into the merge.
+	split.Histogram(Key{Name: "other", Node: 0}).Observe(1 << 40)
+	split.Gauge(Key{Name: "lat", Node: 99}).Set(1 << 40)
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got, want := split.QuantileAcross("lat", q), one.Quantile(q); got != want {
+			t.Errorf("QuantileAcross(lat, %v) = %d, merged histogram says %d", q, got, want)
+		}
+	}
+	if split.QuantileAcross("missing", 0.5) != 0 {
+		t.Error("QuantileAcross on an unknown name should be 0")
+	}
+	var nilReg *Registry
+	if nilReg.QuantileAcross("lat", 0.5) != 0 {
+		t.Error("nil registry QuantileAcross should be 0")
+	}
+}

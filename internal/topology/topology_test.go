@@ -1,0 +1,58 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"megammap/internal/vtime"
+)
+
+func TestZeroSpecIsDisabledAndValid(t *testing.T) {
+	var s Spec
+	if s.Enabled() {
+		t.Error("zero spec reports enabled")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("zero spec fails validation: %v", err)
+	}
+	if got := s.WithDefaults(); got != s {
+		t.Errorf("WithDefaults mutated the zero spec: %+v", got)
+	}
+}
+
+func TestWithDefaultsFillsPoolBytes(t *testing.T) {
+	s := Spec{Pools: 2}.WithDefaults()
+	if s.PoolBytes != 64<<20 {
+		t.Errorf("PoolBytes = %d, want default 64MB", s.PoolBytes)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("defaulted spec fails validation: %v", err)
+	}
+}
+
+func TestValidateRejectsDegenerateSpecs(t *testing.T) {
+	bad := []Spec{
+		{Pools: -1},
+		{Pools: 1, PoolBytes: 0},
+		{Pools: 1, PoolBytes: -4},
+		{Pools: 1, PoolBytes: 1 << 20, PoolLatency: -vtime.Microsecond},
+		{Pools: 1, PoolBytes: 1 << 20, PoolBandwidth: -1},
+		{Pools: 1, PoolBytes: 1 << 20, PoolBandwidth: math.NaN()},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %+v validated; want error", s)
+		}
+	}
+}
+
+func TestRoleOf(t *testing.T) {
+	for id, want := range []Role{RoleCompute, RoleCompute, RoleMemoryPool, RoleMemoryPool} {
+		if got := RoleOf(id, 2); got != want {
+			t.Errorf("RoleOf(%d, 2) = %v, want %v", id, got, want)
+		}
+	}
+	if RoleCompute.String() != "compute" || RoleMemoryPool.String() != "memory_pool" {
+		t.Errorf("role names: %v, %v", RoleCompute, RoleMemoryPool)
+	}
+}
